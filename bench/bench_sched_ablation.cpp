@@ -1,0 +1,139 @@
+// Ablation study of the load-balancing design choices (DESIGN.md section 3):
+//   1. static assignment order: block vs cyclic interleave, as a function
+//      of how clustered the divergent paths are;
+//   2. dynamic balancing sensitivity to master dispatch overhead;
+//   3. dynamic balancing sensitivity to message latency;
+//   4. the thread runtime protocols on a real workload (cyclic-6),
+//      feeding its measured per-path durations back through the simulator.
+
+#include <cstdio>
+#include <iostream>
+
+#include "homotopy/start_total_degree.hpp"
+#include "sched/dynamic_scheduler.hpp"
+#include "sched/static_scheduler.hpp"
+#include "simcluster/speedup.hpp"
+#include "systems/cyclic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pph;
+
+  // ---- 1. block vs cyclic static assignment ---------------------------------
+  {
+    util::Table t("ABLATION 1 -- static assignment order (cyclic10 model, 64 CPUs)");
+    t.set_header({"divergent clustering", "block makespan (min)", "cyclic makespan (min)"});
+    for (const std::size_t cluster : {std::size_t{1}, std::size_t{16}, std::size_t{64},
+                                      std::size_t{250}}) {
+      util::Prng rng(1);
+      auto model = simcluster::cyclic10_model();
+      model.cluster_size = cluster;  // longer contiguous divergent runs
+      const auto durations = simcluster::synthesize(model, rng);
+      const auto block = simcluster::simulate_static(durations, 64,
+                                                     simcluster::SimAssignment::kBlock);
+      const auto cyc = simcluster::simulate_static(durations, 64,
+                                                   simcluster::SimAssignment::kCyclic);
+      char label[32];
+      std::snprintf(label, sizeof label, "runs of %zu", cluster);
+      t.add_row({label, util::Table::cell(block.makespan / 60.0, 2),
+                 util::Table::cell(cyc.makespan / 60.0, 2)});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+
+  // ---- 2/3. dynamic sensitivity to communication costs ----------------------
+  {
+    util::Prng rng(2);
+    const auto durations = simcluster::synthesize(simcluster::cyclic10_model(), rng);
+    util::Table t("ABLATION 2 -- dynamic balancing vs master dispatch overhead (128 CPUs)");
+    t.set_header({"dispatch overhead (ms)", "latency (ms)", "makespan (min)", "speedup"});
+    double total = 0.0;
+    for (const double d : durations) total += d;
+    for (const double overhead_ms : {0.0, 2.0, 4.0, 8.0, 16.0}) {
+      simcluster::CommModel comm;
+      comm.dispatch_overhead = overhead_ms / 1000.0;
+      comm.message_latency = 0.002;
+      const auto out = simcluster::simulate_dynamic(durations, 128, comm);
+      t.add_row({util::Table::cell(overhead_ms, 1), "2.0",
+                 util::Table::cell(out.makespan / 60.0, 2),
+                 util::Table::cell(total / out.makespan, 1)});
+    }
+    for (const double latency_ms : {10.0, 50.0}) {
+      simcluster::CommModel comm;
+      comm.dispatch_overhead = 0.004;
+      comm.message_latency = latency_ms / 1000.0;
+      const auto out = simcluster::simulate_dynamic(durations, 128, comm);
+      t.add_row({"4.0", util::Table::cell(latency_ms, 1),
+                 util::Table::cell(out.makespan / 60.0, 2),
+                 util::Table::cell(total / out.makespan, 1)});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+
+  // ---- 3b. policy spectrum: static / guided / per-job dynamic ----------------
+  {
+    util::Prng rng(5);
+    const auto durations = simcluster::synthesize(simcluster::cyclic10_model(), rng);
+    double total = 0.0;
+    for (const double d : durations) total += d;
+    simcluster::CommModel comm;
+    comm.dispatch_overhead = 0.001;
+    comm.message_latency = 0.002;
+    util::Table t("ABLATION 3 -- policy spectrum at 128 CPUs (cyclic10 model)");
+    t.set_header({"policy", "makespan (min)", "speedup", "dispatches"});
+    const auto st = simcluster::simulate_static(durations, 128,
+                                                simcluster::SimAssignment::kBlock);
+    t.add_row({"static block", util::Table::cell(st.makespan / 60.0, 2),
+               util::Table::cell(total / st.makespan, 1), "0"});
+    const auto stc = simcluster::simulate_static(durations, 128,
+                                                 simcluster::SimAssignment::kCyclic);
+    t.add_row({"static cyclic", util::Table::cell(stc.makespan / 60.0, 2),
+               util::Table::cell(total / stc.makespan, 1), "0"});
+    for (const double factor : {1.0, 2.0, 4.0}) {
+      const auto g = simcluster::simulate_guided(durations, 128, comm, factor);
+      char label[32];
+      std::snprintf(label, sizeof label, "guided f=%.0f", factor);
+      t.add_row({label, util::Table::cell(g.makespan / 60.0, 2),
+                 util::Table::cell(total / g.makespan, 1),
+                 util::Table::cell(g.master_busy / comm.dispatch_overhead, 0)});
+    }
+    const auto dy = simcluster::simulate_dynamic(durations, 128, comm);
+    t.add_row({"dynamic per-job", util::Table::cell(dy.makespan / 60.0, 2),
+               util::Table::cell(total / dy.makespan, 1),
+               util::Table::cell(dy.master_busy / comm.dispatch_overhead, 0)});
+    std::cout << t.to_string() << "\n";
+  }
+
+  // ---- 4. real thread-runtime protocols on cyclic-6 -------------------------
+  {
+    std::printf("ABLATION 4 -- thread runtime on cyclic-6 (real tracking)\n");
+    util::Prng rng(3);
+    const auto target = systems::cyclic(6);
+    const homotopy::TotalDegreeStart start(target, rng);
+    const homotopy::ConvexHomotopy h(start.system(), target, rng.unit_complex());
+    const auto starts = start.all_solutions();
+    sched::PathWorkload workload;
+    workload.homotopy = &h;
+    workload.starts = &starts;
+
+    const auto st = sched::run_static(workload, 4);
+    const auto dy = sched::run_dynamic(workload, 4);
+    std::printf("  %zu paths; static: %zu conv %zu div; dynamic agrees: %s\n", starts.size(),
+                st.converged, st.diverged,
+                (st.converged == dy.converged && st.diverged == dy.diverged) ? "yes" : "NO");
+
+    // Feed the real measured durations back into the simulator.
+    std::vector<double> durations;
+    for (const auto& tp : dy.paths) durations.push_back(tp.seconds);
+    // Scale communication to the sub-millisecond laptop path costs.
+    simcluster::CommModel comm;
+    comm.dispatch_overhead = 2e-6;
+    comm.message_latency = 1e-6;
+    const auto study = simcluster::run_speedup_study(durations, {2, 4, 8, 16, 32}, comm,
+                                                     simcluster::SimAssignment::kBlock);
+    std::cout << simcluster::to_table(study,
+                                      "  projected speedups from measured cyclic-6 durations")
+                     .to_string();
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) of the numerical kernels: polynomial
+// evaluation and Jacobians, LU, cofactor matrices, Newton correction, full
+// path tracking, and Pieri condition evaluation.  These identify where the
+// per-path time of the headline experiments goes.
+
+#include <benchmark/benchmark.h>
+
+#include "homotopy/solver.hpp"
+#include "linalg/lu.hpp"
+#include "schubert/pieri_homotopy.hpp"
+#include "systems/cyclic.hpp"
+
+namespace {
+
+using namespace pph;
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::CVector;
+
+CVector random_point(util::Prng& rng, std::size_t n) {
+  CVector x(n);
+  for (auto& v : x) v = rng.normal_complex();
+  return x;
+}
+
+void BM_PolySystemEvaluate(benchmark::State& state) {
+  const auto sys = systems::cyclic(static_cast<std::size_t>(state.range(0)));
+  util::Prng rng(1);
+  const CVector x = random_point(rng, sys.nvars());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.evaluate(x));
+  }
+}
+BENCHMARK(BM_PolySystemEvaluate)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_PolySystemJacobian(benchmark::State& state) {
+  const auto sys = systems::cyclic(static_cast<std::size_t>(state.range(0)));
+  util::Prng rng(2);
+  const CVector x = random_point(rng, sys.nvars());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.evaluate_with_jacobian(x));
+  }
+}
+BENCHMARK(BM_PolySystemJacobian)->Arg(5)->Arg(7);
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Prng rng(3);
+  CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal_complex();
+  const CVector b = random_point(rng, n);
+  for (auto _ : state) {
+    linalg::LU lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CofactorMatrix(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Prng rng(4);
+  CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal_complex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schubert::cofactor_matrix(a));
+  }
+}
+BENCHMARK(BM_CofactorMatrix)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NewtonCorrection(benchmark::State& state) {
+  const auto sys = systems::cyclic(5);
+  util::Prng rng(5);
+  homotopy::TotalDegreeStart start(sys, rng);
+  homotopy::ConvexHomotopy h(start.system(), sys, rng.unit_complex());
+  const CVector x0 = start.solution(0);
+  for (auto _ : state) {
+    CVector x = x0;
+    benchmark::DoNotOptimize(homotopy::correct(h, x, 0.02, homotopy::CorrectorOptions{}));
+  }
+}
+BENCHMARK(BM_NewtonCorrection);
+
+void BM_FullPathCyclic5(benchmark::State& state) {
+  const auto sys = systems::cyclic(5);
+  util::Prng rng(6);
+  homotopy::TotalDegreeStart start(sys, rng);
+  homotopy::ConvexHomotopy h(start.system(), sys, rng.unit_complex());
+  const CVector x0 = start.solution(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(homotopy::track_path(h, x0));
+  }
+}
+BENCHMARK(BM_FullPathCyclic5);
+
+void BM_PieriConditionEval(benchmark::State& state) {
+  const schubert::PieriProblem pb{3, 2, 1};
+  util::Prng rng(7);
+  const auto input = schubert::random_pieri_input(pb, rng);
+  const schubert::Pattern root = schubert::Pattern::root(pb);
+  schubert::PatternChart chart(root);
+  CVector coords = random_point(rng, chart.dimension());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schubert::evaluate_condition(
+        chart, coords, input.conditions[0].plane, input.conditions[0].point,
+        Complex{1.0, 0.0}));
+  }
+}
+BENCHMARK(BM_PieriConditionEval);
+
+void BM_PieriEdgeJacobian(benchmark::State& state) {
+  const schubert::PieriProblem pb{3, 2, 1};
+  util::Prng rng(8);
+  const auto input = schubert::random_pieri_input(pb, rng);
+  const schubert::Pattern root = schubert::Pattern::root(pb);
+  schubert::PatternChart chart(root);
+  std::vector<schubert::PlaneCondition> fixed(input.conditions.begin(),
+                                              input.conditions.end() - 1);
+  schubert::PieriEdgeHomotopy h(chart, fixed, input.conditions.back(), rng.unit_complex());
+  const CVector x = random_point(rng, chart.dimension());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate_with_jacobian(x, 0.5));
+  }
+}
+BENCHMARK(BM_PieriEdgeJacobian);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Solving a user-defined polynomial system from text, comparing the
+// total-degree and multi-homogeneous homotopies.
+//
+// The system is an eigenvalue-style problem in (lambda; x1, x2, x3):
+// bilinear in the two variable groups, so the 2-homogeneous Bezout number
+// (3 paths) is far below the total degree (8 paths) -- grouping variables
+// is how homotopy software avoids tracking paths that must diverge.
+
+#include <cstdio>
+
+#include "homotopy/solver.hpp"
+#include "homotopy/start_multihomogeneous.hpp"
+#include "poly/parse.hpp"
+
+int main() {
+  using namespace pph;
+
+  // Variables: x0 = lambda, x1..x3 = eigenvector components.
+  const std::size_t nvars = 4;
+  const auto sys = poly::parse_system(
+      "0.8*x1 + 0.3*x2 - 0.2*x3 - x0*x1;"
+      "0.1*x1 + 0.9*x2 + 0.4*x3 - x0*x2;"
+      "0.5*x1 - 0.3*x2 + 0.6*x3 - x0*x3;"
+      "x1 + 2*x2 - x3 - 1",
+      nvars);
+  std::printf("parsed %zu equations in %zu variables\n", sys.size(), sys.nvars());
+  std::printf("total degree (single group): %llu paths\n",
+              static_cast<unsigned long long>(sys.total_degree()));
+
+  // Group lambda separately from the eigenvector.
+  const homotopy::VariablePartition partition{0, 1, 1, 1};
+  std::printf("2-homogeneous Bezout number (lambda | x): %llu paths\n\n",
+              static_cast<unsigned long long>(
+                  homotopy::multihomogeneous_bezout(sys, partition)));
+
+  const auto td = homotopy::solve_total_degree(sys);
+  std::printf("total-degree homotopy: %llu paths -> %zu solutions, %zu diverged\n",
+              static_cast<unsigned long long>(td.path_count), td.solutions.size(),
+              td.diverged);
+
+  const auto mh = homotopy::solve_multihomogeneous(sys, partition);
+  std::printf("2-homogeneous homotopy: %llu paths -> %zu solutions, %zu diverged\n\n",
+              static_cast<unsigned long long>(mh.path_count), mh.solutions.size(),
+              mh.diverged);
+
+  std::printf("eigenvalues (the lambda component of each solution):\n");
+  for (const auto& s : mh.solutions) {
+    std::printf("  lambda = %+.6f %+.6fi   (residual %.1e)\n", s[0].real(), s[0].imag(),
+                sys.residual(s));
+  }
+  std::printf("\nSame finite solution set, %llu fewer wasted paths.\n",
+              static_cast<unsigned long long>(td.path_count - mh.path_count));
+  return (td.solutions.size() == mh.solutions.size()) ? 0 : 1;
+}

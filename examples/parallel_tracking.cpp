@@ -1,0 +1,64 @@
+// Static vs dynamic load balancing on the message-passing runtime, plus
+// the projection to cluster scale (paper section II).
+//
+// The thread runtime demonstrates the two protocols end to end (all paths
+// tracked exactly once, per-rank busy times); the measured per-path
+// durations then drive the discrete-event simulator to show what both
+// policies would do on 1..128 CPUs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "homotopy/start_total_degree.hpp"
+#include "sched/dynamic_scheduler.hpp"
+#include "sched/static_scheduler.hpp"
+#include "simcluster/speedup.hpp"
+#include "systems/cyclic.hpp"
+
+int main() {
+  using namespace pph;
+
+  // Workload: cyclic-5, 120 paths with a divergent tail.
+  util::Prng rng(99);
+  const poly::PolySystem target = systems::cyclic(5);
+  const homotopy::TotalDegreeStart start(target, rng);
+  const homotopy::ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const auto starts = start.all_solutions();
+  sched::PathWorkload workload;
+  workload.homotopy = &h;
+  workload.starts = &starts;
+
+  std::printf("workload: cyclic 5-roots, %zu paths\n\n", starts.size());
+
+  const auto st = sched::run_static(workload, 4);
+  std::printf("static  (4 ranks): %zu paths, %zu converged, %zu diverged; busy seconds:",
+              st.paths.size(), st.converged, st.diverged);
+  for (const double b : st.rank_busy_seconds) std::printf(" %.3f", b);
+  std::printf("\n");
+
+  const auto dy = sched::run_dynamic(workload, 4);
+  std::printf("dynamic (1 master + 3 slaves): %zu paths, %zu converged; busy seconds:",
+              dy.paths.size(), dy.converged);
+  for (const double b : dy.rank_busy_seconds) std::printf(" %.3f", b);
+  std::printf("\n\n");
+
+  // Project the measured durations to cluster scale.
+  std::vector<double> durations;
+  for (const auto& tp : dy.paths) durations.push_back(tp.seconds);
+  // Laptop paths are sub-millisecond; communication costs are scaled to
+  // match (the Table I bench models the paper's 1 GHz cluster instead).
+  simcluster::CommModel comm;
+  comm.dispatch_overhead = 2e-6;
+  comm.message_latency = 1e-6;
+  const auto study = simcluster::run_speedup_study(durations, {1, 2, 4, 8, 16, 32}, comm,
+                                                   simcluster::SimAssignment::kBlock);
+  std::cout << simcluster::to_table(
+                   study, "Projected speedups from the measured cyclic-5 path durations")
+                   .to_string();
+  std::printf(
+      "\nThe divergent-path tail makes static assignment lag as soon as several\n"
+      "paths share a CPU -- the effect the paper measures on the real cluster\n"
+      "(Table I).  With only 120 jobs the projection becomes boundary-dominated\n"
+      "beyond ~8 CPUs; bench_table1_cyclic runs the full 35,940-job model.\n");
+  return 0;
+}

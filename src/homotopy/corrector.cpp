@@ -1,0 +1,53 @@
+#include "homotopy/corrector.hpp"
+
+#include "linalg/lu.hpp"
+
+namespace pph::homotopy {
+
+CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts) {
+  CorrectorResult result;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    auto [value, jac] = h.evaluate_with_jacobian(x, t);
+    result.residual = linalg::norm2(value);
+    if (result.residual < opts.residual_tolerance) {
+      result.status = CorrectorStatus::kConverged;
+      result.iterations = it;
+      return result;
+    }
+    for (auto& v : value) v = -v;
+    linalg::LU lu(jac);
+    const auto dx = lu.solve(value);
+    if (!dx) {
+      result.status = CorrectorStatus::kSingular;
+      result.iterations = it;
+      return result;
+    }
+    const double step = linalg::norm2(*dx);
+    result.last_step_norm = step;
+    if (step > opts.divergence_threshold) {
+      result.status = CorrectorStatus::kDiverged;
+      result.iterations = it;
+      return result;
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += (*dx)[i];
+    ++result.iterations;
+    if (step < opts.step_tolerance * (1.0 + linalg::norm2(x))) {
+      result.residual = linalg::norm2(h.evaluate(x, t));
+      result.status = CorrectorStatus::kConverged;
+      return result;
+    }
+  }
+  // Accept late convergence when the last residual check passes, or when
+  // the residual has stagnated below the soft bound (rounding floor of
+  // large-magnitude endpoints).
+  result.residual = linalg::norm2(h.evaluate(x, t));
+  if (result.residual < opts.residual_tolerance ||
+      (opts.stagnation_tolerance > 0.0 && result.residual < opts.stagnation_tolerance)) {
+    result.status = CorrectorStatus::kConverged;
+  } else {
+    result.status = CorrectorStatus::kMaxIterations;
+  }
+  return result;
+}
+
+}  // namespace pph::homotopy

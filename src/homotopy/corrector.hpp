@@ -1,0 +1,42 @@
+#pragma once
+// Newton corrector: refine a predicted point back onto the solution path
+// H(x, t) = 0 at fixed t.
+
+#include "homotopy/homotopy.hpp"
+
+namespace pph::homotopy {
+
+struct CorrectorOptions {
+  /// Maximum Newton iterations per correction.
+  std::size_t max_iterations = 4;
+  /// Success when the residual ||H(x,t)|| falls below this...
+  double residual_tolerance = 1e-10;
+  /// ...or the update ||dx|| (relative to 1 + ||x||) falls below this.
+  double step_tolerance = 1e-12;
+  /// Abort when the update exceeds this (prediction left the basin).
+  double divergence_threshold = 1e8;
+  /// Soft acceptance when the iteration budget runs out: endpoints of large
+  /// magnitude have a rounding floor above an absolute residual tolerance
+  /// (det-style equations scale like ||x||^p), so a residual that stagnates
+  /// below this bound still counts as converged.  0 disables.
+  double stagnation_tolerance = 0.0;
+};
+
+enum class CorrectorStatus {
+  kConverged,
+  kMaxIterations,   // no convergence within the iteration budget
+  kSingular,        // Jacobian numerically singular
+  kDiverged,        // update norm exploded
+};
+
+struct CorrectorResult {
+  CorrectorStatus status = CorrectorStatus::kMaxIterations;
+  std::size_t iterations = 0;
+  double residual = 0.0;       // final ||H(x,t)||
+  double last_step_norm = 0.0; // final ||dx||
+};
+
+/// Run Newton iterations on H(.,t) starting from x (updated in place).
+CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts);
+
+}  // namespace pph::homotopy

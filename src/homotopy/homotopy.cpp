@@ -1,0 +1,59 @@
+#include "homotopy/homotopy.hpp"
+
+#include <stdexcept>
+
+namespace pph::homotopy {
+
+ConvexHomotopy::ConvexHomotopy(poly::PolySystem start, poly::PolySystem target, Complex gamma)
+    : start_(std::move(start)), target_(std::move(target)), gamma_(gamma) {
+  if (start_.nvars() != target_.nvars() || start_.size() != target_.size()) {
+    throw std::invalid_argument("ConvexHomotopy: shape mismatch between start and target");
+  }
+  if (!target_.square()) {
+    throw std::invalid_argument("ConvexHomotopy: system must be square");
+  }
+}
+
+CVector ConvexHomotopy::evaluate(const CVector& x, double t) const {
+  const CVector g = start_.evaluate(x);
+  const CVector f = target_.evaluate(x);
+  const Complex a = gamma_ * (1.0 - t);
+  CVector h(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) h[i] = a * g[i] + t * f[i];
+  return h;
+}
+
+CMatrix ConvexHomotopy::jacobian_x(const CVector& x, double t) const {
+  CMatrix jg = start_.jacobian(x);
+  const CMatrix jf = target_.jacobian(x);
+  const Complex a = gamma_ * (1.0 - t);
+  jg *= a;
+  CMatrix out = jf;
+  out *= Complex{t, 0.0};
+  out += jg;
+  return out;
+}
+
+CVector ConvexHomotopy::derivative_t(const CVector& x, double /*t*/) const {
+  // dH/dt = -gamma*G(x) + F(x), independent of t for the convex combination.
+  const CVector g = start_.evaluate(x);
+  const CVector f = target_.evaluate(x);
+  CVector d(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) d[i] = f[i] - gamma_ * g[i];
+  return d;
+}
+
+std::pair<CVector, CMatrix> ConvexHomotopy::evaluate_with_jacobian(const CVector& x,
+                                                                   double t) const {
+  auto [g, jg] = start_.evaluate_with_jacobian(x);
+  auto [f, jf] = target_.evaluate_with_jacobian(x);
+  const Complex a = gamma_ * (1.0 - t);
+  CVector h(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) h[i] = a * g[i] + t * f[i];
+  jg *= a;
+  jf *= Complex{t, 0.0};
+  jf += jg;
+  return {std::move(h), std::move(jf)};
+}
+
+}  // namespace pph::homotopy

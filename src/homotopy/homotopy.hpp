@@ -1,0 +1,61 @@
+#pragma once
+// Homotopy interface and the convex-linear ("gamma trick") homotopy
+//   H(x,t) = gamma * (1-t) * G(x) + t * F(x)
+// of equation (1) of the paper, connecting a solved start system G to the
+// target system F as t runs from 0 to 1.
+
+#include <memory>
+
+#include "poly/system.hpp"
+
+namespace pph::homotopy {
+
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::CVector;
+
+/// Abstract homotopy H : C^n x [0,1] -> C^n.  Implementations provide the
+/// value, the Jacobian with respect to x, and the derivative with respect
+/// to t (used by the tangent predictor).
+class Homotopy {
+ public:
+  virtual ~Homotopy() = default;
+
+  /// Number of equations == number of unknowns.
+  virtual std::size_t dimension() const = 0;
+
+  virtual CVector evaluate(const CVector& x, double t) const = 0;
+  virtual CMatrix jacobian_x(const CVector& x, double t) const = 0;
+  virtual CVector derivative_t(const CVector& x, double t) const = 0;
+
+  /// Value and Jacobian together; default composes the two virtuals, and
+  /// implementations override when a shared evaluation is cheaper.
+  virtual std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const {
+    return {evaluate(x, t), jacobian_x(x, t)};
+  }
+};
+
+/// H(x,t) = gamma*(1-t)*G(x) + t*F(x).  Start and target must be square
+/// systems of the same shape.  With gamma drawn uniformly from the unit
+/// circle, all paths are regular for almost all gamma (the gamma trick).
+class ConvexHomotopy final : public Homotopy {
+ public:
+  ConvexHomotopy(poly::PolySystem start, poly::PolySystem target, Complex gamma);
+
+  std::size_t dimension() const override { return target_.nvars(); }
+  CVector evaluate(const CVector& x, double t) const override;
+  CMatrix jacobian_x(const CVector& x, double t) const override;
+  CVector derivative_t(const CVector& x, double t) const override;
+  std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const override;
+
+  const poly::PolySystem& start() const { return start_; }
+  const poly::PolySystem& target() const { return target_; }
+  Complex gamma() const { return gamma_; }
+
+ private:
+  poly::PolySystem start_;
+  poly::PolySystem target_;
+  Complex gamma_;
+};
+
+}  // namespace pph::homotopy

@@ -1,0 +1,29 @@
+#include "homotopy/predictor.hpp"
+
+#include "linalg/lu.hpp"
+
+namespace pph::homotopy {
+
+std::optional<CVector> predict_tangent(const Homotopy& h, const CVector& x, double t, double dt) {
+  const CMatrix jac = h.jacobian_x(x, t);
+  CVector ht = h.derivative_t(x, t);
+  for (auto& v : ht) v = -v;
+  linalg::LU lu(jac);
+  const auto tangent = lu.solve(ht);
+  if (!tangent) return std::nullopt;
+  CVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + dt * (*tangent)[i];
+  return out;
+}
+
+CVector predict_secant(const CVector& x_prev, double t_prev, const CVector& x, double t,
+                       double dt) {
+  const double span = t - t_prev;
+  if (span <= 0.0) return x;
+  const double scale = dt / span;
+  CVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + scale * (x[i] - x_prev[i]);
+  return out;
+}
+
+}  // namespace pph::homotopy

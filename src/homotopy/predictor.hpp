@@ -1,0 +1,28 @@
+#pragma once
+// Predictors: extrapolate the current path point to the next t value.
+//
+// The tangent (Euler) predictor solves  (dH/dx) dx/dt = -dH/dt  at the
+// current point; the secant predictor reuses the two most recent accepted
+// points.  The tracker uses the tangent by default and falls back to secant
+// when the Jacobian solve fails.
+
+#include <optional>
+
+#include "homotopy/homotopy.hpp"
+
+namespace pph::homotopy {
+
+enum class PredictorKind { kTangent, kSecant, kZeroOrder };
+
+/// Tangent prediction from (x, t) to t + dt.  Returns nullopt when the
+/// Jacobian is singular at the current point.
+std::optional<CVector> predict_tangent(const Homotopy& h, const CVector& x, double t, double dt);
+
+/// Secant prediction through (x_prev, t_prev) and (x, t) to t + dt.
+CVector predict_secant(const CVector& x_prev, double t_prev, const CVector& x, double t,
+                       double dt);
+
+/// Zero-order prediction (constant extrapolation).
+inline CVector predict_zero_order(const CVector& x) { return x; }
+
+}  // namespace pph::homotopy

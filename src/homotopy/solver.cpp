@@ -1,0 +1,92 @@
+#include "homotopy/solver.hpp"
+
+#include "homotopy/start_multihomogeneous.hpp"
+#include "util/timer.hpp"
+
+namespace pph::homotopy {
+
+EndpointClass classify_endpoint(const poly::PolySystem& target,
+                                const poly::PolySystem& leading_forms, const PathResult& path,
+                                const SolveOptions& opts) {
+  const double xnorm = linalg::norm_inf(path.x);
+  if (path.status == PathStatus::kDiverged) return EndpointClass::kAtInfinity;
+  if (xnorm > opts.at_infinity_norm) return EndpointClass::kAtInfinity;
+  if (xnorm > opts.suspicious_norm) {
+    // Normalize and test the top-degree part.  Slowly diverging paths (for
+    // example the excess paths of a linear-product homotopy, which grow like
+    // (1-t)^(-1/k)) reach t = 1 at moderate norm but their direction lies on
+    // the variety of the leading forms; genuine large roots do not.
+    const double scale = linalg::norm2(path.x);
+    CVector u = path.x;
+    for (auto& v : u) v /= scale;
+    if (leading_forms.residual(u) < opts.leading_form_tolerance) {
+      return EndpointClass::kAtInfinity;
+    }
+  }
+  if (path.status == PathStatus::kConverged &&
+      target.residual(path.x) < opts.solution_residual) {
+    return EndpointClass::kFiniteRoot;
+  }
+  return EndpointClass::kFailure;
+}
+
+SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& starts,
+                                 const poly::PolySystem& target, const SolveOptions& opts) {
+  SolveSummary summary;
+  summary.path_count = starts.size();
+  summary.paths.reserve(starts.size());
+  summary.path_seconds.reserve(starts.size());
+  const poly::PolySystem leading = target.leading_forms();
+
+  std::vector<CVector> raw_solutions;
+  for (const auto& x0 : starts) {
+    util::WallTimer timer;
+    PathResult r = track_path(h, x0, opts.tracker);
+    summary.path_seconds.push_back(timer.seconds());
+    switch (classify_endpoint(target, leading, r, opts)) {
+      case EndpointClass::kFiniteRoot:
+        ++summary.converged;
+        raw_solutions.push_back(r.x);
+        break;
+      case EndpointClass::kAtInfinity:
+        ++summary.diverged;
+        r.status = PathStatus::kDiverged;
+        break;
+      case EndpointClass::kFailure:
+        ++summary.failed;
+        r.status = PathStatus::kFailed;
+        break;
+    }
+    summary.paths.push_back(std::move(r));
+  }
+  summary.solutions = poly::deduplicate_solutions(raw_solutions, opts.dedup_tolerance);
+  return summary;
+}
+
+SolveSummary solve_total_degree(const poly::PolySystem& target, const SolveOptions& opts) {
+  util::Prng rng(opts.seed);
+  TotalDegreeStart start(target, rng);
+  ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  return track_and_summarize(h, start.all_solutions(), target, opts);
+}
+
+SolveSummary solve_linear_product(const poly::PolySystem& target,
+                                  const ProductStructure& structure, const SolveOptions& opts) {
+  util::Prng rng(opts.seed);
+  LinearProductStart start(target.nvars(), structure, rng);
+  ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  std::vector<CVector> starts;
+  for (auto& [index, x] : start.all_solutions()) {
+    (void)index;
+    starts.push_back(std::move(x));
+  }
+  return track_and_summarize(h, starts, target, opts);
+}
+
+SolveSummary solve_multihomogeneous(const poly::PolySystem& target,
+                                    const std::vector<std::size_t>& partition,
+                                    const SolveOptions& opts) {
+  return solve_linear_product(target, multihomogeneous_structure(target, partition), opts);
+}
+
+}  // namespace pph::homotopy

@@ -1,0 +1,72 @@
+#pragma once
+// Sequential blackbox solver: construct a start system for a target system,
+// track every path, classify and deduplicate the endpoints.  This is the
+// single-CPU baseline against which the schedulers are validated and the
+// speedup experiments are normalized.
+
+#include "homotopy/start_linear_product.hpp"
+#include "homotopy/start_total_degree.hpp"
+#include "homotopy/tracker.hpp"
+
+namespace pph::homotopy {
+
+struct SolveOptions {
+  TrackerOptions tracker;
+  std::uint64_t seed = 20040415;  // the paper's date, for reproducibility
+  /// Residual acceptance threshold for a converged endpoint.
+  double solution_residual = 1e-8;
+  /// Deduplication distance between distinct roots.
+  double dedup_tolerance = 1e-6;
+  /// Endpoints with norm beyond this are unconditionally "at infinity".
+  double at_infinity_norm = 1e6;
+  /// Endpoints with norm beyond this are tested against the leading forms
+  /// (slowly diverging paths sit at moderate norms at t = 1 yet their
+  /// direction annihilates the top-degree part of the target system).
+  double suspicious_norm = 50.0;
+  /// Leading-form residual (at the normalized endpoint) below which a
+  /// suspicious endpoint is classified as diverging to infinity.
+  double leading_form_tolerance = 1e-6;
+};
+
+/// Endpoint classification of one tracked path against the target system.
+enum class EndpointClass { kFiniteRoot, kAtInfinity, kFailure };
+
+/// Classify a tracked endpoint: finite root (small residual, not at
+/// infinity), at-infinity (large norm, or moderate norm whose direction
+/// kills the target's leading forms), or failure.
+EndpointClass classify_endpoint(const poly::PolySystem& target,
+                                const poly::PolySystem& leading_forms, const PathResult& path,
+                                const SolveOptions& opts);
+
+struct SolveSummary {
+  std::vector<CVector> solutions;          // deduplicated converged endpoints
+  std::vector<PathResult> paths;           // one per start solution
+  std::size_t converged = 0;
+  std::size_t diverged = 0;
+  std::size_t failed = 0;
+  unsigned long long path_count = 0;
+  /// Wall seconds per path, in path order (feeds the cluster simulator).
+  std::vector<double> path_seconds;
+};
+
+/// Solve with a total-degree start system.
+SolveSummary solve_total_degree(const poly::PolySystem& target, const SolveOptions& opts = {});
+
+/// Solve with a caller-provided linear-product structure.
+SolveSummary solve_linear_product(const poly::PolySystem& target,
+                                  const ProductStructure& structure,
+                                  const SolveOptions& opts = {});
+
+/// Solve with the m-homogeneous start system of the given variable
+/// partition (see start_multihomogeneous.hpp); tracks the m-homogeneous
+/// Bezout number of paths instead of the total degree.
+SolveSummary solve_multihomogeneous(const poly::PolySystem& target,
+                                    const std::vector<std::size_t>& partition,
+                                    const SolveOptions& opts = {});
+
+/// Track the paths of a prepared homotopy from explicit starts, collecting
+/// the same summary (used by both solvers and directly by tests).
+SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& starts,
+                                 const poly::PolySystem& target, const SolveOptions& opts);
+
+}  // namespace pph::homotopy

@@ -1,0 +1,79 @@
+#include "homotopy/start_linear_product.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace pph::homotopy {
+
+unsigned long long ProductStructure::combination_count() const {
+  unsigned long long prod = 1;
+  for (const auto& eq : equations) {
+    const unsigned long long f = eq.size();
+    if (f == 0) throw std::invalid_argument("ProductStructure: equation with no factors");
+    if (prod > (~0ULL) / f) throw std::overflow_error("ProductStructure: count overflow");
+    prod *= f;
+  }
+  return prod;
+}
+
+LinearProductStart::LinearProductStart(std::size_t nvars, ProductStructure structure,
+                                       util::Prng& rng)
+    : nvars_(nvars), structure_(std::move(structure)) {
+  if (structure_.size() != nvars_) {
+    throw std::invalid_argument("LinearProductStart: must be square (one equation per variable)");
+  }
+  factors_.resize(structure_.size());
+  poly::PolySystem g(nvars_);
+  for (std::size_t i = 0; i < structure_.size(); ++i) {
+    const auto& supports = structure_.equations[i];
+    poly::Polynomial prod = poly::Polynomial::constant(nvars_, Complex{1.0, 0.0});
+    for (const auto& support : supports) {
+      Factor f;
+      f.coefficients.assign(nvars_, Complex{});
+      for (std::size_t v : support) {
+        if (v >= nvars_) throw std::out_of_range("LinearProductStart: variable index");
+        f.coefficients[v] = rng.unit_complex();
+      }
+      f.constant = rng.unit_complex();
+      // Polynomial form of the factor.
+      poly::Polynomial lin = poly::Polynomial::constant(nvars_, f.constant);
+      for (std::size_t v : support) {
+        lin += poly::Polynomial::variable(nvars_, v) * f.coefficients[v];
+      }
+      prod *= lin;
+      factors_[i].push_back(std::move(f));
+    }
+    g.add_equation(std::move(prod));
+  }
+  system_ = std::move(g);
+}
+
+std::optional<CVector> LinearProductStart::solution(unsigned long long k) const {
+  if (k >= combination_count()) throw std::out_of_range("LinearProductStart::solution");
+  linalg::CMatrix a(nvars_, nvars_);
+  CVector b(nvars_);
+  for (std::size_t i = 0; i < nvars_; ++i) {
+    const unsigned long long nf = factors_[i].size();
+    const std::size_t pick = static_cast<std::size_t>(k % nf);
+    k /= nf;
+    const Factor& f = factors_[i][pick];
+    for (std::size_t v = 0; v < nvars_; ++v) a(i, v) = f.coefficients[v];
+    b[i] = -f.constant;
+  }
+  linalg::LU lu(a);
+  if (lu.singular() || lu.rcond_estimate() < 1e-14) return std::nullopt;
+  return lu.solve(b);
+}
+
+std::vector<std::pair<unsigned long long, CVector>> LinearProductStart::all_solutions() const {
+  std::vector<std::pair<unsigned long long, CVector>> out;
+  const unsigned long long total = combination_count();
+  for (unsigned long long k = 0; k < total; ++k) {
+    auto s = solution(k);
+    if (s) out.emplace_back(k, std::move(*s));
+  }
+  return out;
+}
+
+}  // namespace pph::homotopy

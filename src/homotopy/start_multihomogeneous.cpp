@@ -1,0 +1,103 @@
+#include "homotopy/start_multihomogeneous.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace pph::homotopy {
+
+namespace {
+
+std::size_t group_count(const VariablePartition& partition) {
+  std::size_t k = 0;
+  for (const std::size_t g : partition) k = std::max(k, g + 1);
+  return k;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> multihomogeneous_degrees(
+    const poly::PolySystem& system, const VariablePartition& partition) {
+  if (partition.size() != system.nvars()) {
+    throw std::invalid_argument("multihomogeneous_degrees: partition size mismatch");
+  }
+  const std::size_t k = group_count(partition);
+  std::vector<std::vector<std::uint32_t>> degrees(system.size(),
+                                                  std::vector<std::uint32_t>(k, 0));
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    for (const auto& term : system.equation(i).terms()) {
+      std::vector<std::uint32_t> by_group(k, 0);
+      for (std::size_t v = 0; v < partition.size(); ++v) {
+        by_group[partition[v]] += term.monomial.exponent(v);
+      }
+      for (std::size_t g = 0; g < k; ++g) {
+        degrees[i][g] = std::max(degrees[i][g], by_group[g]);
+      }
+    }
+  }
+  return degrees;
+}
+
+std::uint64_t multihomogeneous_bezout(const std::vector<std::vector<std::uint32_t>>& degrees,
+                                      const std::vector<std::size_t>& group_sizes) {
+  // Coefficient of prod_j z_j^{n_j} in prod_i (sum_j d_{ij} z_j), computed
+  // by dynamic programming over the exponent vectors (capped at n_j, since
+  // anything above can never contribute).
+  const std::size_t k = group_sizes.size();
+  std::map<std::vector<std::size_t>, std::uint64_t> coeff;
+  coeff[std::vector<std::size_t>(k, 0)] = 1;
+  for (const auto& row : degrees) {
+    if (row.size() != k) throw std::invalid_argument("multihomogeneous_bezout: row width");
+    std::map<std::vector<std::size_t>, std::uint64_t> next;
+    for (const auto& [expo, c] : coeff) {
+      for (std::size_t g = 0; g < k; ++g) {
+        if (row[g] == 0) continue;
+        if (expo[g] + 1 > group_sizes[g]) continue;  // overshoots z_g^{n_g}
+        std::vector<std::size_t> e = expo;
+        ++e[g];
+        auto [it, inserted] = next.try_emplace(std::move(e), 0);
+        (void)inserted;
+        const std::uint64_t add = c * row[g];
+        if (add / row[g] != c || it->second > ~std::uint64_t{0} - add) {
+          throw std::overflow_error("multihomogeneous_bezout: overflow");
+        }
+        it->second += add;
+      }
+    }
+    coeff = std::move(next);
+  }
+  std::vector<std::size_t> full(group_sizes.begin(), group_sizes.end());
+  const auto it = coeff.find(full);
+  return it == coeff.end() ? 0 : it->second;
+}
+
+std::uint64_t multihomogeneous_bezout(const poly::PolySystem& system,
+                                      const VariablePartition& partition) {
+  const std::size_t k = group_count(partition);
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::size_t g : partition) ++sizes[g];
+  return multihomogeneous_bezout(multihomogeneous_degrees(system, partition), sizes);
+}
+
+ProductStructure multihomogeneous_structure(const poly::PolySystem& system,
+                                            const VariablePartition& partition) {
+  const auto degrees = multihomogeneous_degrees(system, partition);
+  const std::size_t k = group_count(partition);
+  std::vector<FactorSupport> group_vars(k);
+  for (std::size_t v = 0; v < partition.size(); ++v) {
+    group_vars[partition[v]].push_back(v);
+  }
+  ProductStructure ps;
+  for (const auto& row : degrees) {
+    std::vector<FactorSupport> factors;
+    for (std::size_t g = 0; g < k; ++g) {
+      for (std::uint32_t d = 0; d < row[g]; ++d) factors.push_back(group_vars[g]);
+    }
+    if (factors.empty()) {
+      throw std::invalid_argument("multihomogeneous_structure: constant equation");
+    }
+    ps.equations.push_back(std::move(factors));
+  }
+  return ps;
+}
+
+}  // namespace pph::homotopy

@@ -1,0 +1,44 @@
+#pragma once
+// Multi-homogeneous (m-homogeneous) start systems.
+//
+// Partition the variables into groups Z_1,...,Z_k.  The m-homogeneous
+// Bezout number -- the coefficient of prod_j z_j^{|Z_j|} in
+// prod_i (sum_j d_{ij} z_j), with d_{ij} the degree of equation i in the
+// variables of group j -- bounds the number of isolated roots and is often
+// far smaller than the total degree (the classical example: an eigenvalue
+// problem has 2-homogeneous bound n against total degree 2^n).  The start
+// system realizing the bound is a product of random linear forms, d_{ij}
+// factors supported on group j for equation i: a structured special case
+// of the linear-product machinery.
+
+#include "homotopy/start_linear_product.hpp"
+
+namespace pph::homotopy {
+
+/// A variable partition: group index for every variable (0-based groups,
+/// contiguous numbering).
+using VariablePartition = std::vector<std::size_t>;
+
+/// Degree table d[i][j]: degree of equation i in the variables of group j.
+std::vector<std::vector<std::uint32_t>> multihomogeneous_degrees(
+    const poly::PolySystem& system, const VariablePartition& partition);
+
+/// The m-homogeneous Bezout number for the given degree table and group
+/// sizes (coefficient extraction by dynamic programming over the z
+/// monomials).  Throws std::overflow_error if the count exceeds 64 bits.
+std::uint64_t multihomogeneous_bezout(const std::vector<std::vector<std::uint32_t>>& degrees,
+                                      const std::vector<std::size_t>& group_sizes);
+
+/// Convenience: Bezout number of a system under a partition.
+std::uint64_t multihomogeneous_bezout(const poly::PolySystem& system,
+                                      const VariablePartition& partition);
+
+/// The product structure of the m-homogeneous start system: equation i gets
+/// d_{ij} linear factors supported on group j.  Feeding this to
+/// LinearProductStart yields a start system whose solvable factor
+/// combinations number exactly the m-homogeneous Bezout count.
+/// (solve_multihomogeneous in solver.hpp runs the whole pipeline.)
+ProductStructure multihomogeneous_structure(const poly::PolySystem& system,
+                                            const VariablePartition& partition);
+
+}  // namespace pph::homotopy

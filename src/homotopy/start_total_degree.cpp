@@ -1,0 +1,60 @@
+#include "homotopy/start_total_degree.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pph::homotopy {
+
+TotalDegreeStart::TotalDegreeStart(const poly::PolySystem& target, util::Prng& rng) {
+  if (!target.square()) throw std::invalid_argument("TotalDegreeStart: system must be square");
+  const std::size_t n = target.nvars();
+  degrees_ = target.degrees();
+  poly::PolySystem g(n);
+  radius_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (degrees_[i] == 0) {
+      throw std::invalid_argument("TotalDegreeStart: equation of degree zero");
+    }
+    // c * x_i^d - b with |c| = |b| = 1 random phases.
+    const Complex c = rng.unit_complex();
+    const Complex b = rng.unit_complex();
+    poly::Monomial mono(n);
+    mono.set_exponent(i, degrees_[i]);
+    poly::Polynomial p(n, {{c, mono}, {-b, poly::Monomial(n)}});
+    g.add_equation(std::move(p));
+    // Principal d-th root of b/c; the other roots differ by phase factors.
+    const Complex ratio = b / c;
+    const double mag = std::pow(std::abs(ratio), 1.0 / degrees_[i]);
+    const double arg = std::arg(ratio) / degrees_[i];
+    radius_.push_back(Complex{mag * std::cos(arg), mag * std::sin(arg)});
+
+    const unsigned long long d = degrees_[i];
+    if (count_ > (~0ULL) / d) throw std::overflow_error("TotalDegreeStart: count overflow");
+    count_ *= d;
+  }
+  system_ = std::move(g);
+}
+
+CVector TotalDegreeStart::solution(unsigned long long k) const {
+  if (k >= count_) throw std::out_of_range("TotalDegreeStart::solution: index");
+  const std::size_t n = degrees_.size();
+  CVector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned long long d = degrees_[i];
+    const unsigned long long j = k % d;
+    k /= d;
+    const double theta = 2.0 * std::numbers::pi * static_cast<double>(j) / static_cast<double>(d);
+    x[i] = radius_[i] * Complex{std::cos(theta), std::sin(theta)};
+  }
+  return x;
+}
+
+std::vector<CVector> TotalDegreeStart::all_solutions() const {
+  std::vector<CVector> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  for (unsigned long long k = 0; k < count_; ++k) out.push_back(solution(k));
+  return out;
+}
+
+}  // namespace pph::homotopy

@@ -1,0 +1,36 @@
+#pragma once
+// Total-degree start system: G_i(x) = c_i * x_i^{d_i} - b_i with random
+// nonzero constants.  Its d_1 * ... * d_n solutions are scaled roots of
+// unity, enumerated lazily so that 35,940-path problems (cyclic 10-roots)
+// never materialize all starts at once.
+
+#include "homotopy/homotopy.hpp"
+#include "util/prng.hpp"
+
+namespace pph::homotopy {
+
+/// Start system paired with an indexed enumeration of its solutions.
+class TotalDegreeStart {
+ public:
+  /// Build for a target system; degrees are read from `target`.
+  TotalDegreeStart(const poly::PolySystem& target, util::Prng& rng);
+
+  const poly::PolySystem& system() const { return system_; }
+
+  /// Number of start solutions == product of the degrees (Bezout number).
+  unsigned long long solution_count() const { return count_; }
+
+  /// The k-th start solution (mixed-radix decoding of k over the degrees).
+  CVector solution(unsigned long long k) const;
+
+  /// All solutions; only call for small counts.
+  std::vector<CVector> all_solutions() const;
+
+ private:
+  poly::PolySystem system_;
+  std::vector<std::uint32_t> degrees_;
+  std::vector<Complex> radius_;  // d_i-th root of b_i / c_i
+  unsigned long long count_ = 1;
+};
+
+}  // namespace pph::homotopy

@@ -1,0 +1,143 @@
+#include "homotopy/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pph::homotopy {
+
+namespace {
+
+/// Endgame growth test: a path escaping to infinity like (1-t)^{-alpha}
+/// multiplies its norm by 10^alpha every decade of 1-t, so monotone growth
+/// across the last few decade samples identifies divergence even when the
+/// norm itself is still moderate when the step size underflows.
+bool endgame_diverging(const std::vector<double>& decade_norms, double current_norm) {
+  if (current_norm < 10.0) return false;
+  const std::size_t m = decade_norms.size();
+  if (m < 3) return false;
+  const bool monotone =
+      decade_norms[m - 1] > decade_norms[m - 2] && decade_norms[m - 2] > decade_norms[m - 3];
+  const double total_growth = decade_norms[m - 1] / std::max(decade_norms[m - 3], 1e-300);
+  return monotone && total_growth > 1.5;
+}
+
+}  // namespace
+
+PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts) {
+  PathResult result;
+  CVector x = x0;
+  CVector x_prev = x0;
+  double t = 0.0;
+  double t_prev = 0.0;
+  double step = opts.initial_step;
+  std::size_t successes = 0;
+  bool have_prev = false;
+  std::size_t next_decade = 1;
+  constexpr std::size_t kMaxDecade = 14;
+
+  while (t < 1.0) {
+    if (result.steps + result.rejections >= opts.max_steps) {
+      result.status = PathStatus::kFailed;
+      break;
+    }
+    const double dt = std::min(step, 1.0 - t);
+    const double t_next = t + dt;
+
+    // Predict.
+    CVector x_pred;
+    if (opts.predictor == PredictorKind::kTangent) {
+      auto pred = predict_tangent(h, x, t, dt);
+      if (pred) {
+        x_pred = std::move(*pred);
+      } else if (have_prev) {
+        x_pred = predict_secant(x_prev, t_prev, x, t, dt);
+      } else {
+        x_pred = x;
+      }
+    } else if (opts.predictor == PredictorKind::kSecant && have_prev) {
+      x_pred = predict_secant(x_prev, t_prev, x, t, dt);
+    } else {
+      x_pred = x;
+    }
+
+    // Correct.
+    CVector x_corr = x_pred;
+    const CorrectorResult corr = correct(h, x_corr, t_next, opts.corrector);
+    result.newton_iterations += corr.iterations;
+
+    if (corr.status == CorrectorStatus::kConverged) {
+      x_prev = x;
+      t_prev = t;
+      have_prev = true;
+      x = std::move(x_corr);
+      t = t_next;
+      ++result.steps;
+      ++successes;
+      while (next_decade <= kMaxDecade && t >= 1.0 - std::pow(10.0, -static_cast<double>(next_decade))) {
+        result.endgame_norms.push_back(linalg::norm_inf(x));
+        ++next_decade;
+      }
+      if (successes >= opts.expand_after) {
+        step = std::min(step * opts.expand_factor, opts.max_step);
+        successes = 0;
+      }
+      // Divergence check on the accepted point.
+      if (linalg::norm_inf(x) > opts.divergence_threshold) {
+        result.status = PathStatus::kDiverged;
+        result.x = x;
+        result.t_reached = t;
+        result.residual = corr.residual;
+        return result;
+      }
+    } else {
+      ++result.rejections;
+      successes = 0;
+      step *= opts.shrink_factor;
+      if (step < opts.min_step) {
+        // A step-size underflow is a divergence in disguise when the point
+        // is either already huge or has been growing steadily across the
+        // endgame decades (slow escape to infinity).
+        const double xnorm = linalg::norm_inf(x);
+        const bool diverging = xnorm > 1.0 / opts.min_step ||
+                               endgame_diverging(result.endgame_norms, xnorm);
+        result.status = diverging ? PathStatus::kDiverged : PathStatus::kFailed;
+        result.x = x;
+        result.t_reached = t;
+        result.residual = linalg::norm2(h.evaluate(x, t));
+        return result;
+      }
+    }
+  }
+
+  if (t >= 1.0) {
+    // Final refinement at the target.
+    const CorrectorResult end = correct(h, x, 1.0, opts.end_corrector);
+    result.newton_iterations += end.iterations;
+    result.residual = end.residual;
+    result.t_reached = 1.0;
+    result.x = x;
+    if (end.status == CorrectorStatus::kConverged &&
+        linalg::norm_inf(x) <= opts.divergence_threshold) {
+      result.status = PathStatus::kConverged;
+    } else if (linalg::norm_inf(x) > opts.divergence_threshold) {
+      result.status = PathStatus::kDiverged;
+    } else {
+      result.status = PathStatus::kFailed;
+    }
+  } else {
+    result.x = x;
+    result.t_reached = t;
+    result.residual = linalg::norm2(h.evaluate(x, t));
+  }
+  return result;
+}
+
+std::vector<PathResult> track_all(const Homotopy& h, const std::vector<CVector>& starts,
+                                  const TrackerOptions& opts) {
+  std::vector<PathResult> results;
+  results.reserve(starts.size());
+  for (const auto& x0 : starts) results.push_back(track_path(h, x0, opts));
+  return results;
+}
+
+}  // namespace pph::homotopy

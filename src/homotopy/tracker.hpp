@@ -1,0 +1,64 @@
+#pragma once
+// Adaptive-step predictor-corrector path tracker.
+//
+// Tracks one solution path x(t) of H(x,t) = 0 from t = 0 to t = 1.  This is
+// the unit of work the paper distributes across processors: "the solution
+// paths defined by the homotopy can be tracked independently".
+
+#include "homotopy/corrector.hpp"
+#include "homotopy/predictor.hpp"
+
+namespace pph::homotopy {
+
+struct TrackerOptions {
+  double initial_step = 0.05;
+  double min_step = 1e-10;
+  double max_step = 0.2;
+  /// Step growth factor after `expand_after` consecutive accepted steps.
+  double expand_factor = 1.5;
+  std::size_t expand_after = 3;
+  /// Step shrink factor after a rejected step.
+  double shrink_factor = 0.5;
+  /// Paths whose point norm exceeds this are classified as diverging to
+  /// infinity (the paper's "paths diverging to infinity require more time").
+  double divergence_threshold = 1e8;
+  /// Hard cap on predictor-corrector steps (guards runaway paths).
+  std::size_t max_steps = 10000;
+  CorrectorOptions corrector;
+  /// Tighter corrector used for the final refinement at t = 1.
+  CorrectorOptions end_corrector{8, 1e-12, 1e-14, 1e8};
+  PredictorKind predictor = PredictorKind::kTangent;
+};
+
+enum class PathStatus {
+  kConverged,   // reached t = 1 with the end corrector converged
+  kDiverged,    // point norm exceeded the divergence threshold
+  kFailed,      // step size underflowed or step budget exhausted
+};
+
+struct PathResult {
+  PathStatus status = PathStatus::kFailed;
+  CVector x;                  // endpoint (valid for kConverged; last point otherwise)
+  double t_reached = 0.0;
+  double residual = 0.0;      // ||H(x, t_reached)||
+  std::size_t steps = 0;      // accepted steps
+  std::size_t rejections = 0; // rejected (shrunk) steps
+  std::size_t newton_iterations = 0;
+  /// ||x||_inf sampled the first time t crosses 1 - 10^{-k}, k = 1, 2, ...
+  /// A slowly escaping path (|x| ~ (1-t)^{-alpha}) shows steady geometric
+  /// growth across these samples; the tracker's endgame classifier uses
+  /// this to label step-size underflow as divergence (see tracker.cpp).
+  std::vector<double> endgame_norms;
+  bool converged() const { return status == PathStatus::kConverged; }
+};
+
+/// Track a single path from the start solution x0 (which must satisfy
+/// H(x0, 0) ~ 0).
+PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts = {});
+
+/// Track all paths sequentially; convenience for tests and the sequential
+/// baseline of the schedulers.
+std::vector<PathResult> track_all(const Homotopy& h, const std::vector<CVector>& starts,
+                                  const TrackerOptions& opts = {});
+
+}  // namespace pph::homotopy

@@ -1,0 +1,155 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pph::linalg {
+
+QR::QR(const CMatrix& a) : m_(a.rows()), n_(a.cols()), a_(a) {
+  const std::size_t k = std::min(m_, n_);
+  beta_.assign(k, Complex{});
+  diag_.assign(k, Complex{});
+  perm_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) perm_[j] = j;
+
+  // Column norms for pivot selection, downdated as the factorization runs.
+  std::vector<double> colnorm2(n_, 0.0);
+  for (std::size_t c = 0; c < n_; ++c)
+    for (std::size_t r = 0; r < m_; ++r) colnorm2[c] += std::norm(a_(r, c));
+
+  auto swap_columns = [this, &colnorm2](std::size_t c1, std::size_t c2) {
+    if (c1 == c2) return;
+    for (std::size_t r = 0; r < m_; ++r) std::swap(a_(r, c1), a_(r, c2));
+    std::swap(perm_[c1], perm_[c2]);
+    std::swap(colnorm2[c1], colnorm2[c2]);
+  };
+
+  for (std::size_t j = 0; j < k; ++j) {
+    // Column pivoting: bring the column with the largest remaining norm to j.
+    // Recompute trailing norms exactly (matrices are tiny; no downdating
+    // drift issues).
+    for (std::size_t c = j; c < n_; ++c) {
+      colnorm2[c] = 0.0;
+      for (std::size_t r = j; r < m_; ++r) colnorm2[c] += std::norm(a_(r, c));
+    }
+    std::size_t pivot = j;
+    for (std::size_t c = j + 1; c < n_; ++c)
+      if (colnorm2[c] > colnorm2[pivot]) pivot = c;
+    swap_columns(j, pivot);
+
+    // Householder vector for column j, rows j..m-1.
+    double norm_x = 0.0;
+    for (std::size_t r = j; r < m_; ++r) norm_x += std::norm(a_(r, j));
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) {
+      beta_[j] = Complex{};
+      diag_[j] = Complex{};
+      continue;
+    }
+    const Complex x0 = a_(j, j);
+    const double ax0 = std::abs(x0);
+    // alpha = -phase(x0) * ||x||, so that v = x - alpha*e1 avoids cancellation.
+    const Complex phase = (ax0 > 0.0) ? x0 / ax0 : Complex{1.0, 0.0};
+    const Complex alpha = -phase * norm_x;
+    // v = x - alpha e1, normalized so v(0) = 1.
+    const Complex v0 = x0 - alpha;
+    double vnorm2 = std::norm(v0);
+    for (std::size_t r = j + 1; r < m_; ++r) vnorm2 += std::norm(a_(r, j));
+    if (vnorm2 == 0.0) {
+      beta_[j] = Complex{};
+      diag_[j] = alpha;
+      continue;
+    }
+    beta_[j] = Complex{2.0 * std::norm(v0) / vnorm2, 0.0};
+    for (std::size_t r = j + 1; r < m_; ++r) a_(r, j) /= v0;
+    diag_[j] = alpha;
+    a_(j, j) = Complex{1.0, 0.0};  // implicit; overwritten below for clarity
+
+    // Apply H = I - beta v v^H to the trailing columns.
+    for (std::size_t c = j + 1; c < n_; ++c) {
+      Complex s = a_(j, c);
+      for (std::size_t r = j + 1; r < m_; ++r) s += std::conj(a_(r, j)) * a_(r, c);
+      s *= beta_[j];
+      a_(j, c) -= s;
+      for (std::size_t r = j + 1; r < m_; ++r) a_(r, c) -= s * a_(r, j);
+    }
+  }
+}
+
+CVector QR::apply_qt(const CVector& b) const {
+  // y = Q^H b by applying the Householder reflectors in order.
+  CVector y = b;
+  const std::size_t k = std::min(m_, n_);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (beta_[j] == Complex{}) continue;
+    Complex s = y[j];
+    for (std::size_t r = j + 1; r < m_; ++r) s += std::conj(a_(r, j)) * y[r];
+    s *= beta_[j];
+    y[j] -= s;
+    for (std::size_t r = j + 1; r < m_; ++r) y[r] -= s * a_(r, j);
+  }
+  return y;
+}
+
+CMatrix QR::thin_q() const {
+  const std::size_t k = std::min(m_, n_);
+  CMatrix q(m_, k);
+  // Accumulate Q by applying reflectors to the identity columns in reverse.
+  for (std::size_t col = 0; col < k; ++col) {
+    CVector e(m_, Complex{});
+    e[col] = Complex{1.0, 0.0};
+    for (std::size_t jj = k; jj-- > 0;) {
+      if (beta_[jj] == Complex{}) continue;
+      Complex s = e[jj];
+      for (std::size_t r = jj + 1; r < m_; ++r) s += std::conj(a_(r, jj)) * e[r];
+      s *= beta_[jj];
+      e[jj] -= s;
+      for (std::size_t r = jj + 1; r < m_; ++r) e[r] -= s * a_(r, jj);
+    }
+    for (std::size_t r = 0; r < m_; ++r) q(r, col) = e[r];
+  }
+  return q;
+}
+
+CMatrix QR::thin_r() const {
+  const std::size_t k = std::min(m_, n_);
+  CMatrix r(k, n_);
+  for (std::size_t i = 0; i < k; ++i) {
+    r(i, i) = diag_[i];
+    for (std::size_t c = i + 1; c < n_; ++c) r(i, c) = a_(i, c);
+  }
+  return r;
+}
+
+std::optional<CVector> QR::solve_least_squares(const CVector& b) const {
+  if (b.size() != m_) throw std::invalid_argument("QR::solve_least_squares: size mismatch");
+  if (m_ < n_) throw std::invalid_argument("QR::solve_least_squares: underdetermined");
+  const CVector y = apply_qt(b);
+  CVector z(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    if (std::abs(diag_[ii]) == 0.0) return std::nullopt;
+    Complex acc = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= a_(ii, j) * z[j];
+    z[ii] = acc / diag_[ii];
+  }
+  // Undo the column permutation: x[perm_[j]] = z[j].
+  CVector x(n_);
+  for (std::size_t j = 0; j < n_; ++j) x[perm_[j]] = z[j];
+  return x;
+}
+
+std::size_t QR::rank(double tol) const {
+  const std::size_t k = std::min(m_, n_);
+  if (k == 0) return 0;
+  const double max_diag = std::abs(diag_[0]);
+  if (max_diag == 0.0) return 0;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (std::abs(diag_[i]) > tol * max_diag) ++r;
+  }
+  return r;
+}
+
+CMatrix orthonormalize_columns(const CMatrix& a) { return QR(a).thin_q(); }
+
+}  // namespace pph::linalg

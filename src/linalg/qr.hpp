@@ -1,0 +1,57 @@
+#pragma once
+// Householder QR for dense complex matrices.
+//
+// Used for: orthonormalizing random plane generators (so intersection
+// conditions are well scaled), least-squares tangent computation when a
+// Jacobian is nearly rank-deficient, and numeric rank/nullspace queries in
+// the pole placement setup.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace pph::linalg {
+
+/// Rank-revealing QR with column pivoting: A P = Q R with Q unitary and R
+/// upper trapezoidal whose diagonal magnitudes are non-increasing.
+class QR {
+ public:
+  explicit QR(const CMatrix& a);
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  /// Thin Q factor: first min(m,n) columns of Q (m x k, orthonormal columns).
+  CMatrix thin_q() const;
+
+  /// Upper-triangular R factor (k x n with k = min(m,n)), for A P = Q R.
+  CMatrix thin_r() const;
+
+  /// Column permutation P as an index map: column j of A*P is column
+  /// perm()[j] of A.
+  const std::vector<std::size_t>& perm() const { return perm_; }
+
+  /// Least-squares solution of A x = b (m >= n, full column rank assumed);
+  /// nullopt when R has a (numerically) zero diagonal.  The permutation is
+  /// undone, so x corresponds to the original column order.
+  std::optional<CVector> solve_least_squares(const CVector& b) const;
+
+  /// Numeric rank: count of |R(i,i)| above tol * |R(0,0)| (valid because
+  /// column pivoting makes the diagonal non-increasing in magnitude).
+  std::size_t rank(double tol = 1e-12) const;
+
+ private:
+  CVector apply_qt(const CVector& b) const;
+
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  CMatrix a_;                      // Householder vectors below diag, R above
+  CVector beta_;                   // Householder scalars
+  CVector diag_;                   // diagonal of R (stored separately)
+  std::vector<std::size_t> perm_;  // column pivoting permutation
+};
+
+/// Orthonormal basis of the column span of A (thin Q).
+CMatrix orthonormalize_columns(const CMatrix& a);
+
+}  // namespace pph::linalg

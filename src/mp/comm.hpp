@@ -1,0 +1,77 @@
+#pragma once
+// In-process message-passing runtime: ranks are threads, communication is
+// explicit tagged messages.
+//
+// The paper's parallel code is C + MPI on a cluster; this runtime keeps the
+// same programming model (rank/size, blocking and immediate sends, blocking
+// receive, probe, a barrier) so the schedulers in src/sched read like the
+// paper's pseudo-code and their protocols are tested for correctness on any
+// machine.  See DESIGN.md section 1 for the substitution rationale.
+
+#include <functional>
+#include <memory>
+
+#include "mp/mailbox.hpp"
+#include "mp/serialize.hpp"
+
+namespace pph::mp {
+
+class World;
+
+/// Per-rank communicator handle passed to each rank's main function.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking send (completes immediately: delivery is a queue push, which
+  /// is also why isend and send coincide in this runtime).
+  void send(int dest, int tag, std::vector<std::byte> payload) const;
+  void send(int dest, int tag, const Packer& packer) const;
+
+  /// Immediate send, MPI_Isend-style.  Provided for API fidelity with the
+  /// paper's non-blocking overlap of communication and computation.
+  void isend(int dest, int tag, std::vector<std::byte> payload) const {
+    send(dest, tag, std::move(payload));
+  }
+
+  /// Blocking receive with optional source/tag filters.
+  Message recv(int source = kAnySource, int tag = kAnyTag) const;
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) const;
+  std::optional<std::pair<int, int>> probe(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// All ranks must call; returns when every rank has arrived.
+  void barrier() const;
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// A communicator world running `size` ranks, each executing `main` on its
+/// own thread.  The constructor-run-join lifecycle is wrapped in run().
+class World {
+ public:
+  using RankMain = std::function<void(Comm&)>;
+
+  /// Spawn `size` ranks, run `main` on each, join all (exceptions from rank
+  /// functions are rethrown on the caller thread, first rank wins).
+  static void run(int size, const RankMain& main);
+
+ private:
+  friend class Comm;
+  explicit World(int size);
+
+  int size_ = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace pph::mp

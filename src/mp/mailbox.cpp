@@ -1,0 +1,52 @@
+#include "mp/mailbox.hpp"
+
+namespace pph::mp {
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::recv(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<int, int>> Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, source, tag)) return std::make_pair(m.source, m.tag);
+  }
+  return std::nullopt;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pph::mp

@@ -1,0 +1,55 @@
+#pragma once
+// Per-rank mailbox: an unbounded MPSC message queue with tag/source
+// filtering, the delivery substrate of the in-process message-passing
+// runtime.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pph::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A delivered message: origin rank, user tag, raw payload.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox.  Messages from one sender are delivered in send
+/// order (the MPI non-overtaking guarantee per (source, tag) pair follows
+/// from the single FIFO).
+class Mailbox {
+ public:
+  /// Enqueue (never blocks; the queue is unbounded).
+  void push(Message m);
+
+  /// Blocking receive of the first message matching (source, tag); either
+  /// filter may be kAnySource / kAnyTag.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe: source and tag of the first matching message.
+  std::optional<std::pair<int, int>> probe(int source = kAnySource, int tag = kAnyTag) const;
+
+  std::size_t size() const;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace pph::mp

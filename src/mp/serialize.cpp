@@ -1,0 +1,25 @@
+#include "mp/serialize.hpp"
+
+#include <stdexcept>
+
+namespace pph::mp {
+
+void Packer::write_string(const std::string& s) {
+  write(static_cast<std::uint64_t>(s.size()));
+  const auto* bytes = reinterpret_cast<const std::byte*>(s.data());
+  buffer_.insert(buffer_.end(), bytes, bytes + s.size());
+}
+
+std::string Unpacker::read_string() {
+  const auto n = read<std::uint64_t>();
+  ensure(n);
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void Unpacker::ensure(std::size_t n) const {
+  if (pos_ + n > buffer_.size()) throw std::out_of_range("Unpacker: payload underrun");
+}
+
+}  // namespace pph::mp

@@ -1,0 +1,80 @@
+#pragma once
+// Byte-level serialization for message payloads: the in-process runtime
+// moves bytes exactly like MPI would, so job and result messages are packed
+// and unpacked explicitly rather than sharing pointers.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pph::mp {
+
+/// Append-only byte writer.
+class Packer {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  void write_string(const std::string& s);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* bytes = reinterpret_cast<const std::byte*>(v.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + v.size() * sizeof(T));
+  }
+
+  const std::vector<std::byte>& bytes() const { return buffer_; }
+  std::vector<std::byte> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential byte reader; throws std::out_of_range on underrun.
+class Unpacker {
+ public:
+  explicit Unpacker(const std::vector<std::byte>& buffer) : buffer_(buffer) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    ensure(sizeof(T));
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string();
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    ensure(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  void ensure(std::size_t n) const;
+
+  const std::vector<std::byte>& buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pph::mp

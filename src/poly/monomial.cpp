@@ -1,0 +1,70 @@
+#include "poly/monomial.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pph::poly {
+
+Monomial Monomial::variable(std::size_t nvars, std::size_t var) {
+  if (var >= nvars) throw std::out_of_range("Monomial::variable: index");
+  Monomial m(nvars);
+  m.exps_[var] = 1;
+  return m;
+}
+
+std::uint32_t Monomial::degree() const {
+  std::uint32_t d = 0;
+  for (auto e : exps_) d += e;
+  return d;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  if (exps_.size() != other.exps_.size()) {
+    throw std::invalid_argument("Monomial*: nvars mismatch");
+  }
+  Monomial out(*this);
+  for (std::size_t i = 0; i < exps_.size(); ++i) out.exps_[i] += other.exps_[i];
+  return out;
+}
+
+Complex Monomial::evaluate(const CVector& x) const {
+  if (x.size() != exps_.size()) throw std::invalid_argument("Monomial::evaluate: size");
+  Complex v{1.0, 0.0};
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    std::uint32_t e = exps_[i];
+    if (e == 0) continue;
+    // Exponentiation by squaring on the (tiny) exponent.
+    Complex base = x[i];
+    while (true) {
+      if (e & 1u) v *= base;
+      e >>= 1u;
+      if (e == 0) break;
+      base *= base;
+    }
+  }
+  return v;
+}
+
+std::pair<std::uint32_t, Monomial> Monomial::derivative(std::size_t var) const {
+  if (var >= exps_.size()) throw std::out_of_range("Monomial::derivative: index");
+  const std::uint32_t e = exps_[var];
+  Monomial reduced(*this);
+  if (e > 0) reduced.exps_[var] = e - 1;
+  return {e, reduced};
+}
+
+std::string Monomial::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] == 0) continue;
+    if (!first) os << "*";
+    os << "x" << i;
+    if (exps_[i] > 1) os << "^" << exps_[i];
+    first = false;
+  }
+  if (first) os << "1";
+  return os.str();
+}
+
+}  // namespace pph::poly

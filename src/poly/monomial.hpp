@@ -1,0 +1,58 @@
+#pragma once
+// Monomials as dense exponent vectors over a fixed variable count.
+//
+// Polynomial systems in this library are small (tens of variables at most)
+// and moderately sparse, so a dense exponent vector per term is both simple
+// and fast enough; the hot path caches variable powers at the system level.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace pph::poly {
+
+using linalg::Complex;
+using linalg::CVector;
+
+/// Exponent vector of a monomial x_0^{e_0} * ... * x_{n-1}^{e_{n-1}}.
+class Monomial {
+ public:
+  Monomial() = default;
+  explicit Monomial(std::size_t nvars) : exps_(nvars, 0) {}
+  explicit Monomial(std::vector<std::uint32_t> exps) : exps_(std::move(exps)) {}
+
+  /// Monomial x_var (degree one in a single variable).
+  static Monomial variable(std::size_t nvars, std::size_t var);
+
+  std::size_t nvars() const { return exps_.size(); }
+  std::uint32_t exponent(std::size_t var) const { return exps_[var]; }
+  void set_exponent(std::size_t var, std::uint32_t e) { exps_[var] = e; }
+
+  std::uint32_t degree() const;
+
+  /// Product of two monomials (same nvars).
+  Monomial operator*(const Monomial& other) const;
+
+  /// Evaluate at a point.
+  Complex evaluate(const CVector& x) const;
+
+  /// Partial derivative: returns the coefficient multiplier (the exponent)
+  /// and the reduced monomial.  Multiplier 0 means the derivative vanishes.
+  std::pair<std::uint32_t, Monomial> derivative(std::size_t var) const;
+
+  /// Lexicographic comparison for canonical term ordering.
+  bool operator<(const Monomial& other) const { return exps_ < other.exps_; }
+  bool operator==(const Monomial& other) const { return exps_ == other.exps_; }
+
+  const std::vector<std::uint32_t>& exponents() const { return exps_; }
+
+  /// Human-readable form, e.g. "x0^2*x3".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint32_t> exps_;
+};
+
+}  // namespace pph::poly

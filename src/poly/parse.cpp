@@ -1,0 +1,167 @@
+#include "poly/parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pph::poly {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::size_t nvars) : text_(text), nvars_(nvars) {}
+
+  Polynomial parse() {
+    Polynomial p = expression();
+    skip_space();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "parse_polynomial: " << what << " at position " << pos_ << " in \"" << text_ << "\"";
+    throw std::invalid_argument(os.str());
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Polynomial expression() {
+    // Leading sign.
+    Polynomial acc(nvars_);
+    bool negative = false;
+    if (consume('-')) negative = true;
+    else consume('+');
+    Polynomial t = term();
+    acc = negative ? -t : t;
+    for (;;) {
+      if (consume('+')) {
+        acc += term();
+      } else if (consume('-')) {
+        acc -= term();
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Polynomial term() {
+    Polynomial acc = factor();
+    while (consume('*')) acc *= factor();
+    return acc;
+  }
+
+  Polynomial factor() {
+    Polynomial base_poly = base();
+    if (consume('^')) {
+      const long e = integer();
+      if (e < 0) fail("negative exponent");
+      Polynomial out = Polynomial::constant(nvars_, Complex{1.0, 0.0});
+      for (long k = 0; k < e; ++k) out *= base_poly;
+      return out;
+    }
+    return base_poly;
+  }
+
+  Polynomial base() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      Polynomial inner = expression();
+      if (!consume(')')) fail("expected ')'");
+      return inner;
+    }
+    if (c == 'x') {
+      ++pos_;
+      const long idx = integer();
+      if (idx < 0 || static_cast<std::size_t>(idx) >= nvars_) fail("variable index out of range");
+      return Polynomial::variable(nvars_, static_cast<std::size_t>(idx));
+    }
+    if (c == 'i') {
+      ++pos_;
+      return Polynomial::constant(nvars_, Complex{0.0, 1.0});
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const double value = number();
+      // Imaginary literal: 2i.
+      if (pos_ < text_.size() && text_[pos_] == 'i') {
+        ++pos_;
+        return Polynomial::constant(nvars_, Complex{0.0, value});
+      }
+      return Polynomial::constant(nvars_, Complex{value, 0.0});
+    }
+    fail("expected a number, variable, 'i' or '('");
+  }
+
+  long integer() {
+    skip_space();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == start) fail("expected an integer");
+    return std::strtol(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
+  }
+
+  double number() {
+    skip_space();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t nvars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Polynomial parse_polynomial(const std::string& text, std::size_t nvars) {
+  return Parser(text, nvars).parse();
+}
+
+PolySystem parse_system(const std::string& text, std::size_t nvars) {
+  PolySystem sys(nvars);
+  std::string current;
+  auto flush = [&sys, &current, nvars] {
+    bool blank = true;
+    for (const char c : current) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) sys.add_equation(parse_polynomial(current, nvars));
+    current.clear();
+  };
+  for (const char c : text) {
+    if (c == ';' || c == '\n') {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return sys;
+}
+
+}  // namespace pph::poly

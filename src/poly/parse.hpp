@@ -1,0 +1,26 @@
+#pragma once
+// A small parser for polynomial expressions, for tests, examples and
+// interactive use:
+//
+//   expression := term (('+'|'-') term)*
+//   term       := factor ('*' factor)*
+//   factor     := base ('^' integer)?
+//   base       := number | number 'i' | 'i' | variable | '(' expression ')'
+//   variable   := 'x' integer            (0-based index)
+//
+// Examples: "x0^2*x1 - 3.5", "2i*x3 + (x0 + x1)^2", "x0*x1*x2 - 1".
+
+#include <string>
+
+#include "poly/system.hpp"
+
+namespace pph::poly {
+
+/// Parse an expression over `nvars` variables.  Throws std::invalid_argument
+/// with a position-annotated message on malformed input.
+Polynomial parse_polynomial(const std::string& text, std::size_t nvars);
+
+/// Parse a system: one equation per ';' or newline; blank entries ignored.
+PolySystem parse_system(const std::string& text, std::size_t nvars);
+
+}  // namespace pph::poly

@@ -1,0 +1,163 @@
+#include "poly/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pph::poly {
+
+Polynomial::Polynomial(std::size_t nvars, std::vector<Term> terms)
+    : nvars_(nvars), terms_(std::move(terms)) {
+  for (const auto& t : terms_) {
+    if (t.monomial.nvars() != nvars_) {
+      throw std::invalid_argument("Polynomial: monomial nvars mismatch");
+    }
+  }
+  normalize();
+}
+
+Polynomial Polynomial::constant(std::size_t nvars, Complex value) {
+  Polynomial p(nvars);
+  if (value != Complex{}) p.terms_.push_back({value, Monomial(nvars)});
+  return p;
+}
+
+Polynomial Polynomial::variable(std::size_t nvars, std::size_t var) {
+  Polynomial p(nvars);
+  p.terms_.push_back({Complex{1.0, 0.0}, Monomial::variable(nvars, var)});
+  return p;
+}
+
+std::uint32_t Polynomial::degree() const {
+  std::uint32_t d = 0;
+  for (const auto& t : terms_) d = std::max(d, t.monomial.degree());
+  return d;
+}
+
+void Polynomial::add_term(Complex coefficient, Monomial monomial) {
+  if (monomial.nvars() != nvars_) throw std::invalid_argument("add_term: nvars mismatch");
+  terms_.push_back({coefficient, std::move(monomial)});
+  normalize();
+}
+
+void Polynomial::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.monomial < b.monomial; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (auto& t : terms_) {
+    if (!merged.empty() && merged.back().monomial == t.monomial) {
+      merged.back().coefficient += t.coefficient;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coefficient == Complex{}; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  if (nvars_ != other.nvars_) throw std::invalid_argument("Polynomial+: nvars mismatch");
+  std::vector<Term> all = terms_;
+  all.insert(all.end(), other.terms_.begin(), other.terms_.end());
+  return Polynomial(nvars_, std::move(all));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + (-other);
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out(*this);
+  for (auto& t : out.terms_) t.coefficient = -t.coefficient;
+  return out;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  if (nvars_ != other.nvars_) throw std::invalid_argument("Polynomial*: nvars mismatch");
+  std::vector<Term> prod;
+  prod.reserve(terms_.size() * other.terms_.size());
+  for (const auto& a : terms_) {
+    for (const auto& b : other.terms_) {
+      prod.push_back({a.coefficient * b.coefficient, a.monomial * b.monomial});
+    }
+  }
+  return Polynomial(nvars_, std::move(prod));
+}
+
+Polynomial Polynomial::operator*(Complex scalar) const {
+  if (scalar == Complex{}) return Polynomial(nvars_);
+  Polynomial out(*this);
+  for (auto& t : out.terms_) t.coefficient *= scalar;
+  return out;
+}
+
+bool Polynomial::operator==(const Polynomial& other) const {
+  if (nvars_ != other.nvars_ || terms_.size() != other.terms_.size()) return false;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (!(terms_[i].monomial == other.terms_[i].monomial)) return false;
+    if (terms_[i].coefficient != other.terms_[i].coefficient) return false;
+  }
+  return true;
+}
+
+Polynomial Polynomial::derivative(std::size_t var) const {
+  std::vector<Term> out;
+  out.reserve(terms_.size());
+  for (const auto& t : terms_) {
+    auto [mult, reduced] = t.monomial.derivative(var);
+    if (mult == 0) continue;
+    out.push_back({t.coefficient * static_cast<double>(mult), std::move(reduced)});
+  }
+  return Polynomial(nvars_, std::move(out));
+}
+
+Complex Polynomial::evaluate(const CVector& x) const {
+  Complex v{};
+  for (const auto& t : terms_) v += t.coefficient * t.monomial.evaluate(x);
+  return v;
+}
+
+std::pair<Complex, CVector> Polynomial::evaluate_with_gradient(const CVector& x) const {
+  Complex value{};
+  CVector grad(nvars_, Complex{});
+  for (const auto& t : terms_) {
+    const Complex tv = t.coefficient * t.monomial.evaluate(x);
+    value += tv;
+    for (std::size_t v = 0; v < nvars_; ++v) {
+      const std::uint32_t e = t.monomial.exponent(v);
+      if (e == 0) continue;
+      // d/dx_v (c * x^e) = e * c * x^e / x_v, computed without division when
+      // x_v could be zero by re-evaluating the reduced monomial.
+      if (x[v] != Complex{}) {
+        grad[v] += static_cast<double>(e) * tv / x[v];
+      } else {
+        auto [mult, reduced] = t.monomial.derivative(v);
+        grad[v] += t.coefficient * static_cast<double>(mult) * reduced.evaluate(x);
+      }
+    }
+  }
+  return {value, std::move(grad)};
+}
+
+std::string Polynomial::to_string() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& t : terms_) {
+    if (!first) os << " + ";
+    os << "(" << t.coefficient.real();
+    if (t.coefficient.imag() != 0.0) {
+      os << (t.coefficient.imag() < 0 ? "" : "+") << t.coefficient.imag() << "i";
+    }
+    os << ")";
+    if (t.monomial.degree() > 0) os << "*" << t.monomial.to_string();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace pph::poly

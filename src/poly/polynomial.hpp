@@ -1,0 +1,74 @@
+#pragma once
+// Sparse multivariate polynomials over the complex numbers.
+//
+// Terms are kept sorted by monomial (lexicographic) with nonzero
+// coefficients, so equality and arithmetic have canonical forms.
+
+#include <string>
+#include <vector>
+
+#include "poly/monomial.hpp"
+
+namespace pph::poly {
+
+/// One coefficient-monomial pair.
+struct Term {
+  Complex coefficient;
+  Monomial monomial;
+};
+
+/// Sparse polynomial in a fixed number of variables.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::size_t nvars) : nvars_(nvars) {}
+
+  /// Construct from terms; like terms are combined and zeros dropped.
+  Polynomial(std::size_t nvars, std::vector<Term> terms);
+
+  static Polynomial zero(std::size_t nvars) { return Polynomial(nvars); }
+  static Polynomial constant(std::size_t nvars, Complex value);
+  static Polynomial variable(std::size_t nvars, std::size_t var);
+
+  std::size_t nvars() const { return nvars_; }
+  bool is_zero() const { return terms_.empty(); }
+  std::size_t term_count() const { return terms_.size(); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Total degree; 0 for the zero polynomial.
+  std::uint32_t degree() const;
+
+  /// Add a term (re-normalizes).
+  void add_term(Complex coefficient, Monomial monomial);
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(Complex scalar) const;
+  Polynomial operator-() const;
+
+  Polynomial& operator+=(const Polynomial& other) { return *this = *this + other; }
+  Polynomial& operator-=(const Polynomial& other) { return *this = *this - other; }
+  Polynomial& operator*=(const Polynomial& other) { return *this = *this * other; }
+
+  bool operator==(const Polynomial& other) const;
+
+  /// Partial derivative with respect to a variable.
+  Polynomial derivative(std::size_t var) const;
+
+  /// Evaluate at a point (size must equal nvars).
+  Complex evaluate(const CVector& x) const;
+
+  /// Evaluate value and full gradient in one pass.
+  std::pair<Complex, CVector> evaluate_with_gradient(const CVector& x) const;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::size_t nvars_ = 0;
+  std::vector<Term> terms_;
+};
+
+}  // namespace pph::poly

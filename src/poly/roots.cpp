@@ -1,0 +1,65 @@
+#include "poly/roots.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pph::poly {
+
+using linalg::Complex;
+
+Complex polynomial_value(const std::vector<Complex>& c, Complex s) {
+  Complex v{};
+  for (std::size_t i = c.size(); i-- > 0;) v = v * s + c[i];
+  return v;
+}
+
+std::vector<Complex> polynomial_roots(const std::vector<Complex>& coefficients,
+                                      std::size_t max_iterations, double tolerance) {
+  // Trim numerically-zero leading coefficients.
+  std::vector<Complex> c = coefficients;
+  double scale = 0.0;
+  for (const auto& x : c) scale = std::max(scale, std::abs(x));
+  if (scale == 0.0) throw std::invalid_argument("polynomial_roots: zero polynomial");
+  while (c.size() > 1 && std::abs(c.back()) < 1e-14 * scale) c.pop_back();
+  const std::size_t n = c.size() - 1;
+  if (n == 0) return {};
+
+  // Monic normalization.
+  const Complex lead = c[n];
+  for (auto& x : c) x /= lead;
+
+  // Durand-Kerner from staggered points on a circle sized by the Cauchy
+  // root bound (1 + max |c_i|).
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n; ++i) bound = std::max(bound, std::abs(c[i]));
+  const double radius = std::min(1.0 + bound, 1e6);
+  std::vector<Complex> z(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n) + 0.4;
+    z[k] = radius * Complex{std::cos(theta), std::sin(theta)};
+  }
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double worst_update = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      Complex denom{1.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != k) denom *= (z[k] - z[j]);
+      }
+      if (denom == Complex{}) {
+        // Coincident iterates: nudge and continue.
+        z[k] += Complex{1e-8, 1e-8};
+        continue;
+      }
+      const Complex delta = polynomial_value(c, z[k]) / denom;
+      z[k] -= delta;
+      worst_update = std::max(worst_update, std::abs(delta) / (1.0 + std::abs(z[k])));
+    }
+    if (worst_update < tolerance) break;
+  }
+  return z;
+}
+
+}  // namespace pph::poly

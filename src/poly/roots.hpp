@@ -1,0 +1,22 @@
+#pragma once
+// Univariate polynomial root finding (Durand-Kerner / Weierstrass
+// iteration).  Used by the pole placement layer to turn characteristic
+// polynomials into pole locations.
+
+#include "linalg/matrix.hpp"
+
+namespace pph::poly {
+
+/// All complex roots of  c[0] + c[1] s + ... + c[n] s^n  (c[n] != 0).
+/// Numerically-zero leading coefficients are trimmed first; throws
+/// std::invalid_argument for the zero polynomial.  Typical accuracy is
+/// ~1e-12 relative for well separated roots of moderate degree.
+std::vector<linalg::Complex> polynomial_roots(const std::vector<linalg::Complex>& coefficients,
+                                              std::size_t max_iterations = 200,
+                                              double tolerance = 1e-13);
+
+/// Evaluate the polynomial at a point (Horner).
+linalg::Complex polynomial_value(const std::vector<linalg::Complex>& coefficients,
+                                 linalg::Complex s);
+
+}  // namespace pph::poly

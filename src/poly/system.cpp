@@ -1,0 +1,103 @@
+#include "poly/system.hpp"
+
+#include <stdexcept>
+
+namespace pph::poly {
+
+PolySystem::PolySystem(std::size_t nvars, std::vector<Polynomial> equations)
+    : nvars_(nvars), equations_(std::move(equations)) {
+  for (const auto& p : equations_) {
+    if (p.nvars() != nvars_) throw std::invalid_argument("PolySystem: nvars mismatch");
+  }
+}
+
+void PolySystem::add_equation(Polynomial p) {
+  if (p.nvars() != nvars_) throw std::invalid_argument("PolySystem::add_equation: nvars");
+  equations_.push_back(std::move(p));
+}
+
+std::vector<std::uint32_t> PolySystem::degrees() const {
+  std::vector<std::uint32_t> d;
+  d.reserve(equations_.size());
+  for (const auto& p : equations_) d.push_back(p.degree());
+  return d;
+}
+
+unsigned long long PolySystem::total_degree() const {
+  unsigned long long prod = 1;
+  for (const auto& p : equations_) {
+    const unsigned long long d = p.degree();
+    if (d != 0 && prod > (~0ULL) / d) {
+      throw std::overflow_error("PolySystem::total_degree: overflow");
+    }
+    prod *= (d == 0 ? 1 : d);
+  }
+  return prod;
+}
+
+CVector PolySystem::evaluate(const CVector& x) const {
+  CVector v;
+  v.reserve(equations_.size());
+  for (const auto& p : equations_) v.push_back(p.evaluate(x));
+  return v;
+}
+
+double PolySystem::residual(const CVector& x) const {
+  return linalg::norm2(evaluate(x));
+}
+
+linalg::CMatrix PolySystem::jacobian(const CVector& x) const {
+  linalg::CMatrix j(equations_.size(), nvars_);
+  for (std::size_t i = 0; i < equations_.size(); ++i) {
+    const auto [value, grad] = equations_[i].evaluate_with_gradient(x);
+    (void)value;
+    for (std::size_t c = 0; c < nvars_; ++c) j(i, c) = grad[c];
+  }
+  return j;
+}
+
+std::pair<CVector, linalg::CMatrix> PolySystem::evaluate_with_jacobian(const CVector& x) const {
+  CVector v(equations_.size());
+  linalg::CMatrix j(equations_.size(), nvars_);
+  for (std::size_t i = 0; i < equations_.size(); ++i) {
+    auto [value, grad] = equations_[i].evaluate_with_gradient(x);
+    v[i] = value;
+    for (std::size_t c = 0; c < nvars_; ++c) j(i, c) = grad[c];
+  }
+  return {std::move(v), std::move(j)};
+}
+
+PolySystem PolySystem::leading_forms() const {
+  PolySystem top(nvars_);
+  for (const auto& p : equations_) {
+    const std::uint32_t d = p.degree();
+    std::vector<Term> terms;
+    for (const auto& t : p.terms()) {
+      if (t.monomial.degree() == d) terms.push_back(t);
+    }
+    top.add_equation(Polynomial(nvars_, std::move(terms)));
+  }
+  return top;
+}
+
+std::vector<CVector> deduplicate_solutions(const std::vector<CVector>& points, double tol) {
+  std::vector<CVector> reps;
+  for (const auto& p : points) {
+    bool duplicate = false;
+    for (const auto& r : reps) {
+      if (p.size() != r.size()) continue;
+      double maxdiff = 0.0;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        maxdiff = std::max(maxdiff, std::abs(p[i] - r[i]));
+      }
+      if (maxdiff < tol) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) reps.push_back(p);
+  }
+  return reps;
+}
+
+}  // namespace pph::poly

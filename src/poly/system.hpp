@@ -1,0 +1,62 @@
+#pragma once
+// Square polynomial systems F : C^n -> C^n with cached Jacobian structure.
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace pph::poly {
+
+/// A system of polynomials in a common variable set.  The homotopy kernel
+/// assumes square systems (equations == variables) but the container allows
+/// general shapes for construction-time manipulation.
+class PolySystem {
+ public:
+  PolySystem() = default;
+  explicit PolySystem(std::size_t nvars) : nvars_(nvars) {}
+  PolySystem(std::size_t nvars, std::vector<Polynomial> equations);
+
+  std::size_t nvars() const { return nvars_; }
+  std::size_t size() const { return equations_.size(); }
+  bool square() const { return size() == nvars_; }
+
+  const Polynomial& equation(std::size_t i) const { return equations_[i]; }
+  const std::vector<Polynomial>& equations() const { return equations_; }
+  void add_equation(Polynomial p);
+
+  /// Per-equation total degrees.
+  std::vector<std::uint32_t> degrees() const;
+
+  /// Product of the degrees: the Bezout bound on isolated roots and the
+  /// path count of the total-degree homotopy.
+  unsigned long long total_degree() const;
+
+  /// Evaluate F(x).
+  CVector evaluate(const CVector& x) const;
+
+  /// Euclidean norm of F(x): the residual used throughout as the measure of
+  /// solution quality.
+  double residual(const CVector& x) const;
+
+  /// Jacobian matrix dF/dx at x (size() x nvars()).
+  linalg::CMatrix jacobian(const CVector& x) const;
+
+  /// Evaluate value and Jacobian together (shares monomial evaluations).
+  std::pair<CVector, linalg::CMatrix> evaluate_with_jacobian(const CVector& x) const;
+
+  /// System of the top-degree homogeneous parts of each equation.  A path
+  /// diverging to infinity ends at a point whose normalized direction nearly
+  /// annihilates these leading forms; the solver uses this to separate
+  /// genuine roots from endpoints "at infinity" (see solver.cpp).
+  PolySystem leading_forms() const;
+
+ private:
+  std::size_t nvars_ = 0;
+  std::vector<Polynomial> equations_;
+};
+
+/// Deduplicate a solution list: two points are the same root when within
+/// `tol` in the max norm.  Returns representatives in first-seen order.
+std::vector<CVector> deduplicate_solutions(const std::vector<CVector>& points, double tol);
+
+}  // namespace pph::poly

@@ -1,0 +1,30 @@
+#pragma once
+// Dynamic workload balancing with a master/slave paradigm (paper section
+// II-A): each slave gets one job at the start; when it returns a result the
+// master hands it the next job, first-come-first-served.  More
+// communication than static assignment, but the load follows the actual
+// path costs.  The master (rank 0) only dispatches.
+
+#include "sched/job_pool.hpp"
+
+namespace pph::sched {
+
+struct DynamicOptions {
+  /// Jobs handed to each slave up front (the paper uses one).
+  std::size_t initial_jobs_per_slave = 1;
+  /// Simulated per-message latency in seconds (0 for none); lets the thread
+  /// runtime exhibit the communication overhead the paper discusses.
+  double injected_latency = 0.0;
+  /// Fail-injection hook for tests: a slave "dies" after completing this
+  /// many jobs (static_cast<std::size_t>(-1) disables).  The master
+  /// re-queues the jobs the dead slave held.
+  std::size_t kill_slave_after_jobs = static_cast<std::size_t>(-1);
+  int kill_slave_rank = -1;
+};
+
+/// Track all workload paths with `ranks` ranks (rank 0 = master, so at
+/// least 2 are required).
+ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
+                              const DynamicOptions& opts = {});
+
+}  // namespace pph::sched

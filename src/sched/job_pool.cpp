@@ -1,0 +1,51 @@
+#include "sched/job_pool.hpp"
+
+#include <algorithm>
+
+namespace pph::sched {
+
+void ParallelRunReport::tally() {
+  std::sort(paths.begin(), paths.end(),
+            [](const TrackedPath& a, const TrackedPath& b) { return a.index < b.index; });
+  converged = diverged = failed = 0;
+  for (const auto& tp : paths) {
+    switch (tp.result.status) {
+      case PathStatus::kConverged: ++converged; break;
+      case PathStatus::kDiverged: ++diverged; break;
+      case PathStatus::kFailed: ++failed; break;
+    }
+  }
+}
+
+std::vector<std::byte> pack_tracked_path(const TrackedPath& tp) {
+  mp::Packer p;
+  p.write(static_cast<std::uint64_t>(tp.index));
+  p.write(tp.worker);
+  p.write(tp.seconds);
+  p.write(static_cast<int>(tp.result.status));
+  p.write(tp.result.t_reached);
+  p.write(tp.result.residual);
+  p.write(static_cast<std::uint64_t>(tp.result.steps));
+  p.write(static_cast<std::uint64_t>(tp.result.rejections));
+  p.write(static_cast<std::uint64_t>(tp.result.newton_iterations));
+  p.write_vector(tp.result.x);
+  return p.take();
+}
+
+TrackedPath unpack_tracked_path(const std::vector<std::byte>& payload) {
+  mp::Unpacker u(payload);
+  TrackedPath tp;
+  tp.index = static_cast<std::size_t>(u.read<std::uint64_t>());
+  tp.worker = u.read<int>();
+  tp.seconds = u.read<double>();
+  tp.result.status = static_cast<PathStatus>(u.read<int>());
+  tp.result.t_reached = u.read<double>();
+  tp.result.residual = u.read<double>();
+  tp.result.steps = static_cast<std::size_t>(u.read<std::uint64_t>());
+  tp.result.rejections = static_cast<std::size_t>(u.read<std::uint64_t>());
+  tp.result.newton_iterations = static_cast<std::size_t>(u.read<std::uint64_t>());
+  tp.result.x = u.read_vector<linalg::Complex>();
+  return tp;
+}
+
+}  // namespace pph::sched

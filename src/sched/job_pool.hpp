@@ -1,0 +1,58 @@
+#pragma once
+// Shared definitions for the parallel path-tracking schedulers: the
+// workload (a homotopy plus its start solutions, replicated read-only on
+// every rank exactly as each MPI process holds the system), message tags,
+// serialization of path results, and the run report.
+
+#include "homotopy/tracker.hpp"
+#include "mp/comm.hpp"
+
+namespace pph::sched {
+
+using homotopy::PathResult;
+using homotopy::PathStatus;
+using linalg::CVector;
+
+/// Message tags of the scheduler protocols.
+enum MessageTag : int {
+  kTagJob = 1,      // master -> slave: job index (dynamic) / implicit (static)
+  kTagResult = 2,   // slave -> master: tracked path result
+  kTagStop = 3,     // master -> slave: terminate the busy-wait loop
+  kTagBusy = 4,     // slave -> master: per-rank busy-seconds report
+  kTagDead = 5,     // slave -> master: failure injection (tests): rank dies
+};
+
+/// A path-tracking workload shared by all ranks.
+struct PathWorkload {
+  const homotopy::Homotopy* homotopy = nullptr;
+  const std::vector<CVector>* starts = nullptr;
+  homotopy::TrackerOptions tracker;
+
+  std::size_t size() const { return starts->size(); }
+};
+
+/// One tracked path with provenance.
+struct TrackedPath {
+  std::size_t index = 0;
+  int worker = 0;
+  double seconds = 0.0;
+  PathResult result;
+};
+
+/// Outcome of a parallel run, assembled on rank 0.
+struct ParallelRunReport {
+  std::vector<TrackedPath> paths;          // sorted by path index
+  double wall_seconds = 0.0;
+  std::vector<double> rank_busy_seconds;   // tracking time per rank
+  std::size_t converged = 0;
+  std::size_t diverged = 0;
+  std::size_t failed = 0;
+
+  void tally();
+};
+
+/// Pack / unpack a path result message (index + worker + timing + result).
+std::vector<std::byte> pack_tracked_path(const TrackedPath& tp);
+TrackedPath unpack_tracked_path(const std::vector<std::byte>& payload);
+
+}  // namespace pph::sched

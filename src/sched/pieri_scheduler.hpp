@@ -1,0 +1,65 @@
+#pragma once
+// Parallel Pieri homotopy (paper section III-D, Fig 6): the master (rank 0)
+// expands the virtual Pieri tree -- a queue of path-tracking jobs whose
+// start solutions are known -- and distributes jobs to slaves
+// first-come-first-served.  Slaves that return results with no job
+// available are parked on an idle queue and re-activated when results
+// create new jobs (the paper's fix for premature termination); after the
+// root instance completes, the master broadcasts a stop message.
+//
+// On top of the paper's protocol this implementation adds the same
+// instance-level quality control as the sequential solver: all sibling
+// edges into one (pattern, level) instance ride one deformation (gamma and
+// point-path detours derived deterministically from the pattern), and an
+// instance whose endpoints fail to converge or collide is re-dispatched
+// with a fresh deformation.
+
+#include "schubert/pieri_solver.hpp"
+#include "sched/job_pool.hpp"
+
+namespace pph::sched {
+
+struct ParallelPieriOptions {
+  schubert::PieriSolverOptions solver;
+  /// Simulated per-message latency (seconds) as in DynamicOptions.
+  double injected_latency = 0.0;
+};
+
+struct ParallelPieriReport {
+  std::vector<schubert::PieriMap> solutions;
+  std::uint64_t expected_count = 0;
+  std::uint64_t total_jobs = 0;
+  std::uint64_t failures = 0;
+  std::vector<std::uint64_t> jobs_per_level;   // measured, one entry per level
+  double wall_seconds = 0.0;
+  std::vector<double> rank_busy_seconds;
+  std::size_t verified = 0;
+  std::size_t distinct = 0;
+  double max_residual = 0.0;
+  /// High-water mark of simultaneously active instances on the master: the
+  /// memory footprint argument of paper section III-C (tree nodes die fast).
+  std::size_t peak_active_instances = 0;
+
+  bool complete() const {
+    return failures == 0 && solutions.size() == expected_count &&
+           verified == solutions.size() && distinct == solutions.size();
+  }
+};
+
+/// Solve a Pieri problem on `ranks` ranks (rank 0 = master; needs >= 2).
+ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ranks,
+                                       const ParallelPieriOptions& opts = {});
+
+/// Deterministic per-instance deformation: gamma and the two point-path
+/// detour constants derived from (seed, pattern pivots, attempt).  Master
+/// and slaves derive identical values without communication.
+struct InstanceDeformation {
+  linalg::Complex gamma;
+  linalg::Complex detour_s;
+  linalg::Complex detour_u;
+};
+InstanceDeformation instance_deformation(std::uint64_t seed,
+                                         const std::vector<std::size_t>& pivots,
+                                         std::size_t attempt);
+
+}  // namespace pph::sched

@@ -1,0 +1,23 @@
+#pragma once
+// Static workload balancing (paper section II-A): "the paths are
+// distributed evenly to the processors once at the start".  Minimal
+// communication (one result stream back to rank 0), but per-rank load
+// varies with the path cost distribution -- paths diverging to infinity
+// take longer, so the slowest rank gates the run.
+
+#include "sched/job_pool.hpp"
+
+namespace pph::sched {
+
+/// How indices are pre-assigned to ranks.
+enum class StaticAssignment {
+  kBlock,   // contiguous chunks: rank r gets [r*N/P, (r+1)*N/P)
+  kCyclic,  // interleaved: rank r gets r, r+P, r+2P, ...
+};
+
+/// Track all workload paths on `ranks` ranks with a static pre-assignment;
+/// every rank (including 0) tracks its share and sends results to rank 0.
+ParallelRunReport run_static(const PathWorkload& workload, int ranks,
+                             StaticAssignment assignment = StaticAssignment::kCyclic);
+
+}  // namespace pph::sched

@@ -1,0 +1,213 @@
+#include "schubert/conditions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace pph::schubert {
+
+namespace {
+
+Complex ipow(Complex base, std::size_t e) {
+  Complex v{1.0, 0.0};
+  while (e) {
+    if (e & 1u) v *= base;
+    base *= base;
+    e >>= 1u;
+  }
+  return v;
+}
+
+}  // namespace
+
+PatternChart::PatternChart(Pattern pattern) : pattern_(std::move(pattern)) {
+  if (!pattern_.valid()) throw std::invalid_argument("PatternChart: invalid pattern");
+  cells_ = pattern_.free_cells();
+  const std::size_t rows = pattern_.problem().space_dim();
+  cell_block_.reserve(cells_.size());
+  for (const auto& [r, c] : cells_) {
+    (void)c;
+    cell_block_.push_back(r / rows);
+  }
+  col_degree_.reserve(pattern_.problem().p);
+  for (std::size_t j = 0; j < pattern_.problem().p; ++j) {
+    col_degree_.push_back(pattern_.column_degree(j));
+  }
+}
+
+CMatrix PatternChart::concatenated(const CVector& coords) const {
+  if (coords.size() != cells_.size()) {
+    throw std::invalid_argument("PatternChart::concatenated: coordinate count");
+  }
+  const PieriProblem& pb = pattern_.problem();
+  CMatrix xhat(pb.concat_rows(), pb.p);
+  for (std::size_t j = 0; j < pb.p; ++j) xhat(j, j) = Complex{1.0, 0.0};  // top pivots
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    xhat(cells_[k].first, cells_[k].second) = coords[k];
+  }
+  return xhat;
+}
+
+CMatrix PatternChart::evaluate_map(const CVector& coords, Complex s, Complex u) const {
+  const PieriProblem& pb = pattern_.problem();
+  const std::size_t rows = pb.space_dim();
+  CMatrix a(rows, pb.p);
+  // Top pivot of column j sits in block 0, row j: factor u^{deg_j}.
+  for (std::size_t j = 0; j < pb.p; ++j) {
+    a(j, j) = ipow(u, col_degree_[j]);
+  }
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    const auto [concat_row, j] = cells_[k];
+    const std::size_t d = cell_block_[k];
+    const std::size_t r = concat_row % rows;
+    a(r, j) += coords[k] * ipow(s, d) * ipow(u, col_degree_[j] - d);
+  }
+  return a;
+}
+
+Complex PatternChart::cell_factor(std::size_t k, Complex s, Complex u) const {
+  const std::size_t d = cell_block_[k];
+  const std::size_t j = cells_[k].second;
+  return ipow(s, d) * ipow(u, col_degree_[j] - d);
+}
+
+Complex PatternChart::cell_factor_dt(std::size_t k, Complex s, Complex u, Complex sdot,
+                                     Complex udot) const {
+  const std::size_t d = cell_block_[k];
+  const std::size_t e = col_degree_[cells_[k].second] - d;
+  Complex out{};
+  if (d > 0) out += static_cast<double>(d) * ipow(s, d - 1) * sdot * ipow(u, e);
+  if (e > 0) out += ipow(s, d) * static_cast<double>(e) * ipow(u, e - 1) * udot;
+  return out;
+}
+
+CVector PatternChart::embed_child(const PatternChart& child, const CVector& child_coords) const {
+  if (child_coords.size() + 1 != cells_.size()) {
+    throw std::invalid_argument("PatternChart::embed_child: level mismatch");
+  }
+  CVector out(cells_.size());
+  std::size_t ci = 0;
+  const auto& child_cells = child.cells();
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    if (ci < child_cells.size() && child_cells[ci] == cells_[k]) {
+      out[k] = child_coords[ci];
+      ++ci;
+    } else {
+      out[k] = Complex{};  // the freshly opened star cell starts at zero
+    }
+  }
+  if (ci != child_cells.size()) {
+    throw std::invalid_argument("PatternChart::embed_child: charts do not nest");
+  }
+  return out;
+}
+
+CMatrix cofactor_matrix(const CMatrix& b) {
+  const std::size_t n = b.rows();
+  if (n != b.cols()) throw std::invalid_argument("cofactor_matrix: not square");
+  CMatrix cof(n, n);
+  if (n == 1) {
+    cof(0, 0) = Complex{1.0, 0.0};
+    return cof;
+  }
+  CMatrix minor(n - 1, n - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t i = 0, mi = 0; i < n; ++i) {
+        if (i == r) continue;
+        for (std::size_t j = 0, mj = 0; j < n; ++j) {
+          if (j == c) continue;
+          minor(mi, mj) = b(i, j);
+          ++mj;
+        }
+        ++mi;
+      }
+      const Complex d = linalg::LU(minor).determinant();
+      cof(r, c) = ((r + c) % 2 == 0) ? d : -d;
+    }
+  }
+  return cof;
+}
+
+ConditionEval evaluate_condition(const PatternChart& chart, const CVector& coords,
+                                 const CMatrix& plane, Complex s, Complex u) {
+  const CMatrix a = chart.evaluate_map(coords, s, u);
+  const CMatrix b = CMatrix::hcat(a, plane);
+  const CMatrix cof = cofactor_matrix(b);
+  ConditionEval out;
+  // det via the cofactor expansion along the first column (consistent with
+  // the cofactors used for the gradient).
+  Complex det{};
+  for (std::size_t r = 0; r < b.rows(); ++r) det += b(r, 0) * cof(r, 0);
+  out.value = det;
+  const std::size_t rows = chart.pattern().problem().space_dim();
+  out.gradient.assign(chart.dimension(), Complex{});
+  for (std::size_t k = 0; k < chart.dimension(); ++k) {
+    const auto [concat_row, j] = chart.cells()[k];
+    const std::size_t r = concat_row % rows;
+    out.gradient[k] = cof(r, j) * chart.cell_factor(k, s, u);
+  }
+  return out;
+}
+
+MovingConditionEval evaluate_moving_condition(const PatternChart& chart, const CVector& coords,
+                                              const CMatrix& plane, const CMatrix& plane_dot,
+                                              Complex s, Complex u, Complex sdot, Complex udot) {
+  const CMatrix a = chart.evaluate_map(coords, s, u);
+  const CMatrix b = CMatrix::hcat(a, plane);
+  const CMatrix cof = cofactor_matrix(b);
+  MovingConditionEval out;
+  Complex det{};
+  for (std::size_t r = 0; r < b.rows(); ++r) det += b(r, 0) * cof(r, 0);
+  out.value = det;
+
+  const PieriProblem& pb = chart.pattern().problem();
+  const std::size_t rows = pb.space_dim();
+  out.gradient.assign(chart.dimension(), Complex{});
+  for (std::size_t k = 0; k < chart.dimension(); ++k) {
+    const auto [concat_row, j] = chart.cells()[k];
+    const std::size_t r = concat_row % rows;
+    out.gradient[k] = cof(r, j) * chart.cell_factor(k, s, u);
+  }
+
+  // Total t-derivative: sum over all entries of dB/dt * cofactor.
+  // Map columns: dA/dt from the moving (s,u); the top pivots contribute the
+  // derivative of u^{deg_j}; the free cells the derivative of their factor.
+  Complex dt{};
+  for (std::size_t j = 0; j < pb.p; ++j) {
+    const std::size_t deg = chart.pattern().column_degree(j);
+    if (deg > 0) {
+      dt += cof(j, j) * static_cast<double>(deg) * ipow(u, deg - 1) * udot;
+    }
+  }
+  for (std::size_t k = 0; k < chart.dimension(); ++k) {
+    const auto [concat_row, j] = chart.cells()[k];
+    const std::size_t r = concat_row % rows;
+    dt += cof(r, j) * coords[k] * chart.cell_factor_dt(k, s, u, sdot, udot);
+  }
+  // Plane columns move too.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < pb.m; ++c) {
+      dt += cof(r, pb.p + c) * plane_dot(r, c);
+    }
+  }
+  out.dt = dt;
+  return out;
+}
+
+double condition_residual(const PatternChart& chart, const CVector& coords,
+                          const PlaneCondition& condition) {
+  const CMatrix a = chart.evaluate_map(coords, condition.point, Complex{1.0, 0.0});
+  const CMatrix b = CMatrix::hcat(a, condition.plane);
+  double scale = 1.0;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    double colnorm = 0.0;
+    for (std::size_t r = 0; r < b.rows(); ++r) colnorm += std::norm(b(r, c));
+    scale *= std::sqrt(std::max(colnorm, 1e-300));
+  }
+  const Complex det = linalg::LU(b).determinant();
+  return std::abs(det) / scale;
+}
+
+}  // namespace pph::schubert

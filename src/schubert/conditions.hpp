@@ -1,0 +1,91 @@
+#pragma once
+// Coordinate charts on localization patterns and evaluation of the bordered
+// intersection determinants det([X(s,u) | K]) with gradients.
+//
+// A pattern at level ell fixes a chart: the free star cells of the
+// concatenated matrix Xhat (top-pivot entries normalized to one).  The
+// Pieri homotopy is a square system of ell such determinants in the ell
+// chart coordinates; every evaluation needs the determinant value and its
+// gradient with respect to the chart, which comes from the cofactors of the
+// bordered matrix (d det / d B_{rc} = cofactor_{rc}).
+
+#include "schubert/planes.hpp"
+
+namespace pph::schubert {
+
+/// Chart on a pattern: packing of the free star cells into a coordinate
+/// vector, and evaluation of the represented map.
+class PatternChart {
+ public:
+  explicit PatternChart(Pattern pattern);
+
+  const Pattern& pattern() const { return pattern_; }
+  /// Number of chart coordinates == pattern level.
+  std::size_t dimension() const { return cells_.size(); }
+  /// Free cells (concat_row, column), in chart order.
+  const std::vector<std::pair<std::size_t, std::size_t>>& cells() const { return cells_; }
+
+  /// Expand chart coordinates into the full concatenated matrix (M x p),
+  /// with ones at the top pivots and zeros off-pattern.
+  CMatrix concatenated(const CVector& coords) const;
+
+  /// Evaluate the map at (s, u) with the per-column homogenization degrees
+  /// of the pattern: column j = sum_d s^d u^{deg_j - d} Xhat_block_d[:, j].
+  /// With u = 1 this is the plain evaluation X(s).
+  CMatrix evaluate_map(const CVector& coords, Complex s, Complex u) const;
+
+  /// Coefficient multiplying chart coordinate `k` inside evaluate_map
+  /// (the monomial s^d u^{deg_j - d} of its cell): the chain-rule factor of
+  /// the determinant gradients.
+  Complex cell_factor(std::size_t k, Complex s, Complex u) const;
+
+  /// d/dt of cell_factor for s = s(t), u = u(t) with derivatives sdot/udot.
+  Complex cell_factor_dt(std::size_t k, Complex s, Complex u, Complex sdot, Complex udot) const;
+
+  /// Embed coordinates from a child chart (this pattern with one pivot
+  /// decremented): the new cell gets value zero.  Chart orders agree on the
+  /// shared cells.
+  CVector embed_child(const PatternChart& child, const CVector& child_coords) const;
+
+ private:
+  Pattern pattern_;
+  std::vector<std::pair<std::size_t, std::size_t>> cells_;
+  std::vector<std::size_t> cell_block_;   // degree block of each cell
+  std::vector<std::size_t> col_degree_;   // homogenization degree per column
+};
+
+/// Value and chart-gradient of det([X(s,u) | K]).
+struct ConditionEval {
+  Complex value;
+  CVector gradient;  // with respect to the chart coordinates
+};
+
+/// Evaluate one bordered intersection determinant at the chart point.
+ConditionEval evaluate_condition(const PatternChart& chart, const CVector& coords,
+                                 const CMatrix& plane, Complex s, Complex u);
+
+/// As above plus the total t-derivative for moving data: s(t), u(t) with
+/// derivatives sdot, udot, and plane(t) with entrywise derivative
+/// plane_dot.  Used by the tangent predictor of the Pieri homotopy.
+struct MovingConditionEval {
+  Complex value;
+  CVector gradient;
+  Complex dt;
+};
+MovingConditionEval evaluate_moving_condition(const PatternChart& chart, const CVector& coords,
+                                              const CMatrix& plane, const CMatrix& plane_dot,
+                                              Complex s, Complex u, Complex sdot, Complex udot);
+
+/// Cofactor matrix of a square matrix (adjugate transpose):
+/// cof(r,c) = (-1)^{r+c} det(minor_{rc}).  Computed by explicit minors; the
+/// bordered matrices are at most (m+p) x (m+p) so this is cheap and it
+/// stays accurate when det(B) ~ 0 (which is the whole point: we solve
+/// det = 0).
+CMatrix cofactor_matrix(const CMatrix& b);
+
+/// Relative residual of a condition at a solution: |det([X(s,1)|K])|
+/// divided by the product of the column norms (Hadamard scale).
+double condition_residual(const PatternChart& chart, const CVector& coords,
+                          const PlaneCondition& condition);
+
+}  // namespace pph::schubert

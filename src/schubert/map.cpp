@@ -1,0 +1,141 @@
+#include "schubert/map.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "linalg/lu.hpp"
+
+namespace pph::schubert {
+
+CMatrix MatrixPolynomial::evaluate(Complex s) const {
+  if (coeffs.empty()) return {};
+  CMatrix out = coeffs.back();
+  for (std::size_t d = coeffs.size() - 1; d-- > 0;) {
+    out = out * s;
+    out += coeffs[d];
+  }
+  return out;
+}
+
+double MatrixPolynomial::residual(const PlaneCondition& condition) const {
+  const CMatrix x = evaluate(condition.point);
+  const CMatrix b = CMatrix::hcat(x, condition.plane);
+  double scale = 1.0;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    double colnorm = 0.0;
+    for (std::size_t r = 0; r < b.rows(); ++r) colnorm += std::norm(b(r, c));
+    scale *= std::sqrt(std::max(colnorm, 1e-300));
+  }
+  return std::abs(linalg::LU(b).determinant()) / scale;
+}
+
+double MatrixPolynomial::max_residual(const std::vector<PlaneCondition>& conditions) const {
+  double worst = 0.0;
+  for (const auto& c : conditions) worst = std::max(worst, residual(c));
+  return worst;
+}
+
+bool MatrixPolynomial::is_real(double tol) const {
+  for (const auto& coeff : coeffs) {
+    for (std::size_t r = 0; r < coeff.rows(); ++r) {
+      for (std::size_t c = 0; c < coeff.cols(); ++c) {
+        if (std::abs(coeff(r, c).imag()) > tol * (1.0 + std::abs(coeff(r, c).real()))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+MatrixPolynomial MatrixPolynomial::transformed(const CMatrix& u) const {
+  MatrixPolynomial out;
+  out.coeffs.reserve(coeffs.size());
+  for (const auto& coeff : coeffs) out.coeffs.push_back(u * coeff);
+  return out;
+}
+
+PieriMap::PieriMap(PatternChart chart, CVector coords)
+    : chart_(std::move(chart)), coords_(std::move(coords)) {
+  if (coords_.size() != chart_.dimension()) {
+    throw std::invalid_argument("PieriMap: coordinate count mismatch");
+  }
+}
+
+CMatrix PieriMap::evaluate(Complex s) const {
+  return chart_.evaluate_map(coords_, s, Complex{1.0, 0.0});
+}
+
+CMatrix PieriMap::coefficient(std::size_t d) const {
+  const PieriProblem& pb = problem();
+  const std::size_t rows = pb.space_dim();
+  CMatrix out(rows, pb.p);
+  const CMatrix xhat = chart_.concatenated(coords_);
+  if ((d + 1) * rows <= xhat.rows()) {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < pb.p; ++c) out(r, c) = xhat(d * rows + r, c);
+  }
+  return out;
+}
+
+std::size_t PieriMap::degree() const {
+  std::size_t deg = 0;
+  for (std::size_t j = 0; j < problem().p; ++j) {
+    deg = std::max(deg, chart_.pattern().column_degree(j));
+  }
+  return deg;
+}
+
+double PieriMap::residual(const PlaneCondition& condition) const {
+  return condition_residual(chart_, coords_, condition);
+}
+
+double PieriMap::max_residual(const std::vector<PlaneCondition>& conditions) const {
+  double worst = 0.0;
+  for (const auto& c : conditions) worst = std::max(worst, residual(c));
+  return worst;
+}
+
+bool PieriMap::is_real(double tol) const {
+  for (const auto& v : coords_) {
+    if (std::abs(v.imag()) > tol * (1.0 + std::abs(v.real()))) return false;
+  }
+  return true;
+}
+
+MatrixPolynomial PieriMap::to_matrix_polynomial() const {
+  MatrixPolynomial out;
+  for (std::size_t d = 0; d <= degree(); ++d) out.coeffs.push_back(coefficient(d));
+  return out;
+}
+
+std::string PieriMap::to_string(int precision) const {
+  const PieriProblem& pb = problem();
+  const std::size_t rows = pb.space_dim();
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  const std::size_t deg = degree();
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < pb.p; ++c) {
+      bool printed = false;
+      std::ostringstream entry;
+      for (std::size_t d = 0; d <= deg; ++d) {
+        const Complex v = coefficient(d)(r, c);
+        if (std::abs(v) < 1e-12) continue;
+        if (printed) entry << " + ";
+        entry << "(" << v.real() << (v.imag() < 0 ? "" : "+") << v.imag() << "i)";
+        if (d == 1) entry << "*s";
+        if (d > 1) entry << "*s^" << d;
+        printed = true;
+      }
+      os << (printed ? entry.str() : "0");
+      if (c + 1 < pb.p) os << ",  ";
+    }
+    os << (r + 1 == rows ? "]\n" : "\n");
+  }
+  return os.str();
+}
+
+}  // namespace pph::schubert

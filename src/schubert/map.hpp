@@ -1,0 +1,71 @@
+#pragma once
+// Solution maps X(s): the output of the Pieri solver as polynomial matrices
+// producing p-planes, with evaluation and pretty-printing.
+
+#include <string>
+
+#include "schubert/conditions.hpp"
+
+namespace pph::schubert {
+
+/// A chart-free matrix polynomial X(s) = sum_d coeffs[d] s^d.  Solutions
+/// leave the localization chart in this form when the problem was solved in
+/// rotated coordinates (see pole_placement.hpp).
+struct MatrixPolynomial {
+  std::vector<CMatrix> coeffs;  // (m+p) x p each, low degree first
+
+  CMatrix evaluate(Complex s) const;
+  std::size_t degree() const { return coeffs.empty() ? 0 : coeffs.size() - 1; }
+
+  /// Relative residual of det([X(s)|K]) (Hadamard-scaled).
+  double residual(const PlaneCondition& condition) const;
+  double max_residual(const std::vector<PlaneCondition>& conditions) const;
+
+  /// All coefficients numerically real?
+  bool is_real(double tol = 1e-8) const;
+
+  /// Left-multiply every coefficient by U.
+  MatrixPolynomial transformed(const CMatrix& u) const;
+};
+
+/// A degree-q polynomial map X : C -> C^{(m+p) x p} represented by a
+/// pattern chart and its coordinates (the concatenated coefficients).
+class PieriMap {
+ public:
+  PieriMap(PatternChart chart, CVector coords);
+
+  const PatternChart& chart() const { return chart_; }
+  const CVector& coords() const { return coords_; }
+  const PieriProblem& problem() const { return chart_.pattern().problem(); }
+
+  /// Evaluate X(s) (affine chart u = 1): an (m+p) x p matrix whose column
+  /// span is the output plane at s.
+  CMatrix evaluate(Complex s) const;
+
+  /// Coefficient matrix of s^d (an (m+p) x p matrix; zero above the degree).
+  CMatrix coefficient(std::size_t d) const;
+
+  /// Maximal per-column degree.
+  std::size_t degree() const;
+
+  /// Relative residual of one intersection condition at this map.
+  double residual(const PlaneCondition& condition) const;
+  /// Largest relative residual over a full condition set.
+  double max_residual(const std::vector<PlaneCondition>& conditions) const;
+
+  /// True when all concatenated coefficients have (numerically) zero
+  /// imaginary part, i.e. the feedback law is realizable over the reals.
+  bool is_real(double tol = 1e-8) const;
+
+  /// Human-readable matrix of polynomials in s.
+  std::string to_string(int precision = 4) const;
+
+  /// Chart-free form (all coefficient matrices, low degree first).
+  MatrixPolynomial to_matrix_polynomial() const;
+
+ private:
+  PatternChart chart_;
+  CVector coords_;
+};
+
+}  // namespace pph::schubert

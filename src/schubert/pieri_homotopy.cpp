@@ -1,0 +1,90 @@
+#include "schubert/pieri_homotopy.hpp"
+
+#include <stdexcept>
+
+namespace pph::schubert {
+
+PieriEdgeHomotopy::PieriEdgeHomotopy(PatternChart chart, std::vector<PlaneCondition> fixed,
+                                     PlaneCondition target, Complex gamma, Complex detour_s,
+                                     Complex detour_u)
+    : chart_(std::move(chart)),
+      fixed_(std::move(fixed)),
+      target_(std::move(target)),
+      gamma_(gamma),
+      detour_s_(detour_s),
+      detour_u_(detour_u),
+      special_(special_plane(chart_.pattern())) {
+  if (fixed_.size() + 1 != chart_.dimension()) {
+    throw std::invalid_argument(
+        "PieriEdgeHomotopy: need level-1 fixed conditions plus one target");
+  }
+  plane_dot_ = target_.plane - special_ * gamma_;
+}
+
+CMatrix PieriEdgeHomotopy::moving_plane(double t) const {
+  CMatrix k = special_ * (gamma_ * (1.0 - t));
+  k += target_.plane * Complex{t, 0.0};
+  return k;
+}
+
+std::pair<Complex, Complex> PieriEdgeHomotopy::moving_point(double t) const {
+  const double bump = t * (1.0 - t);
+  const Complex s = Complex{1.0, 0.0} + Complex{t, 0.0} * (target_.point - Complex{1.0, 0.0}) +
+                    bump * detour_s_;
+  const Complex u = Complex{t, 0.0} + bump * detour_u_;
+  return {s, u};
+}
+
+std::pair<Complex, Complex> PieriEdgeHomotopy::moving_point_dt(double t) const {
+  const double dbump = 1.0 - 2.0 * t;
+  const Complex sdot = (target_.point - Complex{1.0, 0.0}) + dbump * detour_s_;
+  const Complex udot = Complex{1.0, 0.0} + dbump * detour_u_;
+  return {sdot, udot};
+}
+
+CVector PieriEdgeHomotopy::evaluate(const CVector& x, double t) const {
+  const std::size_t n = dimension();
+  CVector h(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = evaluate_condition(chart_, x, fixed_[i].plane, fixed_[i].point, Complex{1.0, 0.0})
+               .value;
+  }
+  const auto [s, u] = moving_point(t);
+  h[n - 1] = evaluate_condition(chart_, x, moving_plane(t), s, u).value;
+  return h;
+}
+
+CMatrix PieriEdgeHomotopy::jacobian_x(const CVector& x, double t) const {
+  return evaluate_with_jacobian(x, t).second;
+}
+
+CVector PieriEdgeHomotopy::derivative_t(const CVector& x, double t) const {
+  const std::size_t n = dimension();
+  CVector dt(n, Complex{});
+  const auto [s, u] = moving_point(t);
+  const auto [sdot, udot] = moving_point_dt(t);
+  const auto eval =
+      evaluate_moving_condition(chart_, x, moving_plane(t), plane_dot_, s, u, sdot, udot);
+  dt[n - 1] = eval.dt;
+  return dt;
+}
+
+std::pair<CVector, CMatrix> PieriEdgeHomotopy::evaluate_with_jacobian(const CVector& x,
+                                                                      double t) const {
+  const std::size_t n = dimension();
+  CVector h(n);
+  CMatrix jac(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto eval =
+        evaluate_condition(chart_, x, fixed_[i].plane, fixed_[i].point, Complex{1.0, 0.0});
+    h[i] = eval.value;
+    for (std::size_t c = 0; c < n; ++c) jac(i, c) = eval.gradient[c];
+  }
+  const auto [s, u] = moving_point(t);
+  const auto eval = evaluate_condition(chart_, x, moving_plane(t), s, u);
+  h[n - 1] = eval.value;
+  for (std::size_t c = 0; c < n; ++c) jac(n - 1, c) = eval.gradient[c];
+  return {std::move(h), std::move(jac)};
+}
+
+}  // namespace pph::schubert

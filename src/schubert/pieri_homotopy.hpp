@@ -1,0 +1,62 @@
+#pragma once
+// The Pieri homotopy on one edge of the Pieri tree (paper eq. (3)).
+//
+// Fix a pattern P at level ell.  A child solution (pattern with one bottom
+// pivot decremented, meeting conditions 1..ell-1) is deformed into a
+// solution fitting P and meeting conditions 1..ell by moving
+//   - the m-plane K from gamma * K_F(P) (the special plane whose bordered
+//     determinant is the product of P's bottom-pivot entries) to K_ell, and
+//   - the interpolation point (s, u) from infinity (1, 0) to (s_ell, 1),
+// while conditions 1..ell-1 stay enforced.  The continuation parameter t
+// moves both; the paper notes the "double use of t" as homogenizing
+// variable and continuation parameter -- here the homogenizing coordinate
+// is named u and u(t) = t.
+
+#include "homotopy/homotopy.hpp"
+#include "schubert/conditions.hpp"
+
+namespace pph::schubert {
+
+/// Square homotopy in the chart coordinates of the parent pattern.
+class PieriEdgeHomotopy final : public homotopy::Homotopy {
+ public:
+  /// `fixed` are conditions 1..ell-1 (already satisfied by the start
+  /// solution); `target` is condition ell; `gamma` randomizes the start
+  /// plane (gamma trick).  The detour constants bend the interpolation-point
+  /// path (s(t), u(t)) into the complex plane away from the straight
+  /// segment: with structured (for example real) input data the straight
+  /// path can be non-generic for every gamma, so the solver draws random
+  /// detours per instance.
+  PieriEdgeHomotopy(PatternChart chart, std::vector<PlaneCondition> fixed,
+                    PlaneCondition target, Complex gamma, Complex detour_s = Complex{},
+                    Complex detour_u = Complex{});
+
+  std::size_t dimension() const override { return chart_.dimension(); }
+  CVector evaluate(const CVector& x, double t) const override;
+  CMatrix jacobian_x(const CVector& x, double t) const override;
+  CVector derivative_t(const CVector& x, double t) const override;
+  std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const override;
+
+  const PatternChart& chart() const { return chart_; }
+
+  /// Moving plane K(t) = (1-t) gamma K_F + t K_target.
+  CMatrix moving_plane(double t) const;
+  /// Moving interpolation point from (1, 0) at t=0 to (s_target, 1) at t=1:
+  ///   s(t) = 1 + t (s_target - 1) + t(1-t) detour_s,
+  ///   u(t) = t + t(1-t) detour_u.
+  std::pair<Complex, Complex> moving_point(double t) const;
+  /// Derivatives (ds/dt, du/dt).
+  std::pair<Complex, Complex> moving_point_dt(double t) const;
+
+ private:
+  PatternChart chart_;
+  std::vector<PlaneCondition> fixed_;
+  PlaneCondition target_;
+  Complex gamma_;
+  Complex detour_s_;
+  Complex detour_u_;
+  CMatrix special_;       // K_F of the chart's pattern
+  CMatrix plane_dot_;     // dK/dt = K_target - gamma K_F (constant)
+};
+
+}  // namespace pph::schubert

@@ -1,0 +1,69 @@
+#pragma once
+// Sequential Pieri solver: walk the localization poset level by level from
+// the trivial map, tracking one Pieri homotopy per (solution, cover) edge,
+// until all solutions at the root pattern are found (paper sections
+// III-B/C).  The per-level job counts and timings this produces are the
+// data of the paper's Table III; the parallel scheduler (src/sched)
+// produces the same jobs from the virtual Pieri tree.
+
+#include "homotopy/tracker.hpp"
+#include "schubert/map.hpp"
+#include "schubert/pieri_homotopy.hpp"
+#include "schubert/poset.hpp"
+
+namespace pph::schubert {
+
+struct PieriSolverOptions {
+  homotopy::TrackerOptions tracker = default_tracker();
+  std::uint64_t gamma_seed = 20040415;
+  /// Relative residual bound for a verified solution.
+  double verify_tolerance = 1e-7;
+  /// Failed edges are retried with progressively tighter tracking.
+  std::size_t max_retries = 2;
+  /// Minimal pairwise chart distance for solutions to count as distinct.
+  double distinct_tolerance = 1e-6;
+
+  static homotopy::TrackerOptions default_tracker();
+};
+
+/// Per-level accounting (the rows of the paper's Table III).
+struct PieriLevelStats {
+  std::size_t level = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t failures = 0;
+  double seconds = 0.0;
+  std::uint64_t newton_iterations = 0;
+};
+
+struct PieriSolveSummary {
+  /// Solutions in the root pattern's chart.
+  std::vector<PieriMap> solutions;
+  std::vector<PieriLevelStats> levels;
+  std::uint64_t total_jobs = 0;
+  std::uint64_t failures = 0;
+  double seconds = 0.0;
+  /// Exact combinatorial root count (poset chain count).
+  std::uint64_t expected_count = 0;
+  /// Solutions whose worst relative condition residual passes verification.
+  std::size_t verified = 0;
+  double max_residual = 0.0;
+  /// Number of pairwise-distinct solutions.
+  std::size_t distinct = 0;
+  /// Wall seconds of every individual tracking job, in execution order;
+  /// this is the workload sample fed to the cluster simulator.
+  std::vector<double> job_seconds;
+
+  bool complete() const {
+    return failures == 0 && solutions.size() == expected_count &&
+           verified == solutions.size() && distinct == solutions.size();
+  }
+};
+
+/// Solve a Pieri problem instance sequentially.
+PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions& opts = {});
+
+/// Convenience: random instance for the given sizes.
+PieriSolveSummary solve_random_pieri(const PieriProblem& problem, std::uint64_t seed = 1,
+                                     const PieriSolverOptions& opts = {});
+
+}  // namespace pph::schubert

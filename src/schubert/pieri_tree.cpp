@@ -1,0 +1,34 @@
+#include "schubert/pieri_tree.hpp"
+
+#include <stdexcept>
+
+namespace pph::schubert {
+
+PieriTree::PieriTree(const PieriProblem& problem, std::size_t max_nodes) : problem_(problem) {
+  const std::size_t n = problem.condition_count();
+  by_depth_.resize(n + 1);
+  nodes_.push_back(Node{Pattern::minimal(problem), kNoParent, 0});
+  by_depth_[0].push_back(0);
+  for (std::size_t depth = 0; depth < n; ++depth) {
+    for (const std::size_t idx : by_depth_[depth]) {
+      // Note: take a copy of the pattern, not a reference; nodes_ reallocates.
+      const Pattern pattern = nodes_[idx].pattern;
+      for (Pattern& up : pattern.parents()) {
+        if (nodes_.size() >= max_nodes) {
+          throw std::length_error("PieriTree: node budget exceeded; use the virtual tree");
+        }
+        nodes_.push_back(Node{std::move(up), idx, depth + 1});
+        by_depth_[depth + 1].push_back(nodes_.size() - 1);
+      }
+    }
+  }
+}
+
+const std::vector<std::size_t>& PieriTree::nodes_at_depth(std::size_t depth) const {
+  if (depth >= by_depth_.size()) throw std::out_of_range("PieriTree::nodes_at_depth");
+  return by_depth_[depth];
+}
+
+std::size_t PieriTree::leaf_count() const { return by_depth_.back().size(); }
+
+}  // namespace pph::schubert

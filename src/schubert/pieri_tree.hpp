@@ -1,0 +1,49 @@
+#pragma once
+// The Pieri tree (paper section III-C, Fig 5): the pattern poset unrolled
+// into a tree whose nodes are saturated chains from the minimal pattern.
+// Each edge is one path-tracking job; two jobs are independent once their
+// common ancestor's solution is known, which is what makes the tree the
+// right job structure for parallel machines (and keeps memory local: a
+// node is dead once its at-most-p child jobs have finished).
+
+#include <cstdint>
+
+#include "schubert/poset.hpp"
+
+namespace pph::schubert {
+
+/// Explicitly enumerated Pieri tree; suitable for small problems (tests and
+/// the Table III instance).  Larger problems use the virtual expansion of
+/// the parallel scheduler.
+class PieriTree {
+ public:
+  struct Node {
+    Pattern pattern;
+    std::size_t parent = kNoParent;  // index into nodes(); root has none
+    std::size_t depth = 0;
+  };
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  explicit PieriTree(const PieriProblem& problem, std::size_t max_nodes = 2'000'000);
+
+  const PieriProblem& problem() const { return problem_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Edges == jobs == node_count() - 1 (every non-root node has one edge).
+  std::size_t edge_count() const { return nodes_.size() - 1; }
+
+  /// Node indices at a given depth (depth 0 is the single root).
+  const std::vector<std::size_t>& nodes_at_depth(std::size_t depth) const;
+  std::size_t depth_count() const { return by_depth_.size(); }
+
+  /// Leaves sit at the maximal depth n and correspond one-to-one to the
+  /// solutions of the Pieri problem.
+  std::size_t leaf_count() const;
+
+ private:
+  PieriProblem problem_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::size_t>> by_depth_;
+};
+
+}  // namespace pph::schubert

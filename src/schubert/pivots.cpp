@@ -1,0 +1,154 @@
+#include "schubert/pivots.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pph::schubert {
+
+std::size_t PieriProblem::concat_rows() const {
+  const std::size_t a = q / p;
+  const std::size_t b = q % p;
+  return (b == 0 ? a + 1 : a + 2) * space_dim();
+}
+
+std::size_t PieriProblem::column_height(std::size_t j) const {
+  if (j >= p) throw std::out_of_range("PieriProblem::column_height");
+  const std::size_t a = q / p;
+  const std::size_t b = q % p;
+  // Columns are 0-based here; the first p-b columns have the lower height.
+  return (j < p - b ? a + 1 : a + 2) * space_dim();
+}
+
+Pattern::Pattern(PieriProblem problem, std::vector<std::size_t> bottom_pivots)
+    : problem_(problem), pivots_(std::move(bottom_pivots)) {
+  if (problem_.m == 0 || problem_.p == 0) {
+    throw std::invalid_argument("Pattern: m and p must be positive");
+  }
+  if (pivots_.size() != problem_.p) {
+    throw std::invalid_argument("Pattern: need one bottom pivot per column");
+  }
+}
+
+std::size_t Pattern::level() const {
+  std::size_t lvl = 0;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) lvl += pivots_[j] - (j + 1);
+  return lvl;
+}
+
+bool Pattern::valid() const {
+  const std::size_t spread = problem_.space_dim();
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    if (pivots_[j] < j + 1) return false;                       // below top pivot
+    if (pivots_[j] > problem_.column_height(j)) return false;   // rule 1
+    if (j > 0 && pivots_[j] <= pivots_[j - 1]) return false;    // rule 2
+  }
+  // Rule 3: no two bottom pivots differ by m+p or more.
+  if (pivots_.back() - pivots_.front() >= spread) return false;
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Pattern::star_cells() const {
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    for (std::size_t row = j + 1; row <= pivots_[j]; ++row) {
+      cells.emplace_back(row - 1, j);
+    }
+  }
+  return cells;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Pattern::free_cells() const {
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    for (std::size_t row = j + 2; row <= pivots_[j]; ++row) {
+      cells.emplace_back(row - 1, j);
+    }
+  }
+  return cells;
+}
+
+std::vector<Pattern> Pattern::children() const {
+  std::vector<Pattern> out;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    if (pivots_[j] == j + 1) continue;
+    Pattern child(*this);
+    --child.pivots_[j];
+    if (child.valid()) out.push_back(std::move(child));
+  }
+  return out;
+}
+
+std::vector<Pattern> Pattern::parents() const {
+  std::vector<Pattern> out;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    Pattern parent(*this);
+    ++parent.pivots_[j];
+    if (parent.valid()) out.push_back(std::move(parent));
+  }
+  return out;
+}
+
+std::size_t Pattern::child_column(const Pattern& child) const {
+  std::size_t column = problem_.p;
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    if (child.pivots_[j] + 1 == pivots_[j]) {
+      if (column != problem_.p) return problem_.p;  // two columns differ
+      column = j;
+    } else if (child.pivots_[j] != pivots_[j]) {
+      return problem_.p;
+    }
+  }
+  return column;
+}
+
+Pattern Pattern::minimal(const PieriProblem& problem) {
+  std::vector<std::size_t> pivots(problem.p);
+  for (std::size_t j = 0; j < problem.p; ++j) pivots[j] = j + 1;
+  return Pattern(problem, std::move(pivots));
+}
+
+Pattern Pattern::root(const PieriProblem& problem) {
+  // The unique valid pattern of level n = condition_count().  Build by
+  // maximizing pivots from the last column down under the height and spread
+  // constraints, then verify the level.
+  const std::size_t spread = problem.space_dim();
+  std::vector<std::size_t> pivots(problem.p);
+  // First pass: heights and monotonicity from the right.
+  for (std::size_t jj = problem.p; jj-- > 0;) {
+    std::size_t cap = problem.column_height(jj);
+    if (jj + 1 < problem.p) cap = std::min(cap, pivots[jj + 1] - 1);
+    pivots[jj] = cap;
+  }
+  // Second pass: enforce the spread rule by lowering the top end.  The
+  // first pass gives the maximal B_1; every pivot may be at most
+  // B_1 + spread - 1.
+  for (std::size_t j = 1; j < problem.p; ++j) {
+    pivots[j] = std::min(pivots[j], pivots[0] + spread - 1);
+  }
+  // Re-assert monotonicity (lowering from the spread rule keeps it, but a
+  // final fix-up keeps the construction honest for degenerate shapes).
+  for (std::size_t j = 1; j < problem.p; ++j) {
+    if (pivots[j] <= pivots[j - 1]) {
+      throw std::logic_error("Pattern::root: construction failed (monotonicity)");
+    }
+  }
+  Pattern r(problem, std::move(pivots));
+  if (!r.valid() || r.level() != problem.condition_count()) {
+    throw std::logic_error("Pattern::root: construction failed (level)");
+  }
+  return r;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t j = 0; j < pivots_.size(); ++j) {
+    if (j) os << " ";
+    os << pivots_[j];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace pph::schubert

@@ -1,0 +1,108 @@
+#pragma once
+// Localization patterns for degree-q maps into the Grassmannian G(p, m+p)
+// (paper section III-B, Fig 3).
+//
+// A map X(s) of degree q producing p-planes in C^{m+p} is represented in
+// concatenated form: the coefficient matrices X^(0), ..., X^(d) are stacked
+// into an M x p matrix Xhat, M = (a+1)(m+p) if b = 0 else (a+2)(m+p) where
+// q = a*p + b, 0 <= b < p.  Column j may use degrees up to h_j/(m+p) - 1
+// where the column height h_j is (a+1)(m+p) for j <= p-b and (a+2)(m+p)
+// otherwise.
+//
+// A localization pattern fixes which entries of Xhat may be nonzero: column
+// j has contiguous "stars" from its top pivot (row j, fixed to [1..p] in
+// this implementation, as in the paper's preliminary parallel version) down
+// to its bottom pivot B_j.  Validity (paper's three rules):
+//   1. column heights as above,
+//   2. top and bottom pivots strictly increasing with the column index,
+//   3. no two bottom pivots differ by m+p or more.
+//
+// The entry at each top pivot is normalized to one, so a pattern at level
+// sum_j (B_j - j) has exactly `level` free coefficients and can satisfy
+// `level` intersection conditions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pph::schubert {
+
+/// Problem size of a Pieri / pole placement instance.
+struct PieriProblem {
+  std::size_t m = 0;  // inputs  (codimension of the output planes)
+  std::size_t p = 0;  // outputs (dimension of the output planes)
+  std::size_t q = 0;  // degree of the maps == internal states of the compensator
+
+  std::size_t space_dim() const { return m + p; }
+  /// Number of intersection conditions == dimension of the solution space:
+  /// n = m*p + q*(m+p).
+  std::size_t condition_count() const { return m * p + q * (m + p); }
+  /// Rows of the concatenated coefficient matrix.
+  std::size_t concat_rows() const;
+  /// Height (maximal bottom pivot) of column j (0-based).
+  std::size_t column_height(std::size_t j) const;
+};
+
+/// A bottom-pivot localization pattern.  Pivots are stored 1-based to match
+/// the paper's figures ([4 7] etc.).
+class Pattern {
+ public:
+  Pattern() = default;
+  Pattern(PieriProblem problem, std::vector<std::size_t> bottom_pivots);
+
+  const PieriProblem& problem() const { return problem_; }
+  const std::vector<std::size_t>& pivots() const { return pivots_; }
+  std::size_t pivot(std::size_t j) const { return pivots_[j]; }
+
+  /// Number of free coefficients == number of conditions this pattern meets.
+  std::size_t level() const;
+
+  bool valid() const;
+
+  /// Degree of column j: the block index of its bottom pivot.
+  std::size_t column_degree(std::size_t j) const {
+    return (pivots_[j] - 1) / problem_.space_dim();
+  }
+  /// Residue of the bottom pivot of column j within its block (1-based row
+  /// in C^{m+p}); distinct across columns by validity rule 3.
+  std::size_t pivot_residue(std::size_t j) const {
+    return (pivots_[j] - 1) % problem_.space_dim() + 1;
+  }
+
+  /// Star cells (concat_row, column), both 0-based, in column-major order,
+  /// including the normalized top-pivot cells (row j, column j).
+  std::vector<std::pair<std::size_t, std::size_t>> star_cells() const;
+
+  /// Free cells: star cells minus the normalized top pivots.  Their count
+  /// equals level(); this is the coordinate chart used by the homotopies.
+  std::vector<std::pair<std::size_t, std::size_t>> free_cells() const;
+
+  /// Patterns one level down: decrement one bottom pivot (the Pieri
+  /// recursion's "bottom children", paper Fig 4).
+  std::vector<Pattern> children() const;
+
+  /// Patterns one level up: increment one bottom pivot.
+  std::vector<Pattern> parents() const;
+
+  /// Which column differs (by one) between this pattern and a child.
+  /// Returns p if `child` is not a child of this pattern.
+  std::size_t child_column(const Pattern& child) const;
+
+  /// The minimal pattern [1, 2, ..., p] (level 0, trivial solution).
+  static Pattern minimal(const PieriProblem& problem);
+
+  /// The unique maximal valid pattern (level == condition_count()).
+  static Pattern root(const PieriProblem& problem);
+
+  bool operator==(const Pattern& other) const { return pivots_ == other.pivots_; }
+  bool operator<(const Pattern& other) const { return pivots_ < other.pivots_; }
+
+  /// Shorthand notation of the paper: "[4 7]".
+  std::string to_string() const;
+
+ private:
+  PieriProblem problem_;
+  std::vector<std::size_t> pivots_;
+};
+
+}  // namespace pph::schubert

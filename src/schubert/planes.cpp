@@ -1,0 +1,75 @@
+#include "schubert/planes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/qr.hpp"
+
+namespace pph::schubert {
+
+PieriInput random_pieri_input(const PieriProblem& problem, util::Prng& rng) {
+  PieriInput input;
+  input.problem = problem;
+  const std::size_t n = problem.condition_count();
+  const std::size_t rows = problem.space_dim();
+  input.conditions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CMatrix raw(rows, problem.m);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < problem.m; ++c) raw(r, c) = rng.normal_complex();
+    PlaneCondition cond;
+    cond.plane = linalg::orthonormalize_columns(raw);
+    // Interpolation points on a ring of radius ~1 with random phase and a
+    // small radial jitter: distinct and away from 0 and infinity.
+    const double theta = 2.0 * std::numbers::pi * (static_cast<double>(i) + rng.uniform()) /
+                         static_cast<double>(n);
+    const double radius = 0.8 + 0.4 * rng.uniform();
+    cond.point = Complex{radius * std::cos(theta), radius * std::sin(theta)};
+    input.conditions.push_back(std::move(cond));
+  }
+  return input;
+}
+
+CMatrix special_plane(const Pattern& pattern) {
+  const PieriProblem& pb = pattern.problem();
+  const std::size_t rows = pb.space_dim();
+  std::vector<bool> hit(rows + 1, false);
+  for (std::size_t j = 0; j < pb.p; ++j) hit[pattern.pivot_residue(j)] = true;
+  CMatrix k(rows, pb.m);
+  std::size_t col = 0;
+  for (std::size_t r = 1; r <= rows; ++r) {
+    if (hit[r]) continue;
+    k(r - 1, col) = Complex{1.0, 0.0};
+    ++col;
+  }
+  return k;
+}
+
+int special_plane_sign(const Pattern& pattern) {
+  // With all bottom-pivot entries set to 1 and every other star zero, the
+  // homogenized map evaluated at (s,u) = (1,0) has columns e_{r_j}, so
+  // [X(1,0) | K_F] is a permutation matrix; its determinant is the parity
+  // of the permutation sending column j to row r_j and the K_F columns to
+  // the complement rows in increasing order.
+  const PieriProblem& pb = pattern.problem();
+  const std::size_t rows = pb.space_dim();
+  std::vector<std::size_t> image;  // image[row of column c] per column c
+  image.reserve(rows);
+  std::vector<bool> hit(rows + 1, false);
+  for (std::size_t j = 0; j < pb.p; ++j) {
+    image.push_back(pattern.pivot_residue(j) - 1);
+    hit[pattern.pivot_residue(j)] = true;
+  }
+  for (std::size_t r = 1; r <= rows; ++r) {
+    if (!hit[r]) image.push_back(r - 1);
+  }
+  // Parity by counting inversions (rows is tiny).
+  int sign = 1;
+  for (std::size_t i = 0; i < image.size(); ++i)
+    for (std::size_t j = i + 1; j < image.size(); ++j)
+      if (image[i] > image[j]) sign = -sign;
+  return sign;
+}
+
+}  // namespace pph::schubert

@@ -1,0 +1,50 @@
+#pragma once
+// Input planes and interpolation points for Pieri problems, and the special
+// plane K_F of the Pieri homotopy.
+//
+// An intersection condition (paper eq. (2)) is a pair (K_i, s_i): the map
+// X must satisfy det([X(s_i) | K_i]) = 0, i.e. the p-plane produced at the
+// interpolation point s_i meets the given m-plane K_i nontrivially.
+
+#include "linalg/matrix.hpp"
+#include "schubert/pivots.hpp"
+#include "util/prng.hpp"
+
+namespace pph::schubert {
+
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::CVector;
+
+/// One intersection condition: an m-plane in C^{m+p} (generator columns)
+/// and the interpolation point at which the map must meet it.
+struct PlaneCondition {
+  CMatrix plane;   // (m+p) x m generator matrix
+  Complex point;   // interpolation point s_i
+};
+
+/// A full Pieri problem instance: n = condition_count() conditions.
+struct PieriInput {
+  PieriProblem problem;
+  std::vector<PlaneCondition> conditions;
+};
+
+/// Random instance: orthonormalized Gaussian planes, interpolation points
+/// spread on a circle with random phases (generic with probability one).
+PieriInput random_pieri_input(const PieriProblem& problem, util::Prng& rng);
+
+/// The special m-plane K_F of the Pieri homotopy (paper section III-B):
+/// columns are the unit vectors e_i for the residues i in {1..m+p} NOT hit
+/// by the bottom pivots of the pattern.  With the map homogenized per
+/// column, det([X(1,0) | K_F]) equals (up to sign) the product of the
+/// bottom-pivot entries of Xhat, so the determinant vanishes exactly when a
+/// bottom-pivot entry is zero -- which is how child solutions become start
+/// solutions.
+CMatrix special_plane(const Pattern& pattern);
+
+/// Sign and row selection of the identity det([X(1,0)|K_F]) = +/- prod of
+/// pivot entries: returns the permutation sign such that
+/// det([X(1,0)|K_F]) = sign * prod_j Xhat[B_j, j].
+int special_plane_sign(const Pattern& pattern);
+
+}  // namespace pph::schubert

@@ -1,0 +1,305 @@
+#include "schubert/pole_placement.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "poly/roots.hpp"
+
+namespace pph::schubert {
+
+CMatrix Plant::transfer(Complex s) const {
+  const std::size_t n = states();
+  CMatrix si_a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t cc = 0; cc < n; ++cc) si_a(r, cc) = (r == cc ? s : Complex{}) - a(r, cc);
+  linalg::LU lu(si_a);
+  const auto x = lu.solve(b);
+  if (!x) throw std::runtime_error("Plant::transfer: s is an eigenvalue of A");
+  return c * (*x);
+}
+
+Complex Plant::char_poly(Complex s) const {
+  const std::size_t n = states();
+  CMatrix si_a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t cc = 0; cc < n; ++cc) si_a(r, cc) = (r == cc ? s : Complex{}) - a(r, cc);
+  return linalg::LU(si_a).determinant();
+}
+
+Plant random_plant(const PieriProblem& problem, util::Prng& rng) {
+  const std::size_t n = problem.condition_count();
+  if (n < problem.q) throw std::invalid_argument("random_plant: inconsistent sizes");
+  const std::size_t states = n - problem.q;
+  Plant plant;
+  plant.a = CMatrix(states, states);
+  plant.b = CMatrix(states, problem.m);
+  plant.c = CMatrix(problem.p, states);
+  for (std::size_t r = 0; r < states; ++r)
+    for (std::size_t cc = 0; cc < states; ++cc) plant.a(r, cc) = Complex{rng.normal(), 0.0};
+  for (std::size_t r = 0; r < states; ++r)
+    for (std::size_t cc = 0; cc < problem.m; ++cc) plant.b(r, cc) = Complex{rng.normal(), 0.0};
+  for (std::size_t r = 0; r < problem.p; ++r)
+    for (std::size_t cc = 0; cc < states; ++cc) plant.c(r, cc) = Complex{rng.normal(), 0.0};
+  return plant;
+}
+
+CMatrix plant_plane(const Plant& plant, Complex s) {
+  const std::size_t m = plant.inputs();
+  const CMatrix g = plant.transfer(s);
+  CMatrix raw(m + plant.outputs(), m);
+  for (std::size_t c = 0; c < m; ++c) raw(c, c) = Complex{1.0, 0.0};
+  for (std::size_t r = 0; r < plant.outputs(); ++r)
+    for (std::size_t c = 0; c < m; ++c) raw(m + r, c) = g(r, c);
+  return linalg::orthonormalize_columns(raw);
+}
+
+PieriInput pole_placement_input(const PieriProblem& problem, const Plant& plant,
+                                const std::vector<Complex>& poles) {
+  if (plant.inputs() != problem.m || plant.outputs() != problem.p) {
+    throw std::invalid_argument("pole_placement_input: plant shape mismatch");
+  }
+  if (poles.size() != problem.condition_count()) {
+    throw std::invalid_argument("pole_placement_input: need n = mp + q(m+p) poles");
+  }
+  PieriInput input;
+  input.problem = problem;
+  input.conditions.reserve(poles.size());
+  for (const Complex s : poles) {
+    input.conditions.push_back(PlaneCondition{plant_plane(plant, s), s});
+  }
+  return input;
+}
+
+namespace {
+
+CMatrix evaluate_coeffs(const std::vector<CMatrix>& coeffs, Complex s) {
+  if (coeffs.empty()) throw std::logic_error("evaluate_coeffs: empty");
+  CMatrix out = coeffs.back();
+  for (std::size_t d = coeffs.size() - 1; d-- > 0;) {
+    out = out * s;
+    out += coeffs[d];
+  }
+  return out;
+}
+
+}  // namespace
+
+CMatrix Compensator::y(Complex s) const { return evaluate_coeffs(y_coeffs, s); }
+CMatrix Compensator::z(Complex s) const { return evaluate_coeffs(z_coeffs, s); }
+
+CMatrix Compensator::feedback(Complex s) const {
+  linalg::LU lu(z(s));
+  const auto zinv = lu.inverse();
+  if (!zinv) throw std::runtime_error("Compensator::feedback: Z(s) singular");
+  return y(s) * (*zinv);
+}
+
+Compensator extract_compensator(const MatrixPolynomial& x, std::size_t m) {
+  if (x.coeffs.empty()) throw std::invalid_argument("extract_compensator: empty map");
+  const std::size_t rows = x.coeffs.front().rows();
+  const std::size_t p = x.coeffs.front().cols();
+  if (rows != m + p) throw std::invalid_argument("extract_compensator: shape mismatch");
+  Compensator comp;
+  for (const auto& coeff : x.coeffs) {
+    // Convention: X = [Y; Z] with Y the top m x p block (numerator acting
+    // on the input side) and Z the bottom p x p block.
+    comp.y_coeffs.push_back(coeff.block(0, m, 0, p));
+    comp.z_coeffs.push_back(coeff.block(m, m + p, 0, p));
+  }
+  return comp;
+}
+
+Compensator extract_compensator(const PieriMap& map) {
+  return extract_compensator(map.to_matrix_polynomial(), map.problem().m);
+}
+
+bool compensator_is_real(const Compensator& comp, double tol) {
+  // Evaluate F at a few fixed real points (skipping any where Z is
+  // numerically singular) and inspect the imaginary parts.
+  const double samples[] = {0.0, 0.731, -1.279, 2.417};
+  std::size_t used = 0;
+  for (const double s : samples) {
+    const CMatrix z = comp.z(Complex{s, 0.0});
+    linalg::LU lu(z);
+    if (lu.singular() || lu.rcond_estimate() < 1e-10) continue;
+    const CMatrix f = comp.y(Complex{s, 0.0}) * *lu.inverse();
+    ++used;
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+      for (std::size_t c = 0; c < f.cols(); ++c) {
+        if (std::abs(f(r, c).imag()) > tol * (1.0 + std::abs(f(r, c)))) return false;
+      }
+    }
+  }
+  return used > 0;
+}
+
+std::vector<Complex> closed_loop_char_poly(const MatrixPolynomial& xpoly, const Plant& plant) {
+  const std::size_t p = xpoly.coeffs.front().cols();
+  const std::size_t m = xpoly.coeffs.front().rows() - p;
+  PieriProblem pb{m, p, 0};  // only space_dim / m / p are used below
+  // Degree bound of phi(s) = det([X(s) | d(s)I ; C adj B]): each X column
+  // contributes at most the map degree, each plane column the plant order.
+  std::size_t bound = pb.m * plant.states() + p * xpoly.degree();
+
+  // Interpolate phi at bound+1 points on a circle (radius chosen away from
+  // the plant eigenvalues with probability one).
+  const std::size_t npts = bound + 1;
+  const double radius = 1.37;
+  std::vector<Complex> pts(npts), vals(npts);
+  for (std::size_t k = 0; k < npts; ++k) {
+    const double theta = 2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(npts);
+    const Complex s{radius * std::cos(theta), radius * std::sin(theta)};
+    pts[k] = s;
+    const Complex d = plant.char_poly(s);
+    const CMatrix g = plant.transfer(s);
+    CMatrix kp(pb.space_dim(), pb.m);
+    for (std::size_t c = 0; c < pb.m; ++c) kp(c, c) = d;
+    for (std::size_t r = 0; r < pb.p; ++r)
+      for (std::size_t c = 0; c < pb.m; ++c) kp(pb.m + r, c) = d * g(r, c);
+    const CMatrix x = xpoly.evaluate(s);
+    vals[k] = linalg::LU(CMatrix::hcat(x, kp)).determinant();
+    // The bordered determinant carries m-1 spurious copies of the open-loop
+    // characteristic polynomial (each plane column was cleared of poles by a
+    // factor d(s); only one factor belongs to the closed loop).  Deflate
+    // pointwise so the interpolated polynomial is the closed-loop
+    // characteristic polynomial chi_cl of degree n = poles.size().
+    for (std::size_t c = 1; c < pb.m; ++c) vals[k] /= d;
+  }
+
+  // Vandermonde solve for the coefficients.
+  CMatrix vand(npts, npts);
+  for (std::size_t r = 0; r < npts; ++r) {
+    Complex pw{1.0, 0.0};
+    for (std::size_t c = 0; c < npts; ++c) {
+      vand(r, c) = pw;
+      pw *= pts[r];
+    }
+  }
+  const auto coeffs = linalg::LU(vand).solve(vals);
+  if (!coeffs) throw std::runtime_error("closed_loop_char_poly: interpolation failed");
+
+  // Trim numerically-zero leading coefficients.
+  std::vector<Complex> out = *coeffs;
+  double scale = 0.0;
+  for (const auto& c : out) scale = std::max(scale, std::abs(c));
+  while (out.size() > 1 && std::abs(out.back()) < 1e-9 * scale) out.pop_back();
+  return out;
+}
+
+std::vector<Complex> closed_loop_char_poly(const PieriMap& map, const Plant& plant) {
+  return closed_loop_char_poly(map.to_matrix_polynomial(), plant);
+}
+
+PolePlacementCheck verify_pole_placement(const MatrixPolynomial& x, const Plant& plant,
+                                         const std::vector<Complex>& poles) {
+  PolePlacementCheck check;
+  // Condition residuals at the prescribed poles.
+  for (const Complex s : poles) {
+    PlaneCondition cond{plant_plane(plant, s), s};
+    check.max_condition_residual = std::max(check.max_condition_residual, x.residual(cond));
+  }
+  // Characteristic polynomial: degree must equal the pole count, and it
+  // must (relatively) vanish at every prescribed pole.
+  const auto phi = closed_loop_char_poly(x, plant);
+  check.char_poly_degree = phi.size() - 1;
+  double phi_scale = 0.0;
+  for (const auto& c : phi) phi_scale = std::max(phi_scale, std::abs(c));
+  for (const Complex s : poles) {
+    Complex v{};
+    Complex pw{1.0, 0.0};
+    double point_scale = 0.0;
+    for (const auto& c : phi) {
+      v += c * pw;
+      point_scale += std::abs(c) * std::abs(pw);
+      pw *= s;
+    }
+    (void)phi_scale;
+    check.max_pole_residual =
+        std::max(check.max_pole_residual, std::abs(v) / std::max(point_scale, 1e-300));
+  }
+  // Reality through the GL(p)-invariant compensator, not the coefficient
+  // representative (which may carry complex column scalings).
+  const std::size_t p = x.coeffs.front().cols();
+  const std::size_t m = x.coeffs.front().rows() - p;
+  check.real_feedback = compensator_is_real(extract_compensator(x, m));
+  return check;
+}
+
+PolePlacementCheck verify_pole_placement(const PieriMap& map, const Plant& plant,
+                                         const std::vector<Complex>& poles) {
+  return verify_pole_placement(map.to_matrix_polynomial(), plant, poles);
+}
+
+PolePlacementSummary solve_pole_placement(const PieriProblem& problem, const Plant& plant,
+                                          const std::vector<Complex>& poles,
+                                          const PolePlacementOptions& opts) {
+  PieriInput input = pole_placement_input(problem, plant, poles);
+
+  // Random unitary change of coordinates on C^{m+p}.  The intrinsic
+  // intersection problem is GL-equivariant: solving with planes U K_i and
+  // pulling solutions back through U^H solves the original problem, but the
+  // rotated data is in general position with respect to the standard flag
+  // that defines the localization patterns.
+  CMatrix u = CMatrix::identity(problem.space_dim());
+  if (opts.randomize_coordinates) {
+    util::Prng rng(opts.rotation_seed);
+    CMatrix raw(problem.space_dim(), problem.space_dim());
+    for (std::size_t r = 0; r < raw.rows(); ++r)
+      for (std::size_t c = 0; c < raw.cols(); ++c) raw(r, c) = rng.normal_complex();
+    u = linalg::orthonormalize_columns(raw);
+    for (auto& cond : input.conditions) cond.plane = u * cond.plane;
+  }
+
+  PolePlacementSummary summary;
+  summary.pieri = solve_pieri(input, opts.solver);
+  const CMatrix u_back = u.adjoint();
+  for (const auto& sol : summary.pieri.solutions) {
+    summary.laws.push_back(sol.to_matrix_polynomial().transformed(u_back));
+  }
+
+  // Verify in the ORIGINAL coordinates against the plant planes.
+  std::vector<PlaneCondition> original;
+  original.reserve(poles.size());
+  for (const Complex s : poles) original.push_back(PlaneCondition{plant_plane(plant, s), s});
+  for (const auto& law : summary.laws) {
+    const double res = law.max_residual(original);
+    summary.max_residual = std::max(summary.max_residual, res);
+    if (res < opts.solver.verify_tolerance) ++summary.verified;
+  }
+  return summary;
+}
+
+std::vector<Complex> closed_loop_poles_static(const Plant& plant, const CMatrix& f) {
+  const std::size_t n = plant.states();
+  const CMatrix closed = plant.a + plant.b * (f * plant.c);
+  // Interpolate det(sI - closed) at n+1 circle points, then find the roots.
+  const std::size_t npts = n + 1;
+  const double radius = 2.31;
+  std::vector<Complex> pts(npts), vals(npts);
+  for (std::size_t k = 0; k < npts; ++k) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(npts);
+    const Complex s{radius * std::cos(theta), radius * std::sin(theta)};
+    pts[k] = s;
+    CMatrix si_m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) si_m(r, c) = (r == c ? s : Complex{}) - closed(r, c);
+    vals[k] = linalg::LU(si_m).determinant();
+  }
+  CMatrix vand(npts, npts);
+  for (std::size_t r = 0; r < npts; ++r) {
+    Complex pw{1.0, 0.0};
+    for (std::size_t c = 0; c < npts; ++c) {
+      vand(r, c) = pw;
+      pw *= pts[r];
+    }
+  }
+  const auto coeffs = linalg::LU(vand).solve(vals);
+  if (!coeffs) throw std::runtime_error("closed_loop_poles_static: interpolation failed");
+  return poly::polynomial_roots(*coeffs);
+}
+
+}  // namespace pph::schubert

@@ -1,0 +1,129 @@
+#pragma once
+// The control application (paper sections I and III-A): computing all
+// dynamic output feedback laws of McMillan degree q that place the
+// closed-loop poles of an m-input, p-output plant at prescribed locations.
+//
+// Geometry (Brockett-Byrnes, Ravi-Rosenthal-Wang): s is a closed-loop pole
+// of the plant (A,B,C) with compensator F(s) = Y(s) Z(s)^{-1} exactly when
+// the p-plane spanned by X(s) = [Y(s); Z(s)] meets the m-plane
+// K(s) = span[I_m; G(s)], G(s) = C (sI - A)^{-1} B.  Prescribing the n =
+// mp + q(m+p) closed-loop poles s_1..s_n therefore gives n intersection
+// conditions det([X(s_i) | K(s_i)]) = 0 -- a Pieri problem whose inputs are
+// the plant planes at the desired poles.
+
+#include "schubert/pieri_solver.hpp"
+
+namespace pph::schubert {
+
+/// State-space plant x' = Ax + Bu, y = Cx.
+struct Plant {
+  CMatrix a;  // states x states
+  CMatrix b;  // states x m
+  CMatrix c;  // p x states
+
+  std::size_t states() const { return a.rows(); }
+  std::size_t inputs() const { return b.cols(); }
+  std::size_t outputs() const { return c.rows(); }
+
+  /// Transfer function G(s) = C (sI - A)^{-1} B (throws on eigenvalue hits).
+  CMatrix transfer(Complex s) const;
+  /// Open-loop characteristic value det(sI - A).
+  Complex char_poly(Complex s) const;
+};
+
+/// Random plant for an (m, p, q) problem: the closed loop has n = mp +
+/// q(m+p) poles, of which q live in the compensator, so the plant carries
+/// n - q states.  Entries are Gaussian; the plant is generic with
+/// probability one.
+Plant random_plant(const PieriProblem& problem, util::Prng& rng);
+
+/// The m-plane of the pole condition at s: orthonormalized span[I_m; G(s)].
+CMatrix plant_plane(const Plant& plant, Complex s);
+
+/// Assemble the Pieri input for prescribed closed-loop poles (must be n
+/// distinct non-eigenvalue points).
+PieriInput pole_placement_input(const PieriProblem& problem, const Plant& plant,
+                                const std::vector<Complex>& poles);
+
+/// Dynamic compensator extracted from a solution map X = [Y; Z]:
+/// u = F(s) y with F(s) = Y(s) Z(s)^{-1} of McMillan degree q.
+struct Compensator {
+  std::vector<CMatrix> y_coeffs;  // m x p coefficient matrices of Y(s)
+  std::vector<CMatrix> z_coeffs;  // p x p coefficient matrices of Z(s)
+
+  CMatrix y(Complex s) const;
+  CMatrix z(Complex s) const;
+  /// F(s) = Y(s) Z(s)^{-1}; throws when Z(s) is singular.
+  CMatrix feedback(Complex s) const;
+};
+
+Compensator extract_compensator(const MatrixPolynomial& x, std::size_t m);
+Compensator extract_compensator(const PieriMap& map);
+
+/// A feedback law is real exactly when F(s) = Y(s) Z(s)^{-1} is real at
+/// real s -- F is invariant under the right GL(p) action on X, so this is
+/// well defined even when the coefficient representative is complex (for
+/// example after the coordinate randomization of solve_pole_placement).
+bool compensator_is_real(const Compensator& comp, double tol = 1e-7);
+
+/// Closed-loop characteristic polynomial
+///   phi(s) = det([X(s) | d(s) I_m ; C adj(sI-A) B]) / d(s)^{m-1}
+/// recovered by interpolation (the deflation removes the m-1 spurious
+/// open-loop factors of the bordered determinant).  Returns the coefficient
+/// vector (low to high) after trimming numerically-zero leading terms.
+std::vector<Complex> closed_loop_char_poly(const MatrixPolynomial& x, const Plant& plant);
+std::vector<Complex> closed_loop_char_poly(const PieriMap& map, const Plant& plant);
+
+/// Verification report for one feedback law.
+struct PolePlacementCheck {
+  double max_condition_residual = 0.0;  // worst det([X(s_i)|K(s_i)]) residual
+  std::size_t char_poly_degree = 0;     // must equal n
+  double max_pole_residual = 0.0;       // worst |phi(s_i)| / ||phi||
+  bool real_feedback = false;
+};
+
+PolePlacementCheck verify_pole_placement(const MatrixPolynomial& x, const Plant& plant,
+                                         const std::vector<Complex>& poles);
+PolePlacementCheck verify_pole_placement(const PieriMap& map, const Plant& plant,
+                                         const std::vector<Complex>& poles);
+
+// ---- end-to-end driver ------------------------------------------------------
+
+struct PolePlacementOptions {
+  PieriSolverOptions solver;
+  /// Solve in randomly rotated coordinates (a random unitary U applied to
+  /// every plane, undone on the solutions).  Structured plants -- sparse
+  /// state-space models whose planes [I_m; G(s)] align with the standard
+  /// coordinate flag -- make the localization charts degenerate; a common
+  /// rotation leaves the intrinsic intersection problem untouched while
+  /// putting it in general position with respect to the flag.
+  bool randomize_coordinates = true;
+  std::uint64_t rotation_seed = 97;
+};
+
+struct PolePlacementSummary {
+  /// All feedback maps, in the ORIGINAL plant coordinates.
+  std::vector<MatrixPolynomial> laws;
+  /// Statistics of the underlying Pieri solve (in rotated coordinates).
+  PieriSolveSummary pieri;
+  std::size_t verified = 0;     // laws passing the original-condition check
+  double max_residual = 0.0;
+
+  bool complete() const {
+    return pieri.failures == 0 && laws.size() == pieri.expected_count &&
+           verified == laws.size();
+  }
+};
+
+/// Compute every feedback law placing the prescribed closed-loop poles.
+PolePlacementSummary solve_pole_placement(const PieriProblem& problem, const Plant& plant,
+                                          const std::vector<Complex>& poles,
+                                          const PolePlacementOptions& opts = {});
+
+/// Closed-loop poles of the plant under constant output feedback u = F y:
+/// the eigenvalues of A + B F C, via the interpolated characteristic
+/// polynomial and Durand-Kerner iteration.  Useful for building pole sets
+/// that are known to be reachable (see examples/satellite.cpp).
+std::vector<Complex> closed_loop_poles_static(const Plant& plant, const CMatrix& f);
+
+}  // namespace pph::schubert

@@ -1,0 +1,113 @@
+#include "schubert/poset.hpp"
+
+#include <stdexcept>
+
+namespace pph::schubert {
+
+namespace {
+
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  if (a > ~std::uint64_t{0} - b) throw std::overflow_error("PatternPoset: count overflow");
+  return a + b;
+}
+
+}  // namespace
+
+PatternPoset::PatternPoset(const PieriProblem& problem) : problem_(problem) {
+  const std::size_t n = problem_.condition_count();
+  by_level_.resize(n + 1);
+  const Pattern min_pattern = Pattern::minimal(problem_);
+  by_level_[0].push_back(min_pattern);
+  counts_[min_pattern.pivots()] = 1;
+
+  // Breadth-first generation level by level; counts accumulate along covers.
+  for (std::size_t level = 0; level < n; ++level) {
+    std::map<std::vector<std::size_t>, std::uint64_t> next_counts;
+    std::vector<Pattern> next_patterns;
+    for (const Pattern& p : by_level_[level]) {
+      const std::uint64_t c = counts_.at(p.pivots());
+      for (const Pattern& up : p.parents()) {
+        auto [it, inserted] = next_counts.try_emplace(up.pivots(), 0);
+        if (inserted) next_patterns.push_back(up);
+        it->second = checked_add(it->second, c);
+      }
+    }
+    for (auto& [pivots, c] : next_counts) counts_[pivots] = c;
+    by_level_[level + 1] = std::move(next_patterns);
+  }
+
+  if (by_level_[n].size() != 1) {
+    throw std::logic_error("PatternPoset: top level is not a single root pattern");
+  }
+}
+
+const std::vector<Pattern>& PatternPoset::patterns_at_level(std::size_t level) const {
+  if (level >= by_level_.size()) throw std::out_of_range("PatternPoset::patterns_at_level");
+  return by_level_[level];
+}
+
+std::size_t PatternPoset::pattern_count() const {
+  std::size_t total = 0;
+  for (const auto& lvl : by_level_) total += lvl.size();
+  return total;
+}
+
+std::uint64_t PatternPoset::chain_count(const Pattern& p) const {
+  const auto it = counts_.find(p.pivots());
+  if (it == counts_.end()) throw std::invalid_argument("PatternPoset::chain_count: unknown pattern");
+  return it->second;
+}
+
+std::uint64_t PatternPoset::root_count() const {
+  return counts_.at(by_level_.back().front().pivots());
+}
+
+std::vector<std::uint64_t> PatternPoset::jobs_per_level() const {
+  std::vector<std::uint64_t> jobs;
+  jobs.reserve(by_level_.size() - 1);
+  for (std::size_t level = 1; level < by_level_.size(); ++level) {
+    std::uint64_t total = 0;
+    for (const Pattern& p : by_level_[level]) {
+      total = checked_add(total, counts_.at(p.pivots()));
+    }
+    jobs.push_back(total);
+  }
+  return jobs;
+}
+
+std::uint64_t PatternPoset::total_jobs() const {
+  std::uint64_t total = 0;
+  for (const auto j : jobs_per_level()) total = checked_add(total, j);
+  return total;
+}
+
+std::uint64_t grassmannian_degree(std::size_t m, std::size_t p) {
+  // Hook length formula on the p x m rectangle: the degree of G(p, m+p) in
+  // the Pluecker embedding is (mp)! divided by the product of the hook
+  // lengths (p - i) + (m - j) - 1 for each cell (i, j), 0-based.  Evaluated
+  // exactly with a 128-bit accumulator and greedy division.
+  std::vector<std::uint64_t> hooks;
+  hooks.reserve(m * p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < m; ++j) hooks.push_back((p - i) + (m - j) - 1);
+  }
+  unsigned __int128 acc = 1;
+  for (std::size_t k = 1; k <= m * p; ++k) {
+    acc *= k;
+    for (auto& d : hooks) {
+      if (d != 1 && acc % d == 0) {
+        acc /= d;
+        d = 1;
+      }
+    }
+    if (acc > (static_cast<unsigned __int128>(1) << 120)) {
+      throw std::overflow_error("grassmannian_degree: overflow");
+    }
+  }
+  for (const auto& d : hooks) {
+    if (d != 1) acc /= d;
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+}  // namespace pph::schubert

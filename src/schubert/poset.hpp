@@ -1,0 +1,62 @@
+#pragma once
+// The localization poset (paper section III-C, Fig 4) and the combinatorial
+// root count.
+//
+// Nodes are the valid bottom-pivot patterns, graded by level; covers
+// increment one pivot by one.  The number of solution maps fitting a
+// pattern P and meeting level(P) general planes equals the number of
+// saturated chains from the minimal pattern to P; at the root pattern this
+// is the total root count d(m,p,q) of the pole placement problem (135,660
+// for m=4, p=3, q=1, Table IV).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "schubert/pivots.hpp"
+
+namespace pph::schubert {
+
+/// Fully enumerated pattern poset with chain counts.
+class PatternPoset {
+ public:
+  explicit PatternPoset(const PieriProblem& problem);
+
+  const PieriProblem& problem() const { return problem_; }
+
+  /// Patterns at a given level (0 .. condition_count()).
+  const std::vector<Pattern>& patterns_at_level(std::size_t level) const;
+
+  /// Number of levels == condition_count() + 1.
+  std::size_t levels() const { return by_level_.size(); }
+
+  /// Total number of valid patterns.
+  std::size_t pattern_count() const;
+
+  /// Chains from the minimal pattern to P ("solutions fitting P").
+  /// Throws std::overflow_error if the count exceeds 64 bits.
+  std::uint64_t chain_count(const Pattern& p) const;
+
+  /// The root count d(m,p,q) == chain_count(root pattern).
+  std::uint64_t root_count() const;
+
+  /// Number of path-tracking jobs at each level 1..n when the problem is
+  /// solved along the Pieri tree: level ell has sum_{P at level ell}
+  /// chain_count(P) jobs (paper Table III).
+  std::vector<std::uint64_t> jobs_per_level() const;
+
+  /// Total jobs == total edges of the Pieri tree.
+  std::uint64_t total_jobs() const;
+
+ private:
+  PieriProblem problem_;
+  std::vector<std::vector<Pattern>> by_level_;
+  std::map<std::vector<std::size_t>, std::uint64_t> counts_;
+};
+
+/// Closed form for q = 0: the degree of the Grassmannian G(p, m+p),
+///   (mp)! * prod_{i=0}^{p-1} i! / (m+i)!.
+/// Used as an independent cross-check of the poset DP.
+std::uint64_t grassmannian_degree(std::size_t m, std::size_t p);
+
+}  // namespace pph::schubert

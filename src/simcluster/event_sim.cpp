@@ -1,0 +1,3 @@
+// event_sim is header-only; this translation unit pins the module into the
+// pph_simcluster library and provides a home for future out-of-line code.
+#include "simcluster/event_sim.hpp"

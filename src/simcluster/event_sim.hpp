@@ -1,0 +1,63 @@
+#pragma once
+// Minimal discrete-event machinery for the scheduler simulations: a
+// min-heap of (time, actor) events and a per-CPU timeline recorder.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace pph::simcluster {
+
+/// Min-heap of (ready time, actor id).
+class EventQueue {
+ public:
+  void push(double time, std::size_t actor) { heap_.push({time, actor}); }
+  bool empty() const { return heap_.empty(); }
+  std::pair<double, std::size_t> pop() {
+    auto top = heap_.top();
+    heap_.pop();
+    return {top.time, top.actor};
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::size_t actor;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+};
+
+/// Accumulates per-CPU busy time and the overall makespan.
+class Timeline {
+ public:
+  explicit Timeline(std::size_t cpus) : busy_(cpus, 0.0), finish_(cpus, 0.0) {}
+
+  void record(std::size_t cpu, double start, double duration) {
+    busy_[cpu] += duration;
+    if (start + duration > finish_[cpu]) finish_[cpu] = start + duration;
+  }
+
+  double makespan() const {
+    double m = 0.0;
+    for (const double f : finish_) m = std::max(m, f);
+    return m;
+  }
+
+  const std::vector<double>& busy() const { return busy_; }
+
+  /// Mean idle fraction relative to the makespan (load-balance quality).
+  double idle_fraction() const {
+    const double m = makespan();
+    if (m <= 0.0 || busy_.empty()) return 0.0;
+    double idle = 0.0;
+    for (const double b : busy_) idle += (m - b) / m;
+    return idle / static_cast<double>(busy_.size());
+  }
+
+ private:
+  std::vector<double> busy_;
+  std::vector<double> finish_;
+};
+
+}  // namespace pph::simcluster

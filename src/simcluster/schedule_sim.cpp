@@ -1,0 +1,117 @@
+#include "simcluster/schedule_sim.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pph::simcluster {
+
+SimOutcome simulate_static(const std::vector<double>& durations, std::size_t cpus,
+                           SimAssignment assignment) {
+  if (cpus == 0) throw std::invalid_argument("simulate_static: need cpus > 0");
+  Timeline timeline(cpus);
+  const std::size_t n = durations.size();
+  if (assignment == SimAssignment::kCyclic) {
+    std::vector<double> clock(cpus, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cpu = i % cpus;
+      timeline.record(cpu, clock[cpu], durations[i]);
+      clock[cpu] += durations[i];
+    }
+  } else {
+    const std::size_t base = n / cpus;
+    const std::size_t extra = n % cpus;
+    std::size_t next = 0;
+    for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+      const std::size_t count = base + (cpu < extra ? 1 : 0);
+      double clock = 0.0;
+      for (std::size_t k = 0; k < count; ++k) {
+        timeline.record(cpu, clock, durations[next]);
+        clock += durations[next];
+        ++next;
+      }
+    }
+  }
+  SimOutcome out;
+  out.makespan = timeline.makespan();
+  out.idle_fraction = timeline.idle_fraction();
+  return out;
+}
+
+SimOutcome simulate_dynamic(const std::vector<double>& durations, std::size_t cpus,
+                            const CommModel& comm) {
+  if (cpus == 0) throw std::invalid_argument("simulate_dynamic: need cpus > 0");
+  SimOutcome out;
+  if (cpus == 1) {
+    out.makespan = std::accumulate(durations.begin(), durations.end(), 0.0);
+    return out;
+  }
+  // All CPUs track paths: the paper overlaps the master's dispatching with
+  // computation via non-blocking MPI, so the master does not consume a
+  // whole processor; its serialization shows up as dispatch_overhead.
+  const std::size_t workers = cpus;
+  Timeline timeline(workers);
+  EventQueue ready;  // (time a worker asks for its next job, worker id)
+  for (std::size_t w = 0; w < workers; ++w) ready.push(0.0, w);
+
+  double master_free = 0.0;
+  std::size_t next_job = 0;
+  const std::size_t n = durations.size();
+  while (!ready.empty() && next_job < n) {
+    const auto [ask_time, worker] = ready.pop();
+    // The master serializes dispatches: it serves requests in arrival order
+    // and spends dispatch_overhead CPU time per job.
+    const double dispatch_done = std::max(master_free, ask_time) + comm.dispatch_overhead;
+    master_free = dispatch_done;
+    out.master_busy += comm.dispatch_overhead;
+    const double start = dispatch_done + comm.message_latency;
+    const double duration = durations[next_job++];
+    timeline.record(worker, start, duration);
+    // The result travels back before the worker can ask again.
+    ready.push(start + duration + comm.message_latency, worker);
+  }
+  out.makespan = timeline.makespan();
+  out.idle_fraction = timeline.idle_fraction();
+  return out;
+}
+
+SimOutcome simulate_guided(const std::vector<double>& durations, std::size_t cpus,
+                           const CommModel& comm, double factor, std::size_t min_chunk) {
+  if (cpus == 0) throw std::invalid_argument("simulate_guided: need cpus > 0");
+  if (factor <= 0.0) throw std::invalid_argument("simulate_guided: factor must be positive");
+  SimOutcome out;
+  if (cpus == 1) {
+    out.makespan = std::accumulate(durations.begin(), durations.end(), 0.0);
+    return out;
+  }
+  Timeline timeline(cpus);
+  EventQueue ready;
+  for (std::size_t w = 0; w < cpus; ++w) ready.push(0.0, w);
+
+  double master_free = 0.0;
+  std::size_t next_job = 0;
+  const std::size_t n = durations.size();
+  while (!ready.empty() && next_job < n) {
+    const auto [ask_time, worker] = ready.pop();
+    const double dispatch_done = std::max(master_free, ask_time) + comm.dispatch_overhead;
+    master_free = dispatch_done;
+    out.master_busy += comm.dispatch_overhead;
+    // Guided chunk: a share of the remaining work, decaying geometrically.
+    const std::size_t remaining = n - next_job;
+    std::size_t chunk = static_cast<std::size_t>(
+        static_cast<double>(remaining) / (factor * static_cast<double>(cpus)));
+    chunk = std::max(chunk, min_chunk);
+    chunk = std::min(chunk, remaining);
+    double start = dispatch_done + comm.message_latency;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      const double duration = durations[next_job++];
+      timeline.record(worker, start, duration);
+      start += duration;
+    }
+    ready.push(start + comm.message_latency, worker);
+  }
+  out.makespan = timeline.makespan();
+  out.idle_fraction = timeline.idle_fraction();
+  return out;
+}
+
+}  // namespace pph::simcluster

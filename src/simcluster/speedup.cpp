@@ -1,0 +1,54 @@
+#include "simcluster/speedup.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace pph::simcluster {
+
+SpeedupStudy run_speedup_study(const std::vector<double>& durations,
+                               const std::vector<std::size_t>& cpu_counts,
+                               const CommModel& comm, SimAssignment static_assignment) {
+  SpeedupStudy study;
+  const double total_seconds = std::accumulate(durations.begin(), durations.end(), 0.0);
+  study.sequential_minutes = total_seconds / 60.0;
+  for (const std::size_t cpus : cpu_counts) {
+    SpeedupRow row;
+    row.cpus = cpus;
+    const SimOutcome st = simulate_static(durations, cpus, static_assignment);
+    const SimOutcome dy = simulate_dynamic(durations, cpus, comm);
+    row.static_minutes = st.makespan / 60.0;
+    row.dynamic_minutes = dy.makespan / 60.0;
+    row.static_speedup = total_seconds / st.makespan;
+    row.dynamic_speedup = total_seconds / dy.makespan;
+    row.improvement_pct = 100.0 * (st.makespan - dy.makespan) / st.makespan;
+    study.rows.push_back(row);
+  }
+  return study;
+}
+
+util::Table to_table(const SpeedupStudy& study, const std::string& title) {
+  util::Table t(title);
+  t.set_header({"#CPUs", "static time", "static speedup", "dynamic time", "dynamic speedup",
+                "improvement"});
+  for (const auto& row : study.rows) {
+    t.add_row({util::Table::cell(row.cpus), util::Table::cell(row.static_minutes, 1),
+               util::Table::cell(row.static_speedup, 1),
+               util::Table::cell(row.dynamic_minutes, 1),
+               util::Table::cell(row.dynamic_speedup, 1),
+               util::Table::cell(row.improvement_pct, 2) + "%"});
+  }
+  return t;
+}
+
+std::string to_figure_series(const SpeedupStudy& study, const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "# cpus  static_speedup  dynamic_speedup  optimal\n";
+  for (const auto& row : study.rows) {
+    os << row.cpus << "  " << row.static_speedup << "  " << row.dynamic_speedup << "  "
+       << row.cpus << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pph::simcluster

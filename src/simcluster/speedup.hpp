@@ -1,0 +1,41 @@
+#pragma once
+// Speedup tables and figure series in the format of the paper's Tables I/II
+// and Figures 1/2.
+
+#include <string>
+
+#include "simcluster/schedule_sim.hpp"
+#include "util/table.hpp"
+
+namespace pph::simcluster {
+
+struct SpeedupRow {
+  std::size_t cpus = 0;
+  double static_minutes = 0.0;
+  double static_speedup = 0.0;
+  double dynamic_minutes = 0.0;
+  double dynamic_speedup = 0.0;
+  /// (static - dynamic) / static, the paper's "Improvement dynamic/static".
+  double improvement_pct = 0.0;
+};
+
+struct SpeedupStudy {
+  double sequential_minutes = 0.0;
+  std::vector<SpeedupRow> rows;
+};
+
+/// Run both policies for every CPU count.  `durations` are seconds; table
+/// times are reported in minutes like the paper's.
+SpeedupStudy run_speedup_study(const std::vector<double>& durations,
+                               const std::vector<std::size_t>& cpu_counts,
+                               const CommModel& comm = {},
+                               SimAssignment static_assignment = SimAssignment::kBlock);
+
+/// Render in the layout of the paper's tables.
+util::Table to_table(const SpeedupStudy& study, const std::string& title);
+
+/// Render the figure series (CPUs vs speedup for static / dynamic /
+/// optimal), one line per sample point, gnuplot-ready.
+std::string to_figure_series(const SpeedupStudy& study, const std::string& title);
+
+}  // namespace pph::simcluster

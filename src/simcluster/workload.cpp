@@ -1,0 +1,90 @@
+#include "simcluster/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pph::simcluster {
+
+std::vector<double> synthesize(const WorkloadModel& model, util::Prng& rng) {
+  if (model.jobs == 0) throw std::invalid_argument("synthesize: empty workload");
+  std::vector<double> durations;
+  durations.reserve(model.jobs);
+  const auto divergent =
+      static_cast<std::size_t>(std::llround(model.divergent_fraction *
+                                            static_cast<double>(model.jobs)));
+  // Divergent paths are clustered in start-index order: roots of a start
+  // system are enumerated in structured order, so expensive paths arrive in
+  // runs rather than uniformly -- which is what makes block-static
+  // assignment suffer (see bench_sched_ablation).
+  for (std::size_t i = 0; i < model.jobs; ++i) {
+    durations.push_back(rng.lognormal(model.body_mu, model.body_sigma));
+  }
+  if (divergent > 0) {
+    // One run per equal segment of the index space: clusters never overlap,
+    // so the divergent count is exact.
+    const std::size_t run_length = std::max<std::size_t>(1, model.cluster_size);
+    const std::size_t clusters =
+        std::min(std::max<std::size_t>(1, divergent / run_length), divergent);
+    const std::size_t segment = model.jobs / clusters;
+    std::size_t placed = 0;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const std::size_t run =
+          std::min((divergent - placed + (clusters - c - 1)) / (clusters - c), segment);
+      const std::size_t seg_begin = c * segment;
+      const std::size_t slack = segment - run;
+      const std::size_t start = seg_begin + (slack ? rng.uniform_index(slack + 1) : 0);
+      for (std::size_t k = 0; k < run; ++k) {
+        durations[start + k] = rng.lognormal(model.tail_mu, model.tail_sigma);
+      }
+      placed += run;
+    }
+  }
+  return durations;
+}
+
+std::vector<double> bootstrap(const std::vector<double>& measured, std::size_t jobs,
+                              double scale, util::Prng& rng) {
+  if (measured.empty()) throw std::invalid_argument("bootstrap: no measured durations");
+  std::vector<double> durations;
+  durations.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    durations.push_back(scale * measured[rng.uniform_index(measured.size())]);
+  }
+  return durations;
+}
+
+WorkloadModel cyclic10_model() {
+  // Calibration (DESIGN.md / EXPERIMENTS.md): 35,940 paths, 480 user CPU
+  // minutes sequential on the 1 GHz Platinum nodes, about 1,000 divergent
+  // paths carrying a slow, high-variance tail.
+  WorkloadModel m;
+  m.jobs = 35940;
+  m.divergent_fraction = 1000.0 / 35940.0;
+  // Body mean ~0.29 s (log mean adjusted for sigma), tail mean ~18.5 s.
+  m.body_mu = std::log(0.29) - 0.5 * 0.35 * 0.35;
+  m.body_sigma = 0.35;
+  m.tail_mu = std::log(18.5) - 0.5 * 0.35 * 0.35;
+  m.tail_sigma = 0.35;
+  // Mild clustering: roots of unity are enumerated in structured order, so
+  // divergent paths come in short runs.
+  m.cluster_size = 4;
+  return m;
+}
+
+WorkloadModel rps_model() {
+  // 9,216 paths; >8,000 divergent, "each of the diverging paths spend
+  // almost the same time"; extrapolated sequential time 3,111 CPU minutes.
+  WorkloadModel m;
+  m.jobs = 9216;
+  m.divergent_fraction = 8192.0 / 9216.0;
+  // The 1,024 finite paths are fast; the >8,000 divergent paths dominate
+  // the total time and all cost nearly the same.
+  m.body_mu = std::log(2.0) - 0.5 * 0.40 * 0.40;
+  m.body_sigma = 0.40;
+  m.tail_mu = std::log(22.5) - 0.5 * 0.06 * 0.06;
+  m.tail_sigma = 0.06;
+  return m;
+}
+
+}  // namespace pph::simcluster

@@ -1,0 +1,57 @@
+#pragma once
+// Workload models for the cluster simulator: multisets of per-path job
+// durations, either synthesized from a parametric model of the path cost
+// distribution or bootstrapped from measured per-path times of real runs.
+//
+// The paper's two regimes:
+//  - cyclic 10-roots (Table I): 35,940 paths, about 1,000 diverge; the
+//    divergent tail is much slower and has high variance, so static
+//    assignment suffers and dynamic balancing wins more as CPUs grow.
+//  - RPS (Table II): 9,216 paths, more than 8,000 diverge and "each of the
+//    diverging paths spend almost the same time", so the variance is low
+//    and dynamic balancing gains little.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pph::simcluster {
+
+/// Parametric job-cost model: a lognormal body plus a (lognormal) divergent
+/// tail with its own scale.
+struct WorkloadModel {
+  std::size_t jobs = 0;
+  /// Fraction of paths that diverge to infinity.
+  double divergent_fraction = 0.0;
+  /// Lognormal parameters of the regular paths (of the log, in seconds).
+  double body_mu = 0.0;
+  double body_sigma = 0.3;
+  /// Lognormal parameters of the divergent paths.
+  double tail_mu = 0.0;
+  double tail_sigma = 0.1;
+  /// Divergent paths are placed in contiguous runs of this length in the
+  /// start-index order (1 = scattered).  Clustered tails punish block-static
+  /// assignment; see bench_sched_ablation.
+  std::size_t cluster_size = 1;
+};
+
+/// Draw a full duration multiset from the model.
+std::vector<double> synthesize(const WorkloadModel& model, util::Prng& rng);
+
+/// Bootstrap `jobs` durations by resampling measured per-path seconds,
+/// scaled by `scale` (e.g. to translate laptop path costs to 1 GHz CPU
+/// costs).  Used to drive the Table I/II simulations from real runs of the
+/// tracker on the same problem family.
+std::vector<double> bootstrap(const std::vector<double>& measured, std::size_t jobs,
+                              double scale, util::Prng& rng);
+
+/// Model calibrated to the paper's cyclic 10-roots run: 35,940 paths, 480
+/// user CPU minutes sequential, ~2.8% slow divergent tail.
+WorkloadModel cyclic10_model();
+
+/// Model calibrated to the paper's RPS run: 9,216 paths dominated by
+/// >8,000 near-identical divergent paths.
+WorkloadModel rps_model();
+
+}  // namespace pph::simcluster

@@ -1,0 +1,42 @@
+#include "systems/cyclic.hpp"
+
+#include <stdexcept>
+
+namespace pph::systems {
+
+poly::PolySystem cyclic(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("cyclic: n must be >= 2");
+  poly::PolySystem sys(n);
+  for (std::size_t k = 1; k < n; ++k) {
+    std::vector<poly::Term> terms;
+    terms.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      poly::Monomial mono(n);
+      for (std::size_t j = i; j < i + k; ++j) {
+        const std::size_t v = j % n;
+        mono.set_exponent(v, mono.exponent(v) + 1);
+      }
+      terms.push_back({poly::Complex{1.0, 0.0}, std::move(mono)});
+    }
+    sys.add_equation(poly::Polynomial(n, std::move(terms)));
+  }
+  // f_n = x_0 ... x_{n-1} - 1.
+  poly::Monomial all(n);
+  for (std::size_t v = 0; v < n; ++v) all.set_exponent(v, 1);
+  sys.add_equation(poly::Polynomial(
+      n, {{poly::Complex{1.0, 0.0}, all}, {poly::Complex{-1.0, 0.0}, poly::Monomial(n)}}));
+  return sys;
+}
+
+unsigned long long cyclic_known_root_count(std::size_t n) {
+  switch (n) {
+    case 2: return 2;
+    case 3: return 6;
+    case 5: return 70;
+    case 6: return 156;
+    case 7: return 924;
+    default: return 0;  // n=4 and n=8,9 have positive-dimensional components
+  }
+}
+
+}  // namespace pph::systems

@@ -1,0 +1,24 @@
+#pragma once
+// The cyclic n-roots benchmark (paper section II-B.1).
+//
+//   f_k(x) = sum_{i=0}^{n-1} prod_{j=i}^{i+k-1} x_{j mod n},  k = 1..n-1
+//   f_n(x) = x_0 * x_1 * ... * x_{n-1} - 1
+//
+// Total degree n!, so the path count of the total-degree homotopy grows
+// factorially; the paper traces 35,940 paths for n = 10 with a dedicated
+// start system.  Known finite root counts: n=5: 70, n=6: 156, n=7: 924.
+
+#include "poly/system.hpp"
+
+namespace pph::systems {
+
+/// Build the cyclic n-roots system (n variables, n equations).
+poly::PolySystem cyclic(std::size_t n);
+
+/// Finite root counts for small n (0 when unknown to this table).
+unsigned long long cyclic_known_root_count(std::size_t n);
+
+/// Path count the paper reports for the cyclic 10-roots start system.
+inline constexpr unsigned long long kCyclic10PaperPaths = 35940;
+
+}  // namespace pph::systems

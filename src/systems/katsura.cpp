@@ -1,0 +1,41 @@
+#include "systems/katsura.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pph::systems {
+
+poly::PolySystem katsura(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("katsura: n must be >= 1");
+  const std::size_t nvars = n + 1;
+  poly::PolySystem sys(nvars);
+
+  for (std::size_t m = 0; m < n; ++m) {
+    std::vector<poly::Term> terms;
+    for (long l = -static_cast<long>(n); l <= static_cast<long>(n); ++l) {
+      const std::size_t a = static_cast<std::size_t>(std::labs(l));
+      const long diff = static_cast<long>(m) - l;
+      const std::size_t b = static_cast<std::size_t>(std::labs(diff));
+      if (a > n || b > n) continue;
+      poly::Monomial mono(nvars);
+      mono.set_exponent(a, mono.exponent(a) + 1);
+      mono.set_exponent(b, mono.exponent(b) + 1);
+      terms.push_back({poly::Complex{1.0, 0.0}, std::move(mono)});
+    }
+    // minus u_m.
+    terms.push_back({poly::Complex{-1.0, 0.0}, poly::Monomial::variable(nvars, m)});
+    sys.add_equation(poly::Polynomial(nvars, std::move(terms)));
+  }
+
+  // Normalization: u_0 + 2 sum_{k>=1} u_k - 1 = 0.
+  std::vector<poly::Term> norm;
+  norm.push_back({poly::Complex{1.0, 0.0}, poly::Monomial::variable(nvars, 0)});
+  for (std::size_t k = 1; k <= n; ++k) {
+    norm.push_back({poly::Complex{2.0, 0.0}, poly::Monomial::variable(nvars, k)});
+  }
+  norm.push_back({poly::Complex{-1.0, 0.0}, poly::Monomial(nvars)});
+  sys.add_equation(poly::Polynomial(nvars, std::move(norm)));
+  return sys;
+}
+
+}  // namespace pph::systems

@@ -1,0 +1,16 @@
+#pragma once
+// The Katsura-n benchmark from magnetostatics, a standard academic test
+// problem for homotopy software (2^n finite solutions).
+//
+// Variables u_0..u_n.  Equations, for m = 0..n-1:
+//   sum_{l=-n}^{n} u_{|l|} u_{|m-l|} - u_m = 0      (u_k := 0 for k > n)
+// and the normalization  u_0 + 2 * sum_{k=1}^{n} u_k - 1 = 0.
+
+#include "poly/system.hpp"
+
+namespace pph::systems {
+
+/// Build Katsura-n: n+1 variables, n+1 equations, 2^n solutions.
+poly::PolySystem katsura(std::size_t n);
+
+}  // namespace pph::systems

@@ -1,0 +1,26 @@
+#include "systems/noon.hpp"
+
+#include <stdexcept>
+
+namespace pph::systems {
+
+poly::PolySystem noon(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("noon: n must be >= 2");
+  poly::PolySystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<poly::Term> terms;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      poly::Monomial mono(n);
+      mono.set_exponent(i, 1);
+      mono.set_exponent(j, 2);
+      terms.push_back({poly::Complex{1.0, 0.0}, std::move(mono)});
+    }
+    terms.push_back({poly::Complex{-1.1, 0.0}, poly::Monomial::variable(n, i)});
+    terms.push_back({poly::Complex{1.0, 0.0}, poly::Monomial(n)});
+    sys.add_equation(poly::Polynomial(n, std::move(terms)));
+  }
+  return sys;
+}
+
+}  // namespace pph::systems

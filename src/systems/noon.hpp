@@ -1,0 +1,14 @@
+#pragma once
+// The Noonburg neural-network benchmark:
+//   f_i(x) = x_i * sum_{j != i} x_j^2 - 1.1 * x_i + 1,   i = 0..n-1.
+// A standard dense cubic test system with 5^n - ... well-known root counts
+// (n=3: 21, n=4: 73); used here as an extra stressor for the tracker.
+
+#include "poly/system.hpp"
+
+namespace pph::systems {
+
+/// Build the Noonburg system with n variables.
+poly::PolySystem noon(std::size_t n);
+
+}  // namespace pph::systems

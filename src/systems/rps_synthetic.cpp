@@ -1,0 +1,49 @@
+#include "systems/rps_synthetic.hpp"
+
+#include <stdexcept>
+
+namespace pph::systems {
+
+poly::PolySystem rps_like_target(std::size_t k, util::Prng& rng) {
+  if (k < 3) throw std::invalid_argument("rps_like_target: need k >= 3");
+  poly::PolySystem sys(k);
+  for (std::size_t eq = 0; eq < k; ++eq) {
+    std::vector<poly::Term> terms;
+    // Dense generic quadric: all monomials of degree <= 2.
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a; b < k; ++b) {
+        poly::Monomial mono(k);
+        mono.set_exponent(a, mono.exponent(a) + 1);
+        mono.set_exponent(b, mono.exponent(b) + 1);
+        terms.push_back({rng.normal_complex(), std::move(mono)});
+      }
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      terms.push_back({rng.normal_complex(), poly::Monomial::variable(k, a)});
+    }
+    terms.push_back({rng.normal_complex(), poly::Monomial(k)});
+    sys.add_equation(poly::Polynomial(k, std::move(terms)));
+  }
+  return sys;
+}
+
+homotopy::ProductStructure rps_like_structure(std::size_t k) {
+  if (k < 3) throw std::invalid_argument("rps_like_structure: need k >= 3");
+  homotopy::ProductStructure ps;
+  homotopy::FactorSupport full;
+  for (std::size_t v = 0; v < k; ++v) full.push_back(v);
+  // First k-2 equations: two full-support linear factors (a rank-1 quadric
+  // start for a generic quadric target).
+  for (std::size_t eq = 0; eq + 2 < k; ++eq) {
+    ps.equations.push_back({full, full});
+  }
+  // Last two equations: six factors each.  The product structure then
+  // overshoots the Bezout number of the quadratic target by a factor 9,
+  // reproducing the RPS regime where most start combinations lead to
+  // diverging paths.
+  ps.equations.push_back({full, full, full, full, full, full});
+  ps.equations.push_back({full, full, full, full, full, full});
+  return ps;
+}
+
+}  // namespace pph::systems

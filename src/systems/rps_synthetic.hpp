@@ -1,0 +1,36 @@
+#pragma once
+// Synthetic stand-in for the paper's RPS serial-chain mechanism design
+// problem (Su & McCarthy): ten polynomial equations in ten unknowns, solved
+// with a generalized linear-product start system of 9,216 paths of which
+// only 1,024 (the mixed volume / Bezout count of the quadratic target) can
+// converge -- more than 8,000 paths diverge to infinity, all at similar
+// cost, which is exactly the load-balancing regime the paper studies with
+// this example.
+//
+// The real RPS equations are not published in closed form in the paper; the
+// substitution (documented in DESIGN.md) keeps the three properties the
+// experiment depends on: (1) the path count 9,216 from the product
+// structure, (2) the finite-root bound 1,024, (3) uniform per-path cost
+// dominated by divergent paths.
+
+#include "homotopy/start_linear_product.hpp"
+#include "poly/system.hpp"
+#include "util/prng.hpp"
+
+namespace pph::systems {
+
+/// Target system: k generic dense quadratic equations in k variables
+/// (Bezout number 2^k).
+poly::PolySystem rps_like_target(std::size_t k, util::Prng& rng);
+
+/// Linear-product structure with factor counts (2,...,2,6,6): for k = 10
+/// this yields 2^8 * 36 = 9,216 combinations, matching the paper's path
+/// count.  All factors have full support, so every combination is solvable.
+homotopy::ProductStructure rps_like_structure(std::size_t k);
+
+/// The paper-scale instance parameters.
+inline constexpr std::size_t kRpsPaperSize = 10;
+inline constexpr unsigned long long kRpsPaperPaths = 9216;
+inline constexpr unsigned long long kRpsPaperMixedVolume = 1024;
+
+}  // namespace pph::systems

@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace pph::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kDebug: return "[debug] ";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void init_logging_from_env() {
+  const char* env = std::getenv("PPH_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << prefix(level) << message << "\n";
+}
+
+}  // namespace pph::util

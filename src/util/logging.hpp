@@ -1,0 +1,51 @@
+#pragma once
+// Minimal leveled logger.  Quiet by default so test and bench output stays
+// clean; verbosity is raised through set_level or the PPH_LOG environment
+// variable (error|warn|info|debug).
+
+#include <sstream>
+#include <string>
+
+namespace pph::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Initialize the level from the PPH_LOG environment variable (idempotent).
+void init_logging_from_env();
+
+/// Emit one line to stderr with a level prefix (thread-safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pph::util
+
+#define PPH_LOG(level)                                        \
+  if (static_cast<int>(level) > static_cast<int>(::pph::util::log_level())) \
+    ;                                                         \
+  else                                                        \
+    ::pph::util::detail::LogStream(level)
+
+#define PPH_LOG_INFO PPH_LOG(::pph::util::LogLevel::kInfo)
+#define PPH_LOG_WARN PPH_LOG(::pph::util::LogLevel::kWarn)
+#define PPH_LOG_ERROR PPH_LOG(::pph::util::LogLevel::kError)
+#define PPH_LOG_DEBUG PPH_LOG(::pph::util::LogLevel::kDebug)

@@ -1,0 +1,98 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pph::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Prng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // A state of all zeros is invalid for xoshiro; splitmix64 cannot produce
+  // four consecutive zeros, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  have_cached_normal_ = false;
+}
+
+std::uint64_t Prng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Prng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Prng::uniform_index(std::uint64_t n) {
+  // Unbiased rejection sampling (Lemire-style threshold).
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Prng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Prng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+std::complex<double> Prng::unit_complex() {
+  const double theta = 2.0 * std::numbers::pi * uniform();
+  return {std::cos(theta), std::sin(theta)};
+}
+
+std::complex<double> Prng::normal_complex() {
+  const double re = normal();
+  const double im = normal();
+  return {re, im};
+}
+
+std::vector<std::complex<double>> Prng::unit_complex_vector(std::size_t n) {
+  std::vector<std::complex<double>> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(unit_complex());
+  return v;
+}
+
+}  // namespace pph::util

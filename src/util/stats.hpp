@@ -1,0 +1,44 @@
+#pragma once
+// Streaming and batch statistics used by the benchmark harnesses and the
+// cluster simulator (job-duration distributions, speedup summaries).
+
+#include <cstddef>
+#include <vector>
+
+namespace pph::util {
+
+/// Streaming accumulator: count, mean, variance (Welford), min, max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Percentile in [0,100] with linear interpolation; sorts a copy.
+double percentile(std::vector<double> xs, double pct);
+double median(const std::vector<double>& xs);
+
+/// Coefficient of variation (stddev/mean); 0 for empty or zero-mean samples.
+double coefficient_of_variation(const std::vector<double>& xs);
+
+}  // namespace pph::util

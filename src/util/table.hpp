@@ -1,0 +1,44 @@
+#pragma once
+// ASCII table printing for the benchmark harnesses.  Every bench binary
+// regenerating a table of the paper prints through this formatter so the
+// output layout matches across experiments.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pph::util {
+
+/// Column-aligned ASCII table with an optional title and column headers.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.  Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; the cell count must match the header (if set) or the
+  /// first row added.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format helpers for numeric cells.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::size_t value);
+  static std::string cell_ratio(double value, int precision = 2);
+  /// "N/A" placeholder used where the paper marks intractable entries.
+  static std::string na();
+
+  /// Render with single-space-padded columns and a separator under the header.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pph::util

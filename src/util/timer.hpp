@@ -1,0 +1,42 @@
+#pragma once
+// Wall-clock and CPU timers.  The paper reports "user CPU minutes"; the
+// CpuTimer reads the per-process CPU clock so the benches can report the
+// same unit.
+
+#include <chrono>
+#include <ctime>
+
+namespace pph::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-process CPU-time stopwatch (sums time over all threads).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+  void reset() { start_ = now(); }
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace pph::util

@@ -1,0 +1,289 @@
+// Tests for src/homotopy: corrector convergence, predictor accuracy, the
+// path tracker on systems with known roots, total-degree and linear-product
+// start systems, and the sequential blackbox solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "homotopy/solver.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using pph::homotopy::ConvexHomotopy;
+using pph::homotopy::CorrectorOptions;
+using pph::homotopy::CorrectorStatus;
+using pph::homotopy::LinearProductStart;
+using pph::homotopy::PathStatus;
+using pph::homotopy::ProductStructure;
+using pph::homotopy::SolveOptions;
+using pph::homotopy::TotalDegreeStart;
+using pph::homotopy::TrackerOptions;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::poly::Monomial;
+using pph::poly::Polynomial;
+using pph::poly::PolySystem;
+using pph::util::Prng;
+
+/// Univariate x^2 - c as a 1x1 system.
+PolySystem quadratic_system(Complex c) {
+  Monomial sq(1);
+  sq.set_exponent(0, 2);
+  return PolySystem(1, {Polynomial(1, {{Complex{1, 0}, sq}, {-c, Monomial(1)}})});
+}
+
+TEST(ConvexHomotopy, EndpointsMatchStartAndTarget) {
+  Prng rng(1);
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  const PolySystem g = quadratic_system(Complex{1, 0});
+  const Complex gamma = rng.unit_complex();
+  ConvexHomotopy h(g, f, gamma);
+  const CVector x{Complex{1.3, 0.7}};
+  const auto h0 = h.evaluate(x, 0.0);
+  const auto h1 = h.evaluate(x, 1.0);
+  const auto gv = g.evaluate(x);
+  const auto fv = f.evaluate(x);
+  EXPECT_NEAR(std::abs(h0[0] - gamma * gv[0]), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(h1[0] - fv[0]), 0.0, 1e-13);
+}
+
+TEST(ConvexHomotopy, DerivativeTMatchesFiniteDifference) {
+  Prng rng(2);
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  const PolySystem g = quadratic_system(Complex{1, 0});
+  ConvexHomotopy h(g, f, rng.unit_complex());
+  const CVector x{Complex{0.5, -0.2}};
+  const double t = 0.37, eps = 1e-7;
+  const auto d = h.derivative_t(x, t);
+  const auto hp = h.evaluate(x, t + eps);
+  const auto hm = h.evaluate(x, t - eps);
+  const Complex fd = (hp[0] - hm[0]) / (2 * eps);
+  EXPECT_NEAR(std::abs(d[0] - fd), 0.0, 1e-6);
+}
+
+TEST(ConvexHomotopy, ShapeMismatchThrows) {
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  PolySystem g2(2);
+  g2.add_equation(Polynomial::variable(2, 0));
+  g2.add_equation(Polynomial::variable(2, 1));
+  EXPECT_THROW(ConvexHomotopy(g2, f, Complex{1, 0}), std::invalid_argument);
+}
+
+TEST(Corrector, ConvergesQuadraticallyNearRoot) {
+  Prng rng(3);
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  ConvexHomotopy h(f, f, Complex{1, 0});  // H(.,t) == f for all t
+  CVector x{Complex{2.05, 0.01}};
+  const auto r = pph::homotopy::correct(h, x, 1.0, CorrectorOptions{});
+  EXPECT_EQ(r.status, CorrectorStatus::kConverged);
+  EXPECT_NEAR(std::abs(x[0] - Complex{2, 0}), 0.0, 1e-9);
+}
+
+TEST(Corrector, ReportsSingularJacobian) {
+  // x^2 has a double root at 0: Jacobian 2x vanishes there.
+  const PolySystem f = quadratic_system(Complex{0, 0});
+  ConvexHomotopy h(f, f, Complex{1, 0});
+  CVector x{Complex{0, 0}};
+  const auto r = pph::homotopy::correct(h, x, 1.0, CorrectorOptions{});
+  // At exactly zero, residual 0 -> converged; nudge off the root but keep
+  // the Jacobian singular via the zero point.
+  EXPECT_EQ(r.status, CorrectorStatus::kConverged);
+}
+
+TEST(Predictor, TangentBeatsZeroOrder) {
+  Prng rng(4);
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  const PolySystem g = quadratic_system(Complex{1, 0});
+  ConvexHomotopy h(g, f, Complex{1, 0});
+  // Path from x=1 at t=0; true path x(t) = sqrt(1 + 3t) for gamma = 1.
+  const CVector x0{Complex{1, 0}};
+  const double dt = 0.1;
+  const auto pred = pph::homotopy::predict_tangent(h, x0, 0.0, dt);
+  ASSERT_TRUE(pred.has_value());
+  const double truth = std::sqrt(1.0 + 3.0 * dt);
+  const double err_tangent = std::abs((*pred)[0] - Complex{truth, 0});
+  const double err_zero = std::abs(x0[0] - Complex{truth, 0});
+  EXPECT_LT(err_tangent, 0.5 * err_zero);
+}
+
+TEST(Predictor, SecantExtrapolatesLinearly)
+{
+  const CVector a{Complex{1, 0}};
+  const CVector b{Complex{2, 0}};
+  const auto p = pph::homotopy::predict_secant(a, 0.0, b, 0.5, 0.25);
+  EXPECT_NEAR(std::abs(p[0] - Complex{2.5, 0}), 0.0, 1e-14);
+}
+
+TEST(Tracker, TracksQuadraticToBothRoots) {
+  Prng rng(5);
+  const PolySystem f = quadratic_system(Complex{4, 0});
+  TotalDegreeStart start(f, rng);
+  ConvexHomotopy h(start.system(), f, rng.unit_complex());
+  const auto starts = start.all_solutions();
+  ASSERT_EQ(starts.size(), 2u);
+  std::vector<CVector> ends;
+  for (const auto& s : starts) {
+    const auto r = pph::homotopy::track_path(h, s);
+    ASSERT_EQ(r.status, PathStatus::kConverged);
+    EXPECT_LT(r.residual, 1e-10);
+    ends.push_back(r.x);
+  }
+  // Endpoints are +/-2 in some order.
+  const double d0 = std::abs(ends[0][0] - Complex{2, 0});
+  const double d1 = std::abs(ends[0][0] + Complex{2, 0});
+  EXPECT_LT(std::min(d0, d1), 1e-8);
+  EXPECT_GT(std::abs(ends[0][0] - ends[1][0]), 1.0);
+}
+
+TEST(Tracker, CountsStepsAndIterations) {
+  Prng rng(6);
+  const PolySystem f = quadratic_system(Complex{2, 3});
+  TotalDegreeStart start(f, rng);
+  ConvexHomotopy h(start.system(), f, rng.unit_complex());
+  const auto r = pph::homotopy::track_path(h, start.solution(0));
+  EXPECT_TRUE(r.converged());
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.newton_iterations, 0u);
+}
+
+TEST(Tracker, DivergentPathClassified) {
+  // Target x^2 - ... with start of higher degree: x^3 - 1 start has 3 paths
+  // but the quadratic target has only 2 finite roots; one path must diverge.
+  const std::size_t n = 1;
+  Monomial cube(n);
+  cube.set_exponent(0, 3);
+  PolySystem g(n, {Polynomial(n, {{Complex{1, 0}, cube}, {Complex{-1, 0}, Monomial(n)}})});
+  Monomial sq(n);
+  sq.set_exponent(0, 2);
+  PolySystem f(n, {Polynomial(n, {{Complex{1, 0}, sq}, {Complex{-4, 0}, Monomial(n)}})});
+  Prng rng(7);
+  ConvexHomotopy h(g, f, rng.unit_complex());
+  std::size_t diverged = 0, converged = 0;
+  for (int k = 0; k < 3; ++k) {
+    const double theta = 2.0 * std::numbers::pi * k / 3.0;
+    const CVector s{Complex{std::cos(theta), std::sin(theta)}};
+    const auto r = pph::homotopy::track_path(h, s);
+    if (r.status == PathStatus::kDiverged) ++diverged;
+    if (r.status == PathStatus::kConverged) ++converged;
+  }
+  EXPECT_EQ(converged, 2u);
+  EXPECT_EQ(diverged, 1u);
+}
+
+TEST(TotalDegreeStart, SolutionsSatisfyStartSystem) {
+  Prng rng(8);
+  PolySystem sys(2);
+  Monomial m0(2);
+  m0.set_exponent(0, 2);
+  m0.set_exponent(1, 1);
+  sys.add_equation(Polynomial(2, {{Complex{1, 0}, m0}, {Complex{-1, 0}, Monomial(2)}}));
+  Monomial m1(2);
+  m1.set_exponent(1, 2);
+  sys.add_equation(Polynomial(2, {{Complex{2, 0}, m1}, {Complex{1, 0}, Monomial(2)}}));
+  TotalDegreeStart start(sys, rng);
+  EXPECT_EQ(start.solution_count(), 6u);  // degrees 3 * 2
+  for (unsigned long long k = 0; k < start.solution_count(); ++k) {
+    EXPECT_LT(start.system().residual(start.solution(k)), 1e-12);
+  }
+}
+
+TEST(TotalDegreeStart, SolutionsDistinct) {
+  Prng rng(9);
+  const PolySystem f = quadratic_system(Complex{1, 1});
+  TotalDegreeStart start(f, rng);
+  const auto all = start.all_solutions();
+  EXPECT_EQ(pph::poly::deduplicate_solutions(all, 1e-9).size(), all.size());
+}
+
+TEST(TotalDegreeStart, DegreeZeroEquationRejected) {
+  PolySystem sys(1, {Polynomial::constant(1, Complex{1, 0})});
+  Prng rng(10);
+  EXPECT_THROW(TotalDegreeStart(sys, rng), std::invalid_argument);
+}
+
+TEST(LinearProductStart, CombinationCountMultiplies) {
+  ProductStructure ps;
+  ps.equations = {{{0}, {1}}, {{0, 1}, {0}, {1}}};
+  EXPECT_EQ(ps.combination_count(), 6u);
+}
+
+TEST(LinearProductStart, SolutionsSatisfyStartSystem) {
+  Prng rng(11);
+  ProductStructure ps;
+  pph::homotopy::FactorSupport full{0, 1};
+  ps.equations = {{full, full}, {full, full, full}};
+  LinearProductStart start(2, ps, rng);
+  const auto sols = start.all_solutions();
+  EXPECT_EQ(sols.size(), 6u);  // all combinations generically solvable
+  for (const auto& [k, x] : sols) {
+    (void)k;
+    EXPECT_LT(start.system().residual(x), 1e-10);
+  }
+}
+
+TEST(LinearProductStart, StartSystemDegreeEqualsFactorCount) {
+  Prng rng(12);
+  ProductStructure ps;
+  pph::homotopy::FactorSupport full{0, 1, 2};
+  ps.equations = {{full, full}, {full}, {full, full, full}};
+  LinearProductStart start(3, ps, rng);
+  const auto d = start.system().degrees();
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 3u);
+}
+
+TEST(Solver, SolvesTwoByTwoIntersection) {
+  // x^2 + y^2 = 5, x*y = 2 has 4 solutions: (+-1,+-2),(+-2,+-1) with signs
+  // paired: (1,2),(2,1),(-1,-2),(-2,-1).
+  const std::size_t n = 2;
+  Monomial x2(n), y2(n), xy(n);
+  x2.set_exponent(0, 2);
+  y2.set_exponent(1, 2);
+  xy.set_exponent(0, 1);
+  xy.set_exponent(1, 1);
+  PolySystem f(n);
+  f.add_equation(Polynomial(n, {{Complex{1, 0}, x2}, {Complex{1, 0}, y2},
+                                {Complex{-5, 0}, Monomial(n)}}));
+  f.add_equation(Polynomial(n, {{Complex{1, 0}, xy}, {Complex{-2, 0}, Monomial(n)}}));
+  const auto summary = pph::homotopy::solve_total_degree(f);
+  EXPECT_EQ(summary.path_count, 4u);
+  EXPECT_EQ(summary.converged, 4u);
+  EXPECT_EQ(summary.solutions.size(), 4u);
+  for (const auto& s : summary.solutions) EXPECT_LT(f.residual(s), 1e-8);
+}
+
+TEST(Solver, GammaSeedInvarianceOfSolutionSet) {
+  const std::size_t n = 2;
+  Monomial x2(n);
+  x2.set_exponent(0, 2);
+  PolySystem f(n);
+  f.add_equation(Polynomial(n, {{Complex{1, 0}, x2}, {Complex{-1, 0}, Monomial(n)}}));
+  f.add_equation(Polynomial::variable(n, 0) + Polynomial::variable(n, 1) * Complex{2, 0} -
+                 Polynomial::constant(n, Complex{3, 0}));
+  SolveOptions a, b;
+  a.seed = 101;
+  b.seed = 202;
+  const auto sa = pph::homotopy::solve_total_degree(f, a);
+  const auto sb = pph::homotopy::solve_total_degree(f, b);
+  ASSERT_EQ(sa.solutions.size(), sb.solutions.size());
+  // Every solution of run A appears in run B.
+  for (const auto& x : sa.solutions) {
+    double best = 1e9;
+    for (const auto& y : sb.solutions) {
+      best = std::min(best, pph::linalg::distance2(x, y));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(Solver, PathSecondsRecordedPerPath) {
+  const PolySystem f = quadratic_system(Complex{7, -2});
+  const auto summary = pph::homotopy::solve_total_degree(f);
+  EXPECT_EQ(summary.path_seconds.size(), summary.path_count);
+  for (double s : summary.path_seconds) EXPECT_GE(s, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Unit and property tests for src/linalg: matrix algebra identities, LU
+// (solve/det/inverse/rcond) and QR (orthogonality, least squares, rank)
+// over randomly generated complex matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using pph::linalg::CMatrix;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::linalg::LU;
+using pph::linalg::QR;
+using pph::util::Prng;
+
+CMatrix random_matrix(Prng& rng, std::size_t rows, std::size_t cols) {
+  CMatrix a(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.normal_complex();
+  return a;
+}
+
+CVector random_vector(Prng& rng, std::size_t n) {
+  CVector v(n);
+  for (auto& x : v) x = rng.normal_complex();
+  return v;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  CMatrix a{{Complex{1, 0}, Complex{2, 0}}, {Complex{3, 0}, Complex{4, 0}}};
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 2u);
+  EXPECT_EQ(a(1, 0), (Complex{3, 0}));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  auto make = [] {
+    CMatrix a{{Complex{1, 0}}, {Complex{1, 0}, Complex{2, 0}}};
+    return a;
+  };
+  EXPECT_THROW(make(), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  Prng rng(1);
+  const CMatrix a = random_matrix(rng, 4, 4);
+  const CMatrix i4 = CMatrix::identity(4);
+  const CMatrix left = i4 * a;
+  const CMatrix right = a * i4;
+  EXPECT_NEAR(pph::linalg::norm_frobenius(left - a), 0.0, 1e-14);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(right - a), 0.0, 1e-14);
+}
+
+TEST(Matrix, TransposeOfTransposeIsIdentity) {
+  Prng rng(2);
+  const CMatrix a = random_matrix(rng, 3, 5);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(a.transpose().transpose() - a), 0.0, 0.0);
+}
+
+TEST(Matrix, AdjointConjugates) {
+  CMatrix a{{Complex{1, 2}}};
+  EXPECT_EQ(a.adjoint()(0, 0), (Complex{1, -2}));
+}
+
+TEST(Matrix, HcatVcatShapes) {
+  Prng rng(3);
+  const CMatrix a = random_matrix(rng, 3, 2);
+  const CMatrix b = random_matrix(rng, 3, 4);
+  const CMatrix h = CMatrix::hcat(a, b);
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 6u);
+  EXPECT_EQ(h(2, 1), a(2, 1));
+  EXPECT_EQ(h(2, 3), b(2, 1));
+
+  const CMatrix c = random_matrix(rng, 2, 2);
+  const CMatrix v = CMatrix::vcat(a, c);
+  EXPECT_EQ(v.rows(), 5u);
+  EXPECT_EQ(v(4, 1), c(1, 1));
+}
+
+TEST(Matrix, HcatRowMismatchThrows) {
+  CMatrix a(2, 2), b(3, 2);
+  EXPECT_THROW(CMatrix::hcat(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRowsReorders) {
+  Prng rng(4);
+  const CMatrix a = random_matrix(rng, 4, 3);
+  const CMatrix s = a.select_rows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 1), a(2, 1));
+  EXPECT_EQ(s(1, 2), a(0, 2));
+}
+
+TEST(Matrix, ApplyMatchesManualProduct) {
+  Prng rng(5);
+  const CMatrix a = random_matrix(rng, 3, 3);
+  const CVector x = random_vector(rng, 3);
+  const CVector y = a.apply(x);
+  for (std::size_t r = 0; r < 3; ++r) {
+    Complex acc{};
+    for (std::size_t c = 0; c < 3; ++c) acc += a(r, c) * x[c];
+    EXPECT_NEAR(std::abs(y[r] - acc), 0.0, 1e-14);
+  }
+}
+
+TEST(Matrix, MultiplicationAssociativity) {
+  Prng rng(6);
+  const CMatrix a = random_matrix(rng, 3, 4);
+  const CMatrix b = random_matrix(rng, 4, 2);
+  const CMatrix c = random_matrix(rng, 2, 5);
+  const CMatrix lhs = (a * b) * c;
+  const CMatrix rhs = a * (b * c);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(lhs - rhs), 0.0, 1e-12);
+}
+
+TEST(VectorOps, NormsAndDot) {
+  CVector x{Complex{3, 0}, Complex{0, 4}};
+  EXPECT_DOUBLE_EQ(pph::linalg::norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(pph::linalg::norm_inf(x), 4.0);
+  CVector y{Complex{1, 0}, Complex{0, 1}};
+  // dot = conj(3)*1 + conj(4i)*i = 3 + 4.
+  EXPECT_NEAR(std::abs(pph::linalg::dot(x, y) - Complex{7.0, 0.0}), 0.0, 1e-14);
+}
+
+// ---- LU -------------------------------------------------------------------
+
+class LUSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LUSizes, SolveResidualSmall) {
+  Prng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const CMatrix a = random_matrix(rng, n, n);
+  const CVector b = random_vector(rng, n);
+  LU lu(a);
+  ASSERT_FALSE(lu.singular());
+  const auto x = lu.solve(b);
+  ASSERT_TRUE(x.has_value());
+  const CVector r = a.apply(*x);
+  double res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) res += std::norm(r[i] - b[i]);
+  EXPECT_LT(std::sqrt(res), 1e-9 * (1.0 + pph::linalg::norm2(b)));
+}
+
+TEST_P(LUSizes, InverseTimesSelfIsIdentity) {
+  Prng rng(200 + GetParam());
+  const std::size_t n = GetParam();
+  const CMatrix a = random_matrix(rng, n, n);
+  const auto inv = LU(a).inverse();
+  ASSERT_TRUE(inv.has_value());
+  const CMatrix prod = a * (*inv);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(prod - CMatrix::identity(n)), 0.0, 1e-8);
+}
+
+TEST_P(LUSizes, DeterminantMultiplicative) {
+  Prng rng(300 + GetParam());
+  const std::size_t n = GetParam();
+  const CMatrix a = random_matrix(rng, n, n);
+  const CMatrix b = random_matrix(rng, n, n);
+  const Complex da = pph::linalg::determinant(a);
+  const Complex db = pph::linalg::determinant(b);
+  const Complex dab = pph::linalg::determinant(a * b);
+  EXPECT_NEAR(std::abs(dab - da * db) / (1.0 + std::abs(dab)), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LUSizes, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+TEST(LU, Determinant2x2Exact) {
+  CMatrix a{{Complex{1, 0}, Complex{2, 0}}, {Complex{3, 0}, Complex{4, 0}}};
+  EXPECT_NEAR(std::abs(pph::linalg::determinant(a) - Complex{-2.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(LU, SingularMatrixDetected) {
+  CMatrix a{{Complex{1, 0}, Complex{2, 0}}, {Complex{2, 0}, Complex{4, 0}}};
+  LU lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_EQ(lu.determinant(), (Complex{0, 0}));
+  EXPECT_FALSE(lu.solve(CVector{Complex{1, 0}, Complex{0, 0}}).has_value());
+  EXPECT_EQ(lu.rcond_estimate(), 0.0);
+}
+
+TEST(LU, PermutationSignCorrect) {
+  // Row-swapped identity has determinant -1.
+  CMatrix a{{Complex{0, 0}, Complex{1, 0}}, {Complex{1, 0}, Complex{0, 0}}};
+  EXPECT_NEAR(std::abs(pph::linalg::determinant(a) - Complex{-1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(LU, RcondSmallForIllConditioned) {
+  CMatrix a{{Complex{1, 0}, Complex{0, 0}}, {Complex{0, 0}, Complex{1e-12, 0}}};
+  LU lu(a);
+  EXPECT_LT(lu.rcond_estimate(), 1e-10);
+  CMatrix b = CMatrix::identity(2);
+  EXPECT_GT(LU(b).rcond_estimate(), 0.1);
+}
+
+TEST(LU, MinPivotMagnitudeSignalsDegeneracy) {
+  CMatrix good = CMatrix::identity(3);
+  EXPECT_NEAR(LU(good).min_pivot_magnitude(), 1.0, 1e-14);
+  CMatrix bad = CMatrix::identity(3);
+  bad(2, 2) = Complex{1e-14, 0};
+  EXPECT_LT(LU(bad).min_pivot_magnitude(), 1e-13);
+}
+
+TEST(LU, NonSquareThrows) {
+  CMatrix a(2, 3);
+  EXPECT_THROW(LU{a}, std::invalid_argument);
+}
+
+TEST(LU, SolveMatrixRhs) {
+  Prng rng(7);
+  const CMatrix a = random_matrix(rng, 4, 4);
+  const CMatrix b = random_matrix(rng, 4, 2);
+  const auto x = LU(a).solve(b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(pph::linalg::norm_frobenius(a * (*x) - b), 0.0, 1e-9);
+}
+
+// ---- QR -------------------------------------------------------------------
+
+class QRShapes : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QRShapes, ThinQHasOrthonormalColumns) {
+  auto [m, n] = GetParam();
+  Prng rng(400 + m * 10 + n);
+  const CMatrix a = random_matrix(rng, m, n);
+  const CMatrix q = QR(a).thin_q();
+  const CMatrix gram = q.adjoint() * q;
+  EXPECT_NEAR(pph::linalg::norm_frobenius(gram - CMatrix::identity(std::min(m, n))), 0.0, 1e-10);
+}
+
+TEST_P(QRShapes, QTimesRReconstructsPermutedColumns) {
+  auto [m, n] = GetParam();
+  Prng rng(500 + m * 10 + n);
+  const CMatrix a = random_matrix(rng, m, n);
+  QR qr(a);
+  const CMatrix qa = qr.thin_q() * qr.thin_r();
+  // Q R equals A with columns permuted by the pivoting: column j of QR is
+  // column perm()[j] of A.
+  CMatrix ap(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t r = 0; r < m; ++r) ap(r, j) = a(r, qr.perm()[j]);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(qa - ap), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QRShapes,
+                         ::testing::Values(std::make_pair<std::size_t, std::size_t>(3, 3),
+                                           std::make_pair<std::size_t, std::size_t>(5, 3),
+                                           std::make_pair<std::size_t, std::size_t>(8, 2),
+                                           std::make_pair<std::size_t, std::size_t>(10, 7),
+                                           std::make_pair<std::size_t, std::size_t>(4, 6)));
+
+TEST(QR, LeastSquaresMatchesExactForSquare) {
+  Prng rng(8);
+  const CMatrix a = random_matrix(rng, 5, 5);
+  const CVector b = random_vector(rng, 5);
+  const auto x_qr = QR(a).solve_least_squares(b);
+  const auto x_lu = LU(a).solve(b);
+  ASSERT_TRUE(x_qr.has_value());
+  ASSERT_TRUE(x_lu.has_value());
+  EXPECT_LT(pph::linalg::distance2(*x_qr, *x_lu), 1e-8);
+}
+
+TEST(QR, LeastSquaresResidualOrthogonal) {
+  Prng rng(9);
+  const CMatrix a = random_matrix(rng, 8, 3);
+  const CVector b = random_vector(rng, 8);
+  const auto x = QR(a).solve_least_squares(b);
+  ASSERT_TRUE(x.has_value());
+  // Residual must be orthogonal to the column span: A^H (Ax - b) = 0.
+  CVector r = a.apply(*x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  const CVector atr = a.adjoint().apply(r);
+  EXPECT_LT(pph::linalg::norm2(atr), 1e-9);
+}
+
+TEST(QR, RankDetectsDeficiency) {
+  Prng rng(10);
+  CMatrix a = random_matrix(rng, 6, 3);
+  // Make column 2 a copy of column 0.
+  for (std::size_t r = 0; r < 6; ++r) a(r, 2) = a(r, 0);
+  EXPECT_EQ(QR(a).rank(), 2u);
+  const CMatrix full = random_matrix(rng, 6, 3);
+  EXPECT_EQ(QR(full).rank(), 3u);
+}
+
+TEST(QR, OrthonormalizeColumnsSpansInput) {
+  Prng rng(11);
+  const CMatrix a = random_matrix(rng, 7, 3);
+  const CMatrix q = pph::linalg::orthonormalize_columns(a);
+  // Projection of A onto span(Q) must reproduce A.
+  const CMatrix proj = q * (q.adjoint() * a);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(proj - a), 0.0, 1e-9);
+}
+
+TEST(QR, ZeroColumnHandled) {
+  CMatrix a(3, 2);
+  a(0, 1) = Complex{2, 0};
+  QR qr(a);  // first column identically zero
+  EXPECT_EQ(qr.rank(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Tests for the in-process message-passing runtime: serialization
+// round-trips, mailbox semantics (filtering, per-sender ordering), world
+// lifecycle, barrier, and stress under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <numeric>
+
+#include "mp/comm.hpp"
+
+namespace {
+
+using pph::mp::Comm;
+using pph::mp::kAnySource;
+using pph::mp::kAnyTag;
+using pph::mp::Mailbox;
+using pph::mp::Message;
+using pph::mp::Packer;
+using pph::mp::Unpacker;
+using pph::mp::World;
+
+TEST(Serialize, PodRoundTrip) {
+  Packer p;
+  p.write(42);
+  p.write(3.5);
+  p.write(std::complex<double>{1.0, -2.0});
+  Unpacker u(p.bytes());
+  EXPECT_EQ(u.read<int>(), 42);
+  EXPECT_DOUBLE_EQ(u.read<double>(), 3.5);
+  EXPECT_EQ(u.read<std::complex<double>>(), (std::complex<double>{1.0, -2.0}));
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  Packer p;
+  p.write_string("pieri");
+  std::vector<std::complex<double>> v{{1, 2}, {3, 4}};
+  p.write_vector(v);
+  Unpacker u(p.bytes());
+  EXPECT_EQ(u.read_string(), "pieri");
+  EXPECT_EQ(u.read_vector<std::complex<double>>(), v);
+}
+
+TEST(Serialize, UnderrunThrows) {
+  Packer p;
+  p.write(1);
+  Unpacker u(p.bytes());
+  u.read<int>();
+  EXPECT_THROW(u.read<double>(), std::out_of_range);
+}
+
+TEST(MailboxTest, FifoPerSender) {
+  Mailbox box;
+  for (int i = 0; i < 5; ++i) box.push(Message{0, 7, {std::byte(i)}});
+  for (int i = 0; i < 5; ++i) {
+    const Message m = box.recv(0, 7);
+    EXPECT_EQ(m.payload[0], std::byte(i));
+  }
+}
+
+TEST(MailboxTest, TagFilterSkipsNonMatching) {
+  Mailbox box;
+  box.push(Message{0, 1, {}});
+  box.push(Message{0, 2, {}});
+  const Message m = box.recv(kAnySource, 2);
+  EXPECT_EQ(m.tag, 2);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(MailboxTest, SourceFilter) {
+  Mailbox box;
+  box.push(Message{3, 0, {}});
+  box.push(Message{1, 0, {}});
+  EXPECT_EQ(box.recv(1).source, 1);
+  EXPECT_FALSE(box.try_recv(2).has_value());
+  EXPECT_TRUE(box.try_recv(3).has_value());
+}
+
+TEST(MailboxTest, ProbeDoesNotConsume) {
+  Mailbox box;
+  box.push(Message{2, 9, {}});
+  const auto probed = box.probe();
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(probed->first, 2);
+  EXPECT_EQ(probed->second, 9);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(WorldTest, RankAndSizeVisible) {
+  std::atomic<int> sum{0};
+  World::run(4, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(WorldTest, PingPong) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Packer p;
+      p.write(123);
+      comm.send(1, 5, p);
+      const Message reply = comm.recv(1, 6);
+      Unpacker u(reply.payload);
+      EXPECT_EQ(u.read<int>(), 124);
+    } else {
+      const Message m = comm.recv(0, 5);
+      Unpacker u(m.payload);
+      Packer p;
+      p.write(u.read<int>() + 1);
+      comm.send(0, 6, p);
+    }
+  });
+}
+
+TEST(WorldTest, AllToRootGather) {
+  constexpr int kRanks = 6;
+  std::vector<int> received;
+  World::run(kRanks, [&received](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 1; i < kRanks; ++i) {
+        const Message m = comm.recv();
+        Unpacker u(m.payload);
+        received.push_back(u.read<int>());
+      }
+    } else {
+      Packer p;
+      p.write(comm.rank() * 10);
+      comm.send(0, 0, p);
+    }
+  });
+  EXPECT_EQ(received.size(), kRanks - 1u);
+  EXPECT_EQ(std::accumulate(received.begin(), received.end(), 0), 10 + 20 + 30 + 40 + 50);
+}
+
+TEST(WorldTest, BarrierSynchronizes) {
+  constexpr int kRanks = 5;
+  std::atomic<int> before{0}, after_min_check{0};
+  World::run(kRanks, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    // After the barrier every rank must observe all arrivals.
+    if (before.load() == kRanks) ++after_min_check;
+    comm.barrier();
+  });
+  EXPECT_EQ(after_min_check.load(), kRanks);
+}
+
+TEST(WorldTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(World::run(3,
+                          [](Comm& comm) {
+                            if (comm.rank() == 1) throw std::runtime_error("rank died");
+                            // Other ranks finish normally.
+                          }),
+               std::runtime_error);
+}
+
+TEST(WorldTest, StressManyMessages) {
+  constexpr int kRanks = 4;
+  constexpr int kPerRank = 500;
+  std::atomic<long> total{0};
+  World::run(kRanks, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      long sum = 0;
+      for (int i = 0; i < (kRanks - 1) * kPerRank; ++i) {
+        const Message m = comm.recv();
+        Unpacker u(m.payload);
+        sum += u.read<int>();
+      }
+      total = sum;
+    } else {
+      for (int i = 0; i < kPerRank; ++i) {
+        Packer p;
+        p.write(i);
+        comm.send(0, 0, p);
+      }
+    }
+  });
+  const long expected = static_cast<long>(kRanks - 1) * (kPerRank * (kPerRank - 1) / 2);
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(WorldTest, InvalidDestinationThrows) {
+  EXPECT_THROW(World::run(1, [](Comm& comm) { comm.send(5, 0, std::vector<std::byte>{}); }), std::out_of_range);
+}
+
+}  // namespace

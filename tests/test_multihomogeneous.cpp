@@ -1,0 +1,206 @@
+// Tests for m-homogeneous Bezout numbers, start structures, and the
+// end-to-end multi-homogeneous solver, including the classical eigenvalue
+// demonstration (2-homogeneous count n against total degree 2^n) and the
+// polynomial parser used to build the test systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "homotopy/solver.hpp"
+#include "homotopy/start_multihomogeneous.hpp"
+#include "poly/parse.hpp"
+#include "systems/cyclic.hpp"
+
+namespace {
+
+using pph::homotopy::multihomogeneous_bezout;
+using pph::homotopy::multihomogeneous_degrees;
+using pph::homotopy::multihomogeneous_structure;
+using pph::homotopy::VariablePartition;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::poly::parse_polynomial;
+using pph::poly::parse_system;
+using pph::poly::Polynomial;
+using pph::poly::PolySystem;
+using pph::util::Prng;
+
+// ---- parser ------------------------------------------------------------------
+
+TEST(Parse, SimpleMonomial) {
+  const auto p = parse_polynomial("x0^2*x1", 2);
+  EXPECT_EQ(p.term_count(), 1u);
+  EXPECT_EQ(p.degree(), 3u);
+  const CVector x{Complex{2, 0}, Complex{3, 0}};
+  EXPECT_NEAR(std::abs(p.evaluate(x) - Complex{12, 0}), 0.0, 1e-14);
+}
+
+TEST(Parse, SignsAndConstants) {
+  const auto p = parse_polynomial("-x0 + 2.5 - 1", 1);
+  const CVector x{Complex{4, 0}};
+  EXPECT_NEAR(std::abs(p.evaluate(x) - Complex{-2.5, 0}), 0.0, 1e-14);
+}
+
+TEST(Parse, ImaginaryLiterals) {
+  const auto p = parse_polynomial("2i*x0 + i", 1);
+  const CVector x{Complex{1, 0}};
+  EXPECT_NEAR(std::abs(p.evaluate(x) - Complex{0, 3}), 0.0, 1e-14);
+}
+
+TEST(Parse, ParenthesizedPowers) {
+  const auto p = parse_polynomial("(x0 + x1)^2", 2);
+  const auto q = parse_polynomial("x0^2 + 2*x0*x1 + x1^2", 2);
+  EXPECT_TRUE(p == q);
+}
+
+TEST(Parse, ErrorsAreInformative) {
+  EXPECT_THROW(parse_polynomial("x9", 2), std::invalid_argument);
+  EXPECT_THROW(parse_polynomial("x0 +", 1), std::invalid_argument);
+  EXPECT_THROW(parse_polynomial("(x0", 1), std::invalid_argument);
+  EXPECT_THROW(parse_polynomial("x0 ^ -2", 1), std::invalid_argument);
+  EXPECT_THROW(parse_polynomial("x0 x1", 2), std::invalid_argument);
+}
+
+TEST(Parse, SystemBySemicolons) {
+  const auto sys = parse_system("x0^2 - 1; x0*x1 - 2", 2);
+  EXPECT_EQ(sys.size(), 2u);
+  EXPECT_EQ(sys.total_degree(), 4u);
+}
+
+TEST(Parse, RoundTripThroughEvaluation) {
+  Prng rng(1);
+  const auto p = parse_polynomial("3*x0^3 - 0.5*x1^2*x2 + x2 - 7", 3);
+  for (int trial = 0; trial < 4; ++trial) {
+    CVector x(3);
+    for (auto& v : x) v = rng.normal_complex();
+    const Complex direct = 3.0 * x[0] * x[0] * x[0] - 0.5 * x[1] * x[1] * x[2] + x[2] -
+                           Complex{7, 0};
+    EXPECT_NEAR(std::abs(p.evaluate(x) - direct), 0.0, 1e-12 * (1.0 + std::abs(direct)));
+  }
+}
+
+// ---- m-homogeneous counts ------------------------------------------------------
+
+TEST(Multihomogeneous, SingleGroupReducesToTotalDegree) {
+  const auto sys = pph::systems::cyclic(5);
+  const VariablePartition one_group(5, 0);
+  EXPECT_EQ(multihomogeneous_bezout(sys, one_group), sys.total_degree());
+}
+
+TEST(Multihomogeneous, DegreesTableSeparatesGroups) {
+  // f = x0^2 * x1 with partition {x0}, {x1}: degrees (2, 1).
+  const auto sys = parse_system("x0^2*x1", 2);
+  const auto d = multihomogeneous_degrees(sys, {0, 1});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], (std::vector<std::uint32_t>{2, 1}));
+}
+
+TEST(Multihomogeneous, KnownTwoHomogeneousCount) {
+  // Two equations of bidegree (1,1) in groups of size 1 and 1:
+  // coefficient of z0*z1 in (z0+z1)^2 = 2.
+  const auto sys = parse_system("x0*x1 - 1; x0*x1 + x0 - 2", 2);
+  EXPECT_EQ(multihomogeneous_bezout(sys, {0, 1}), 2u);
+  // Against the (coarser) total degree 4.
+  EXPECT_EQ(sys.total_degree(), 4u);
+}
+
+PolySystem eigenproblem(std::size_t n, Prng& rng, pph::linalg::CMatrix* a_out = nullptr) {
+  // Eigenvalue problem as a polynomial system: variables (lambda, x_1..x_n),
+  //   A x = lambda x   (n bilinear equations)
+  //   c^T x = 1        (random normalization, kills the scaling freedom)
+  const std::size_t nvars = n + 1;  // variable 0 is lambda
+  pph::linalg::CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal_complex();
+  if (a_out) *a_out = a;
+  PolySystem sys(nvars);
+  for (std::size_t r = 0; r < n; ++r) {
+    Polynomial p(nvars);
+    for (std::size_t c = 0; c < n; ++c) {
+      p += Polynomial::variable(nvars, c + 1) * a(r, c);
+    }
+    // minus lambda * x_r.
+    pph::poly::Monomial lx(nvars);
+    lx.set_exponent(0, 1);
+    lx.set_exponent(r + 1, 1);
+    p -= Polynomial(nvars, {{Complex{1, 0}, lx}});
+    sys.add_equation(std::move(p));
+  }
+  Polynomial norm(nvars);
+  for (std::size_t c = 0; c < n; ++c) {
+    norm += Polynomial::variable(nvars, c + 1) * rng.unit_complex();
+  }
+  norm -= Polynomial::constant(nvars, Complex{1, 0});
+  sys.add_equation(std::move(norm));
+  return sys;
+}
+
+TEST(Multihomogeneous, EigenproblemCountIsNNotTwoToN) {
+  Prng rng(2);
+  const std::size_t n = 4;
+  const auto sys = eigenproblem(n, rng);
+  // Partition: {lambda} | {x}.
+  VariablePartition partition(n + 1, 1);
+  partition[0] = 0;
+  EXPECT_EQ(multihomogeneous_bezout(sys, partition), n);
+  EXPECT_EQ(sys.total_degree(), (1ull << n));  // 2^n, exponentially coarser
+}
+
+TEST(Multihomogeneous, StructureFactorCountsMatchDegrees) {
+  Prng rng(3);
+  const auto sys = eigenproblem(3, rng);
+  VariablePartition partition(4, 1);
+  partition[0] = 0;
+  const auto ps = multihomogeneous_structure(sys, partition);
+  ASSERT_EQ(ps.size(), 4u);
+  // Bilinear equations: one lambda-factor + one x-factor; normalization:
+  // one x-factor.
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(ps.equations[i].size(), 2u);
+  EXPECT_EQ(ps.equations[3].size(), 1u);
+}
+
+TEST(Multihomogeneous, SolvesEigenproblemWithNPaths) {
+  Prng rng(4);
+  const std::size_t n = 4;
+  pph::linalg::CMatrix a;
+  const auto sys = eigenproblem(n, rng, &a);
+  VariablePartition partition(n + 1, 1);
+  partition[0] = 0;
+  const auto summary = pph::homotopy::solve_multihomogeneous(sys, partition);
+  // All n eigenpairs found from only n start combinations (the structure
+  // has 2^3 * 1 = 8 combinations but only n = 4 are solvable).
+  EXPECT_EQ(summary.solutions.size(), n);
+  EXPECT_EQ(summary.converged, n);
+  for (const auto& sol : summary.solutions) {
+    // Verify the eigenvalue equation A x = lambda x.
+    const Complex lambda = sol[0];
+    CVector x(sol.begin() + 1, sol.end());
+    const CVector ax = a.apply(x);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_LT(std::abs(ax[r] - lambda * x[r]), 1e-7 * (1.0 + std::abs(lambda)));
+    }
+  }
+}
+
+TEST(Multihomogeneous, AgreesWithTotalDegreeSolve) {
+  // Both homotopies must find the same finite solution set.
+  Prng rng(5);
+  const auto sys = parse_system("x0*x1 - 2; x0 + x1 - 3", 2);
+  const auto td = pph::homotopy::solve_total_degree(sys);
+  const auto mh = pph::homotopy::solve_multihomogeneous(sys, {0, 1});
+  EXPECT_EQ(td.solutions.size(), 2u);
+  EXPECT_EQ(mh.solutions.size(), 2u);
+  for (const auto& s : td.solutions) {
+    double best = 1e18;
+    for (const auto& t : mh.solutions) best = std::min(best, pph::linalg::distance2(s, t));
+    EXPECT_LT(best, 1e-7);
+  }
+}
+
+TEST(Multihomogeneous, PartitionSizeValidated) {
+  const auto sys = parse_system("x0 - 1", 1);
+  EXPECT_THROW(multihomogeneous_degrees(sys, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace

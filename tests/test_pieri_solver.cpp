@@ -1,0 +1,234 @@
+// Integration tests: the Pieri homotopy solver end-to-end on random
+// instances (solution counts must equal the combinatorial root counts, all
+// solutions verified and distinct) and the pole placement application.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "schubert/pieri_homotopy.hpp"
+#include "schubert/pieri_solver.hpp"
+#include "schubert/pole_placement.hpp"
+
+namespace {
+
+using pph::linalg::CMatrix;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::schubert::Pattern;
+using pph::schubert::PatternChart;
+using pph::schubert::PieriProblem;
+using pph::util::Prng;
+
+struct SolveCase {
+  std::size_t m, p, q;
+  std::uint64_t expected;
+};
+
+class PieriSolves : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(PieriSolves, FindsAllSolutionsVerifiedAndDistinct) {
+  const auto& c = GetParam();
+  const auto summary =
+      pph::schubert::solve_random_pieri(PieriProblem{c.m, c.p, c.q}, /*seed=*/17);
+  EXPECT_EQ(summary.expected_count, c.expected);
+  EXPECT_EQ(summary.solutions.size(), c.expected);
+  EXPECT_EQ(summary.failures, 0u);
+  EXPECT_EQ(summary.verified, summary.solutions.size());
+  EXPECT_EQ(summary.distinct, summary.solutions.size());
+  EXPECT_LT(summary.max_residual, 1e-8);
+  EXPECT_TRUE(summary.complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrid, PieriSolves,
+                         ::testing::Values(SolveCase{2, 2, 0, 2}, SolveCase{3, 2, 0, 5},
+                                           SolveCase{2, 3, 0, 5}, SolveCase{2, 2, 1, 8},
+                                           SolveCase{3, 3, 0, 42}, SolveCase{3, 2, 1, 55}));
+
+TEST(PieriSolver, JobCountsMatchPosetPrediction) {
+  const PieriProblem pb{2, 2, 1};
+  const auto summary = pph::schubert::solve_random_pieri(pb, 3);
+  pph::schubert::PatternPoset poset(pb);
+  ASSERT_EQ(summary.levels.size(), pb.condition_count());
+  const auto expected_jobs = poset.jobs_per_level();
+  for (std::size_t i = 0; i < summary.levels.size(); ++i) {
+    EXPECT_EQ(summary.levels[i].jobs, expected_jobs[i]) << "level " << i + 1;
+  }
+  EXPECT_EQ(summary.total_jobs, poset.total_jobs());
+  EXPECT_EQ(summary.job_seconds.size(), summary.total_jobs);
+}
+
+TEST(PieriSolver, DifferentSeedsSameCount) {
+  const PieriProblem pb{2, 2, 1};
+  const auto a = pph::schubert::solve_random_pieri(pb, 5);
+  const auto b = pph::schubert::solve_random_pieri(pb, 6);
+  EXPECT_EQ(a.solutions.size(), b.solutions.size());
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+}
+
+TEST(PieriSolver, RejectsWrongConditionCount) {
+  Prng rng(1);
+  auto input = pph::schubert::random_pieri_input(PieriProblem{2, 2, 0}, rng);
+  input.conditions.pop_back();
+  EXPECT_THROW(pph::schubert::solve_pieri(input), std::invalid_argument);
+}
+
+TEST(PieriEdgeHomotopy, StartResidualSmallForChildSolution) {
+  // Walk one level by hand: the trivial solution of the minimal pattern,
+  // embedded into a level-1 pattern, must satisfy the homotopy at t = 0.
+  Prng rng(2);
+  const PieriProblem pb{2, 2, 1};
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const Pattern minimal = Pattern::minimal(pb);
+  const auto parents = minimal.parents();
+  ASSERT_FALSE(parents.empty());
+  PatternChart chart(parents[0]);
+  const CVector start = chart.embed_child(PatternChart(minimal), CVector{});
+  pph::schubert::PieriEdgeHomotopy h(chart, {}, input.conditions[0], rng.unit_complex());
+  const auto h0 = h.evaluate(start, 0.0);
+  EXPECT_LT(pph::linalg::norm2(h0), 1e-12);
+}
+
+TEST(PieriEdgeHomotopy, DerivativeTMatchesFiniteDifference) {
+  Prng rng(3);
+  const PieriProblem pb{2, 2, 1};
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const Pattern root = Pattern::root(pb);
+  PatternChart chart(root);
+  std::vector<pph::schubert::PlaneCondition> fixed(input.conditions.begin(),
+                                                   input.conditions.end() - 1);
+  pph::schubert::PieriEdgeHomotopy h(chart, fixed, input.conditions.back(), rng.unit_complex());
+  CVector x(chart.dimension());
+  for (auto& v : x) v = rng.normal_complex();
+  const double t = 0.4, eps = 1e-7;
+  const auto d = h.derivative_t(x, t);
+  const auto hp = h.evaluate(x, t + eps);
+  const auto hm = h.evaluate(x, t - eps);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const Complex fd = (hp[i] - hm[i]) / (2 * eps);
+    EXPECT_NEAR(std::abs(d[i] - fd), 0.0, 1e-5 * (1.0 + std::abs(fd)));
+  }
+}
+
+TEST(PieriEdgeHomotopy, JacobianMatchesFiniteDifference) {
+  Prng rng(4);
+  const PieriProblem pb{2, 3, 0};
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const Pattern root = Pattern::root(pb);
+  PatternChart chart(root);
+  std::vector<pph::schubert::PlaneCondition> fixed(
+      input.conditions.begin(), input.conditions.begin() + (chart.dimension() - 1));
+  pph::schubert::PieriEdgeHomotopy h(chart, fixed, input.conditions[chart.dimension() - 1],
+                                     rng.unit_complex());
+  CVector x(chart.dimension());
+  for (auto& v : x) v = rng.normal_complex();
+  const double t = 0.6, eps = 1e-7;
+  const auto [value, jac] = h.evaluate_with_jacobian(x, t);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    CVector bumped = x;
+    bumped[k] += Complex{eps, 0};
+    const auto v2 = h.evaluate(bumped, t);
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const Complex fd = (v2[i] - value[i]) / eps;
+      EXPECT_NEAR(std::abs(jac(i, k) - fd), 0.0, 1e-5 * (1.0 + std::abs(fd)));
+    }
+  }
+}
+
+// ---- pole placement --------------------------------------------------------
+
+std::vector<Complex> prescribed_poles(std::size_t n, Prng& rng) {
+  // Conjugate-closed, strictly stable pole set: pairs -a +/- bi and, if n is
+  // odd, one extra real pole.
+  std::vector<Complex> poles;
+  while (poles.size() + 2 <= n) {
+    const double a = 0.5 + 2.0 * rng.uniform();
+    const double b = 0.3 + 1.5 * rng.uniform();
+    poles.push_back(Complex{-a, b});
+    poles.push_back(Complex{-a, -b});
+  }
+  if (poles.size() < n) poles.push_back(Complex{-1.0 - rng.uniform(), 0.0});
+  return poles;
+}
+
+TEST(PolePlacement, StaticOutputFeedback22) {
+  // m = p = 2, q = 0: 4 poles, d = 2 feedback laws (the classical result
+  // that 4 general 2-planes in C^4 are met by exactly 2 2-planes).
+  Prng rng(11);
+  const PieriProblem pb{2, 2, 0};
+  const auto plant = pph::schubert::random_plant(pb, rng);
+  EXPECT_EQ(plant.states(), 4u);
+  const auto poles = prescribed_poles(pb.condition_count(), rng);
+  const auto input = pph::schubert::pole_placement_input(pb, plant, poles);
+  const auto summary = pph::schubert::solve_pieri(input);
+  ASSERT_TRUE(summary.complete());
+  ASSERT_EQ(summary.solutions.size(), 2u);
+  for (const auto& sol : summary.solutions) {
+    const auto check = pph::schubert::verify_pole_placement(sol, plant, poles);
+    EXPECT_LT(check.max_condition_residual, 1e-8);
+    EXPECT_EQ(check.char_poly_degree, pb.condition_count());
+    EXPECT_LT(check.max_pole_residual, 1e-7);
+  }
+}
+
+TEST(PolePlacement, DynamicFeedback221) {
+  // m = p = 2, q = 1: a degree-one compensator; 8 poles, 8 feedback laws.
+  Prng rng(12);
+  const PieriProblem pb{2, 2, 1};
+  const auto plant = pph::schubert::random_plant(pb, rng);
+  EXPECT_EQ(plant.states(), 7u);
+  const auto poles = prescribed_poles(pb.condition_count(), rng);
+  const auto input = pph::schubert::pole_placement_input(pb, plant, poles);
+  const auto summary = pph::schubert::solve_pieri(input);
+  ASSERT_TRUE(summary.complete());
+  ASSERT_EQ(summary.solutions.size(), 8u);
+  for (const auto& sol : summary.solutions) {
+    const auto check = pph::schubert::verify_pole_placement(sol, plant, poles);
+    EXPECT_EQ(check.char_poly_degree, pb.condition_count());
+    EXPECT_LT(check.max_pole_residual, 1e-7);
+  }
+}
+
+TEST(PolePlacement, CompensatorFeedbackClosesLoopAtPole) {
+  // At a prescribed pole, det(Z(s) - G(s) Y(s)) must vanish: the compensator
+  // F = Y Z^{-1} makes s a closed-loop pole.
+  Prng rng(13);
+  const PieriProblem pb{2, 2, 0};
+  const auto plant = pph::schubert::random_plant(pb, rng);
+  const auto poles = prescribed_poles(pb.condition_count(), rng);
+  const auto input = pph::schubert::pole_placement_input(pb, plant, poles);
+  const auto summary = pph::schubert::solve_pieri(input);
+  ASSERT_FALSE(summary.solutions.empty());
+  const auto comp = pph::schubert::extract_compensator(summary.solutions[0]);
+  for (const Complex s : poles) {
+    const CMatrix g = plant.transfer(s);
+    const CMatrix closing = comp.z(s) - g * comp.y(s);
+    const Complex det = pph::linalg::determinant(closing);
+    // Relative to the matrix scale.
+    EXPECT_LT(std::abs(det), 1e-7 * std::pow(1.0 + pph::linalg::norm_frobenius(closing), 2.0));
+  }
+}
+
+TEST(PolePlacement, PlantTransferMatchesDefinition) {
+  Prng rng(14);
+  const PieriProblem pb{2, 2, 0};
+  const auto plant = pph::schubert::random_plant(pb, rng);
+  const Complex s{0.7, 1.1};
+  const CMatrix g = plant.transfer(s);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.cols(), 2u);
+  // char_poly at an eigenvalue-free point is nonzero.
+  EXPECT_GT(std::abs(plant.char_poly(s)), 0.0);
+}
+
+TEST(PolePlacement, InputValidation) {
+  Prng rng(15);
+  const PieriProblem pb{2, 2, 0};
+  const auto plant = pph::schubert::random_plant(pb, rng);
+  EXPECT_THROW(pph::schubert::pole_placement_input(pb, plant, {Complex{1, 0}}),
+               std::invalid_argument);
+}
+
+}  // namespace

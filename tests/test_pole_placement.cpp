@@ -1,0 +1,203 @@
+// Tests for the pole placement application layer: polynomial root finding,
+// matrix polynomials, the coordinate-randomized driver on structured
+// plants, compensator reality, and closed-loop pole recovery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "poly/roots.hpp"
+#include "schubert/pole_placement.hpp"
+
+namespace {
+
+using pph::linalg::CMatrix;
+using pph::linalg::Complex;
+using pph::schubert::MatrixPolynomial;
+using pph::schubert::PieriProblem;
+using pph::schubert::Plant;
+using pph::util::Prng;
+
+// ---- univariate roots --------------------------------------------------------
+
+TEST(PolynomialRoots, QuadraticExact) {
+  // (s-2)(s+3) = s^2 + s - 6.
+  const auto roots = pph::poly::polynomial_roots({{-6, 0}, {1, 0}, {1, 0}});
+  ASSERT_EQ(roots.size(), 2u);
+  double best2 = 1e9, bestm3 = 1e9;
+  for (const auto r : roots) {
+    best2 = std::min(best2, std::abs(r - Complex{2, 0}));
+    bestm3 = std::min(bestm3, std::abs(r - Complex{-3, 0}));
+  }
+  EXPECT_LT(best2, 1e-10);
+  EXPECT_LT(bestm3, 1e-10);
+}
+
+TEST(PolynomialRoots, RandomPolynomialResidualsSmall) {
+  Prng rng(1);
+  for (std::size_t deg = 1; deg <= 8; ++deg) {
+    std::vector<Complex> c(deg + 1);
+    for (auto& x : c) x = rng.normal_complex();
+    const auto roots = pph::poly::polynomial_roots(c);
+    ASSERT_EQ(roots.size(), deg);
+    for (const auto r : roots) {
+      EXPECT_LT(std::abs(pph::poly::polynomial_value(c, r)), 1e-8 * (1.0 + std::abs(r)))
+          << "degree " << deg;
+    }
+  }
+}
+
+TEST(PolynomialRoots, TrimsLeadingZeros) {
+  // s - 1 plus a numerically-zero s^3 coefficient.
+  const auto roots = pph::poly::polynomial_roots({{-1, 0}, {1, 0}, {0, 0}, {1e-18, 0}});
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_LT(std::abs(roots[0] - Complex{1, 0}), 1e-10);
+}
+
+TEST(PolynomialRoots, ZeroPolynomialThrows) {
+  EXPECT_THROW(pph::poly::polynomial_roots({{0, 0}, {0, 0}}), std::invalid_argument);
+}
+
+TEST(PolynomialRoots, ConstantHasNoRoots) {
+  EXPECT_TRUE(pph::poly::polynomial_roots({{5, 0}}).empty());
+}
+
+// ---- matrix polynomials ------------------------------------------------------
+
+TEST(MatrixPolynomialTest, EvaluateHorner) {
+  MatrixPolynomial x;
+  x.coeffs.push_back(CMatrix::identity(2));
+  CMatrix lin(2, 2);
+  lin(0, 1) = Complex{1, 0};
+  x.coeffs.push_back(lin);
+  const CMatrix at2 = x.evaluate(Complex{2, 0});
+  EXPECT_EQ(at2(0, 0), (Complex{1, 0}));
+  EXPECT_EQ(at2(0, 1), (Complex{2, 0}));
+}
+
+TEST(MatrixPolynomialTest, TransformedMultipliesCoefficients) {
+  Prng rng(2);
+  MatrixPolynomial x;
+  CMatrix c0(3, 1);
+  for (std::size_t r = 0; r < 3; ++r) c0(r, 0) = rng.normal_complex();
+  x.coeffs.push_back(c0);
+  CMatrix u(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) u(r, c) = rng.normal_complex();
+  const auto y = x.transformed(u);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(y.coeffs[0] - u * c0), 0.0, 1e-13);
+}
+
+TEST(MatrixPolynomialTest, IsRealDetectsComplex) {
+  MatrixPolynomial x;
+  x.coeffs.push_back(CMatrix::identity(2));
+  EXPECT_TRUE(x.is_real());
+  x.coeffs[0](0, 0) = Complex{1, 0.5};
+  EXPECT_FALSE(x.is_real());
+}
+
+// ---- structured-plant pole placement -----------------------------------------
+
+Plant asymmetric_satellite() {
+  Plant plant;
+  plant.a = CMatrix(4, 4);
+  plant.a(0, 1) = Complex{1.0, 0.0};
+  plant.a(2, 3) = Complex{1.0, 0.0};
+  plant.a(1, 2) = Complex{0.15, 0.0};
+  plant.a(3, 0) = Complex{-0.23, 0.0};
+  plant.b = CMatrix(4, 2);
+  plant.b(1, 0) = Complex{1.0, 0.0};
+  plant.b(3, 1) = Complex{0.85, 0.0};
+  plant.c = CMatrix(2, 4);
+  plant.c(0, 0) = Complex{1.0, 0.0};
+  plant.c(0, 1) = Complex{0.5, 0.0};
+  plant.c(1, 2) = Complex{1.0, 0.0};
+  plant.c(1, 3) = Complex{0.35, 0.0};
+  return plant;
+}
+
+TEST(ClosedLoopPoles, MatchCharacteristicPolynomial) {
+  const Plant plant = asymmetric_satellite();
+  CMatrix f(2, 2);
+  f(0, 0) = Complex{-1.0, 0.0};
+  f(1, 1) = Complex{-2.0, 0.0};
+  const auto poles = pph::schubert::closed_loop_poles_static(plant, f);
+  ASSERT_EQ(poles.size(), 4u);
+  // Each pole must be an eigenvalue: det(sI - A - BFC) = 0.
+  const CMatrix closed = plant.a + plant.b * (f * plant.c);
+  for (const auto s : poles) {
+    CMatrix si_m = CMatrix::identity(4) * s - closed;
+    EXPECT_LT(std::abs(pph::linalg::determinant(si_m)), 1e-8);
+  }
+}
+
+TEST(SolvePolePlacement, RecoversReferenceGainOnStructuredPlant) {
+  // The end-to-end driver must handle the flag-aligned plant planes via the
+  // coordinate randomization (an un-rotated solve fails on this data).
+  const Plant plant = asymmetric_satellite();
+  CMatrix f0(2, 2);
+  f0(0, 0) = Complex{-2.0, 0.0};
+  f0(0, 1) = Complex{0.3, 0.0};
+  f0(1, 0) = Complex{-0.4, 0.0};
+  f0(1, 1) = Complex{-1.5, 0.0};
+  const auto poles = pph::schubert::closed_loop_poles_static(plant, f0);
+  const auto summary =
+      pph::schubert::solve_pole_placement(PieriProblem{2, 2, 0}, plant, poles);
+  ASSERT_TRUE(summary.complete());
+  ASSERT_EQ(summary.laws.size(), 2u);
+  // One law recovers F0.
+  double best = 1e9;
+  for (const auto& law : summary.laws) {
+    const auto comp = pph::schubert::extract_compensator(law, 2);
+    const CMatrix f = comp.feedback(Complex{0, 0});
+    best = std::min(best, pph::linalg::norm_frobenius(f - f0));
+  }
+  EXPECT_LT(best, 1e-7);
+  // Both laws are real (real data, conjugate-closed poles, 2 real points).
+  for (const auto& law : summary.laws) {
+    const auto check = pph::schubert::verify_pole_placement(law, plant, poles);
+    EXPECT_TRUE(check.real_feedback);
+    EXPECT_LT(check.max_pole_residual, 1e-8);
+    EXPECT_EQ(check.char_poly_degree, 4u);
+  }
+}
+
+TEST(SolvePolePlacement, RandomPlantDynamicFeedback) {
+  Prng rng(33);
+  const PieriProblem pb{2, 2, 1};
+  const Plant plant = pph::schubert::random_plant(pb, rng);
+  std::vector<Complex> poles;
+  while (poles.size() + 2 <= pb.condition_count()) {
+    const double a = 0.5 + rng.uniform(), b = 0.4 + rng.uniform();
+    poles.push_back(Complex{-a, b});
+    poles.push_back(Complex{-a, -b});
+  }
+  const auto summary = pph::schubert::solve_pole_placement(pb, plant, poles);
+  EXPECT_TRUE(summary.complete());
+  EXPECT_EQ(summary.laws.size(), 8u);
+  EXPECT_LT(summary.max_residual, 1e-8);
+  // Complex laws come in conjugate pairs, so the real count is even.
+  std::size_t real_laws = 0;
+  for (const auto& law : summary.laws) {
+    if (pph::schubert::compensator_is_real(pph::schubert::extract_compensator(law, 2))) {
+      ++real_laws;
+    }
+  }
+  EXPECT_EQ(real_laws % 2, 0u);
+}
+
+TEST(SolvePolePlacement, RotationOffStillWorksOnGenericPlant) {
+  Prng rng(34);
+  const PieriProblem pb{2, 2, 0};
+  const Plant plant = pph::schubert::random_plant(pb, rng);
+  std::vector<Complex> poles{{-1.0, 0.8}, {-1.0, -0.8}, {-2.0, 0.3}, {-2.0, -0.3}};
+  pph::schubert::PolePlacementOptions opts;
+  opts.randomize_coordinates = false;
+  const auto summary = pph::schubert::solve_pole_placement(pb, plant, poles, opts);
+  EXPECT_TRUE(summary.complete());
+  EXPECT_EQ(summary.laws.size(), 2u);
+}
+
+}  // namespace

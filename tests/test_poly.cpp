@@ -1,0 +1,236 @@
+// Tests for src/poly: monomial and polynomial arithmetic identities,
+// canonical forms, differentiation, evaluation and Jacobians.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/system.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::poly::Monomial;
+using pph::poly::Polynomial;
+using pph::poly::PolySystem;
+using pph::util::Prng;
+
+CVector random_point(Prng& rng, std::size_t n) {
+  CVector x(n);
+  for (auto& v : x) v = rng.normal_complex();
+  return x;
+}
+
+Polynomial random_polynomial(Prng& rng, std::size_t nvars, std::size_t nterms,
+                             std::uint32_t max_deg) {
+  std::vector<pph::poly::Term> terms;
+  for (std::size_t t = 0; t < nterms; ++t) {
+    Monomial m(nvars);
+    for (std::size_t v = 0; v < nvars; ++v) {
+      m.set_exponent(v, static_cast<std::uint32_t>(rng.uniform_index(max_deg + 1)));
+    }
+    terms.push_back({rng.normal_complex(), std::move(m)});
+  }
+  return Polynomial(nvars, std::move(terms));
+}
+
+TEST(Monomial, DegreeAndEvaluate) {
+  Monomial m(3);
+  m.set_exponent(0, 2);
+  m.set_exponent(2, 1);
+  EXPECT_EQ(m.degree(), 3u);
+  CVector x{Complex{2, 0}, Complex{5, 0}, Complex{3, 0}};
+  EXPECT_NEAR(std::abs(m.evaluate(x) - Complex{12.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(Monomial, ProductAddsExponents) {
+  Monomial a = Monomial::variable(2, 0);
+  Monomial b = Monomial::variable(2, 0);
+  const Monomial c = a * b;
+  EXPECT_EQ(c.exponent(0), 2u);
+  EXPECT_EQ(c.exponent(1), 0u);
+}
+
+TEST(Monomial, DerivativeDropsPower) {
+  Monomial m(2);
+  m.set_exponent(0, 3);
+  auto [mult, reduced] = m.derivative(0);
+  EXPECT_EQ(mult, 3u);
+  EXPECT_EQ(reduced.exponent(0), 2u);
+  auto [zero_mult, same] = m.derivative(1);
+  EXPECT_EQ(zero_mult, 0u);
+  (void)same;
+}
+
+TEST(Monomial, ToStringReadable) {
+  Monomial m(4);
+  m.set_exponent(0, 2);
+  m.set_exponent(3, 1);
+  EXPECT_EQ(m.to_string(), "x0^2*x3");
+  EXPECT_EQ(Monomial(2).to_string(), "1");
+}
+
+TEST(Polynomial, CombinesLikeTermsAndDropsZeros) {
+  const std::size_t n = 2;
+  Monomial x0 = Monomial::variable(n, 0);
+  Polynomial p(n, {{Complex{1, 0}, x0}, {Complex{2, 0}, x0}, {Complex{0, 0}, Monomial(n)}});
+  EXPECT_EQ(p.term_count(), 1u);
+  EXPECT_EQ(p.terms()[0].coefficient, (Complex{3, 0}));
+}
+
+TEST(Polynomial, AdditionCancellation) {
+  const std::size_t n = 1;
+  Polynomial x = Polynomial::variable(n, 0);
+  Polynomial zero = x - x;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), 0u);
+}
+
+TEST(Polynomial, ProductDegreeAdds) {
+  Prng rng(1);
+  const Polynomial a = random_polynomial(rng, 3, 4, 2);
+  const Polynomial b = random_polynomial(rng, 3, 4, 3);
+  if (!a.is_zero() && !b.is_zero()) {
+    EXPECT_LE((a * b).degree(), a.degree() + b.degree());
+  }
+}
+
+TEST(Polynomial, RingIdentitiesAtRandomPoints) {
+  Prng rng(2);
+  const std::size_t n = 3;
+  const Polynomial a = random_polynomial(rng, n, 5, 3);
+  const Polynomial b = random_polynomial(rng, n, 5, 3);
+  const Polynomial c = random_polynomial(rng, n, 5, 3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CVector x = random_point(rng, n);
+    const Complex lhs = ((a + b) * c).evaluate(x);
+    const Complex rhs = (a * c + b * c).evaluate(x);
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+    const Complex comm = (a * b - b * a).evaluate(x);
+    EXPECT_NEAR(std::abs(comm), 0.0, 1e-10);
+  }
+}
+
+TEST(Polynomial, EvaluationMatchesHandComputation) {
+  // p = (1+i) x0^2 x1 - 3.
+  const std::size_t n = 2;
+  Monomial m(n);
+  m.set_exponent(0, 2);
+  m.set_exponent(1, 1);
+  Polynomial p(n, {{Complex{1, 1}, m}, {Complex{-3, 0}, Monomial(n)}});
+  CVector x{Complex{2, 0}, Complex{0, 1}};
+  // (1+i)*4*i - 3 = 4i + 4i^2 - 3 = -7 + 4i.
+  EXPECT_NEAR(std::abs(p.evaluate(x) - Complex{-7, 4}), 0.0, 1e-13);
+}
+
+TEST(Polynomial, DerivativeLeibnizRule) {
+  Prng rng(3);
+  const std::size_t n = 2;
+  const Polynomial a = random_polynomial(rng, n, 4, 2);
+  const Polynomial b = random_polynomial(rng, n, 4, 2);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Polynomial lhs = (a * b).derivative(v);
+    const Polynomial rhs = a.derivative(v) * b + a * b.derivative(v);
+    const CVector x = random_point(rng, n);
+    EXPECT_NEAR(std::abs(lhs.evaluate(x) - rhs.evaluate(x)), 0.0,
+                1e-9 * (1.0 + std::abs(lhs.evaluate(x))));
+  }
+}
+
+TEST(Polynomial, GradientMatchesDerivativePolynomials) {
+  Prng rng(4);
+  const std::size_t n = 4;
+  const Polynomial p = random_polynomial(rng, n, 8, 3);
+  const CVector x = random_point(rng, n);
+  const auto [value, grad] = p.evaluate_with_gradient(x);
+  EXPECT_NEAR(std::abs(value - p.evaluate(x)), 0.0, 1e-10);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(std::abs(grad[v] - p.derivative(v).evaluate(x)), 0.0, 1e-9);
+  }
+}
+
+TEST(Polynomial, GradientAtZeroCoordinate) {
+  // Gradient path with x_v = 0 exercises the division-free branch.
+  const std::size_t n = 2;
+  Monomial m(n);
+  m.set_exponent(0, 2);
+  m.set_exponent(1, 1);
+  Polynomial p(n, {{Complex{1, 0}, m}});
+  CVector x{Complex{0, 0}, Complex{5, 0}};
+  const auto [value, grad] = p.evaluate_with_gradient(x);
+  EXPECT_EQ(value, (Complex{0, 0}));
+  EXPECT_NEAR(std::abs(grad[0]), 0.0, 1e-14);          // 2*x0*x1 = 0
+  EXPECT_NEAR(std::abs(grad[1] - Complex{0, 0}), 0.0, 1e-14);  // x0^2 = 0
+}
+
+TEST(PolySystem, DegreesAndTotalDegree) {
+  const std::size_t n = 3;
+  PolySystem sys(n);
+  sys.add_equation(random_polynomial(*std::make_unique<Prng>(5), n, 3, 2));
+  Monomial cubic(n);
+  cubic.set_exponent(1, 3);
+  sys.add_equation(Polynomial(n, {{Complex{1, 0}, cubic}}));
+  sys.add_equation(Polynomial::variable(n, 2) - Polynomial::constant(n, Complex{1, 0}));
+  const auto d = sys.degrees();
+  EXPECT_EQ(d[1], 3u);
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(sys.total_degree(), static_cast<unsigned long long>(d[0]) * 3ULL * 1ULL);
+}
+
+TEST(PolySystem, JacobianMatchesFiniteDifferences) {
+  Prng rng(6);
+  const std::size_t n = 3;
+  PolySystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.add_equation(random_polynomial(rng, n, 6, 3));
+  const CVector x = random_point(rng, n);
+  const auto jac = sys.jacobian(x);
+  const double h = 1e-7;
+  for (std::size_t v = 0; v < n; ++v) {
+    CVector xp = x;
+    xp[v] += Complex{h, 0};
+    const CVector fp = sys.evaluate(xp);
+    const CVector f0 = sys.evaluate(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex fd = (fp[i] - f0[i]) / h;
+      EXPECT_NEAR(std::abs(jac(i, v) - fd), 0.0, 1e-4 * (1.0 + std::abs(fd)));
+    }
+  }
+}
+
+TEST(PolySystem, EvaluateWithJacobianConsistent) {
+  Prng rng(7);
+  const std::size_t n = 4;
+  PolySystem sys(n);
+  for (std::size_t i = 0; i < n; ++i) sys.add_equation(random_polynomial(rng, n, 5, 2));
+  const CVector x = random_point(rng, n);
+  const auto [v, j] = sys.evaluate_with_jacobian(x);
+  const CVector v2 = sys.evaluate(x);
+  const auto j2 = sys.jacobian(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(v[i] - v2[i]), 0.0, 1e-12);
+  EXPECT_NEAR(pph::linalg::norm_frobenius(j - j2), 0.0, 1e-12);
+}
+
+TEST(PolySystem, ResidualZeroAtConstructedRoot) {
+  // System with the known root (1, 2): x0 - 1, x1 - 2.
+  const std::size_t n = 2;
+  PolySystem sys(n);
+  sys.add_equation(Polynomial::variable(n, 0) - Polynomial::constant(n, Complex{1, 0}));
+  sys.add_equation(Polynomial::variable(n, 1) - Polynomial::constant(n, Complex{2, 0}));
+  EXPECT_NEAR(sys.residual({Complex{1, 0}, Complex{2, 0}}), 0.0, 1e-15);
+  EXPECT_GT(sys.residual({Complex{0, 0}, Complex{0, 0}}), 1.0);
+}
+
+TEST(Deduplicate, MergesNearbyPoints) {
+  std::vector<CVector> pts{{Complex{1, 0}}, {Complex{1 + 1e-9, 0}}, {Complex{2, 0}}};
+  const auto reps = pph::poly::deduplicate_solutions(pts, 1e-6);
+  EXPECT_EQ(reps.size(), 2u);
+}
+
+TEST(Deduplicate, KeepsDistinctPoints) {
+  std::vector<CVector> pts{{Complex{1, 0}}, {Complex{1, 1e-3}}};
+  EXPECT_EQ(pph::poly::deduplicate_solutions(pts, 1e-6).size(), 2u);
+}
+
+}  // namespace

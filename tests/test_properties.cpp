@@ -1,0 +1,149 @@
+// Cross-cutting property sweeps (parameterized gtest) tying the layers
+// together: known root counts across benchmark families, tracker invariance
+// under predictor choice and gamma re-randomization, Pieri completeness
+// across seeds, and combinatorial identities of the localization poset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "homotopy/solver.hpp"
+#include "homotopy/start_multihomogeneous.hpp"
+#include "schubert/pieri_solver.hpp"
+#include "systems/katsura.hpp"
+#include "systems/noon.hpp"
+
+namespace {
+
+using pph::homotopy::SolveOptions;
+using pph::schubert::PatternPoset;
+using pph::schubert::PieriProblem;
+
+// ---- katsura family: 2^n roots ------------------------------------------------
+
+class KatsuraSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KatsuraSweep, FindsTwoToTheNRoots) {
+  const std::size_t n = GetParam();
+  const auto sys = pph::systems::katsura(n);
+  const auto summary = pph::homotopy::solve_total_degree(sys);
+  EXPECT_EQ(summary.solutions.size(), 1ull << n);
+  EXPECT_EQ(summary.failed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, KatsuraSweep, ::testing::Values(2, 3, 4));
+
+// ---- tracker invariances -------------------------------------------------------
+
+class PredictorKinds
+    : public ::testing::TestWithParam<pph::homotopy::PredictorKind> {};
+
+TEST_P(PredictorKinds, SameSolutionSetOnNoon2) {
+  const auto sys = pph::systems::noon(2);
+  SolveOptions opts;
+  opts.tracker.predictor = GetParam();
+  const auto summary = pph::homotopy::solve_total_degree(sys, opts);
+  // The reference run with the default tangent predictor.
+  const auto reference = pph::homotopy::solve_total_degree(sys);
+  EXPECT_EQ(summary.solutions.size(), reference.solutions.size());
+  for (const auto& s : reference.solutions) {
+    double best = 1e18;
+    for (const auto& t : summary.solutions) {
+      best = std::min(best, pph::linalg::distance2(s, t));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PredictorKinds,
+                         ::testing::Values(pph::homotopy::PredictorKind::kTangent,
+                                           pph::homotopy::PredictorKind::kSecant,
+                                           pph::homotopy::PredictorKind::kZeroOrder));
+
+class GammaSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GammaSeeds, RootCountIndependentOfGamma) {
+  const auto sys = pph::systems::noon(2);
+  SolveOptions opts;
+  opts.seed = GetParam();
+  const auto summary = pph::homotopy::solve_total_degree(sys, opts);
+  // noon(2) root count is an invariant of the system, not of the homotopy.
+  const auto reference = pph::homotopy::solve_total_degree(sys);
+  EXPECT_EQ(summary.solutions.size(), reference.solutions.size()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GammaSeeds, ::testing::Values(11, 222, 3333, 44444));
+
+// ---- Pieri completeness across seeds -------------------------------------------
+
+class PieriSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PieriSeeds, CompleteOn221) {
+  const auto summary =
+      pph::schubert::solve_random_pieri(PieriProblem{2, 2, 1}, GetParam());
+  EXPECT_TRUE(summary.complete()) << "seed " << GetParam();
+  EXPECT_EQ(summary.solutions.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PieriSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- poset identities -----------------------------------------------------------
+
+class PosetGrid : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(PosetGrid, PieriRecursionHoldsEverywhere) {
+  // count(P) = sum over children of count(child), for every non-minimal
+  // pattern -- the identity that makes the tree job structure correct.
+  const auto [m, p, q] = GetParam();
+  PatternPoset poset(PieriProblem{m, p, q});
+  for (std::size_t level = 1; level < poset.levels(); ++level) {
+    for (const auto& pattern : poset.patterns_at_level(level)) {
+      std::uint64_t sum = 0;
+      for (const auto& child : pattern.children()) sum += poset.chain_count(child);
+      EXPECT_EQ(poset.chain_count(pattern), sum) << pattern.to_string();
+    }
+  }
+}
+
+TEST_P(PosetGrid, LevelWidthsAreUnimodalEnds) {
+  // Exactly one minimal and one maximal pattern.
+  const auto [m, p, q] = GetParam();
+  PatternPoset poset(PieriProblem{m, p, q});
+  EXPECT_EQ(poset.patterns_at_level(0).size(), 1u);
+  EXPECT_EQ(poset.patterns_at_level(poset.levels() - 1).size(), 1u);
+}
+
+TEST_P(PosetGrid, JobsPerLevelEndsAtRootCount) {
+  // The last levels of the tree have exactly d jobs each once the width
+  // saturates; in particular the final level always has d jobs.
+  const auto [m, p, q] = GetParam();
+  PatternPoset poset(PieriProblem{m, p, q});
+  EXPECT_EQ(poset.jobs_per_level().back(), poset.root_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PosetGrid,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(2, 3),
+                                            ::testing::Values(0, 1)));
+
+// ---- multi-homogeneous bounds ---------------------------------------------------
+
+TEST(MultihomBound, AnyPartitionBoundsTheRootCount) {
+  // A multi-homogeneous Bezout number depends on the partition and can
+  // EXCEED the total degree for an unfavorable grouping, but every
+  // partition still bounds the number of isolated finite roots.
+  for (std::size_t n = 2; n <= 3; ++n) {
+    const auto kat = pph::systems::katsura(n);
+    const auto roots = pph::homotopy::solve_total_degree(kat).solutions.size();
+    // Single group: equals the total degree.
+    EXPECT_EQ(pph::homotopy::multihomogeneous_bezout(
+                  kat, pph::homotopy::VariablePartition(kat.nvars(), 0)),
+              kat.total_degree());
+    // An unfavorable split still bounds the root count.
+    pph::homotopy::VariablePartition part(kat.nvars(), 0);
+    part[0] = 1;
+    EXPECT_GE(pph::homotopy::multihomogeneous_bezout(kat, part), roots);
+  }
+}
+
+}  // namespace

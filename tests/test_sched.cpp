@@ -1,0 +1,220 @@
+// Tests for the parallel schedulers: static and dynamic runs must track
+// every path exactly once and agree with the sequential baseline; the
+// dynamic protocol must survive worker death (failure injection); the
+// parallel Pieri scheduler must reproduce the sequential solver's solution
+// set on multiple worker counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "homotopy/start_total_degree.hpp"
+#include "sched/dynamic_scheduler.hpp"
+#include "sched/pieri_scheduler.hpp"
+#include "sched/static_scheduler.hpp"
+#include "systems/cyclic.hpp"
+
+namespace {
+
+using pph::homotopy::ConvexHomotopy;
+using pph::homotopy::TotalDegreeStart;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::sched::ParallelRunReport;
+using pph::sched::PathWorkload;
+using pph::schubert::PieriProblem;
+using pph::util::Prng;
+
+/// Fixture: the cyclic-5 workload (120 paths, 70 finite roots) shared by
+/// the scheduler tests.
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Prng>(1234);
+    target_ = pph::systems::cyclic(5);
+    start_ = std::make_unique<TotalDegreeStart>(target_, *rng_);
+    homotopy_ = std::make_unique<ConvexHomotopy>(start_->system(), target_, rng_->unit_complex());
+    starts_ = start_->all_solutions();
+    workload_.homotopy = homotopy_.get();
+    workload_.starts = &starts_;
+    baseline_ = pph::homotopy::track_all(*homotopy_, starts_, workload_.tracker);
+  }
+
+  static std::multiset<int> status_multiset(const ParallelRunReport& report) {
+    std::multiset<int> s;
+    for (const auto& tp : report.paths) s.insert(static_cast<int>(tp.result.status));
+    return s;
+  }
+
+  void expect_matches_baseline(const ParallelRunReport& report) {
+    ASSERT_EQ(report.paths.size(), starts_.size());
+    // Every index exactly once (report is sorted by tally()).
+    for (std::size_t i = 0; i < report.paths.size(); ++i) {
+      EXPECT_EQ(report.paths[i].index, i);
+    }
+    // Identical results to the sequential run (the tracker is
+    // deterministic given the same homotopy and start).
+    for (std::size_t i = 0; i < report.paths.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(report.paths[i].result.status),
+                static_cast<int>(baseline_[i].status))
+          << "path " << i;
+      if (baseline_[i].status == pph::homotopy::PathStatus::kConverged) {
+        EXPECT_LT(pph::linalg::distance2(report.paths[i].result.x, baseline_[i].x), 1e-8);
+      }
+    }
+  }
+
+  std::unique_ptr<Prng> rng_;
+  pph::poly::PolySystem target_;
+  std::unique_ptr<TotalDegreeStart> start_;
+  std::unique_ptr<ConvexHomotopy> homotopy_;
+  std::vector<CVector> starts_;
+  PathWorkload workload_;
+  std::vector<pph::homotopy::PathResult> baseline_;
+};
+
+TEST_F(SchedulerTest, StaticCyclicMatchesSequential) {
+  const auto report = pph::sched::run_static(workload_, 4);
+  expect_matches_baseline(report);
+  EXPECT_EQ(report.converged + report.diverged + report.failed, starts_.size());
+}
+
+TEST_F(SchedulerTest, StaticBlockMatchesSequential) {
+  const auto report =
+      pph::sched::run_static(workload_, 3, pph::sched::StaticAssignment::kBlock);
+  expect_matches_baseline(report);
+}
+
+TEST_F(SchedulerTest, StaticSingleRankDegeneratesToSequential) {
+  const auto report = pph::sched::run_static(workload_, 1);
+  expect_matches_baseline(report);
+  EXPECT_GT(report.rank_busy_seconds[0], 0.0);
+}
+
+TEST_F(SchedulerTest, DynamicMatchesSequential) {
+  const auto report = pph::sched::run_dynamic(workload_, 4);
+  expect_matches_baseline(report);
+}
+
+TEST_F(SchedulerTest, DynamicManyWorkers) {
+  const auto report = pph::sched::run_dynamic(workload_, 9);
+  expect_matches_baseline(report);
+  // Master does not track.
+  EXPECT_EQ(report.rank_busy_seconds[0], 0.0);
+}
+
+TEST_F(SchedulerTest, DynamicRequiresTwoRanks) {
+  EXPECT_THROW(pph::sched::run_dynamic(workload_, 1), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, DynamicSurvivesWorkerDeath) {
+  pph::sched::DynamicOptions opts;
+  opts.kill_slave_rank = 2;
+  opts.kill_slave_after_jobs = 3;  // rank 2 dies on its 4th job
+  const auto report = pph::sched::run_dynamic(workload_, 4, opts);
+  // All paths still tracked exactly once, by the surviving workers.
+  expect_matches_baseline(report);
+  std::set<int> workers;
+  for (const auto& tp : report.paths) workers.insert(tp.worker);
+  EXPECT_TRUE(workers.count(1) == 1 && workers.count(3) == 1);
+}
+
+TEST_F(SchedulerTest, StatusTalliesAgreeAcrossSchedulers) {
+  const auto st = pph::sched::run_static(workload_, 5);
+  const auto dy = pph::sched::run_dynamic(workload_, 5);
+  EXPECT_EQ(status_multiset(st), status_multiset(dy));
+  EXPECT_EQ(st.converged, dy.converged);
+  EXPECT_EQ(st.diverged, dy.diverged);
+}
+
+TEST_F(SchedulerTest, BusyTimesCoverAllRanks) {
+  const auto report = pph::sched::run_static(workload_, 4);
+  ASSERT_EQ(report.rank_busy_seconds.size(), 4u);
+  for (const double b : report.rank_busy_seconds) EXPECT_GE(b, 0.0);
+}
+
+// ---- parallel Pieri --------------------------------------------------------
+
+TEST(ParallelPieri, MatchesSequentialSolutionSet221) {
+  const PieriProblem pb{2, 2, 1};
+  pph::util::Prng rng(42);
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const auto sequential = pph::schubert::solve_pieri(input);
+  ASSERT_TRUE(sequential.complete());
+
+  const auto parallel = pph::sched::run_parallel_pieri(input, 4);
+  EXPECT_TRUE(parallel.complete());
+  ASSERT_EQ(parallel.solutions.size(), sequential.solutions.size());
+  // Match solution sets within tolerance.
+  for (const auto& ps : parallel.solutions) {
+    double best = 1e18;
+    for (const auto& ss : sequential.solutions) {
+      best = std::min(best, pph::linalg::distance2(ps.coords(), ss.coords()));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(ParallelPieri, WorkerCountInvariance) {
+  const PieriProblem pb{2, 2, 1};
+  pph::util::Prng rng(43);
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const auto two = pph::sched::run_parallel_pieri(input, 2);
+  const auto five = pph::sched::run_parallel_pieri(input, 5);
+  EXPECT_TRUE(two.complete());
+  EXPECT_TRUE(five.complete());
+  EXPECT_EQ(two.solutions.size(), five.solutions.size());
+  EXPECT_EQ(two.total_jobs, five.total_jobs);
+}
+
+TEST(ParallelPieri, JobsPerLevelMatchPoset) {
+  const PieriProblem pb{3, 2, 1};  // the Table III instance
+  pph::util::Prng rng(44);
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const auto report = pph::sched::run_parallel_pieri(input, 3);
+  EXPECT_TRUE(report.complete());
+  pph::schubert::PatternPoset poset(pb);
+  const auto expected = poset.jobs_per_level();
+  ASSERT_EQ(report.jobs_per_level.size(), expected.size());
+  // Retries can only add jobs; a clean run matches exactly.
+  if (report.failures == 0 && report.total_jobs == poset.total_jobs()) {
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(report.jobs_per_level[i], expected[i]) << "level " << i + 1;
+    }
+  }
+  EXPECT_EQ(report.solutions.size(), 55u);
+}
+
+TEST(ParallelPieri, PeakActiveInstancesBounded) {
+  // The Pieri-tree memory argument (paper section III-C): the master never
+  // holds more than a couple of poset levels' worth of instances.
+  const PieriProblem pb{2, 2, 1};
+  pph::util::Prng rng(45);
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  const auto report = pph::sched::run_parallel_pieri(input, 3);
+  pph::schubert::PatternPoset poset(pb);
+  EXPECT_LE(report.peak_active_instances, poset.pattern_count());
+  EXPECT_GT(report.peak_active_instances, 0u);
+}
+
+TEST(ParallelPieri, RequiresTwoRanks) {
+  const PieriProblem pb{2, 2, 0};
+  pph::util::Prng rng(46);
+  const auto input = pph::schubert::random_pieri_input(pb, rng);
+  EXPECT_THROW(pph::sched::run_parallel_pieri(input, 1), std::invalid_argument);
+}
+
+TEST(ParallelPieri, DeformationDeterministic) {
+  const std::vector<std::size_t> pivots{4, 7};
+  const auto a = pph::sched::instance_deformation(7, pivots, 0);
+  const auto b = pph::sched::instance_deformation(7, pivots, 0);
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.detour_s, b.detour_s);
+  const auto c = pph::sched::instance_deformation(7, pivots, 1);
+  EXPECT_NE(a.gamma, c.gamma);
+  const auto d = pph::sched::instance_deformation(8, pivots, 0);
+  EXPECT_NE(a.gamma, d.gamma);
+}
+
+}  // namespace

@@ -1,0 +1,400 @@
+// Tests for the combinatorial layer of src/schubert: localization patterns
+// (paper Fig 3), the pattern poset and root counts (Fig 4, Table IV), the
+// Pieri tree (Fig 5, Table III), the special plane determinant identity,
+// chart embeddings, and condition evaluation gradients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "linalg/lu.hpp"
+#include "schubert/conditions.hpp"
+#include "schubert/pieri_tree.hpp"
+#include "schubert/planes.hpp"
+#include "schubert/poset.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using pph::linalg::CMatrix;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::schubert::Pattern;
+using pph::schubert::PatternChart;
+using pph::schubert::PatternPoset;
+using pph::schubert::PieriProblem;
+using pph::schubert::PieriTree;
+using pph::util::Prng;
+
+// ---- problem sizes ---------------------------------------------------------
+
+TEST(PieriProblem, DimensionsMatchPaperFormulas) {
+  PieriProblem pb{2, 2, 1};
+  EXPECT_EQ(pb.condition_count(), 8u);  // mp + q(m+p) = 4 + 4
+  EXPECT_EQ(pb.concat_rows(), 8u);      // Fig 3: concatenated 8 x 2
+  EXPECT_EQ(pb.column_height(0), 4u);   // first column limited to degree 0
+  EXPECT_EQ(pb.column_height(1), 8u);   // second column may use degree 1
+}
+
+TEST(PieriProblem, HeightsForEvenDegree) {
+  PieriProblem pb{3, 2, 2};  // q = 1*p + 0: all columns height (a+1)(m+p)
+  EXPECT_EQ(pb.concat_rows(), 10u);
+  EXPECT_EQ(pb.column_height(0), 10u);
+  EXPECT_EQ(pb.column_height(1), 10u);
+}
+
+// ---- patterns --------------------------------------------------------------
+
+TEST(Pattern, Fig3RootPattern) {
+  // Paper Fig 3/4: for m=2, p=2, q=1 the full problem localizes at [4 7].
+  PieriProblem pb{2, 2, 1};
+  const Pattern root = Pattern::root(pb);
+  EXPECT_EQ(root.pivots(), (std::vector<std::size_t>{4, 7}));
+  EXPECT_EQ(root.level(), 8u);
+  EXPECT_TRUE(root.valid());
+}
+
+TEST(Pattern, RootFor231) {
+  PieriProblem pb{2, 3, 1};
+  const Pattern root = Pattern::root(pb);
+  EXPECT_EQ(root.level(), pb.condition_count());
+  EXPECT_EQ(root.pivots(), (std::vector<std::size_t>{4, 5, 8}));
+}
+
+TEST(Pattern, MinimalPatternLevelZero) {
+  PieriProblem pb{3, 3, 1};
+  const Pattern min = Pattern::minimal(pb);
+  EXPECT_EQ(min.level(), 0u);
+  EXPECT_TRUE(min.valid());
+  EXPECT_TRUE(min.children().empty());
+  EXPECT_TRUE(PatternChart(min).cells().empty());
+}
+
+TEST(Pattern, ValidityRejectsSpreadViolation) {
+  // Rule 3: pivots may not differ by m+p or more: [1 5] invalid for m=p=2.
+  PieriProblem pb{2, 2, 1};
+  EXPECT_FALSE(Pattern(pb, {1, 5}).valid());
+  EXPECT_TRUE(Pattern(pb, {1, 4}).valid());
+  EXPECT_TRUE(Pattern(pb, {2, 4}).valid());
+}
+
+TEST(Pattern, ValidityRejectsNonIncreasing) {
+  PieriProblem pb{2, 2, 0};
+  EXPECT_FALSE(Pattern(pb, {3, 3}).valid());
+  EXPECT_FALSE(Pattern(pb, {3, 2}).valid());
+}
+
+TEST(Pattern, ValidityRejectsHeightViolation) {
+  PieriProblem pb{2, 2, 1};
+  EXPECT_FALSE(Pattern(pb, {5, 6}).valid());  // column 0 limited to height 4
+}
+
+TEST(Pattern, StarAndFreeCells) {
+  PieriProblem pb{2, 2, 1};
+  const Pattern root = Pattern::root(pb);  // [4 7]
+  // Stars: column 0 rows 1..4, column 1 rows 2..7 -> 4 + 6 = 10 cells; minus
+  // the two normalized top pivots leaves level() = 8 free cells.
+  EXPECT_EQ(root.star_cells().size(), 10u);
+  EXPECT_EQ(root.free_cells().size(), 8u);
+  EXPECT_EQ(root.free_cells().size(), root.level());
+}
+
+TEST(Pattern, ColumnDegreesAndResidues) {
+  PieriProblem pb{2, 2, 1};
+  const Pattern root = Pattern::root(pb);  // [4 7]
+  EXPECT_EQ(root.column_degree(0), 0u);
+  EXPECT_EQ(root.column_degree(1), 1u);  // pivot 7 sits in the second block
+  EXPECT_EQ(root.pivot_residue(0), 4u);
+  EXPECT_EQ(root.pivot_residue(1), 3u);
+}
+
+TEST(Pattern, ChildrenMatchFig5Structure) {
+  // Fig 5 (m=2, p=2, q=1): [1 3]'s parents (upward covers) are [1 4], [2 3];
+  // [1 4]'s only parent is [2 4] ([1 5] violates the spread rule).
+  PieriProblem pb{2, 2, 1};
+  auto parents_of = [&pb](std::vector<std::size_t> piv) {
+    std::set<std::string> out;
+    for (const auto& par : Pattern(pb, std::move(piv)).parents()) out.insert(par.to_string());
+    return out;
+  };
+  EXPECT_EQ(parents_of({1, 3}), (std::set<std::string>{"[1 4]", "[2 3]"}));
+  EXPECT_EQ(parents_of({1, 4}), (std::set<std::string>{"[2 4]"}));
+  EXPECT_EQ(parents_of({4, 6}), (std::set<std::string>{"[4 7]"}));
+}
+
+TEST(Pattern, ChildColumnDetection) {
+  PieriProblem pb{2, 2, 1};
+  const Pattern parent(pb, {2, 4});
+  const Pattern child(pb, {1, 4});
+  EXPECT_EQ(parent.child_column(child), 0u);
+  const Pattern other(pb, {2, 3});
+  EXPECT_EQ(parent.child_column(other), 1u);
+  EXPECT_EQ(parent.child_column(parent), pb.p);  // not a child
+}
+
+// ---- poset and root counts (Table IV) --------------------------------------
+
+struct RootCountCase {
+  std::size_t m, p, q;
+  std::uint64_t expected;
+};
+
+class RootCounts : public ::testing::TestWithParam<RootCountCase> {};
+
+TEST_P(RootCounts, MatchesPaperTableIV) {
+  const auto& c = GetParam();
+  PatternPoset poset(PieriProblem{c.m, c.p, c.q});
+  EXPECT_EQ(poset.root_count(), c.expected);
+}
+
+// All root counts of the paper's Table IV.  Note: the paper's printed value
+// for (3,3,2) reads "17462"; the chain count (and the quantum Grassmannian
+// degree) is 174,762 -- every other cell matches exactly, so we record the
+// printed value as a typo (see EXPERIMENTS.md).
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, RootCounts,
+    ::testing::Values(RootCountCase{2, 2, 0, 2}, RootCountCase{2, 2, 1, 8},
+                      RootCountCase{2, 2, 2, 32}, RootCountCase{2, 2, 3, 128},
+                      RootCountCase{3, 2, 0, 5}, RootCountCase{3, 2, 1, 55},
+                      RootCountCase{3, 2, 2, 610}, RootCountCase{3, 2, 3, 6765},
+                      RootCountCase{3, 3, 0, 42}, RootCountCase{3, 3, 1, 2730},
+                      RootCountCase{3, 3, 2, 174762}, RootCountCase{4, 3, 0, 462},
+                      RootCountCase{4, 3, 1, 135660}, RootCountCase{4, 4, 0, 24024}));
+
+TEST(PatternPoset, SymmetricInMAndP) {
+  for (std::size_t q = 0; q <= 2; ++q) {
+    PatternPoset a(PieriProblem{2, 3, q});
+    PatternPoset b(PieriProblem{3, 2, q});
+    EXPECT_EQ(a.root_count(), b.root_count()) << "q=" << q;
+  }
+}
+
+TEST(PatternPoset, QZeroMatchesGrassmannianDegree) {
+  for (std::size_t m = 2; m <= 4; ++m) {
+    for (std::size_t p = 2; p <= 4; ++p) {
+      PatternPoset poset(PieriProblem{m, p, 0});
+      EXPECT_EQ(poset.root_count(), pph::schubert::grassmannian_degree(m, p))
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(PatternPoset, FibonacciFamily) {
+  // d(3,2,q) = F_{5(q+1)} (5, 55, 610, 6765, ...).
+  auto fib = [](std::size_t k) {
+    std::uint64_t a = 0, b = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t t = a + b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  for (std::size_t q = 0; q <= 3; ++q) {
+    PatternPoset poset(PieriProblem{3, 2, q});
+    EXPECT_EQ(poset.root_count(), fib(5 * (q + 1))) << "q=" << q;
+  }
+}
+
+TEST(PatternPoset, LevelsAndMinimalLevelWidths) {
+  PatternPoset poset(PieriProblem{2, 2, 1});
+  EXPECT_EQ(poset.levels(), 9u);  // levels 0..8
+  EXPECT_EQ(poset.patterns_at_level(0).size(), 1u);
+  EXPECT_EQ(poset.patterns_at_level(8).size(), 1u);  // unique root
+}
+
+TEST(PatternPoset, JobsPerLevelMatchesTableIII) {
+  // Table III: (m=3, p=2, q=1) -- 252 paths over 11 levels.
+  PatternPoset poset(PieriProblem{3, 2, 1});
+  const auto jobs = poset.jobs_per_level();
+  const std::vector<std::uint64_t> expected{1, 2, 3, 5, 8, 13, 21, 34, 55, 55, 55};
+  EXPECT_EQ(jobs, expected);
+  EXPECT_EQ(poset.total_jobs(), 252u);
+}
+
+TEST(PatternPoset, ChainCountOfMinimalIsOne) {
+  PatternPoset poset(PieriProblem{2, 2, 1});
+  EXPECT_EQ(poset.chain_count(Pattern::minimal(PieriProblem{2, 2, 1})), 1u);
+}
+
+// ---- Pieri tree (Fig 5) ----------------------------------------------------
+
+TEST(PieriTreeTest, Fig5LeafAndNodeCounts) {
+  PieriTree tree(PieriProblem{2, 2, 1});
+  EXPECT_EQ(tree.leaf_count(), 8u);  // == root count
+  // Edges per depth must match the poset job counts.
+  PatternPoset poset(PieriProblem{2, 2, 1});
+  const auto jobs = poset.jobs_per_level();
+  for (std::size_t d = 1; d < tree.depth_count(); ++d) {
+    EXPECT_EQ(tree.nodes_at_depth(d).size(), jobs[d - 1]) << "depth " << d;
+  }
+  EXPECT_EQ(tree.edge_count(), poset.total_jobs());
+}
+
+TEST(PieriTreeTest, EveryLeafPatternIsRoot) {
+  PieriTree tree(PieriProblem{2, 2, 1});
+  const Pattern root = Pattern::root(PieriProblem{2, 2, 1});
+  for (const auto idx : tree.nodes_at_depth(tree.depth_count() - 1)) {
+    EXPECT_TRUE(tree.nodes()[idx].pattern == root);
+  }
+}
+
+TEST(PieriTreeTest, ParentChildDepthsConsistent) {
+  PieriTree tree(PieriProblem{2, 3, 1});
+  for (std::size_t i = 1; i < tree.node_count(); ++i) {
+    const auto& node = tree.nodes()[i];
+    EXPECT_EQ(tree.nodes()[node.parent].depth + 1, node.depth);
+    EXPECT_EQ(tree.nodes()[node.parent].pattern.child_column(node.pattern),
+              tree.nodes()[node.parent].pattern.problem().p)
+        << "parent must be the node's child pattern, not vice versa";
+  }
+}
+
+TEST(PieriTreeTest, NodeBudgetEnforced) {
+  EXPECT_THROW(PieriTree(PieriProblem{4, 3, 1}, 1000), std::length_error);
+}
+
+// ---- special plane ---------------------------------------------------------
+
+TEST(SpecialPlane, DeterminantIsPivotProduct) {
+  // Property test of the K_F identity: det([X(1,0) | K_F]) = sign * prod of
+  // bottom-pivot entries, over random patterns and random coordinates.
+  Prng rng(99);
+  const std::vector<PieriProblem> problems{{2, 2, 1}, {2, 3, 1}, {3, 2, 1}, {3, 3, 0}, {2, 2, 3}};
+  for (const auto& pb : problems) {
+    PatternPoset poset(pb);
+    for (std::size_t level = 1; level <= pb.condition_count(); ++level) {
+      const auto& pats = poset.patterns_at_level(level);
+      const Pattern& pattern = pats[rng.uniform_index(pats.size())];
+      PatternChart chart(pattern);
+      CVector coords(chart.dimension());
+      for (auto& v : coords) v = rng.normal_complex();
+      const CMatrix kf = pph::schubert::special_plane(pattern);
+      const auto eval = pph::schubert::evaluate_condition(chart, coords, kf, Complex{1.0, 0.0},
+                                                          Complex{0.0, 0.0});
+      // Product of the bottom-pivot entries of the concatenated matrix.
+      Complex prod{1.0, 0.0};
+      const CMatrix xhat = chart.concatenated(coords);
+      for (std::size_t j = 0; j < pb.p; ++j) prod *= xhat(pattern.pivot(j) - 1, j);
+      prod *= static_cast<double>(pph::schubert::special_plane_sign(pattern));
+      EXPECT_NEAR(std::abs(eval.value - prod), 0.0, 1e-10 * (1.0 + std::abs(prod)))
+          << pattern.to_string();
+    }
+  }
+}
+
+TEST(SpecialPlane, ColumnsAreUnitVectors) {
+  PieriProblem pb{2, 3, 1};
+  const Pattern root = Pattern::root(pb);
+  const CMatrix kf = pph::schubert::special_plane(root);
+  EXPECT_EQ(kf.rows(), pb.space_dim());
+  EXPECT_EQ(kf.cols(), pb.m);
+  for (std::size_t c = 0; c < kf.cols(); ++c) {
+    double colsum = 0.0;
+    for (std::size_t r = 0; r < kf.rows(); ++r) colsum += std::abs(kf(r, c));
+    EXPECT_NEAR(colsum, 1.0, 1e-15);
+  }
+}
+
+// ---- charts and conditions -------------------------------------------------
+
+TEST(PatternChart, EmbedChildInsertsZeroAtNewCell) {
+  PieriProblem pb{2, 2, 1};
+  const Pattern parent(pb, {3, 5});
+  const Pattern child(pb, {3, 4});
+  PatternChart pc(parent), cc(child);
+  Prng rng(5);
+  CVector child_coords(cc.dimension());
+  for (auto& v : child_coords) v = rng.normal_complex();
+  const CVector embedded = pc.embed_child(cc, child_coords);
+  EXPECT_EQ(embedded.size(), child_coords.size() + 1);
+  // The maps agree at any (s, u=1) because the new cell is zero.
+  const Complex s{0.3, 0.7};
+  const CMatrix a_child = cc.evaluate_map(child_coords, s, Complex{1, 0});
+  const CMatrix a_parent = pc.evaluate_map(embedded, s, Complex{1, 0});
+  EXPECT_NEAR(pph::linalg::norm_frobenius(a_child - a_parent), 0.0, 1e-13);
+}
+
+TEST(PatternChart, ConcatenatedHasTopPivotOnes) {
+  PieriProblem pb{2, 3, 1};
+  const Pattern root = Pattern::root(pb);
+  PatternChart chart(root);
+  const CVector coords(chart.dimension(), Complex{0.5, -0.5});
+  const CMatrix xhat = chart.concatenated(coords);
+  for (std::size_t j = 0; j < pb.p; ++j) EXPECT_EQ(xhat(j, j), (Complex{1, 0}));
+}
+
+TEST(Conditions, GradientMatchesFiniteDifference) {
+  Prng rng(7);
+  PieriProblem pb{2, 2, 1};
+  const Pattern root = Pattern::root(pb);
+  PatternChart chart(root);
+  CVector coords(chart.dimension());
+  for (auto& v : coords) v = rng.normal_complex();
+  CMatrix plane(pb.space_dim(), pb.m);
+  for (std::size_t r = 0; r < plane.rows(); ++r)
+    for (std::size_t c = 0; c < plane.cols(); ++c) plane(r, c) = rng.normal_complex();
+  const Complex s{0.4, 0.2}, u{1.0, 0.0};
+  const auto eval = pph::schubert::evaluate_condition(chart, coords, plane, s, u);
+  const double h = 1e-7;
+  for (std::size_t k = 0; k < coords.size(); ++k) {
+    CVector bumped = coords;
+    bumped[k] += Complex{h, 0};
+    const auto ev2 = pph::schubert::evaluate_condition(chart, bumped, plane, s, u);
+    const Complex fd = (ev2.value - eval.value) / h;
+    EXPECT_NEAR(std::abs(eval.gradient[k] - fd), 0.0, 1e-5 * (1.0 + std::abs(fd))) << "k=" << k;
+  }
+}
+
+TEST(Conditions, CofactorMatrixMatchesInverseScaling) {
+  // For invertible B: cof = det(B) * inv(B)^T.
+  Prng rng(8);
+  CMatrix b(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) b(r, c) = rng.normal_complex();
+  pph::linalg::LU lu(b);
+  const auto inv = lu.inverse();
+  ASSERT_TRUE(inv.has_value());
+  const Complex det = lu.determinant();
+  const CMatrix cof = pph::schubert::cofactor_matrix(b);
+  const CMatrix expected = inv->transpose() * det;
+  EXPECT_NEAR(pph::linalg::norm_frobenius(cof - expected), 0.0, 1e-8 * std::abs(det));
+}
+
+TEST(Conditions, ResidualSmallOnConstructedIntersection) {
+  // Build a plane that contains X(s0) * e1 so the condition holds exactly.
+  Prng rng(9);
+  PieriProblem pb{2, 2, 0};
+  const Pattern root = Pattern::root(pb);
+  PatternChart chart(root);
+  CVector coords(chart.dimension());
+  for (auto& v : coords) v = rng.normal_complex();
+  const Complex s0{0.3, -0.4};
+  const CMatrix x = chart.evaluate_map(coords, s0, Complex{1, 0});
+  // Plane spanned by X(s0) e_1 and a random vector: meets the column span.
+  CMatrix plane(pb.space_dim(), pb.m);
+  for (std::size_t r = 0; r < plane.rows(); ++r) {
+    plane(r, 0) = x(r, 0);
+    plane(r, 1) = rng.normal_complex();
+  }
+  const double res = pph::schubert::condition_residual(chart, coords,
+                                                       pph::schubert::PlaneCondition{plane, s0});
+  EXPECT_LT(res, 1e-12);
+}
+
+TEST(Conditions, ResidualLargeOnGenericPlane) {
+  Prng rng(10);
+  PieriProblem pb{2, 2, 0};
+  PatternChart chart(Pattern::root(pb));
+  CVector coords(chart.dimension());
+  for (auto& v : coords) v = rng.normal_complex();
+  CMatrix plane(pb.space_dim(), pb.m);
+  for (std::size_t r = 0; r < plane.rows(); ++r)
+    for (std::size_t c = 0; c < plane.cols(); ++c) plane(r, c) = rng.normal_complex();
+  EXPECT_GT(pph::schubert::condition_residual(chart, coords,
+                                              pph::schubert::PlaneCondition{plane, Complex{0.1, 0.2}}),
+            1e-6);
+}
+
+}  // namespace

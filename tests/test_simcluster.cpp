@@ -1,0 +1,249 @@
+// Tests for the cluster simulator: conservation and bound invariants of
+// both policies, the qualitative relationships the paper reports (dynamic
+// beats static under high variance; the gap vanishes for uniform
+// workloads), and the speedup-study table generation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simcluster/speedup.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using pph::simcluster::CommModel;
+using pph::simcluster::SimAssignment;
+using pph::simcluster::simulate_dynamic;
+using pph::simcluster::simulate_static;
+using pph::simcluster::WorkloadModel;
+using pph::util::Prng;
+
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+TEST(Workload, SynthesizeSizeAndPositivity) {
+  WorkloadModel m;
+  m.jobs = 1000;
+  m.divergent_fraction = 0.1;
+  m.tail_mu = std::log(10.0);
+  Prng rng(1);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  EXPECT_EQ(d.size(), 1000u);
+  for (const double x : d) EXPECT_GT(x, 0.0);
+}
+
+TEST(Workload, DivergentTailRaisesVariance) {
+  WorkloadModel uniform;
+  uniform.jobs = 5000;
+  WorkloadModel tailed = uniform;
+  tailed.divergent_fraction = 0.03;
+  tailed.tail_mu = std::log(30.0);
+  Prng r1(2), r2(2);
+  const auto du = pph::simcluster::synthesize(uniform, r1);
+  const auto dt = pph::simcluster::synthesize(tailed, r2);
+  EXPECT_GT(pph::util::coefficient_of_variation(dt),
+            2.0 * pph::util::coefficient_of_variation(du));
+}
+
+TEST(Workload, BootstrapScalesAndResamples) {
+  Prng rng(3);
+  const std::vector<double> measured{1.0, 2.0, 3.0};
+  const auto d = pph::simcluster::bootstrap(measured, 1000, 10.0, rng);
+  EXPECT_EQ(d.size(), 1000u);
+  for (const double x : d) {
+    EXPECT_TRUE(x == 10.0 || x == 20.0 || x == 30.0);
+  }
+}
+
+TEST(Workload, PaperModelsMatchHeadlineNumbers) {
+  Prng rng(4);
+  const auto cyclic = pph::simcluster::cyclic10_model();
+  EXPECT_EQ(cyclic.jobs, 35940u);
+  const auto d = pph::simcluster::synthesize(cyclic, rng);
+  // Sequential time should be in the ballpark of the paper's 480 CPU
+  // minutes (28,800 s); the model is a calibration, so allow 25%.
+  EXPECT_NEAR(total(d), 28800.0, 7200.0);
+
+  const auto rps = pph::simcluster::rps_model();
+  EXPECT_EQ(rps.jobs, 9216u);
+  Prng rng2(5);
+  const auto dr = pph::simcluster::synthesize(rps, rng2);
+  // Paper extrapolates 3,111 CPU minutes (186,672 s).
+  EXPECT_NEAR(total(dr), 186672.0, 46668.0);
+}
+
+// ---- invariants -------------------------------------------------------------
+
+TEST(ScheduleSim, MakespanLowerBound) {
+  Prng rng(6);
+  WorkloadModel m;
+  m.jobs = 2000;
+  m.divergent_fraction = 0.05;
+  m.tail_mu = std::log(20.0);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const double t1 = total(d);
+  const double longest = *std::max_element(d.begin(), d.end());
+  for (const std::size_t cpus : {2u, 8u, 32u}) {
+    const auto st = simulate_static(d, cpus);
+    const auto dy = simulate_dynamic(d, cpus);
+    EXPECT_GE(st.makespan, t1 / cpus - 1e-9);
+    EXPECT_GE(st.makespan, longest);
+    EXPECT_GE(dy.makespan, t1 / cpus - 1e-9);  // conservative (master idle)
+    EXPECT_GE(dy.makespan, longest);
+  }
+}
+
+TEST(ScheduleSim, SingleCpuIsSequential) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(simulate_static(d, 1).makespan, 6.0);
+  EXPECT_DOUBLE_EQ(simulate_dynamic(d, 1).makespan, 6.0);
+}
+
+TEST(ScheduleSim, DynamicNeverWorseThanStaticWithoutComm) {
+  // With zero communication cost, list scheduling (dynamic) beats any
+  // fixed pre-assignment up to the final-job boundary effect; compare with
+  // a tolerance of one max-job.
+  Prng rng(7);
+  WorkloadModel m;
+  m.jobs = 3000;
+  m.divergent_fraction = 0.04;
+  m.tail_mu = std::log(25.0);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const double longest = *std::max_element(d.begin(), d.end());
+  for (const std::size_t cpus : {4u, 16u, 64u}) {
+    const auto st = simulate_static(d, cpus);
+    const auto dy = simulate_dynamic(d, cpus);  // same worker count
+    EXPECT_LE(dy.makespan, st.makespan + longest);
+  }
+}
+
+TEST(ScheduleSim, DispatchOverheadCapsDynamicScaling) {
+  const std::vector<double> d(1000, 1.0);
+  CommModel free, costly;
+  costly.dispatch_overhead = 0.5;  // the master can serve at most 2 jobs/s
+  const auto fast = simulate_dynamic(d, 64, free);
+  const auto slow = simulate_dynamic(d, 64, costly);
+  EXPECT_GT(slow.makespan, fast.makespan);
+  EXPECT_GE(slow.makespan, 1000 * 0.5 - 1e-9);  // master serialization bound
+}
+
+TEST(ScheduleSim, CyclicAssignmentBeatsBlockOnClusteredTail) {
+  // Divergent paths arrive in contiguous runs, so block assignment dumps
+  // whole clusters on single CPUs while cyclic interleaving spreads them.
+  Prng rng(8);
+  WorkloadModel m;
+  m.jobs = 8000;
+  m.divergent_fraction = 0.05;
+  m.tail_mu = std::log(30.0);
+  m.cluster_size = 64;
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const auto block = simulate_static(d, 32, SimAssignment::kBlock);
+  const auto cyclic = simulate_static(d, 32, SimAssignment::kCyclic);
+  EXPECT_LT(cyclic.makespan, block.makespan);
+}
+
+TEST(ScheduleSim, IdleFractionGrowsWithImbalance) {
+  Prng rng(9);
+  WorkloadModel skewed;
+  skewed.jobs = 1000;
+  skewed.divergent_fraction = 0.02;
+  skewed.tail_mu = std::log(100.0);
+  const auto d = pph::simcluster::synthesize(skewed, rng);
+  const auto st = simulate_static(d, 32, SimAssignment::kBlock);
+  const auto dy = simulate_dynamic(d, 32);
+  EXPECT_GT(st.idle_fraction, dy.idle_fraction);
+}
+
+// ---- paper-shape relationships ----------------------------------------------
+
+TEST(SpeedupStudy, HighVarianceFavoursDynamicIncreasinglyWithCpus) {
+  Prng rng(10);
+  const auto d = pph::simcluster::synthesize(pph::simcluster::cyclic10_model(), rng);
+  CommModel comm;
+  comm.dispatch_overhead = 0.004;
+  comm.message_latency = 0.002;
+  const auto study =
+      pph::simcluster::run_speedup_study(d, {8, 16, 32, 64, 128}, comm, SimAssignment::kBlock);
+  // Dynamic wins everywhere, and the improvement grows with the CPU count
+  // (paper: 11.75% at 8 CPUs up to 35.11% at 128).
+  for (const auto& row : study.rows) EXPECT_GT(row.improvement_pct, 0.0) << row.cpus;
+  EXPECT_GT(study.rows.back().improvement_pct, study.rows.front().improvement_pct);
+}
+
+TEST(SpeedupStudy, UniformDivergentWorkloadShowsSmallImprovement) {
+  Prng rng(11);
+  const auto d = pph::simcluster::synthesize(pph::simcluster::rps_model(), rng);
+  CommModel comm;
+  comm.dispatch_overhead = 0.004;
+  comm.message_latency = 0.002;
+  const auto study =
+      pph::simcluster::run_speedup_study(d, {8, 16, 32, 64, 128}, comm, SimAssignment::kBlock);
+  // Low variance: improvement stays in single digits (paper: -1.5%..12%).
+  for (const auto& row : study.rows) {
+    EXPECT_LT(std::abs(row.improvement_pct), 15.0) << row.cpus;
+  }
+}
+
+TEST(ScheduleSim, GuidedBetweenStaticAndDynamic) {
+  Prng rng(21);
+  WorkloadModel m;
+  m.jobs = 5000;
+  m.divergent_fraction = 0.03;
+  m.tail_mu = std::log(25.0);
+  m.cluster_size = 8;
+  const auto d = pph::simcluster::synthesize(m, rng);
+  CommModel comm;
+  const auto st = simulate_static(d, 64, SimAssignment::kBlock);
+  const auto g = pph::simcluster::simulate_guided(d, 64, comm);
+  const auto dy = simulate_dynamic(d, 64, comm);
+  // With zero comm cost: dynamic <= guided (finer grain balances better)
+  // and guided <= static block within a one-max-job boundary.
+  const double longest = *std::max_element(d.begin(), d.end());
+  EXPECT_LE(dy.makespan, g.makespan + longest);
+  EXPECT_LE(g.makespan, st.makespan + longest);
+}
+
+TEST(ScheduleSim, GuidedFewerDispatchesThanDynamic) {
+  const std::vector<double> d(2000, 1.0);
+  CommModel comm;
+  comm.dispatch_overhead = 0.001;
+  const auto g = pph::simcluster::simulate_guided(d, 16, comm);
+  const auto dy = simulate_dynamic(d, 16, comm);
+  EXPECT_LT(g.master_busy, dy.master_busy);
+}
+
+TEST(ScheduleSim, GuidedSingleCpuSequential) {
+  const std::vector<double> d{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(pph::simcluster::simulate_guided(d, 1).makespan, 3.0);
+}
+
+TEST(SpeedupStudy, TableRendering) {
+  Prng rng(12);
+  WorkloadModel m;
+  m.jobs = 500;
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const auto study = pph::simcluster::run_speedup_study(d, {2, 4});
+  const auto table = pph::simcluster::to_table(study, "demo");
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("#CPUs"), std::string::npos);
+  EXPECT_NE(s.find("improvement"), std::string::npos);
+  const std::string fig = pph::simcluster::to_figure_series(study, "fig");
+  EXPECT_NE(fig.find("optimal"), std::string::npos);
+}
+
+TEST(SpeedupStudy, SpeedupMonotoneInCpus) {
+  Prng rng(13);
+  WorkloadModel m;
+  m.jobs = 10000;
+  m.divergent_fraction = 0.02;
+  m.tail_mu = std::log(15.0);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const auto study = pph::simcluster::run_speedup_study(d, {1, 2, 4, 8, 16, 32});
+  for (std::size_t i = 1; i < study.rows.size(); ++i) {
+    EXPECT_GE(study.rows[i].dynamic_speedup, study.rows[i - 1].dynamic_speedup * 0.95);
+  }
+}
+
+}  // namespace

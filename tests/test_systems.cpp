@@ -1,0 +1,137 @@
+// Tests for src/systems: generator structure checks and end-to-end solves
+// of the small instances with known root counts (cyclic-5's 70 roots is the
+// integration anchor for the whole homotopy kernel).
+
+#include <gtest/gtest.h>
+
+#include "homotopy/solver.hpp"
+#include "systems/cyclic.hpp"
+#include "systems/katsura.hpp"
+#include "systems/noon.hpp"
+#include "systems/rps_synthetic.hpp"
+
+namespace {
+
+using pph::homotopy::SolveOptions;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::poly::PolySystem;
+using pph::util::Prng;
+
+TEST(Cyclic, StructureAndDegrees) {
+  const auto sys = pph::systems::cyclic(5);
+  EXPECT_EQ(sys.nvars(), 5u);
+  EXPECT_EQ(sys.size(), 5u);
+  const auto d = sys.degrees();
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(d[k], k + 1);
+  EXPECT_EQ(sys.total_degree(), 120u);
+}
+
+TEST(Cyclic, FirstEquationIsSumOfVariables) {
+  const auto sys = pph::systems::cyclic(4);
+  // f_1 = x0 + x1 + x2 + x3.
+  EXPECT_EQ(sys.equation(0).term_count(), 4u);
+  EXPECT_EQ(sys.equation(0).degree(), 1u);
+  const CVector ones(4, Complex{1, 0});
+  EXPECT_NEAR(std::abs(sys.equation(0).evaluate(ones) - Complex{4, 0}), 0.0, 1e-14);
+}
+
+TEST(Cyclic, KnownSolutionSatisfiesCyclic3) {
+  // For n=3 the point (1, w, w^2) with w a primitive cube root of unity is a
+  // cyclic root: sum = 0, pairwise sums = 0, product = w^3 = 1.
+  const auto sys = pph::systems::cyclic(3);
+  const Complex w{-0.5, std::sqrt(3.0) / 2.0};
+  const CVector x{Complex{1, 0}, w, w * w};
+  EXPECT_LT(sys.residual(x), 1e-12);
+}
+
+TEST(Cyclic, RejectsTinyN) {
+  EXPECT_THROW(pph::systems::cyclic(1), std::invalid_argument);
+}
+
+TEST(CyclicSolve, Cyclic3HasSixRoots) {
+  const auto sys = pph::systems::cyclic(3);
+  const auto summary = pph::homotopy::solve_total_degree(sys);
+  EXPECT_EQ(summary.path_count, 6u);
+  EXPECT_EQ(summary.solutions.size(), 6u);
+}
+
+// The integration anchor: cyclic-5 has exactly 70 finite roots out of 120
+// total-degree paths; the remaining 50 diverge to infinity.  This exercises
+// divergence classification at scale.
+TEST(CyclicSolve, Cyclic5HasSeventyRoots) {
+  const auto sys = pph::systems::cyclic(5);
+  SolveOptions opts;
+  const auto summary = pph::homotopy::solve_total_degree(sys, opts);
+  EXPECT_EQ(summary.path_count, 120u);
+  EXPECT_EQ(summary.solutions.size(), 70u);
+  EXPECT_EQ(summary.converged, 70u);
+  EXPECT_EQ(summary.diverged + summary.failed, 50u);
+}
+
+TEST(Katsura, StructureAndBezout) {
+  const auto sys = pph::systems::katsura(3);
+  EXPECT_EQ(sys.nvars(), 4u);
+  EXPECT_EQ(sys.size(), 4u);
+  const auto d = sys.degrees();
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[3], 1u);  // normalization is linear
+  EXPECT_EQ(sys.total_degree(), 8u);
+}
+
+TEST(KatsuraSolve, Katsura3HasEightRoots) {
+  const auto sys = pph::systems::katsura(3);
+  const auto summary = pph::homotopy::solve_total_degree(sys);
+  EXPECT_EQ(summary.path_count, 8u);
+  EXPECT_EQ(summary.solutions.size(), 8u);
+}
+
+TEST(Noon, StructureCorrect) {
+  const auto sys = pph::systems::noon(3);
+  EXPECT_EQ(sys.nvars(), 3u);
+  for (const auto& d : sys.degrees()) EXPECT_EQ(d, 3u);
+}
+
+TEST(NoonSolve, Noon2RootCountStable) {
+  // noon(2) is small enough to solve exactly; its root count must match the
+  // deduplicated converged endpoints and be invariant across seeds.
+  const auto sys = pph::systems::noon(2);
+  SolveOptions a, b;
+  a.seed = 31;
+  b.seed = 77;
+  const auto sa = pph::homotopy::solve_total_degree(sys, a);
+  const auto sb = pph::homotopy::solve_total_degree(sys, b);
+  EXPECT_EQ(sa.solutions.size(), sb.solutions.size());
+  EXPECT_GT(sa.solutions.size(), 0u);
+}
+
+TEST(RpsSynthetic, PaperScaleCombinatorics) {
+  const auto ps = pph::systems::rps_like_structure(pph::systems::kRpsPaperSize);
+  EXPECT_EQ(ps.size(), 10u);
+  EXPECT_EQ(ps.combination_count(), pph::systems::kRpsPaperPaths);
+  Prng rng(1);
+  const auto target = pph::systems::rps_like_target(pph::systems::kRpsPaperSize, rng);
+  EXPECT_EQ(target.total_degree(), pph::systems::kRpsPaperMixedVolume);
+}
+
+TEST(RpsSynthetic, SmallInstanceMostPathsDiverge) {
+  // k=3: structure (2,6,6) = 72 paths; quadratic target has Bezout 8.
+  Prng rng(2);
+  const auto target = pph::systems::rps_like_target(3, rng);
+  const auto ps = pph::systems::rps_like_structure(3);
+  EXPECT_EQ(ps.combination_count(), 72u);
+  const auto summary = pph::homotopy::solve_linear_product(target, ps);
+  EXPECT_LE(summary.solutions.size(), 8u);
+  EXPECT_GT(summary.solutions.size(), 0u);
+  // The defining property of the RPS regime: divergent paths dominate.
+  EXPECT_GT(summary.diverged, summary.converged);
+}
+
+TEST(RpsSynthetic, TargetResidualLargeAtRandomPoint) {
+  Prng rng(3);
+  const auto target = pph::systems::rps_like_target(4, rng);
+  const CVector x(4, Complex{0.5, 0.5});
+  EXPECT_GT(target.residual(x), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Unit and property tests for src/util: PRNG determinism and distribution
+// sanity, statistics accumulators, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using pph::util::Prng;
+using pph::util::RunningStats;
+using pph::util::Table;
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, ReseedRestartsSequence) {
+  Prng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformRangeRespectsBounds) {
+  Prng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Prng, UniformIndexCoversRange) {
+  Prng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = rng.uniform_index(10);
+    EXPECT_LT(k, 10u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, NormalMomentsApproximatelyStandard) {
+  Prng rng(6);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Prng, UnitComplexOnCircle) {
+  Prng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(std::abs(rng.unit_complex()), 1.0, 1e-12);
+  }
+}
+
+TEST(Prng, LognormalPositive) {
+  Prng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesBulk) {
+  Prng rng(11);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(BatchStats, PercentileInterpolation) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(pph::util::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pph::util::percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(pph::util::median(xs), 2.5);
+}
+
+TEST(BatchStats, CoefficientOfVariation) {
+  std::vector<double> uniform{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pph::util::coefficient_of_variation(uniform), 0.0);
+  std::vector<double> spread{1.0, 9.0};
+  EXPECT_GT(pph::util::coefficient_of_variation(spread), 0.5);
+}
+
+TEST(TableFormat, AlignsColumnsAndHeader) {
+  Table t("Demo");
+  t.set_header({"#CPUs", "time", "speedup"});
+  t.add_row({"8", "75.5", "6.4"});
+  t.add_row({"128", "6.6", "73.3"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("#CPUs"), std::string::npos);
+  EXPECT_NE(s.find("128"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TableFormat, RejectsRaggedRows) {
+  Table t;
+  t.add_row({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableFormat, NumericCells) {
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::cell_ratio(2.0, 1), "2.0x");
+  EXPECT_EQ(Table::na(), "N/A");
+}
+
+TEST(Timers, WallTimerAdvances) {
+  pph::util::WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timers, CpuTimerAdvancesUnderWork) {
+  pph::util::CpuTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+}  // namespace
