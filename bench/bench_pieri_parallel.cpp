@@ -10,6 +10,8 @@
 //    the memory argument for trees over posets;
 //  - projects the measured per-job durations through a level-synchronous
 //    schedule to estimate the parallel efficiency at larger CPU counts.
+//
+// Protocol notes in DESIGN.md section 2; paper-vs-measured in EXPERIMENTS.md.
 
 #include <algorithm>
 #include <cstdio>

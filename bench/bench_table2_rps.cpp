@@ -7,7 +7,8 @@
 // divergence-dominated workload; stage 2 replays the paper-scale workload
 // model through the cluster simulator.  The paper's point -- dynamic
 // balancing gains little when the divergent paths dominate uniformly --
-// is the shape to reproduce.
+// is the shape to reproduce.  See EXPERIMENTS.md for paper-vs-measured and
+// DESIGN.md section 5 for the synthetic substitution.
 
 #include <cstdio>
 #include <cstdlib>

@@ -6,6 +6,7 @@
 // must match the paper's 1 2 3 5 8 13 21 34 55 55 55; the timing column
 // reproduces the paper's observation that "the jobs closest to the root are
 // the smallest ... almost half of the time is spent at the last level".
+// See EXPERIMENTS.md for paper-vs-measured.
 
 #include <cstdio>
 #include <iostream>

@@ -9,7 +9,7 @@
 //
 // Note on (3,3,2): the chain count (and quantum Grassmannian degree) is
 // 174,762; the paper's printed "17462" is missing a digit (all 15 other
-// cells match exactly).
+// cells match exactly).  See EXPERIMENTS.md for paper-vs-measured.
 
 #include <cstdio>
 #include <cstdlib>

@@ -7,6 +7,9 @@
 //
 // This example builds a random instance, solves it with the Pieri
 // homotopy, and verifies both solutions.
+//
+// It is the README's documented entry point and runs in CTest as the
+// `quickstart_smoke` test, so it must keep exiting 0.
 
 #include <cstdio>
 

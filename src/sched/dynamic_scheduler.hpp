@@ -3,7 +3,8 @@
 // II-A): each slave gets one job at the start; when it returns a result the
 // master hands it the next job, first-come-first-served.  More
 // communication than static assignment, but the load follows the actual
-// path costs.  The master (rank 0) only dispatches.
+// path costs.  The master (rank 0) only dispatches.  Protocol notes in
+// DESIGN.md section 2; overhead sensitivity is measured in section 3.
 
 #include "sched/job_pool.hpp"
 

@@ -2,7 +2,8 @@
 // Shared definitions for the parallel path-tracking schedulers: the
 // workload (a homotopy plus its start solutions, replicated read-only on
 // every rank exactly as each MPI process holds the system), message tags,
-// serialization of path results, and the run report.
+// serialization of path results, and the run report.  The protocols built
+// on these definitions are described in DESIGN.md section 2.
 
 #include "homotopy/tracker.hpp"
 #include "mp/comm.hpp"

@@ -12,7 +12,8 @@
 // edges into one (pattern, level) instance ride one deformation (gamma and
 // point-path detours derived deterministically from the pattern), and an
 // instance whose endpoints fail to converge or collide is re-dispatched
-// with a fresh deformation.
+// with a fresh deformation.  See DESIGN.md section 2 for the protocol and
+// the parking rationale.
 
 #include "schubert/pieri_solver.hpp"
 #include "sched/job_pool.hpp"

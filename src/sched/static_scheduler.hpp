@@ -3,7 +3,8 @@
 // distributed evenly to the processors once at the start".  Minimal
 // communication (one result stream back to rank 0), but per-rank load
 // varies with the path cost distribution -- paths diverging to infinity
-// take longer, so the slowest rank gates the run.
+// take longer, so the slowest rank gates the run.  Protocol notes in
+// DESIGN.md section 2; the block-vs-cyclic default is argued in section 3.
 
 #include "sched/job_pool.hpp"
 

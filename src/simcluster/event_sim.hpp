@@ -1,6 +1,7 @@
 #pragma once
-// Minimal discrete-event machinery for the scheduler simulations: a
-// min-heap of (time, actor) events and a per-CPU timeline recorder.
+// Minimal discrete-event machinery for the scheduler simulations (DESIGN.md
+// section 4): a min-heap of (time, actor) events and a per-CPU timeline
+// recorder.
 
 #include <cstdint>
 #include <queue>

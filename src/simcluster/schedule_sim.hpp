@@ -2,7 +2,8 @@
 // Replay of the paper's two load-balancing policies over a job-duration
 // multiset (paper section II-A), with an explicit communication model.
 // Reproduces the wall time a cluster of `cpus` processors would need, from
-// which the speedup tables and figures are generated.
+// which the speedup tables and figures are generated.  The simulator and
+// its communication model are described in DESIGN.md section 4.
 
 #include "simcluster/event_sim.hpp"
 #include "simcluster/workload.hpp"

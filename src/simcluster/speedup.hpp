@@ -1,6 +1,7 @@
 #pragma once
 // Speedup tables and figure series in the format of the paper's Tables I/II
-// and Figures 1/2.
+// and Figures 1/2.  Paper-vs-reproduced numbers are recorded in
+// EXPERIMENTS.md.
 
 #include <string>
 

@@ -55,7 +55,8 @@ std::vector<double> bootstrap(const std::vector<double>& measured, std::size_t j
 }
 
 WorkloadModel cyclic10_model() {
-  // Calibration (DESIGN.md / EXPERIMENTS.md): 35,940 paths, 480 user CPU
+  // Calibration (DESIGN.md section 4; constants table in EXPERIMENTS.md):
+  // 35,940 paths, 480 user CPU
   // minutes sequential on the 1 GHz Platinum nodes, about 1,000 divergent
   // paths carrying a slow, high-variance tail.
   WorkloadModel m;

@@ -10,6 +10,8 @@
 //  - RPS (Table II): 9,216 paths, more than 8,000 diverge and "each of the
 //    diverging paths spend almost the same time", so the variance is low
 //    and dynamic balancing gains little.
+//
+// Model rationale and calibration: DESIGN.md section 4, EXPERIMENTS.md.
 
 #include <cstdint>
 #include <vector>

@@ -8,7 +8,7 @@
 // this example.
 //
 // The real RPS equations are not published in closed form in the paper; the
-// substitution (documented in DESIGN.md) keeps the three properties the
+// substitution (documented in DESIGN.md section 5) keeps the three properties the
 // experiment depends on: (1) the path count 9,216 from the product
 // structure, (2) the finite-root bound 1,024, (3) uniform per-path cost
 // dominated by divergent paths.
