@@ -3,21 +3,42 @@
 //      of how clustered the divergent paths are;
 //   2. dynamic balancing sensitivity to master dispatch overhead;
 //   3. dynamic balancing sensitivity to message latency;
-//   4. the thread runtime protocols on a real workload (cyclic-6),
-//      feeding its measured per-path durations back through the simulator.
+//   3b. the policy spectrum: static / guided / batch+steal / per-job;
+//   4. the thread runtime protocols on a real workload, feeding measured
+//      per-path durations back through the simulator;
+//   5. batched work stealing vs per-job dynamic dispatch on the thread
+//      runtime under injected message latency (the run_batch tentpole
+//      claim: batch throughput >= dynamic at >= 1 ms latency, with
+//      identical path results across all three schedulers).
+//
+// Set PPH_BENCH_ABLATION_TINY=1 for a seconds-scale run (CI smoke): the
+// real-tracking studies drop to cyclic-5 and the latency grid shrinks.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "homotopy/start_total_degree.hpp"
+#include "sched/batch_scheduler.hpp"
 #include "sched/dynamic_scheduler.hpp"
 #include "sched/static_scheduler.hpp"
 #include "simcluster/speedup.hpp"
 #include "systems/cyclic.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+bool tiny_mode() {
+  const char* v = std::getenv("PPH_BENCH_ABLATION_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
 int main() {
   using namespace pph;
+  const bool tiny = tiny_mode();
+  if (tiny) std::printf("(tiny mode: PPH_BENCH_ABLATION_TINY set)\n\n");
 
   // ---- 1. block vs cyclic static assignment ---------------------------------
   {
@@ -70,7 +91,7 @@ int main() {
     std::cout << t.to_string() << "\n";
   }
 
-  // ---- 3b. policy spectrum: static / guided / per-job dynamic ----------------
+  // ---- 3b. policy spectrum: static / guided / batch+steal / per-job ----------
   {
     util::Prng rng(5);
     const auto durations = simcluster::synthesize(simcluster::cyclic10_model(), rng);
@@ -80,47 +101,61 @@ int main() {
     comm.dispatch_overhead = 0.001;
     comm.message_latency = 0.002;
     util::Table t("ABLATION 3 -- policy spectrum at 128 CPUs (cyclic10 model)");
-    t.set_header({"policy", "makespan (min)", "speedup", "dispatches"});
+    t.set_header({"policy", "makespan (min)", "speedup", "dispatches", "steals"});
     const auto st = simcluster::simulate_static(durations, 128,
                                                 simcluster::SimAssignment::kBlock);
     t.add_row({"static block", util::Table::cell(st.makespan / 60.0, 2),
-               util::Table::cell(total / st.makespan, 1), "0"});
+               util::Table::cell(total / st.makespan, 1), "0", "0"});
     const auto stc = simcluster::simulate_static(durations, 128,
                                                  simcluster::SimAssignment::kCyclic);
     t.add_row({"static cyclic", util::Table::cell(stc.makespan / 60.0, 2),
-               util::Table::cell(total / stc.makespan, 1), "0"});
+               util::Table::cell(total / stc.makespan, 1), "0", "0"});
     for (const double factor : {1.0, 2.0, 4.0}) {
       const auto g = simcluster::simulate_guided(durations, 128, comm, factor);
       char label[32];
       std::snprintf(label, sizeof label, "guided f=%.0f", factor);
       t.add_row({label, util::Table::cell(g.makespan / 60.0, 2),
                  util::Table::cell(total / g.makespan, 1),
-                 util::Table::cell(g.master_busy / comm.dispatch_overhead, 0)});
+                 util::Table::cell(static_cast<double>(g.dispatches), 0), "0"});
     }
+    const auto bs = simcluster::simulate_batch_steal(durations, 128, comm);
+    t.add_row({"batch+steal f=2", util::Table::cell(bs.makespan / 60.0, 2),
+               util::Table::cell(total / bs.makespan, 1),
+               util::Table::cell(static_cast<double>(bs.dispatches), 0),
+               util::Table::cell(static_cast<double>(bs.steals), 0)});
     const auto dy = simcluster::simulate_dynamic(durations, 128, comm);
     t.add_row({"dynamic per-job", util::Table::cell(dy.makespan / 60.0, 2),
                util::Table::cell(total / dy.makespan, 1),
-               util::Table::cell(dy.master_busy / comm.dispatch_overhead, 0)});
+               util::Table::cell(static_cast<double>(dy.dispatches), 0), "0"});
     std::cout << t.to_string() << "\n";
   }
 
-  // ---- 4. real thread-runtime protocols on cyclic-6 -------------------------
+  // ---- 4. real thread-runtime protocols on cyclic-n -------------------------
+  // The tracked workload: cyclic-6 (720 paths), or cyclic-5 in tiny mode.
+  const int cyclic_n = tiny ? 5 : 6;
+  util::Prng rng(3);
+  const auto target = systems::cyclic(cyclic_n);
+  const homotopy::TotalDegreeStart start(target, rng);
+  const homotopy::ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const auto starts = start.all_solutions();
+  sched::PathWorkload workload;
+  workload.homotopy = &h;
+  workload.starts = &starts;
+  // Any scheduler disagreement anywhere makes the binary exit non-zero
+  // (the CI smoke job relies on this).
+  bool all_identical = true;
   {
-    std::printf("ABLATION 4 -- thread runtime on cyclic-6 (real tracking)\n");
-    util::Prng rng(3);
-    const auto target = systems::cyclic(6);
-    const homotopy::TotalDegreeStart start(target, rng);
-    const homotopy::ConvexHomotopy h(start.system(), target, rng.unit_complex());
-    const auto starts = start.all_solutions();
-    sched::PathWorkload workload;
-    workload.homotopy = &h;
-    workload.starts = &starts;
-
+    std::printf("ABLATION 4 -- thread runtime on cyclic-%d (real tracking)\n", cyclic_n);
     const auto st = sched::run_static(workload, 4);
     const auto dy = sched::run_dynamic(workload, 4);
-    std::printf("  %zu paths; static: %zu conv %zu div; dynamic agrees: %s\n", starts.size(),
-                st.converged, st.diverged,
-                (st.converged == dy.converged && st.diverged == dy.diverged) ? "yes" : "NO");
+    const auto ba = sched::run_batch(workload, 4);
+    const bool same = sched::identical_path_results(st, dy) && sched::identical_path_results(st, ba);
+    all_identical = all_identical && same;
+    std::printf(
+        "  %zu paths; static: %zu conv %zu div; all three schedulers identical: %s\n",
+        starts.size(), st.converged, st.diverged, same ? "yes" : "NO");
+    std::printf("  dispatches: dynamic %zu, batch %zu; batch steals %zu\n", dy.dispatches,
+                ba.dispatches, ba.steals);
 
     // Feed the real measured durations back into the simulator.
     std::vector<double> durations;
@@ -132,8 +167,43 @@ int main() {
     const auto study = simcluster::run_speedup_study(durations, {2, 4, 8, 16, 32}, comm,
                                                      simcluster::SimAssignment::kBlock);
     std::cout << simcluster::to_table(study,
-                                      "  projected speedups from measured cyclic-6 durations")
-                     .to_string();
+                                      "  projected speedups from measured cyclic durations")
+                     .to_string()
+              << "\n";
   }
-  return 0;
+
+  // ---- 5. batch+steal vs per-job dynamic under injected latency --------------
+  {
+    util::Table t("ABLATION 5 -- run_batch vs run_dynamic under injected latency "
+                  "(4 ranks, real tracking)");
+    t.set_header({"latency (ms)", "dynamic wall (s)", "batch wall (s)",
+                  "dynamic paths/s", "batch paths/s", "batch wins", "identical"});
+    std::vector<double> latencies_ms{0.0, 1.0};
+    if (!tiny) latencies_ms.push_back(5.0);
+    bool batch_wins_at_latency = true;
+    for (const double ms : latencies_ms) {
+      sched::DynamicOptions dopts;
+      dopts.injected_latency = ms / 1000.0;
+      const auto dy = sched::run_dynamic(workload, 4, dopts);
+      sched::BatchOptions bopts;
+      bopts.injected_latency = ms / 1000.0;
+      const auto ba = sched::run_batch(workload, 4, bopts);
+      const double n = static_cast<double>(starts.size());
+      const double tput_dy = n / dy.wall_seconds;
+      const double tput_ba = n / ba.wall_seconds;
+      const bool same = sched::identical_path_results(dy, ba);
+      all_identical = all_identical && same;
+      const bool wins = tput_ba >= tput_dy;
+      if (ms >= 1.0 && !wins) batch_wins_at_latency = false;
+      t.add_row({util::Table::cell(ms, 1), util::Table::cell(dy.wall_seconds, 2),
+                 util::Table::cell(ba.wall_seconds, 2), util::Table::cell(tput_dy, 1),
+                 util::Table::cell(tput_ba, 1), wins ? "yes" : "no", same ? "yes" : "NO"});
+    }
+    std::cout << t.to_string();
+    std::printf("  batch >= dynamic throughput at latency >= 1 ms: %s\n",
+                batch_wins_at_latency ? "yes" : "NO");
+    std::printf("  identical path results across schedulers everywhere: %s\n",
+                all_identical ? "yes" : "NO");
+  }
+  return all_identical ? 0 : 1;
 }

@@ -6,7 +6,10 @@
 // same programming model (rank/size, blocking and immediate sends, blocking
 // receive, probe, a barrier) so the schedulers in src/sched read like the
 // paper's pseudo-code and their protocols are tested for correctness on any
-// machine.  See DESIGN.md section 1 for the substitution rationale.
+// machine.  Messaging is any-to-any: slave-to-slave traffic (the batch
+// scheduler's steal replies, see serialize.hpp) rides the same per-rank
+// mailboxes as master dispatch.  See DESIGN.md section 1 for the
+// substitution rationale.
 
 #include <functional>
 #include <memory>

@@ -22,4 +22,36 @@ void Unpacker::ensure(std::size_t n) const {
   if (pos_ + n > buffer_.size()) throw std::out_of_range("Unpacker: payload underrun");
 }
 
+std::vector<std::byte> pack_index_batch(const std::vector<std::uint64_t>& indices) {
+  Packer p;
+  p.write_vector(indices);
+  return p.take();
+}
+
+std::vector<std::uint64_t> unpack_index_batch(const std::vector<std::byte>& payload) {
+  Unpacker u(payload);
+  return u.read_vector<std::uint64_t>();
+}
+
+std::vector<std::byte> pack_steal_request(const StealRequest& req) {
+  Packer p;
+  p.write(req.thief);
+  return p.take();
+}
+
+StealRequest unpack_steal_request(const std::vector<std::byte>& payload) {
+  Unpacker u(payload);
+  StealRequest req;
+  req.thief = u.read<int>();
+  return req;
+}
+
+std::vector<std::byte> pack_steal_reply(const StealReply& reply) {
+  return pack_index_batch(reply.indices);
+}
+
+StealReply unpack_steal_reply(const std::vector<std::byte>& payload) {
+  return StealReply{unpack_index_batch(payload)};
+}
+
 }  // namespace pph::mp

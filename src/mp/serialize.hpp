@@ -29,6 +29,7 @@ class Packer {
     requires std::is_trivially_copyable_v<T>
   void write_vector(const std::vector<T>& v) {
     write(static_cast<std::uint64_t>(v.size()));
+    if (v.empty()) return;  // data() may be null for an empty vector
     const auto* bytes = reinterpret_cast<const std::byte*>(v.data());
     buffer_.insert(buffer_.end(), bytes, bytes + v.size() * sizeof(T));
   }
@@ -63,7 +64,7 @@ class Unpacker {
     const auto n = read<std::uint64_t>();
     ensure(n * sizeof(T));
     std::vector<T> v(n);
-    std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(T));
+    if (n != 0) std::memcpy(v.data(), buffer_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
   }
@@ -76,5 +77,31 @@ class Unpacker {
   const std::vector<std::byte>& buffer_;
   std::size_t pos_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Work-stealing message payloads.  These are byte-level payload shapes, not
+// protocol: any scheduler can reuse them without agreeing on message tags.
+// ---------------------------------------------------------------------------
+
+/// A batch of job indices (a master batch hand-out, or the bulk half of a
+/// steal reply).
+std::vector<std::byte> pack_index_batch(const std::vector<std::uint64_t>& indices);
+std::vector<std::uint64_t> unpack_index_batch(const std::vector<std::byte>& payload);
+
+/// Steal request: ask a busy victim to donate part of its local queue
+/// directly to rank `thief`.
+struct StealRequest {
+  int thief = -1;
+};
+std::vector<std::byte> pack_steal_request(const StealRequest& req);
+StealRequest unpack_steal_request(const std::vector<std::byte>& payload);
+
+/// Steal reply: the victim ships `indices` (possibly empty -- a refusal)
+/// straight to the thief, bypassing the master for the bulk transfer.
+struct StealReply {
+  std::vector<std::uint64_t> indices;
+};
+std::vector<std::byte> pack_steal_reply(const StealReply& reply);
+StealReply unpack_steal_reply(const std::vector<std::byte>& payload);
 
 }  // namespace pph::mp

@@ -1,0 +1,40 @@
+#pragma once
+// Batched work-stealing balancing, the scale step beyond the paper's
+// per-job dynamic protocol: the master hands out *batches* of paths whose
+// size shrinks guided-style as the pool drains, slaves report a whole
+// exhausted batch in one message, and an idle slave refills by *stealing*
+// half of a busy slave's remaining batch -- the bulk indices travel
+// slave-to-slave through the mp mailbox layer, so only a small brokerage
+// message ever round-trips to the master.  Per-message cost is paid per
+// batch instead of per path, which is what survives high latency
+// (DESIGN.md section 2, "Batched work stealing"; measured against the
+// per-job protocol in bench_sched_ablation).
+
+#include <optional>
+
+#include "sched/job_pool.hpp"
+
+namespace pph::sched {
+
+struct BatchOptions {
+  /// Guided shrink rate: a refill takes remaining/(factor*slaves) jobs.
+  double factor = 2.0;
+  /// Batch size floor (the tail degenerates to per-job dispatch).
+  std::size_t min_batch = 1;
+  /// Simulated per-message latency in seconds (0 for none), as in
+  /// DynamicOptions: surfaces the communication overhead in-process.
+  double injected_latency = 0.0;
+  /// Fail-injection hook for tests: the slave at kill_slave_rank "dies"
+  /// after completing this many paths; the master re-queues everything the
+  /// dead slave still owned (including completed-but-unreported results).
+  std::optional<std::size_t> kill_slave_after_jobs;
+  int kill_slave_rank = -1;
+};
+
+/// Track all workload paths with `ranks` ranks (rank 0 = master, so at
+/// least 2 are required).  Path results are identical to run_static /
+/// run_dynamic: scheduling policy never changes the numerics.
+ParallelRunReport run_batch(const PathWorkload& workload, int ranks,
+                            const BatchOptions& opts = {});
+
+}  // namespace pph::sched

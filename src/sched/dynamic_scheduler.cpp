@@ -9,19 +9,11 @@
 
 namespace pph::sched {
 
-namespace {
-
-void inject_latency(double seconds) {
-  if (seconds > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  }
-}
-
-}  // namespace
-
 ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
                               const DynamicOptions& opts) {
   if (ranks < 2) throw std::invalid_argument("run_dynamic: need a master and at least one slave");
+  validate_kill_switch(opts.kill_slave_rank, opts.kill_slave_after_jobs.has_value(), ranks,
+                       "run_dynamic");
   const std::size_t total = workload.size();
   ParallelRunReport report;
   report.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
@@ -44,6 +36,7 @@ ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
         inject_latency(opts.injected_latency);
         comm.send(slave, kTagJob, p);
         outstanding[slave].push_back(index);
+        ++report.dispatches;
         return true;
       };
 
@@ -90,14 +83,13 @@ ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
       double tracking_seconds = 0.0;
       std::size_t completed = 0;
       const bool killable =
-          comm.rank() == opts.kill_slave_rank &&
-          opts.kill_slave_after_jobs != static_cast<std::size_t>(-1);
+          comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
       for (;;) {
         const mp::Message m = comm.recv(0);
         if (m.tag == kTagStop) break;
         mp::Unpacker u(m.payload);
         const auto index = static_cast<std::size_t>(u.read<std::uint64_t>());
-        if (killable && completed >= opts.kill_slave_after_jobs) {
+        if (killable && completed >= *opts.kill_slave_after_jobs) {
           inject_latency(opts.injected_latency);
           comm.send(0, kTagDead, std::vector<std::byte>{});
           return;  // dies without reporting busy time

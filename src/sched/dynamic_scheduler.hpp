@@ -6,6 +6,8 @@
 // path costs.  The master (rank 0) only dispatches.  Protocol notes in
 // DESIGN.md section 2; overhead sensitivity is measured in section 3.
 
+#include <optional>
+
 #include "sched/job_pool.hpp"
 
 namespace pph::sched {
@@ -17,9 +19,10 @@ struct DynamicOptions {
   /// runtime exhibit the communication overhead the paper discusses.
   double injected_latency = 0.0;
   /// Fail-injection hook for tests: a slave "dies" after completing this
-  /// many jobs (static_cast<std::size_t>(-1) disables).  The master
-  /// re-queues the jobs the dead slave held.
-  std::size_t kill_slave_after_jobs = static_cast<std::size_t>(-1);
+  /// many jobs (nullopt disables).  The master re-queues the jobs the dead
+  /// slave held.  kill_slave_rank must name a slave, never rank 0 (the
+  /// master) -- run_dynamic validates this.
+  std::optional<std::size_t> kill_slave_after_jobs;
   int kill_slave_rank = -1;
 };
 

@@ -1,6 +1,11 @@
 #include "sched/job_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace pph::sched {
 
@@ -15,6 +20,40 @@ void ParallelRunReport::tally() {
       case PathStatus::kFailed: ++failed; break;
     }
   }
+}
+
+namespace {
+
+// Bit equality, not operator== -- a diverged path can legitimately carry
+// NaN in its endpoint or residual, and NaN != NaN would make the predicate
+// non-reflexive.  "Identical" means identical bits.
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+bool bits_equal(const linalg::Complex& a, const linalg::Complex& b) {
+  return bits_equal(a.real(), b.real()) && bits_equal(a.imag(), b.imag());
+}
+
+}  // namespace
+
+bool identical_path_results(const ParallelRunReport& a, const ParallelRunReport& b) {
+  if (a.paths.size() != b.paths.size()) return false;
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    if (a.paths[i].index != b.paths[i].index) return false;
+    const PathResult& ra = a.paths[i].result;
+    const PathResult& rb = b.paths[i].result;
+    if (ra.status != rb.status || ra.steps != rb.steps || ra.rejections != rb.rejections ||
+        ra.newton_iterations != rb.newton_iterations) {
+      return false;
+    }
+    if (!bits_equal(ra.t_reached, rb.t_reached) || !bits_equal(ra.residual, rb.residual)) {
+      return false;
+    }
+    if (ra.x.size() != rb.x.size()) return false;
+    for (std::size_t k = 0; k < ra.x.size(); ++k) {
+      if (!bits_equal(ra.x[k], rb.x[k])) return false;
+    }
+  }
+  return true;
 }
 
 std::vector<std::byte> pack_tracked_path(const TrackedPath& tp) {
@@ -46,6 +85,56 @@ TrackedPath unpack_tracked_path(const std::vector<std::byte>& payload) {
   tp.result.newton_iterations = static_cast<std::size_t>(u.read<std::uint64_t>());
   tp.result.x = u.read_vector<linalg::Complex>();
   return tp;
+}
+
+std::vector<std::byte> pack_tracked_path_batch(const std::vector<TrackedPath>& tps) {
+  mp::Packer p;
+  p.write(static_cast<std::uint64_t>(tps.size()));
+  for (const auto& tp : tps) p.write_vector(pack_tracked_path(tp));
+  return p.take();
+}
+
+std::vector<TrackedPath> unpack_tracked_path_batch(const std::vector<std::byte>& payload) {
+  mp::Unpacker u(payload);
+  const auto count = static_cast<std::size_t>(u.read<std::uint64_t>());
+  std::vector<TrackedPath> tps;
+  tps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tps.push_back(unpack_tracked_path(u.read_vector<std::byte>()));
+  }
+  return tps;
+}
+
+std::size_t guided_chunk_size(std::size_t remaining, std::size_t workers, double factor,
+                              std::size_t min_chunk) {
+  if (workers == 0) throw std::invalid_argument("guided_chunk_size: need workers > 0");
+  if (factor <= 0.0) throw std::invalid_argument("guided_chunk_size: factor must be positive");
+  if (min_chunk == 0) min_chunk = 1;
+  auto chunk = static_cast<std::size_t>(static_cast<double>(remaining) /
+                                        (factor * static_cast<double>(workers)));
+  chunk = std::max(chunk, min_chunk);
+  return std::min(chunk, remaining);
+}
+
+void inject_latency(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+void validate_kill_switch(int kill_rank, bool armed, int ranks, const char* who) {
+  if (kill_rank == 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": kill_slave_rank 0 is the master and cannot be killed");
+  }
+  if (!armed || kill_rank < 0) return;
+  if (kill_rank >= ranks) {
+    throw std::invalid_argument(std::string(who) + ": kill_slave_rank names no such slave");
+  }
+  if (ranks < 3) {
+    throw std::invalid_argument(std::string(who) +
+                                ": fail injection needs at least one surviving slave");
+  }
 }
 
 }  // namespace pph::sched

@@ -16,11 +16,17 @@ using linalg::CVector;
 
 /// Message tags of the scheduler protocols.
 enum MessageTag : int {
-  kTagJob = 1,      // master -> slave: job index (dynamic) / implicit (static)
-  kTagResult = 2,   // slave -> master: tracked path result
-  kTagStop = 3,     // master -> slave: terminate the busy-wait loop
-  kTagBusy = 4,     // slave -> master: per-rank busy-seconds report
-  kTagDead = 5,     // slave -> master: failure injection (tests): rank dies
+  kTagJob = 1,          // master -> slave: job index (dynamic) / implicit (static)
+  kTagResult = 2,       // slave -> master: tracked path result
+  kTagStop = 3,         // master -> slave: terminate the busy-wait loop
+  kTagBusy = 4,         // slave -> master: per-rank busy-seconds report
+  kTagDead = 5,         // slave -> master: failure injection (tests): rank dies
+  // Batch scheduler protocol (DESIGN.md section 2, "Batched work stealing").
+  kTagBatch = 6,        // master -> slave: batch of job indices
+  kTagBatchDone = 7,    // slave -> master: batched results + implicit refill request
+  kTagStealOrder = 8,   // master -> victim: donate half your queue to `thief`
+  kTagStealReply = 9,   // victim -> thief: stolen indices (possibly empty)
+  kTagStealNotify = 10, // thief -> master: ownership transfer bookkeeping
 };
 
 /// A path-tracking workload shared by all ranks.
@@ -48,6 +54,8 @@ struct ParallelRunReport {
   std::size_t converged = 0;
   std::size_t diverged = 0;
   std::size_t failed = 0;
+  std::size_t dispatches = 0;              // master job/batch hand-outs
+  std::size_t steals = 0;                  // successful slave-to-slave steals
 
   void tally();
 };
@@ -55,5 +63,33 @@ struct ParallelRunReport {
 /// Pack / unpack a path result message (index + worker + timing + result).
 std::vector<std::byte> pack_tracked_path(const TrackedPath& tp);
 TrackedPath unpack_tracked_path(const std::vector<std::byte>& payload);
+
+/// Scheduler-independence invariant (DESIGN.md section 2): two reports over
+/// the same workload must hold bit-identical PathResult sets -- status,
+/// counters, t_reached, residual, and endpoint coordinates.  Shared by the
+/// tests and the ablation bench's CI guard so the checks cannot drift.
+bool identical_path_results(const ParallelRunReport& a, const ParallelRunReport& b);
+
+/// Pack / unpack a batch of path results (the batch scheduler reports a
+/// whole exhausted batch in one message to amortize per-message latency).
+std::vector<std::byte> pack_tracked_path_batch(const std::vector<TrackedPath>& tps);
+std::vector<TrackedPath> unpack_tracked_path_batch(const std::vector<std::byte>& payload);
+
+/// Guided chunk size (OpenMP schedule(guided) style): a share of the
+/// remaining jobs that shrinks as the pool drains, so early hand-outs are
+/// big (few messages) and the tail stays balanced.  Shared by the batch
+/// scheduler and the cluster simulator's guided/batch policies.
+std::size_t guided_chunk_size(std::size_t remaining, std::size_t workers, double factor,
+                              std::size_t min_chunk);
+
+/// Validate a fail-injection kill switch (used by the dynamic and batch
+/// schedulers): rank 0 is the master and can never be killed; an armed
+/// switch (kill_after_jobs set) must name an existing slave and leave at
+/// least one survivor.
+void validate_kill_switch(int kill_rank, bool armed, int ranks, const char* who);
+
+/// Sleep the calling rank for `seconds` (0 is a no-op): the schedulers'
+/// simulated per-message cost, charged on the sender before each send.
+void inject_latency(double seconds);
 
 }  // namespace pph::sched

@@ -33,10 +33,6 @@ InstanceDeformation instance_deformation(std::uint64_t seed,
 
 namespace {
 
-void inject_latency(double seconds) {
-  if (seconds > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
-
 homotopy::TrackerOptions tighten(const homotopy::TrackerOptions& base, std::size_t attempt) {
   homotopy::TrackerOptions t = base;
   for (std::size_t k = 0; k < attempt; ++k) {

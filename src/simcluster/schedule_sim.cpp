@@ -1,7 +1,10 @@
 #include "simcluster/schedule_sim.hpp"
 
+#include <deque>
 #include <numeric>
 #include <stdexcept>
+
+#include "sched/job_pool.hpp"
 
 namespace pph::simcluster {
 
@@ -63,6 +66,7 @@ SimOutcome simulate_dynamic(const std::vector<double>& durations, std::size_t cp
     const double dispatch_done = std::max(master_free, ask_time) + comm.dispatch_overhead;
     master_free = dispatch_done;
     out.master_busy += comm.dispatch_overhead;
+    ++out.dispatches;
     const double start = dispatch_done + comm.message_latency;
     const double duration = durations[next_job++];
     timeline.record(worker, start, duration);
@@ -95,12 +99,10 @@ SimOutcome simulate_guided(const std::vector<double>& durations, std::size_t cpu
     const double dispatch_done = std::max(master_free, ask_time) + comm.dispatch_overhead;
     master_free = dispatch_done;
     out.master_busy += comm.dispatch_overhead;
-    // Guided chunk: a share of the remaining work, decaying geometrically.
-    const std::size_t remaining = n - next_job;
-    std::size_t chunk = static_cast<std::size_t>(
-        static_cast<double>(remaining) / (factor * static_cast<double>(cpus)));
-    chunk = std::max(chunk, min_chunk);
-    chunk = std::min(chunk, remaining);
+    ++out.dispatches;
+    // Guided chunk: a share of the remaining work, decaying geometrically
+    // (sizing shared with the thread schedulers).
+    const std::size_t chunk = sched::guided_chunk_size(n - next_job, cpus, factor, min_chunk);
     double start = dispatch_done + comm.message_latency;
     for (std::size_t k = 0; k < chunk; ++k) {
       const double duration = durations[next_job++];
@@ -108,6 +110,83 @@ SimOutcome simulate_guided(const std::vector<double>& durations, std::size_t cpu
       start += duration;
     }
     ready.push(start + comm.message_latency, worker);
+  }
+  out.makespan = timeline.makespan();
+  out.idle_fraction = timeline.idle_fraction();
+  return out;
+}
+
+SimOutcome simulate_batch_steal(const std::vector<double>& durations, std::size_t cpus,
+                                const CommModel& comm, double factor, std::size_t min_chunk) {
+  if (cpus == 0) throw std::invalid_argument("simulate_batch_steal: need cpus > 0");
+  if (factor <= 0.0) {
+    throw std::invalid_argument("simulate_batch_steal: factor must be positive");
+  }
+  SimOutcome out;
+  if (cpus == 1) {
+    out.makespan = std::accumulate(durations.begin(), durations.end(), 0.0);
+    return out;
+  }
+  // Per-worker queues of unstarted jobs; events fire once per job so a
+  // victim's remaining batch is visible at steal time.
+  Timeline timeline(cpus);
+  EventQueue ready;
+  std::vector<std::deque<std::size_t>> local(cpus);
+  for (std::size_t w = 0; w < cpus; ++w) ready.push(0.0, w);
+
+  double master_free = 0.0;
+  std::size_t next_job = 0;
+  const std::size_t n = durations.size();
+  while (!ready.empty()) {
+    const auto [t, worker] = ready.pop();
+    if (!local[worker].empty()) {
+      const std::size_t job = local[worker].front();
+      local[worker].pop_front();
+      timeline.record(worker, t, durations[job]);
+      ready.push(t + durations[job], worker);
+      continue;
+    }
+    if (next_job < n) {
+      // Refill from the master: request hop, serialized dispatch, batch hop.
+      const double dispatch_done =
+          std::max(master_free, t + comm.message_latency) + comm.dispatch_overhead;
+      master_free = dispatch_done;
+      out.master_busy += comm.dispatch_overhead;
+      ++out.dispatches;
+      const std::size_t chunk = sched::guided_chunk_size(n - next_job, cpus, factor, min_chunk);
+      for (std::size_t k = 0; k < chunk; ++k) local[worker].push_back(next_job++);
+      ready.push(dispatch_done + comm.message_latency, worker);
+      continue;
+    }
+    // Master pool drained: steal half of the most loaded worker's unstarted
+    // jobs.  Cost is one small brokerage hop plus the worker-to-worker bulk
+    // reply -- no serialized master dispatch.
+    std::size_t victim = worker, best = 0;
+    for (std::size_t v = 0; v < cpus; ++v) {
+      if (v != worker && local[v].size() > best) {
+        best = local[v].size();
+        victim = v;
+      }
+    }
+    if (best == 0) continue;  // nothing left anywhere: this worker retires
+    // ceil(best/2) here equals the runtime's floor(mine/2): a busy victim's
+    // `mine` includes the path it runs next, which this model holds
+    // in-flight outside `local` (mine == local + 1, and a victim whose only
+    // path is in flight refuses in both: best == 0 here, donate 0 there).
+    for (std::size_t k = (best + 1) / 2; k > 0; --k) {
+      local[worker].push_back(local[victim].back());
+      local[victim].pop_back();
+    }
+    ++out.steals;
+    // The thief starts its first stolen job immediately (exactly like the
+    // thread runtime, where a slave tracks the moment the reply lands).
+    // This also makes every steal productive, so idle workers can never
+    // livelock passing an unstarted job around the pool.
+    const double start = t + 2.0 * comm.message_latency;
+    const std::size_t job = local[worker].front();
+    local[worker].pop_front();
+    timeline.record(worker, start, durations[job]);
+    ready.push(start + durations[job], worker);
   }
   out.makespan = timeline.makespan();
   out.idle_fraction = timeline.idle_fraction();

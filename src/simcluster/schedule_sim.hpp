@@ -23,9 +23,11 @@ struct CommModel {
 enum class SimAssignment { kBlock, kCyclic };
 
 struct SimOutcome {
-  double makespan = 0.0;        // seconds
-  double idle_fraction = 0.0;   // mean idle share across CPUs
-  double master_busy = 0.0;     // dynamic only: dispatch time consumed
+  double makespan = 0.0;         // seconds
+  double idle_fraction = 0.0;    // mean idle share across CPUs
+  double master_busy = 0.0;      // dynamic only: dispatch time consumed
+  std::size_t dispatches = 0;    // master job/chunk hand-outs
+  std::size_t steals = 0;        // batch+steal only: worker-to-worker steals
 };
 
 /// Static balancing: jobs pre-assigned, no communication during the run.
@@ -47,5 +49,16 @@ SimOutcome simulate_dynamic(const std::vector<double>& durations, std::size_t cp
 SimOutcome simulate_guided(const std::vector<double>& durations, std::size_t cpus,
                            const CommModel& comm = {}, double factor = 2.0,
                            std::size_t min_chunk = 1);
+
+/// Batched dispatch with work stealing (the thread runtime's run_batch,
+/// DESIGN.md section 2): the master hands out guided-size batches; a worker
+/// that drains its batch while the master pool is empty steals half of the
+/// most loaded worker's unstarted jobs, paying steal latency (one brokerage
+/// hop plus the worker-to-worker reply) instead of a master dispatch per
+/// job.  Chunk sizing is shared with the thread scheduler
+/// (sched::guided_chunk_size).
+SimOutcome simulate_batch_steal(const std::vector<double>& durations, std::size_t cpus,
+                                const CommModel& comm = {}, double factor = 2.0,
+                                std::size_t min_chunk = 1);
 
 }  // namespace pph::simcluster

@@ -1,78 +1,27 @@
 // Tests for the parallel schedulers: static and dynamic runs must track
-// every path exactly once and agree with the sequential baseline; the
-// dynamic protocol must survive worker death (failure injection); the
-// parallel Pieri scheduler must reproduce the sequential solver's solution
-// set on multiple worker counts.
+// every path exactly once and agree with the sequential baseline; the two
+// policies must produce *identical* PathResult sets (the scheduler-
+// independence invariant every new policy, including run_batch, must also
+// satisfy); the dynamic protocol must survive worker death (failure
+// injection); the parallel Pieri scheduler must reproduce the sequential
+// solver's solution set on multiple worker counts.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
-#include "homotopy/start_total_degree.hpp"
 #include "sched/dynamic_scheduler.hpp"
 #include "sched/pieri_scheduler.hpp"
 #include "sched/static_scheduler.hpp"
-#include "systems/cyclic.hpp"
+#include "scheduler_fixture.hpp"
 
 namespace {
 
-using pph::homotopy::ConvexHomotopy;
-using pph::homotopy::TotalDegreeStart;
 using pph::linalg::Complex;
-using pph::linalg::CVector;
-using pph::sched::ParallelRunReport;
-using pph::sched::PathWorkload;
 using pph::schubert::PieriProblem;
+using pph::testing::SchedulerTest;
 using pph::util::Prng;
-
-/// Fixture: the cyclic-5 workload (120 paths, 70 finite roots) shared by
-/// the scheduler tests.
-class SchedulerTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    rng_ = std::make_unique<Prng>(1234);
-    target_ = pph::systems::cyclic(5);
-    start_ = std::make_unique<TotalDegreeStart>(target_, *rng_);
-    homotopy_ = std::make_unique<ConvexHomotopy>(start_->system(), target_, rng_->unit_complex());
-    starts_ = start_->all_solutions();
-    workload_.homotopy = homotopy_.get();
-    workload_.starts = &starts_;
-    baseline_ = pph::homotopy::track_all(*homotopy_, starts_, workload_.tracker);
-  }
-
-  static std::multiset<int> status_multiset(const ParallelRunReport& report) {
-    std::multiset<int> s;
-    for (const auto& tp : report.paths) s.insert(static_cast<int>(tp.result.status));
-    return s;
-  }
-
-  void expect_matches_baseline(const ParallelRunReport& report) {
-    ASSERT_EQ(report.paths.size(), starts_.size());
-    // Every index exactly once (report is sorted by tally()).
-    for (std::size_t i = 0; i < report.paths.size(); ++i) {
-      EXPECT_EQ(report.paths[i].index, i);
-    }
-    // Identical results to the sequential run (the tracker is
-    // deterministic given the same homotopy and start).
-    for (std::size_t i = 0; i < report.paths.size(); ++i) {
-      EXPECT_EQ(static_cast<int>(report.paths[i].result.status),
-                static_cast<int>(baseline_[i].status))
-          << "path " << i;
-      if (baseline_[i].status == pph::homotopy::PathStatus::kConverged) {
-        EXPECT_LT(pph::linalg::distance2(report.paths[i].result.x, baseline_[i].x), 1e-8);
-      }
-    }
-  }
-
-  std::unique_ptr<Prng> rng_;
-  pph::poly::PolySystem target_;
-  std::unique_ptr<TotalDegreeStart> start_;
-  std::unique_ptr<ConvexHomotopy> homotopy_;
-  std::vector<CVector> starts_;
-  PathWorkload workload_;
-  std::vector<pph::homotopy::PathResult> baseline_;
-};
 
 TEST_F(SchedulerTest, StaticCyclicMatchesSequential) {
   const auto report = pph::sched::run_static(workload_, 4);
@@ -108,6 +57,20 @@ TEST_F(SchedulerTest, DynamicRequiresTwoRanks) {
   EXPECT_THROW(pph::sched::run_dynamic(workload_, 1), std::invalid_argument);
 }
 
+TEST_F(SchedulerTest, DynamicRejectsKillingTheMaster) {
+  pph::sched::DynamicOptions opts;
+  opts.kill_slave_rank = 0;  // the master can never be the kill target
+  opts.kill_slave_after_jobs = 1;
+  EXPECT_THROW(pph::sched::run_dynamic(workload_, 4, opts), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, DynamicRejectsOutOfRangeKillRank) {
+  pph::sched::DynamicOptions opts;
+  opts.kill_slave_rank = 7;  // only ranks 1..3 exist
+  opts.kill_slave_after_jobs = 1;
+  EXPECT_THROW(pph::sched::run_dynamic(workload_, 4, opts), std::invalid_argument);
+}
+
 TEST_F(SchedulerTest, DynamicSurvivesWorkerDeath) {
   pph::sched::DynamicOptions opts;
   opts.kill_slave_rank = 2;
@@ -126,6 +89,15 @@ TEST_F(SchedulerTest, StatusTalliesAgreeAcrossSchedulers) {
   EXPECT_EQ(status_multiset(st), status_multiset(dy));
   EXPECT_EQ(st.converged, dy.converged);
   EXPECT_EQ(st.diverged, dy.diverged);
+}
+
+TEST_F(SchedulerTest, StaticAndDynamicProduceIdenticalPathResults) {
+  // The scheduler-independence invariant: policy changes who tracks a path
+  // and when, never the numerics, so the PathResult sets must be identical
+  // bit for bit (status, step counts, endpoints).
+  const auto st = pph::sched::run_static(workload_, 4);
+  const auto dy = pph::sched::run_dynamic(workload_, 4);
+  expect_identical_results(st, dy);
 }
 
 TEST_F(SchedulerTest, BusyTimesCoverAllRanks) {

@@ -219,6 +219,68 @@ TEST(ScheduleSim, GuidedSingleCpuSequential) {
   EXPECT_DOUBLE_EQ(pph::simcluster::simulate_guided(d, 1).makespan, 3.0);
 }
 
+// ---- batched dispatch with work stealing ------------------------------------
+
+TEST(ScheduleSim, BatchStealSingleCpuSequential) {
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pph::simcluster::simulate_batch_steal(d, 1).makespan, 6.0);
+}
+
+TEST(ScheduleSim, BatchStealRespectsBounds) {
+  Prng rng(22);
+  WorkloadModel m;
+  m.jobs = 3000;
+  m.divergent_fraction = 0.04;
+  m.tail_mu = std::log(25.0);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const double t1 = total(d);
+  const double longest = *std::max_element(d.begin(), d.end());
+  for (const std::size_t cpus : {4u, 16u, 64u}) {
+    const auto out = pph::simcluster::simulate_batch_steal(d, cpus);
+    EXPECT_GE(out.makespan, t1 / static_cast<double>(cpus) - 1e-9);
+    EXPECT_GE(out.makespan, longest);
+  }
+}
+
+TEST(ScheduleSim, BatchStealForcedByHugeFirstChunk) {
+  // min_chunk larger than jobs/cpus concentrates the pool on the first
+  // workers; the rest can only refill by stealing.
+  const std::vector<double> d(16, 1.0);
+  CommModel comm;
+  const auto out = pph::simcluster::simulate_batch_steal(d, 3, comm, 2.0, 8);
+  EXPECT_GE(out.steals, 1u);
+  EXPECT_EQ(out.dispatches, 2u);  // 8 + 8 jobs hand the whole pool to two workers
+  EXPECT_GT(out.makespan, 0.0);
+}
+
+TEST(ScheduleSim, BatchStealBeatsPerJobDynamicAtHighLatency) {
+  // The tentpole claim, in the simulator: at 1 ms+ per message, per-job
+  // round trips serialize on the master while batches amortize them.
+  const std::vector<double> d(2000, 0.01);
+  CommModel comm;
+  comm.dispatch_overhead = 0.0005;
+  comm.message_latency = 0.001;
+  const auto dy = simulate_dynamic(d, 16, comm);
+  const auto bs = pph::simcluster::simulate_batch_steal(d, 16, comm);
+  EXPECT_LT(bs.makespan, dy.makespan);
+  EXPECT_LT(bs.dispatches, dy.dispatches);
+}
+
+TEST(ScheduleSim, BatchStealNearDynamicWithFreeComm) {
+  // With free communication, per-job dynamic is the balance optimum; batch
+  // stealing must stay within a boundary effect of it on a heavy tail.
+  Prng rng(23);
+  WorkloadModel m;
+  m.jobs = 4000;
+  m.divergent_fraction = 0.03;
+  m.tail_mu = std::log(25.0);
+  const auto d = pph::simcluster::synthesize(m, rng);
+  const double longest = *std::max_element(d.begin(), d.end());
+  const auto dy = simulate_dynamic(d, 32);
+  const auto bs = pph::simcluster::simulate_batch_steal(d, 32);
+  EXPECT_LE(bs.makespan, dy.makespan + 2.0 * longest);
+}
+
 TEST(SpeedupStudy, TableRendering) {
   Prng rng(12);
   WorkloadModel m;
