@@ -1,9 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the numerical kernels: polynomial
-// evaluation and Jacobians, LU, cofactor matrices, Newton correction, full
-// path tracking, and Pieri condition evaluation.  These identify where the
-// per-path time of the headline experiments goes.
+// evaluation and Jacobians (interpreted vs compiled tape), LU, cofactor
+// matrices, Newton correction, full path tracking, and Pieri condition
+// evaluation.  These identify where the per-path time of the headline
+// experiments goes and pin the compiled engine's speedup per commit.
+//
+// Set PPH_BENCH_JSON=<path> to additionally write the results as JSON
+// (google-benchmark's machine-readable format) for the BENCH_*.json perf
+// trajectory; CI's bench-smoke job uploads that file per commit.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "homotopy/solver.hpp"
 #include "linalg/lu.hpp"
@@ -42,6 +51,47 @@ void BM_PolySystemJacobian(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolySystemJacobian)->Arg(5)->Arg(7);
+
+// ---- interpreted vs compiled homotopy evaluation --------------------------
+//
+// The pair below is THE headline comparison of the evaluation engine: the
+// same ConvexHomotopy evaluated through the interpreted Polynomial walk
+// versus the compiled straight-line tape (fused H + dH/dx + dH/dt,
+// allocation-free).  Arg is the cyclic-n system size.
+
+homotopy::ConvexHomotopy make_convex_homotopy(std::size_t n, std::uint64_t seed) {
+  const auto sys = systems::cyclic(n);
+  util::Prng rng(seed);
+  homotopy::TotalDegreeStart start(sys, rng);
+  return homotopy::ConvexHomotopy(start.system(), sys, rng.unit_complex());
+}
+
+void BM_HomotopyEvalJacInterpreted(benchmark::State& state) {
+  const auto h = make_convex_homotopy(static_cast<std::size_t>(state.range(0)), 11);
+  util::Prng rng(12);
+  const CVector x = random_point(rng, h.dimension());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate_with_jacobian(x, 0.37));
+    benchmark::DoNotOptimize(h.derivative_t(x, 0.37));
+  }
+}
+BENCHMARK(BM_HomotopyEvalJacInterpreted)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_HomotopyEvalJacCompiled(benchmark::State& state) {
+  const auto h = make_convex_homotopy(static_cast<std::size_t>(state.range(0)), 11);
+  util::Prng rng(12);
+  const CVector x = random_point(rng, h.dimension());
+  auto ws = h.make_workspace();
+  CVector hv, ht;
+  CMatrix jac;
+  for (auto _ : state) {
+    h.evaluate_fused(x, 0.37, ws.get(), hv, jac, ht);
+    benchmark::DoNotOptimize(hv.data());
+    benchmark::DoNotOptimize(jac.data());
+    benchmark::DoNotOptimize(ht.data());
+  }
+}
+BENCHMARK(BM_HomotopyEvalJacCompiled)->Arg(5)->Arg(6)->Arg(7);
 
 void BM_LuFactorSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -82,14 +132,32 @@ void BM_NewtonCorrection(benchmark::State& state) {
 }
 BENCHMARK(BM_NewtonCorrection);
 
+// Steady-state corrector cost with a reused workspace — the per-iteration
+// cost the schedulers actually pay inside track_path.
+void BM_NewtonCorrectionWorkspace(benchmark::State& state) {
+  const auto sys = systems::cyclic(5);
+  util::Prng rng(5);
+  homotopy::TotalDegreeStart start(sys, rng);
+  homotopy::ConvexHomotopy h(start.system(), sys, rng.unit_complex());
+  const CVector x0 = start.solution(0);
+  homotopy::TrackerWorkspace ws(h);
+  CVector x = x0;
+  for (auto _ : state) {
+    x = x0;
+    benchmark::DoNotOptimize(homotopy::correct(h, x, 0.02, homotopy::CorrectorOptions{}, ws));
+  }
+}
+BENCHMARK(BM_NewtonCorrectionWorkspace);
+
 void BM_FullPathCyclic5(benchmark::State& state) {
   const auto sys = systems::cyclic(5);
   util::Prng rng(6);
   homotopy::TotalDegreeStart start(sys, rng);
   homotopy::ConvexHomotopy h(start.system(), sys, rng.unit_complex());
   const CVector x0 = start.solution(1);
+  homotopy::TrackerWorkspace ws(h);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(homotopy::track_path(h, x0));
+    benchmark::DoNotOptimize(homotopy::track_path(h, x0, {}, ws));
   }
 }
 BENCHMARK(BM_FullPathCyclic5);
@@ -127,4 +195,20 @@ BENCHMARK(BM_PieriEdgeJacobian);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: honour PPH_BENCH_JSON=<path> by forwarding the path to
+// google-benchmark's JSON file output (in addition to the console table).
+int main(int argc, char** argv) {
+  std::vector<std::string> extra;
+  if (const char* path = std::getenv("PPH_BENCH_JSON")) {
+    extra.push_back(std::string("--benchmark_out=") + path);
+    extra.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args(argv, argv + argc);
+  for (auto& s : extra) args.push_back(s.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

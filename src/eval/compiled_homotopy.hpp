@@ -1,0 +1,79 @@
+#pragma once
+// Fused compiled form of the convex-linear homotopy
+//   H(x,t) = gamma*(1-t)*G(x) + t*F(x).
+//
+// The start and target systems are lowered into ONE CompiledSystem tape
+// (start equations first, target equations after), so the per-variable
+// power tables are shared between G and F and the monomial pool is
+// deduplicated across both.  The value-only pass exploits the pool fully
+// (a shared monomial is evaluated once per point); the fused Jacobian
+// pass below is deliberately term-major — it re-walks each term's factor
+// list so the prefix products stay in registers, trading pool reuse for
+// zero scratch traffic, which wins on the sparse systems trackers see.
+//
+// The fused pass never materializes the stacked 2n x n Jacobian or even
+// separate G/F rows: the gamma*(1-t) / t blend is folded into per-term
+// scaled coefficients (cached in the workspace and rebuilt only when t
+// changes, so the Newton iterations of one corrector call rescale once),
+// and each term's reverse-mode suffix product is seeded with its scaled
+// coefficient, so Jacobian contributions land in the H row pre-blended.
+// dH/dt = F - gamma*G has t-independent term coefficients (-gamma*c for
+// start terms, c for target terms) precomputed at construction.  All
+// output goes into caller-provided buffers: zero allocations after the
+// workspace warms up.
+
+#include <cstdint>
+#include <limits>
+
+#include "eval/compiled_system.hpp"
+
+namespace pph::eval {
+
+class CompiledHomotopy {
+ public:
+  /// Scratch for one evaluation stream: the tape workspace, the stacked
+  /// [G; F] values of the value-only pass, and the per-term blended
+  /// coefficients at the last-seen (homotopy, t) pair.  The cache is keyed
+  /// on the homotopy's construction id (not its address, which a destroyed
+  /// instance could vacate for a new one), so a workspace reused across
+  /// homotopies never evaluates with another instance's stale
+  /// coefficients; copies share the id because they share the math.
+  struct Workspace {
+    EvalWorkspace eval;
+    CVector stacked_values;
+    CVector scaled_coeff;  // gamma*(1-t)*c (start terms) / t*c (target terms)
+    std::uint64_t cached_owner = 0;  // 0: never used
+    double cached_t = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  CompiledHomotopy() = default;
+  CompiledHomotopy(const poly::PolySystem& start, const poly::PolySystem& target, Complex gamma);
+
+  std::size_t dimension() const { return n_; }
+  Complex gamma() const { return gamma_; }
+  const CompiledSystem& tape() const { return combined_; }
+
+  /// h <- H(x, t).
+  void evaluate(const CVector& x, double t, Workspace& ws, CVector& h) const;
+
+  /// h <- H(x,t), jx <- dH/dx(x,t) in one fused pass.
+  void evaluate_with_jacobian(const CVector& x, double t, Workspace& ws, CVector& h,
+                              CMatrix& jx) const;
+
+  /// h <- H, jx <- dH/dx, ht <- dH/dt, all from one pass over the tape.
+  void evaluate_fused(const CVector& x, double t, Workspace& ws, CVector& h, CMatrix& jx,
+                      CVector& ht) const;
+
+ private:
+  template <bool WantHt>
+  void blended_pass(const CVector& x, double t, Workspace& ws, CVector& h, CMatrix& jx,
+                    CVector* ht) const;
+
+  CompiledSystem combined_;  // start equations stacked above target equations
+  CVector dcoeff_;           // per-term dH/dt coefficients (t-independent)
+  std::size_t n_ = 0;
+  Complex gamma_;
+  std::uint64_t id_ = 0;  // construction id for the workspace coefficient cache
+};
+
+}  // namespace pph::eval

@@ -1,0 +1,169 @@
+#include "eval/compiled_system.hpp"
+
+#include <map>
+
+namespace pph::eval {
+
+CompiledSystem::CompiledSystem(const poly::PolySystem& system)
+    : nvars_(system.nvars()), neqs_(system.size()) {
+  // Pool monomials by exponent vector, first-seen order so term traversal
+  // (and therefore summation order) matches the interpreted path.
+  std::map<std::vector<std::uint32_t>, std::uint32_t> pool;
+  std::vector<std::uint32_t> max_deg(nvars_, 0);
+
+  eq_offset_.reserve(neqs_ + 1);
+  eq_offset_.push_back(0);
+  mono_offset_.push_back(0);
+  for (const auto& p : system.equations()) {
+    for (const auto& t : p.terms()) {
+      const auto& exps = t.monomial.exponents();
+      auto [it, inserted] = pool.emplace(exps, static_cast<std::uint32_t>(pool.size()));
+      if (inserted) {
+        std::size_t nf = 0;
+        for (std::size_t v = 0; v < nvars_; ++v) {
+          if (exps[v] == 0) continue;
+          factors_.push_back({static_cast<std::uint32_t>(v), exps[v], 0});
+          if (exps[v] > max_deg[v]) max_deg[v] = exps[v];
+          ++nf;
+        }
+        mono_offset_.push_back(static_cast<std::uint32_t>(factors_.size()));
+        if (nf > max_factors_) max_factors_ = nf;
+      }
+      terms_.push_back({t.coefficient, it->second});
+    }
+    eq_offset_.push_back(static_cast<std::uint32_t>(terms_.size()));
+  }
+
+  pow_offset_.resize(nvars_);
+  for (std::size_t v = 0; v < nvars_; ++v) {
+    pow_offset_[v] = static_cast<std::uint32_t>(pow_size_);
+    pow_size_ += max_deg[v] + 1;  // slots for x_v^0 .. x_v^max_deg
+  }
+  for (auto& f : factors_) f.pidx = pow_offset_[f.var];
+}
+
+void CompiledSystem::prepare(EvalWorkspace& ws) const {
+  if (ws.powers_.size() < pow_size_) ws.powers_.resize(pow_size_);
+  const std::size_t nmono = monomial_count();
+  if (ws.mono_val_.size() < nmono) ws.mono_val_.resize(nmono);
+  if (ws.mono_dval_.size() < factors_.size()) ws.mono_dval_.resize(factors_.size());
+  if (ws.prefix_.size() < max_factors_) ws.prefix_.resize(max_factors_);
+}
+
+void CompiledSystem::fill_powers(const CVector& x, EvalWorkspace& ws) const {
+  Complex* pow = ws.powers_.data();
+  for (std::size_t v = 0; v < nvars_; ++v) {
+    const std::size_t base = pow_offset_[v];
+    const std::size_t top = (v + 1 < nvars_) ? pow_offset_[v + 1] : pow_size_;
+    pow[base] = Complex{1.0, 0.0};
+    const Complex xv = x[v];
+    for (std::size_t k = base + 1; k < top; ++k) pow[k] = pow[k - 1] * xv;
+  }
+}
+
+void CompiledSystem::eval_monomials(EvalWorkspace& ws) const {
+  const Complex* pow = ws.powers_.data();
+  Complex* mval = ws.mono_val_.data();
+  const std::size_t nmono = monomial_count();
+  for (std::size_t m = 0; m < nmono; ++m) {
+    const std::size_t lo = mono_offset_[m];
+    const std::size_t hi = mono_offset_[m + 1];
+    if (lo == hi) {
+      mval[m] = Complex{1.0, 0.0};
+      continue;
+    }
+    Complex v = pow[factors_[lo].pidx + factors_[lo].exp];
+    for (std::size_t f = lo + 1; f < hi; ++f) {
+      v *= pow[factors_[f].pidx + factors_[f].exp];
+    }
+    mval[m] = v;
+  }
+}
+
+void CompiledSystem::eval_monomials_with_partials(EvalWorkspace& ws) const {
+  const Complex* pow = ws.powers_.data();
+  Complex* mval = ws.mono_val_.data();
+  Complex* mdval = ws.mono_dval_.data();
+  Complex* prefix = ws.prefix_.data();
+
+  // Fused monomial pass: value and every partial via prefix/suffix products.
+  // For m = prod_j p_j with p_j = x_{v_j}^{e_j},
+  //   dm/dx_{v_j} = (prod_{k<j} p_k) * (prod_{k>j} p_k) * e_j * x_{v_j}^{e_j-1},
+  // which needs no division and is exact at zero coordinates.
+  const std::size_t nmono = monomial_count();
+  for (std::size_t m = 0; m < nmono; ++m) {
+    const std::size_t lo = mono_offset_[m];
+    const std::size_t hi = mono_offset_[m + 1];
+    if (hi == lo) {  // constant monomial
+      mval[m] = Complex{1.0, 0.0};
+      continue;
+    }
+    if (hi == lo + 1) {  // single factor x_v^e: no prefix/suffix machinery
+      const Factor& fc = factors_[lo];
+      mval[m] = pow[fc.pidx + fc.exp];
+      mdval[lo] = static_cast<double>(fc.exp) * pow[fc.pidx + fc.exp - 1];
+      continue;
+    }
+    Complex running{1.0, 0.0};
+    for (std::size_t f = lo; f < hi; ++f) {
+      prefix[f - lo] = running;
+      running *= pow[factors_[f].pidx + factors_[f].exp];
+    }
+    mval[m] = running;
+    Complex suffix{1.0, 0.0};
+    for (std::size_t f = hi; f-- > lo;) {
+      const Factor& fc = factors_[f];
+      const Complex outer = prefix[f - lo] * suffix;
+      if (fc.exp == 1) {  // d/dx of x^1 is 1: most factors in practice
+        mdval[f] = outer;
+        suffix *= pow[fc.pidx + 1];
+      } else {
+        mdval[f] = outer * (static_cast<double>(fc.exp) * pow[fc.pidx + fc.exp - 1]);
+        suffix *= pow[fc.pidx + fc.exp];
+      }
+    }
+  }
+}
+
+void CompiledSystem::evaluate(const CVector& x, EvalWorkspace& ws, CVector& values) const {
+  prepare(ws);
+  fill_powers(x, ws);
+  eval_monomials(ws);
+  const Complex* mval = ws.mono_val_.data();
+
+  values.resize(neqs_);
+  for (std::size_t i = 0; i < neqs_; ++i) {
+    Complex acc{};
+    for (std::size_t k = eq_offset_[i]; k < eq_offset_[i + 1]; ++k) {
+      acc += terms_[k].coeff * mval[terms_[k].mono];
+    }
+    values[i] = acc;
+  }
+}
+
+void CompiledSystem::evaluate_with_jacobian(const CVector& x, EvalWorkspace& ws, CVector& values,
+                                            CMatrix& jacobian) const {
+  prepare(ws);
+  fill_powers(x, ws);
+  eval_monomials_with_partials(ws);
+  const Complex* mval = ws.mono_val_.data();
+  const Complex* mdval = ws.mono_dval_.data();
+
+  values.resize(neqs_);
+  jacobian.resize(neqs_, nvars_);
+  for (std::size_t i = 0; i < neqs_; ++i) {
+    Complex acc{};
+    Complex* jrow = jacobian.data() + i * nvars_;
+    for (std::size_t c = 0; c < nvars_; ++c) jrow[c] = Complex{};
+    for (std::size_t k = eq_offset_[i]; k < eq_offset_[i + 1]; ++k) {
+      const TermRef& t = terms_[k];
+      acc += t.coeff * mval[t.mono];
+      for (std::size_t f = mono_offset_[t.mono]; f < mono_offset_[t.mono + 1]; ++f) {
+        jrow[factors_[f].var] += t.coeff * mdval[f];
+      }
+    }
+    values[i] = acc;
+  }
+}
+
+}  // namespace pph::eval

@@ -1,0 +1,114 @@
+#pragma once
+// Compile-once straight-line evaluation of polynomial systems.
+//
+// The tracker's inner loop spends nearly all of its time evaluating the
+// homotopy and its Jacobian.  The interpreted path (Polynomial::evaluate /
+// evaluate_with_gradient) re-walks the term lists, re-exponentiates every
+// monomial per term, and allocates fresh vectors per call.  CompiledSystem
+// lowers a poly::PolySystem once into a flat instruction tape:
+//
+//   * shared per-variable power tables up to the max per-variable degree,
+//     so x_v^e is one table lookup for every term that needs it;
+//   * a deduplicated monomial pool — a monomial appearing in several terms
+//     (or several equations) is evaluated exactly once per point;
+//   * a fused pass that produces each monomial's value AND all of its
+//     partial derivatives via prefix/suffix products (no division, so
+//     points with zero coordinates need no special casing);
+//   * per-equation term lists that accumulate values and Jacobian rows
+//     from the shared pool.
+//
+// All mutable scratch lives in an EvalWorkspace owned by the caller (one
+// per thread / per path); after the first evaluation sizes the workspace,
+// evaluation performs zero heap allocations.  The tape itself is immutable
+// and safe to share across threads.
+
+#include "linalg/matrix.hpp"
+#include "poly/system.hpp"
+
+namespace pph::eval {
+
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::CVector;
+
+class CompiledSystem;
+
+/// Mutable scratch for one evaluation stream.  Reusable across calls and
+/// across CompiledSystem instances (buffers grow to the largest tape seen).
+class EvalWorkspace {
+ public:
+  EvalWorkspace() = default;
+
+ private:
+  friend class CompiledSystem;
+  friend class CompiledHomotopy;
+  CVector powers_;     // concatenated per-variable power tables
+  CVector mono_val_;   // value of each pooled monomial
+  CVector mono_dval_;  // partial of each pooled monomial, aligned with the factor tape
+  CVector prefix_;     // forward-product scratch, sized max factors per monomial
+};
+
+/// A PolySystem lowered to a flat tape.  Construction walks the term lists
+/// once; evaluation never touches poly:: types again.
+class CompiledSystem {
+ public:
+  CompiledSystem() = default;
+  explicit CompiledSystem(const poly::PolySystem& system);
+
+  std::size_t nvars() const { return nvars_; }
+  std::size_t size() const { return neqs_; }
+  /// Distinct monomials in the pool (diagnostics / tests).
+  std::size_t monomial_count() const { return mono_offset_.empty() ? 0 : mono_offset_.size() - 1; }
+  /// Total term slots across all equations (diagnostics / tests).
+  std::size_t term_count() const { return terms_.size(); }
+
+  /// Size the workspace for this tape.  Called implicitly by the evaluators;
+  /// exposed so callers can pre-size before a timed or allocation-counted
+  /// region.
+  void prepare(EvalWorkspace& ws) const;
+
+  /// values <- F(x).  values is resized to size(); no allocation once the
+  /// workspace and output are at capacity.
+  void evaluate(const CVector& x, EvalWorkspace& ws, CVector& values) const;
+
+  /// values <- F(x), jacobian <- dF/dx (size() x nvars()), one fused pass.
+  void evaluate_with_jacobian(const CVector& x, EvalWorkspace& ws, CVector& values,
+                              CMatrix& jacobian) const;
+
+  // Tape descriptors (public so the dispatch kernels in compiled_homotopy.cpp
+  // can take typed pointers; the tape vectors themselves stay private).
+  //
+  // One factor x_var^exp of a pooled monomial; exp >= 1 always.  pidx is
+  // var's precomputed offset into the power table, so x_var^e is
+  // pow[pidx + e] with no second indirection in the hot loops.
+  struct Factor {
+    std::uint32_t var;
+    std::uint32_t exp;
+    std::uint32_t pidx;
+  };
+  // One term of an equation: coeff * monomial[mono].
+  struct TermRef {
+    Complex coeff;
+    std::uint32_t mono;
+  };
+
+ private:
+  friend class CompiledHomotopy;  // walks the tape for the blended pass
+
+  void fill_powers(const CVector& x, EvalWorkspace& ws) const;
+  // Monomial pool passes over a prepared, power-filled workspace.
+  void eval_monomials(EvalWorkspace& ws) const;
+  void eval_monomials_with_partials(EvalWorkspace& ws) const;
+
+  std::size_t nvars_ = 0;
+  std::size_t neqs_ = 0;
+  std::vector<std::uint32_t> pow_offset_;  // per variable, offset into the power table
+  std::size_t pow_size_ = 0;               // total power-table length
+  std::vector<Factor> factors_;            // factor tape, all monomials concatenated
+  std::vector<std::uint32_t> mono_offset_; // monomial m owns factors_[mono_offset_[m] .. mono_offset_[m+1])
+  std::vector<TermRef> terms_;             // term tape, all equations concatenated
+  std::vector<std::uint32_t> eq_offset_;   // equation i owns terms_[eq_offset_[i] .. eq_offset_[i+1])
+  std::size_t max_factors_ = 0;            // widest monomial (sizes the prefix scratch)
+};
+
+}  // namespace pph::eval

@@ -1,38 +1,37 @@
 #include "homotopy/corrector.hpp"
 
-#include "linalg/lu.hpp"
-
 namespace pph::homotopy {
 
-CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts) {
+CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts,
+                        TrackerWorkspace& ws) {
   CorrectorResult result;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    auto [value, jac] = h.evaluate_with_jacobian(x, t);
-    result.residual = linalg::norm2(value);
+    h.evaluate_with_jacobian_into(x, t, ws.hws.get(), ws.h_val, ws.jac);
+    result.residual = linalg::norm2(ws.h_val);
     if (result.residual < opts.residual_tolerance) {
       result.status = CorrectorStatus::kConverged;
       result.iterations = it;
       return result;
     }
-    for (auto& v : value) v = -v;
-    linalg::LU lu(jac);
-    const auto dx = lu.solve(value);
-    if (!dx) {
+    for (auto& v : ws.h_val) v = -v;
+    ws.lu.factor(ws.jac);
+    if (!ws.lu.solve_into(ws.h_val, ws.dx)) {
       result.status = CorrectorStatus::kSingular;
       result.iterations = it;
       return result;
     }
-    const double step = linalg::norm2(*dx);
+    const double step = linalg::norm2(ws.dx);
     result.last_step_norm = step;
     if (step > opts.divergence_threshold) {
       result.status = CorrectorStatus::kDiverged;
       result.iterations = it;
       return result;
     }
-    for (std::size_t i = 0; i < x.size(); ++i) x[i] += (*dx)[i];
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += ws.dx[i];
     ++result.iterations;
     if (step < opts.step_tolerance * (1.0 + linalg::norm2(x))) {
-      result.residual = linalg::norm2(h.evaluate(x, t));
+      h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
+      result.residual = linalg::norm2(ws.h_val);
       result.status = CorrectorStatus::kConverged;
       return result;
     }
@@ -40,7 +39,8 @@ CorrectorResult correct(const Homotopy& h, CVector& x, double t, const Corrector
   // Accept late convergence when the last residual check passes, or when
   // the residual has stagnated below the soft bound (rounding floor of
   // large-magnitude endpoints).
-  result.residual = linalg::norm2(h.evaluate(x, t));
+  h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
+  result.residual = linalg::norm2(ws.h_val);
   if (result.residual < opts.residual_tolerance ||
       (opts.stagnation_tolerance > 0.0 && result.residual < opts.stagnation_tolerance)) {
     result.status = CorrectorStatus::kConverged;
@@ -48,6 +48,11 @@ CorrectorResult correct(const Homotopy& h, CVector& x, double t, const Corrector
     result.status = CorrectorStatus::kMaxIterations;
   }
   return result;
+}
+
+CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts) {
+  TrackerWorkspace ws(h);
+  return correct(h, x, t, opts, ws);
 }
 
 }  // namespace pph::homotopy

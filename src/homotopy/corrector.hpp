@@ -3,8 +3,32 @@
 // H(x, t) = 0 at fixed t.
 
 #include "homotopy/homotopy.hpp"
+#include "linalg/lu.hpp"
 
 namespace pph::homotopy {
+
+/// Reusable per-path scratch for the predictor-corrector hot loop: the
+/// homotopy's own workspace plus every vector/matrix/LU buffer the Newton
+/// iteration touches.  Construct once per path (or once per worker thread
+/// and reuse across paths); after the first step the loop performs zero
+/// heap allocations.
+struct TrackerWorkspace {
+  TrackerWorkspace() = default;
+  explicit TrackerWorkspace(const Homotopy& h) : hws(h.make_workspace()) {}
+
+  /// Re-bind to a (possibly different) homotopy, keeping sized buffers.
+  void bind(const Homotopy& h) { hws = h.make_workspace(); }
+
+  std::unique_ptr<HomotopyWorkspace> hws;
+  CVector h_val;    // H(x,t) / negated Newton right-hand side
+  CVector ht;       // dH/dt
+  CVector dx;       // Newton update / predictor tangent
+  CVector x_pred;   // predicted point
+  CVector x_corr;   // corrector iterate
+  CVector x_prev;   // previous accepted point (secant predictor)
+  linalg::CMatrix jac;
+  linalg::LU lu;
+};
 
 struct CorrectorOptions {
   /// Maximum Newton iterations per correction.
@@ -36,7 +60,12 @@ struct CorrectorResult {
   double last_step_norm = 0.0; // final ||dx||
 };
 
-/// Run Newton iterations on H(.,t) starting from x (updated in place).
+/// Run Newton iterations on H(.,t) starting from x (updated in place),
+/// reusing the workspace's buffers: allocation-free in steady state.
+CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts,
+                        TrackerWorkspace& ws);
+
+/// Convenience overload that builds a transient workspace.
 CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts);
 
 }  // namespace pph::homotopy

@@ -4,6 +4,24 @@
 
 namespace pph::homotopy {
 
+namespace {
+
+/// Concrete workspace behind ConvexHomotopy's fast path.
+struct ConvexWorkspace final : HomotopyWorkspace {
+  eval::CompiledHomotopy::Workspace w;
+};
+
+/// The tracker always passes back the workspace this homotopy created, but
+/// a caller mixing homotopies with one workspace (or passing nullptr) must
+/// still get correct results: fall back to a transient workspace then.
+eval::CompiledHomotopy::Workspace* unwrap(HomotopyWorkspace* ws,
+                                          eval::CompiledHomotopy::Workspace& transient) {
+  if (auto* cw = dynamic_cast<ConvexWorkspace*>(ws)) return &cw->w;
+  return &transient;
+}
+
+}  // namespace
+
 ConvexHomotopy::ConvexHomotopy(poly::PolySystem start, poly::PolySystem target, Complex gamma)
     : start_(std::move(start)), target_(std::move(target)), gamma_(gamma) {
   if (start_.nvars() != target_.nvars() || start_.size() != target_.size()) {
@@ -12,6 +30,31 @@ ConvexHomotopy::ConvexHomotopy(poly::PolySystem start, poly::PolySystem target, 
   if (!target_.square()) {
     throw std::invalid_argument("ConvexHomotopy: system must be square");
   }
+  compiled_ = eval::CompiledHomotopy(start_, target_, gamma_);
+}
+
+std::unique_ptr<HomotopyWorkspace> ConvexHomotopy::make_workspace() const {
+  auto ws = std::make_unique<ConvexWorkspace>();
+  compiled_.tape().prepare(ws->w.eval);
+  return ws;
+}
+
+void ConvexHomotopy::evaluate_into(const CVector& x, double t, HomotopyWorkspace* ws,
+                                   CVector& h) const {
+  eval::CompiledHomotopy::Workspace transient;
+  compiled_.evaluate(x, t, *unwrap(ws, transient), h);
+}
+
+void ConvexHomotopy::evaluate_with_jacobian_into(const CVector& x, double t, HomotopyWorkspace* ws,
+                                                 CVector& h, CMatrix& jx) const {
+  eval::CompiledHomotopy::Workspace transient;
+  compiled_.evaluate_with_jacobian(x, t, *unwrap(ws, transient), h, jx);
+}
+
+void ConvexHomotopy::evaluate_fused(const CVector& x, double t, HomotopyWorkspace* ws, CVector& h,
+                                    CMatrix& jx, CVector& ht) const {
+  eval::CompiledHomotopy::Workspace transient;
+  compiled_.evaluate_fused(x, t, *unwrap(ws, transient), h, jx, ht);
 }
 
 CVector ConvexHomotopy::evaluate(const CVector& x, double t) const {

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "eval/compiled_homotopy.hpp"
 #include "poly/system.hpp"
 
 namespace pph::homotopy {
@@ -13,6 +14,16 @@ namespace pph::homotopy {
 using linalg::CMatrix;
 using linalg::Complex;
 using linalg::CVector;
+
+/// Opaque per-path/per-thread scratch for a homotopy's evaluation fast
+/// path.  Implementations that support allocation-free evaluation return a
+/// concrete workspace from Homotopy::make_workspace; the buffer-filling
+/// entry points accept it back (nullptr is always legal and falls back to
+/// the allocating virtuals).
+class HomotopyWorkspace {
+ public:
+  virtual ~HomotopyWorkspace() = default;
+};
 
 /// Abstract homotopy H : C^n x [0,1] -> C^n.  Implementations provide the
 /// value, the Jacobian with respect to x, and the derivative with respect
@@ -33,6 +44,38 @@ class Homotopy {
   virtual std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const {
     return {evaluate(x, t), jacobian_x(x, t)};
   }
+
+  // ---- allocation-free fast path ----------------------------------------
+  //
+  // The tracker's hot loop calls these buffer-filling variants with a
+  // workspace obtained once per path (or per worker thread).  The defaults
+  // delegate to the allocating virtuals so every Homotopy works unchanged;
+  // ConvexHomotopy overrides them with its compiled straight-line form.
+
+  /// Scratch for the fast path, or nullptr when the implementation has no
+  /// accelerated form (the defaults then simply ignore the workspace).
+  virtual std::unique_ptr<HomotopyWorkspace> make_workspace() const { return nullptr; }
+
+  /// h <- H(x,t).
+  virtual void evaluate_into(const CVector& x, double t, HomotopyWorkspace* /*ws*/,
+                             CVector& h) const {
+    h = evaluate(x, t);
+  }
+
+  /// h <- H(x,t), jx <- dH/dx(x,t).
+  virtual void evaluate_with_jacobian_into(const CVector& x, double t, HomotopyWorkspace* /*ws*/,
+                                           CVector& h, CMatrix& jx) const {
+    auto [value, jac] = evaluate_with_jacobian(x, t);
+    h = std::move(value);
+    jx = std::move(jac);
+  }
+
+  /// h <- H, jx <- dH/dx, ht <- dH/dt in one call.
+  virtual void evaluate_fused(const CVector& x, double t, HomotopyWorkspace* ws, CVector& h,
+                              CMatrix& jx, CVector& ht) const {
+    evaluate_with_jacobian_into(x, t, ws, h, jx);
+    ht = derivative_t(x, t);
+  }
 };
 
 /// H(x,t) = gamma*(1-t)*G(x) + t*F(x).  Start and target must be square
@@ -43,19 +86,33 @@ class ConvexHomotopy final : public Homotopy {
   ConvexHomotopy(poly::PolySystem start, poly::PolySystem target, Complex gamma);
 
   std::size_t dimension() const override { return target_.nvars(); }
+
+  // Interpreted path (walks the Polynomial term lists); kept as the golden
+  // reference the compiled engine is validated against in test_eval.
   CVector evaluate(const CVector& x, double t) const override;
   CMatrix jacobian_x(const CVector& x, double t) const override;
   CVector derivative_t(const CVector& x, double t) const override;
   std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const override;
 
+  // Compiled fast path: one fused pass over the shared start/target tape,
+  // allocation-free given a workspace from make_workspace().
+  std::unique_ptr<HomotopyWorkspace> make_workspace() const override;
+  void evaluate_into(const CVector& x, double t, HomotopyWorkspace* ws, CVector& h) const override;
+  void evaluate_with_jacobian_into(const CVector& x, double t, HomotopyWorkspace* ws, CVector& h,
+                                   CMatrix& jx) const override;
+  void evaluate_fused(const CVector& x, double t, HomotopyWorkspace* ws, CVector& h, CMatrix& jx,
+                      CVector& ht) const override;
+
   const poly::PolySystem& start() const { return start_; }
   const poly::PolySystem& target() const { return target_; }
+  const eval::CompiledHomotopy& compiled() const { return compiled_; }
   Complex gamma() const { return gamma_; }
 
  private:
   poly::PolySystem start_;
   poly::PolySystem target_;
   Complex gamma_;
+  eval::CompiledHomotopy compiled_;
 };
 
 }  // namespace pph::homotopy

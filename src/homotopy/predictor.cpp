@@ -4,25 +4,42 @@
 
 namespace pph::homotopy {
 
+bool predict_tangent(const Homotopy& h, const CVector& x, double t, double dt,
+                     TrackerWorkspace& ws, CVector& out) {
+  // One fused pass gives dH/dx and dH/dt (the value rides along for free on
+  // the compiled path); solve (dH/dx) dx/dt = -dH/dt with the reusable LU.
+  h.evaluate_fused(x, t, ws.hws.get(), ws.h_val, ws.jac, ws.ht);
+  for (auto& v : ws.ht) v = -v;
+  ws.lu.factor(ws.jac);
+  if (!ws.lu.solve_into(ws.ht, ws.dx)) return false;
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + dt * ws.dx[i];
+  return true;
+}
+
 std::optional<CVector> predict_tangent(const Homotopy& h, const CVector& x, double t, double dt) {
-  const CMatrix jac = h.jacobian_x(x, t);
-  CVector ht = h.derivative_t(x, t);
-  for (auto& v : ht) v = -v;
-  linalg::LU lu(jac);
-  const auto tangent = lu.solve(ht);
-  if (!tangent) return std::nullopt;
-  CVector out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + dt * (*tangent)[i];
+  TrackerWorkspace ws(h);
+  CVector out;
+  if (!predict_tangent(h, x, t, dt, ws, out)) return std::nullopt;
   return out;
+}
+
+void predict_secant_into(const CVector& x_prev, double t_prev, const CVector& x, double t,
+                         double dt, CVector& out) {
+  out.resize(x.size());
+  const double span = t - t_prev;
+  if (span <= 0.0) {
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+    return;
+  }
+  const double scale = dt / span;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + scale * (x[i] - x_prev[i]);
 }
 
 CVector predict_secant(const CVector& x_prev, double t_prev, const CVector& x, double t,
                        double dt) {
-  const double span = t - t_prev;
-  if (span <= 0.0) return x;
-  const double scale = dt / span;
-  CVector out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + scale * (x[i] - x_prev[i]);
+  CVector out;
+  predict_secant_into(x_prev, t_prev, x, t, dt, out);
   return out;
 }
 

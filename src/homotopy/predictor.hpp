@@ -8,15 +8,28 @@
 
 #include <optional>
 
+#include "homotopy/corrector.hpp"
 #include "homotopy/homotopy.hpp"
 
 namespace pph::homotopy {
 
 enum class PredictorKind { kTangent, kSecant, kZeroOrder };
 
+/// Tangent prediction from (x, t) to t + dt into `out`, reusing the
+/// workspace's fused evaluation and LU buffers (allocation-free in steady
+/// state).  Returns false when the Jacobian is singular at the current
+/// point; `out` is untouched then.
+bool predict_tangent(const Homotopy& h, const CVector& x, double t, double dt,
+                     TrackerWorkspace& ws, CVector& out);
+
 /// Tangent prediction from (x, t) to t + dt.  Returns nullopt when the
 /// Jacobian is singular at the current point.
 std::optional<CVector> predict_tangent(const Homotopy& h, const CVector& x, double t, double dt);
+
+/// Secant prediction through (x_prev, t_prev) and (x, t) to t + dt into
+/// `out` (which may not alias x or x_prev).
+void predict_secant_into(const CVector& x_prev, double t_prev, const CVector& x, double t,
+                         double dt, CVector& out);
 
 /// Secant prediction through (x_prev, t_prev) and (x, t) to t + dt.
 CVector predict_secant(const CVector& x_prev, double t_prev, const CVector& x, double t,

@@ -39,9 +39,10 @@ SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& 
   const poly::PolySystem leading = target.leading_forms();
 
   std::vector<CVector> raw_solutions;
+  TrackerWorkspace ws(h);
   for (const auto& x0 : starts) {
     util::WallTimer timer;
-    PathResult r = track_path(h, x0, opts.tracker);
+    PathResult r = track_path(h, x0, opts.tracker, ws);
     summary.path_seconds.push_back(timer.seconds());
     switch (classify_endpoint(target, leading, r, opts)) {
       case EndpointClass::kFiniteRoot:

@@ -36,12 +36,15 @@ LinearProductStart::LinearProductStart(std::size_t nvars, ProductStructure struc
         f.coefficients[v] = rng.unit_complex();
       }
       f.constant = rng.unit_complex();
-      // Polynomial form of the factor.
-      poly::Polynomial lin = poly::Polynomial::constant(nvars_, f.constant);
+      // Polynomial form of the factor, built as one term list (bulk
+      // normalize) instead of a += chain.
+      std::vector<poly::Term> lin_terms;
+      lin_terms.reserve(support.size() + 1);
+      lin_terms.push_back({f.constant, poly::Monomial(nvars_)});
       for (std::size_t v : support) {
-        lin += poly::Polynomial::variable(nvars_, v) * f.coefficients[v];
+        lin_terms.push_back({f.coefficients[v], poly::Monomial::variable(nvars_, v)});
       }
-      prod *= lin;
+      prod *= poly::Polynomial(nvars_, std::move(lin_terms));
       factors_[i].push_back(std::move(f));
     }
     g.add_equation(std::move(prod));

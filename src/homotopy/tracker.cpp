@@ -23,10 +23,11 @@ bool endgame_diverging(const std::vector<double>& decade_norms, double current_n
 
 }  // namespace
 
-PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts) {
+PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts,
+                      TrackerWorkspace& ws) {
   PathResult result;
   CVector x = x0;
-  CVector x_prev = x0;
+  ws.x_prev = x0;
   double t = 0.0;
   double t_prev = 0.0;
   double step = opts.initial_step;
@@ -43,33 +44,31 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
     const double dt = std::min(step, 1.0 - t);
     const double t_next = t + dt;
 
-    // Predict.
-    CVector x_pred;
+    // Predict into the reusable buffer.
     if (opts.predictor == PredictorKind::kTangent) {
-      auto pred = predict_tangent(h, x, t, dt);
-      if (pred) {
-        x_pred = std::move(*pred);
-      } else if (have_prev) {
-        x_pred = predict_secant(x_prev, t_prev, x, t, dt);
-      } else {
-        x_pred = x;
+      if (!predict_tangent(h, x, t, dt, ws, ws.x_pred)) {
+        if (have_prev) {
+          predict_secant_into(ws.x_prev, t_prev, x, t, dt, ws.x_pred);
+        } else {
+          ws.x_pred = x;
+        }
       }
     } else if (opts.predictor == PredictorKind::kSecant && have_prev) {
-      x_pred = predict_secant(x_prev, t_prev, x, t, dt);
+      predict_secant_into(ws.x_prev, t_prev, x, t, dt, ws.x_pred);
     } else {
-      x_pred = x;
+      ws.x_pred = x;
     }
 
     // Correct.
-    CVector x_corr = x_pred;
-    const CorrectorResult corr = correct(h, x_corr, t_next, opts.corrector);
+    ws.x_corr = ws.x_pred;
+    const CorrectorResult corr = correct(h, ws.x_corr, t_next, opts.corrector, ws);
     result.newton_iterations += corr.iterations;
 
     if (corr.status == CorrectorStatus::kConverged) {
-      x_prev = x;
+      ws.x_prev = x;
       t_prev = t;
       have_prev = true;
-      x = std::move(x_corr);
+      x = ws.x_corr;
       t = t_next;
       ++result.steps;
       ++successes;
@@ -103,7 +102,8 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
         result.status = diverging ? PathStatus::kDiverged : PathStatus::kFailed;
         result.x = x;
         result.t_reached = t;
-        result.residual = linalg::norm2(h.evaluate(x, t));
+        h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
+        result.residual = linalg::norm2(ws.h_val);
         return result;
       }
     }
@@ -111,7 +111,7 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
 
   if (t >= 1.0) {
     // Final refinement at the target.
-    const CorrectorResult end = correct(h, x, 1.0, opts.end_corrector);
+    const CorrectorResult end = correct(h, x, 1.0, opts.end_corrector, ws);
     result.newton_iterations += end.iterations;
     result.residual = end.residual;
     result.t_reached = 1.0;
@@ -127,16 +127,23 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
   } else {
     result.x = x;
     result.t_reached = t;
-    result.residual = linalg::norm2(h.evaluate(x, t));
+    h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
+    result.residual = linalg::norm2(ws.h_val);
   }
   return result;
+}
+
+PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts) {
+  TrackerWorkspace ws(h);
+  return track_path(h, x0, opts, ws);
 }
 
 std::vector<PathResult> track_all(const Homotopy& h, const std::vector<CVector>& starts,
                                   const TrackerOptions& opts) {
   std::vector<PathResult> results;
   results.reserve(starts.size());
-  for (const auto& x0 : starts) results.push_back(track_path(h, x0, opts));
+  TrackerWorkspace ws(h);
+  for (const auto& x0 : starts) results.push_back(track_path(h, x0, opts, ws));
   return results;
 }
 

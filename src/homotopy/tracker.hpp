@@ -53,7 +53,13 @@ struct PathResult {
 };
 
 /// Track a single path from the start solution x0 (which must satisfy
-/// H(x0, 0) ~ 0).
+/// H(x0, 0) ~ 0), reusing the workspace's buffers across steps — the
+/// steady-state predictor-corrector loop allocates nothing.  Workers that
+/// track many paths construct one workspace and pass it to every call.
+PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts,
+                      TrackerWorkspace& ws);
+
+/// Convenience overload that builds a transient workspace.
 PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions& opts = {});
 
 /// Track all paths sequentially; convenience for tests and the sequential

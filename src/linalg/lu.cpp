@@ -5,9 +5,20 @@
 
 namespace pph::linalg {
 
-LU::LU(const CMatrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
+LU::LU(const CMatrix& a) {
+  CMatrix copy(a);
+  factor(copy);
+}
+
+void LU::factor(CMatrix& a) {
   if (a.rows() != a.cols()) throw std::invalid_argument("LU: matrix not square");
-  norm_a_inf_ = norm_inf(a);
+  n_ = a.rows();
+  std::swap(lu_, a);
+  a.resize(n_, n_);  // hand the caller back a same-shaped buffer
+  piv_.resize(n_);
+  perm_sign_ = 1;
+  singular_ = false;
+  norm_a_inf_ = norm_inf(lu_);
   for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
 
   for (std::size_t k = 0; k < n_; ++k) {
@@ -41,9 +52,15 @@ LU::LU(const CMatrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
 }
 
 std::optional<CVector> LU::solve(const CVector& b) const {
+  CVector x;
+  if (!solve_into(b, x)) return std::nullopt;
+  return x;
+}
+
+bool LU::solve_into(const CVector& b, CVector& x) const {
   if (b.size() != n_) throw std::invalid_argument("LU::solve: size mismatch");
-  if (singular_) return std::nullopt;
-  CVector x(n_);
+  if (singular_) return false;
+  x.resize(n_);  // b and x must not alias: the permuted read of b interleaves writes to x
   // Apply permutation and forward-substitute L (unit diagonal).
   for (std::size_t i = 0; i < n_; ++i) {
     Complex acc = b[piv_[i]];
@@ -56,7 +73,7 @@ std::optional<CVector> LU::solve(const CVector& b) const {
     for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
     x[ii] = acc / lu_(ii, ii);
   }
-  return x;
+  return true;
 }
 
 std::optional<CMatrix> LU::solve(const CMatrix& b) const {

@@ -15,15 +15,33 @@ namespace pph::linalg {
 /// Factorization P*A = L*U of a square matrix.  Construction never throws on
 /// singular input; `singular()` reports exact breakdown and `rcond_estimate`
 /// gives a cheap conditioning signal.
+///
+/// The Newton loop refactors every iteration, so a default-constructed LU
+/// can be re-`factor`ed in place: the incoming matrix's storage is swapped
+/// into the object (no copy) and the pivot vector is reused.  After the
+/// first factorization of a given size, `factor` + `solve_into` allocate
+/// nothing.
 class LU {
  public:
+  LU() = default;
   explicit LU(const CMatrix& a);
+
+  /// Factor `a` in place, taking over its storage.  On return `a` holds the
+  /// previous factorization's buffer resized to a's shape with unspecified
+  /// contents — callers that refill their matrix every iteration (the
+  /// tracker workspace) never see an allocation after warm-up.
+  void factor(CMatrix& a);
 
   std::size_t dim() const { return n_; }
   bool singular() const { return singular_; }
 
   /// Solve A x = b.  Returns nullopt when the factorization is singular.
   std::optional<CVector> solve(const CVector& b) const;
+
+  /// Solve A x = b into a caller-provided vector (resized to dim()); returns
+  /// false when the factorization is singular.  Allocation-free once x is at
+  /// capacity.
+  bool solve_into(const CVector& b, CVector& x) const;
 
   /// Solve A X = B column-by-column.
   std::optional<CMatrix> solve(const CMatrix& b) const;

@@ -35,6 +35,16 @@ class CMatrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshape to rows x cols.  Contents become unspecified when the shape
+  /// changes; no reallocation when the new size fits the existing capacity
+  /// (the evaluation engine relies on this for its allocation-free passes).
+  void resize(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   Complex& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   const Complex& operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 

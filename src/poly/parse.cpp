@@ -46,21 +46,28 @@ class Parser {
   }
 
   Polynomial expression() {
-    // Leading sign.
-    Polynomial acc(nvars_);
+    // Accumulate raw terms across the +/- chain and normalize once in the
+    // final constructor (the deferred-normalize bulk path): re-sorting the
+    // accumulator after every summand would make long inputs quadratic.
+    std::vector<Term> acc;
     bool negative = false;
     if (consume('-')) negative = true;
     else consume('+');
-    Polynomial t = term();
-    acc = negative ? -t : t;
+    append_terms(acc, term(), negative);
     for (;;) {
       if (consume('+')) {
-        acc += term();
+        append_terms(acc, term(), false);
       } else if (consume('-')) {
-        acc -= term();
+        append_terms(acc, term(), true);
       } else {
-        return acc;
+        return Polynomial(nvars_, std::move(acc));
       }
+    }
+  }
+
+  static void append_terms(std::vector<Term>& acc, const Polynomial& p, bool negate) {
+    for (const auto& t : p.terms()) {
+      acc.push_back({negate ? -t.coefficient : t.coefficient, t.monomial});
     }
   }
 

@@ -70,6 +70,29 @@ Polynomial Polynomial::operator-(const Polynomial& other) const {
   return *this + (-other);
 }
 
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  if (nvars_ != other.nvars_) throw std::invalid_argument("Polynomial+=: nvars mismatch");
+  if (this == &other) {  // self-add: appending own range would invalidate it
+    for (auto& t : terms_) t.coefficient *= 2.0;
+    return *this;
+  }
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  normalize();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  if (nvars_ != other.nvars_) throw std::invalid_argument("Polynomial-=: nvars mismatch");
+  if (this == &other) {
+    terms_.clear();
+    return *this;
+  }
+  terms_.reserve(terms_.size() + other.terms_.size());
+  for (const auto& t : other.terms_) terms_.push_back({-t.coefficient, t.monomial});
+  normalize();
+  return *this;
+}
+
 Polynomial Polynomial::operator-() const {
   Polynomial out(*this);
   for (auto& t : out.terms_) t.coefficient = -t.coefficient;

@@ -38,7 +38,11 @@ class Polynomial {
   /// Total degree; 0 for the zero polynomial.
   std::uint32_t degree() const;
 
-  /// Add a term (re-normalizes).
+  /// Add a term (re-normalizes).  O(k log k) per call — building a large
+  /// polynomial term-by-term this way is quadratic; prefer the bulk
+  /// Polynomial(nvars, terms) constructor, which sorts and merges once
+  /// (the deferred-normalize path the parsers and start-system builders
+  /// use).
   void add_term(Complex coefficient, Monomial monomial);
 
   Polynomial operator+(const Polynomial& other) const;
@@ -47,8 +51,10 @@ class Polynomial {
   Polynomial operator*(Complex scalar) const;
   Polynomial operator-() const;
 
-  Polynomial& operator+=(const Polynomial& other) { return *this = *this + other; }
-  Polynomial& operator-=(const Polynomial& other) { return *this = *this - other; }
+  /// In-place add/subtract append the other side's terms and normalize once
+  /// (no full-copy round trip through operator+).
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
   Polynomial& operator*=(const Polynomial& other) { return *this = *this * other; }
 
   bool operator==(const Polynomial& other) const;

@@ -182,6 +182,7 @@ ParallelRunReport run_batch(const PathWorkload& workload, int ranks,
       std::vector<TrackedPath> pending;
       double tracking_seconds = 0.0;
       std::size_t completed = 0;
+      homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this slave's paths
       const bool killable =
           comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
       bool stopped = false;
@@ -247,7 +248,7 @@ ParallelRunReport run_batch(const PathWorkload& workload, int ranks,
         tp.index = index;
         tp.worker = comm.rank();
         tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                         workload.tracker);
+                                         workload.tracker, ws);
         tp.seconds = job_timer.seconds();
         tracking_seconds += tp.seconds;
         pending.push_back(std::move(tp));

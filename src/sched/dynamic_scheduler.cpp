@@ -82,6 +82,7 @@ ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
       // ---- slave: busy-wait loop ----
       double tracking_seconds = 0.0;
       std::size_t completed = 0;
+      homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this slave's paths
       const bool killable =
           comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
       for (;;) {
@@ -99,7 +100,7 @@ ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
         tp.index = index;
         tp.worker = comm.rank();
         tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                         workload.tracker);
+                                         workload.tracker, ws);
         tp.seconds = job_timer.seconds();
         tracking_seconds += tp.seconds;
         inject_latency(opts.injected_latency);

@@ -272,6 +272,7 @@ ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ra
     } else {
       // ---------------- slave ----------------
       double busy = 0.0;
+      homotopy::TrackerWorkspace ws;  // LU/buffer reuse across this slave's jobs
       for (;;) {
         const mp::Message m = comm.recv(0);
         if (m.tag == kTagStop) break;
@@ -285,9 +286,10 @@ ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ra
         const InstanceDeformation def =
             instance_deformation(opts.solver.gamma_seed, job.pivots, job.attempt);
         PieriEdgeHomotopy h(chart, fixed, target, def.gamma, def.detour_s, def.detour_u);
+        ws.bind(h);
         util::WallTimer job_timer;
         const auto r =
-            homotopy::track_path(h, job.start, tighten(opts.solver.tracker, job.attempt));
+            homotopy::track_path(h, job.start, tighten(opts.solver.tracker, job.attempt), ws);
         const double seconds = job_timer.seconds();
         busy += seconds;
         inject_latency(opts.injected_latency);

@@ -30,13 +30,14 @@ ParallelRunReport run_static(const PathWorkload& workload, int ranks,
 
     util::CpuTimer busy;
     double tracking_seconds = 0.0;
+    homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this rank's paths
     for (const std::size_t index : mine) {
       util::WallTimer job_timer;
       TrackedPath tp;
       tp.index = index;
       tp.worker = comm.rank();
       tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                       workload.tracker);
+                                       workload.tracker, ws);
       tp.seconds = job_timer.seconds();
       tracking_seconds += tp.seconds;
       comm.send(0, kTagResult, pack_tracked_path(tp));

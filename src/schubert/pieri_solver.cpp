@@ -106,9 +106,10 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
         const Complex detour_u = 0.7 * gamma_rng.unit_complex();
         PieriEdgeHomotopy h(chart, fixed, target, gamma, detour_s, detour_u);
         const auto topts = tighten(opts.tracker, attempt);
+        homotopy::TrackerWorkspace ws(h);
         for (const CVector& start : starts) {
           util::WallTimer job_timer;
-          const auto r = homotopy::track_path(h, start, topts);
+          const auto r = homotopy::track_path(h, start, topts, ws);
           edge_seconds.push_back(job_timer.seconds());
           stats.newton_iterations += r.newton_iterations;
           if (r.converged()) {

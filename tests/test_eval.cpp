@@ -1,0 +1,358 @@
+// Tests for src/eval: the compiled straight-line evaluation engine must be
+// numerically indistinguishable from the interpreted Polynomial walk it
+// replaces (golden equivalence on randomized systems), agree with finite
+// differences, survive the degenerate corners (zero/constant polynomials,
+// zero coordinates, degree 0), and — the point of the exercise — run the
+// steady-state Newton loop without a single heap allocation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "eval/compiled_homotopy.hpp"
+#include "eval/compiled_system.hpp"
+#include "homotopy/solver.hpp"
+#include "systems/cyclic.hpp"
+#include "util/prng.hpp"
+
+// ---- global allocation counter --------------------------------------------
+//
+// Replacing the global allocation functions lets the no-allocation test
+// observe every operator-new in the process.  The replacements stay trivial
+// (malloc + counter) so they compose with ASan's malloc interposition.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using pph::eval::CompiledHomotopy;
+using pph::eval::CompiledSystem;
+using pph::eval::EvalWorkspace;
+using pph::homotopy::ConvexHomotopy;
+using pph::homotopy::CorrectorOptions;
+using pph::homotopy::TotalDegreeStart;
+using pph::homotopy::TrackerWorkspace;
+using pph::linalg::CMatrix;
+using pph::linalg::Complex;
+using pph::linalg::CVector;
+using pph::poly::Monomial;
+using pph::poly::Polynomial;
+using pph::poly::PolySystem;
+using pph::poly::Term;
+using pph::util::Prng;
+
+CVector random_point(Prng& rng, std::size_t n) {
+  CVector x(n);
+  for (auto& v : x) v = rng.normal_complex();
+  return x;
+}
+
+/// Random sparse polynomial: up to `max_terms` terms, per-variable degree up
+/// to `max_deg`.
+Polynomial random_polynomial(Prng& rng, std::size_t nvars, std::size_t max_terms,
+                             std::uint32_t max_deg) {
+  std::vector<Term> terms;
+  const std::size_t nterms = 1 + rng.uniform_index(max_terms);
+  for (std::size_t k = 0; k < nterms; ++k) {
+    Monomial m(nvars);
+    for (std::size_t v = 0; v < nvars; ++v) {
+      m.set_exponent(v, static_cast<std::uint32_t>(rng.uniform_index(max_deg + 1)));
+    }
+    terms.push_back({rng.normal_complex(), m});
+  }
+  return Polynomial(nvars, std::move(terms));
+}
+
+PolySystem random_system(Prng& rng, std::size_t nvars) {
+  PolySystem sys(nvars);
+  for (std::size_t i = 0; i < nvars; ++i) {
+    sys.add_equation(random_polynomial(rng, nvars, 8, 4));
+  }
+  return sys;
+}
+
+double rel_err(Complex got, Complex want) {
+  return std::abs(got - want) / (1.0 + std::abs(want));
+}
+
+// ---- golden equivalence vs the interpreted path ---------------------------
+
+TEST(CompiledSystem, MatchesInterpretedOnRandomSystems) {
+  Prng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nvars = 1 + rng.uniform_index(6);
+    const PolySystem sys = random_system(rng, nvars);
+    const CompiledSystem compiled(sys);
+    EvalWorkspace ws;
+    CVector values;
+    CMatrix jac;
+    for (int pt = 0; pt < 4; ++pt) {
+      const CVector x = random_point(rng, nvars);
+      compiled.evaluate_with_jacobian(x, ws, values, jac);
+      for (std::size_t i = 0; i < sys.size(); ++i) {
+        const auto [want_v, want_g] = sys.equation(i).evaluate_with_gradient(x);
+        EXPECT_LT(rel_err(values[i], want_v), 1e-12);
+        for (std::size_t c = 0; c < nvars; ++c) {
+          EXPECT_LT(rel_err(jac(i, c), want_g[c]), 1e-12);
+        }
+      }
+      // Value-only entry point agrees with the fused pass.
+      CVector values_only;
+      compiled.evaluate(x, ws, values_only);
+      for (std::size_t i = 0; i < sys.size(); ++i) {
+        EXPECT_EQ(values_only[i], values[i]);
+      }
+    }
+  }
+}
+
+TEST(CompiledSystem, SharesCommonMonomialsAcrossEquations) {
+  // eq0 = x0*x1 + x0^2, eq1 = 3*x0*x1 - x1: the x0*x1 monomial appears in
+  // both equations and must occupy a single pool slot.
+  Monomial xy(2), xx(2), y(2);
+  xy.set_exponent(0, 1);
+  xy.set_exponent(1, 1);
+  xx.set_exponent(0, 2);
+  y.set_exponent(1, 1);
+  PolySystem sys(2);
+  sys.add_equation(Polynomial(2, {{Complex{1, 0}, xy}, {Complex{1, 0}, xx}}));
+  sys.add_equation(Polynomial(2, {{Complex{3, 0}, xy}, {Complex{-1, 0}, y}}));
+  const CompiledSystem compiled(sys);
+  EXPECT_EQ(compiled.term_count(), 4u);
+  EXPECT_EQ(compiled.monomial_count(), 3u);
+
+  // The stacked start/target tape of a convex homotopy pools the constant
+  // monomial shared by every total-degree start equation.
+  Prng rng(108);
+  const PolySystem target = pph::systems::cyclic(5);
+  TotalDegreeStart start(target, rng);
+  PolySystem stacked(target.nvars());
+  for (const auto& p : start.system().equations()) stacked.add_equation(p);
+  for (const auto& p : target.equations()) stacked.add_equation(p);
+  const CompiledSystem ctape(stacked);
+  std::size_t total_terms = 0;
+  for (const auto& p : stacked.equations()) total_terms += p.term_count();
+  EXPECT_EQ(ctape.term_count(), total_terms);
+  EXPECT_LT(ctape.monomial_count(), total_terms);
+}
+
+TEST(CompiledSystem, MatchesAtZeroCoordinates) {
+  // Gradient at points with zero coordinates: the interpreted path switches
+  // to re-evaluating the reduced monomial; the compiled prefix/suffix pass
+  // must agree without any special casing.
+  Prng rng(102);
+  const std::size_t nvars = 3;
+  const PolySystem sys = random_system(rng, nvars);
+  const CompiledSystem compiled(sys);
+  EvalWorkspace ws;
+  CVector values;
+  CMatrix jac;
+  CVector x = random_point(rng, nvars);
+  x[1] = Complex{};  // exact zero coordinate
+  compiled.evaluate_with_jacobian(x, ws, values, jac);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const auto [want_v, want_g] = sys.equation(i).evaluate_with_gradient(x);
+    EXPECT_LT(rel_err(values[i], want_v), 1e-12);
+    for (std::size_t c = 0; c < nvars; ++c) {
+      EXPECT_LT(rel_err(jac(i, c), want_g[c]), 1e-12);
+    }
+  }
+}
+
+TEST(CompiledSystem, DegenerateCases) {
+  EvalWorkspace ws;
+  CVector values;
+  CMatrix jac;
+
+  // Zero polynomial and constant polynomial (degree 0).
+  PolySystem sys(2);
+  sys.add_equation(Polynomial::zero(2));
+  sys.add_equation(Polynomial::constant(2, Complex{3.0, -1.0}));
+  const CompiledSystem compiled(sys);
+  const CVector x = {Complex{1.5, 0.5}, Complex{-2.0, 1.0}};
+  compiled.evaluate_with_jacobian(x, ws, values, jac);
+  EXPECT_EQ(values[0], Complex{});
+  EXPECT_EQ(values[1], (Complex{3.0, -1.0}));
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(jac(0, c), Complex{});
+    EXPECT_EQ(jac(1, c), Complex{});
+  }
+
+  // Single variable, x^3.
+  Monomial cube(1);
+  cube.set_exponent(0, 3);
+  PolySystem single(1, {Polynomial(1, {{Complex{1.0, 0.0}, cube}})});
+  const CompiledSystem csingle(single);
+  const CVector y = {Complex{2.0, 0.0}};
+  csingle.evaluate_with_jacobian(y, ws, values, jac);
+  EXPECT_LT(rel_err(values[0], Complex{8.0, 0.0}), 1e-14);
+  EXPECT_LT(rel_err(jac(0, 0), Complex{12.0, 0.0}), 1e-14);
+
+  // Empty system (no equations).
+  const CompiledSystem cempty{PolySystem(2)};
+  cempty.evaluate_with_jacobian(x, ws, values, jac);
+  EXPECT_EQ(values.size(), 0u);
+  EXPECT_EQ(jac.rows(), 0u);
+}
+
+// ---- compiled homotopy vs interpreted ConvexHomotopy ----------------------
+
+TEST(CompiledHomotopy, MatchesInterpretedConvexHomotopy) {
+  Prng rng(103);
+  const PolySystem target = pph::systems::cyclic(5);
+  TotalDegreeStart start(target, rng);
+  const Complex gamma = rng.unit_complex();
+  const ConvexHomotopy h(start.system(), target, gamma);
+
+  CompiledHomotopy::Workspace ws;
+  CVector hv, ht;
+  CMatrix jac;
+  for (double t : {0.0, 0.25, 0.62, 1.0}) {
+    const CVector x = random_point(rng, target.nvars());
+    h.compiled().evaluate_fused(x, t, ws, hv, jac, ht);
+    const CVector want_h = h.evaluate(x, t);           // interpreted reference
+    const CMatrix want_j = h.jacobian_x(x, t);
+    const CVector want_ht = h.derivative_t(x, t);
+    for (std::size_t i = 0; i < target.nvars(); ++i) {
+      EXPECT_LT(rel_err(hv[i], want_h[i]), 1e-12);
+      EXPECT_LT(rel_err(ht[i], want_ht[i]), 1e-12);
+      for (std::size_t c = 0; c < target.nvars(); ++c) {
+        EXPECT_LT(rel_err(jac(i, c), want_j(i, c)), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CompiledHomotopy, FastPathVirtualsMatchGoldenReference) {
+  // The Homotopy-level entry points the tracker actually calls, exercised
+  // both with the homotopy's own workspace and with nullptr (fallback).
+  Prng rng(104);
+  const PolySystem target = pph::systems::cyclic(4);
+  TotalDegreeStart start(target, rng);
+  const ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const CVector x = random_point(rng, target.nvars());
+  const double t = 0.41;
+
+  const CVector want_h = h.evaluate(x, t);
+  const CMatrix want_j = h.jacobian_x(x, t);
+
+  auto ws = h.make_workspace();
+  ASSERT_NE(ws, nullptr);
+  CVector hv;
+  CMatrix jac;
+  for (pph::homotopy::HomotopyWorkspace* w : {ws.get(), (pph::homotopy::HomotopyWorkspace*)nullptr}) {
+    h.evaluate_with_jacobian_into(x, t, w, hv, jac);
+    for (std::size_t i = 0; i < target.nvars(); ++i) {
+      EXPECT_LT(rel_err(hv[i], want_h[i]), 1e-12);
+      for (std::size_t c = 0; c < target.nvars(); ++c) {
+        EXPECT_LT(rel_err(jac(i, c), want_j(i, c)), 1e-12);
+      }
+    }
+    h.evaluate_into(x, t, w, hv);
+    for (std::size_t i = 0; i < target.nvars(); ++i) {
+      EXPECT_LT(rel_err(hv[i], want_h[i]), 1e-12);
+    }
+  }
+}
+
+// ---- finite-difference gradient check -------------------------------------
+
+TEST(CompiledSystem, JacobianMatchesFiniteDifferences) {
+  Prng rng(105);
+  const std::size_t nvars = 4;
+  const PolySystem sys = random_system(rng, nvars);
+  const CompiledSystem compiled(sys);
+  EvalWorkspace ws;
+  CVector values, vp, vm;
+  CMatrix jac;
+  const CVector x = random_point(rng, nvars);
+  compiled.evaluate_with_jacobian(x, ws, values, jac);
+  const double eps = 1e-6;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    CVector xp = x, xm = x;
+    xp[v] += eps;
+    xm[v] -= eps;
+    compiled.evaluate(xp, ws, vp);
+    compiled.evaluate(xm, ws, vm);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      const Complex fd = (vp[i] - vm[i]) / (2.0 * eps);
+      EXPECT_LT(std::abs(fd - jac(i, v)) / (1.0 + std::abs(fd)), 1e-5)
+          << "equation " << i << " variable " << v;
+    }
+  }
+}
+
+// ---- allocation-free steady state -----------------------------------------
+
+TEST(EvalAllocation, SteadyStateNewtonLoopAllocatesNothing) {
+  Prng rng(106);
+  const PolySystem target = pph::systems::cyclic(5);
+  TotalDegreeStart start(target, rng);
+  const ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const CVector x0 = start.solution(3);
+
+  TrackerWorkspace ws(h);
+  CorrectorOptions opts;
+  opts.max_iterations = 4;
+  opts.residual_tolerance = 1e-300;  // force full Newton iterations incl. LU
+  CVector x = x0;
+
+  // Warm-up: sizes every buffer (including the LU's swap pair).
+  for (int i = 0; i < 3; ++i) {
+    x = x0;
+    pph::homotopy::correct(h, x, 0.02, opts, ws);
+  }
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 50; ++i) {
+    x = x0;  // same-size copy-assign, no allocation
+    pph::homotopy::correct(h, x, 0.02, opts, ws);
+  }
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "steady-state Newton loop allocated " << (after - before)
+                           << " times";
+}
+
+TEST(EvalAllocation, SteadyStateFusedEvaluationAllocatesNothing) {
+  Prng rng(107);
+  const PolySystem target = pph::systems::cyclic(6);
+  TotalDegreeStart start(target, rng);
+  const ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const CVector x = random_point(rng, target.nvars());
+
+  auto ws = h.make_workspace();
+  CVector hv, ht;
+  CMatrix jac;
+  h.evaluate_fused(x, 0.5, ws.get(), hv, jac, ht);  // warm-up
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    h.evaluate_fused(x, 0.5, ws.get(), hv, jac, ht);
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before);
+}
+
+// ---- end-to-end: tracked paths stay correct with the engine on ------------
+
+TEST(CompiledTracking, SolvesCyclic5ToKnownRootCount) {
+  const PolySystem target = pph::systems::cyclic(5);
+  const auto summary = pph::homotopy::solve_total_degree(target);
+  EXPECT_EQ(summary.solutions.size(), pph::systems::cyclic_known_root_count(5));
+}
+
+}  // namespace
