@@ -9,18 +9,29 @@
 //   5. batched work stealing vs per-job dynamic dispatch on the thread
 //      runtime under injected message latency (the run_batch tentpole
 //      claim: batch throughput >= dynamic at >= 1 ms latency, with
-//      identical path results across all three schedulers).
+//      identical path results across all three schedulers);
+//   6. the Pieri tree scheduler under both session policies (FCFS vs
+//      BatchSteal, DESIGN.md section 7): level batches must cut master
+//      dispatches while producing the identical solution set.
 //
 // Set PPH_BENCH_ABLATION_TINY=1 for a seconds-scale run (CI smoke): the
-// real-tracking studies drop to cyclic-5 and the latency grid shrinks.
+// real-tracking studies drop to cyclic-5 / (m,p,q)=(2,2,1) and the latency
+// grid shrinks.  Set PPH_BENCH_JSON=<path> to also write the measured rows
+// as JSON (the perf-trajectory format committed under docs/bench/).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "homotopy/start_total_degree.hpp"
 #include "sched/batch_scheduler.hpp"
 #include "sched/dynamic_scheduler.hpp"
+#include "sched/pieri_scheduler.hpp"
 #include "sched/static_scheduler.hpp"
 #include "simcluster/speedup.hpp"
 #include "systems/cyclic.hpp"
@@ -31,6 +42,42 @@ namespace {
 bool tiny_mode() {
   const char* v = std::getenv("PPH_BENCH_ABLATION_TINY");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// One measured row of the JSON perf trajectory.
+struct JsonRow {
+  std::string name;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;  // paths (or jobs) per second
+  std::size_t dispatches = 0;
+  std::size_t steals = 0;
+};
+
+void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
+                      bool tiny, bool all_identical) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "PPH_BENCH_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  out << "{\n  \"context\": {\n"
+      << "    \"bench\": \"bench_sched_ablation\",\n"
+      << "    \"date\": \"" << stamp << "\",\n"
+      << "    \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+      << "    \"identical_path_results_everywhere\": " << (all_identical ? "true" : "false")
+      << "\n  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"wall_seconds\": " << r.wall_seconds
+        << ", \"throughput_per_second\": " << r.throughput
+        << ", \"dispatches\": " << r.dispatches << ", \"steals\": " << r.steals << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote JSON trajectory point: %s\n", path.c_str());
 }
 
 }  // namespace
@@ -173,6 +220,7 @@ int main() {
   }
 
   // ---- 5. batch+steal vs per-job dynamic under injected latency --------------
+  std::vector<JsonRow> json_rows;
   {
     util::Table t("ABLATION 5 -- run_batch vs run_dynamic under injected latency "
                   "(4 ranks, real tracking)");
@@ -198,12 +246,58 @@ int main() {
       t.add_row({util::Table::cell(ms, 1), util::Table::cell(dy.wall_seconds, 2),
                  util::Table::cell(ba.wall_seconds, 2), util::Table::cell(tput_dy, 1),
                  util::Table::cell(tput_ba, 1), wins ? "yes" : "no", same ? "yes" : "NO"});
+      char name[64];
+      std::snprintf(name, sizeof name, "dynamic_latency_%.0fms", ms);
+      json_rows.push_back({name, dy.wall_seconds, tput_dy, dy.dispatches, dy.steals});
+      std::snprintf(name, sizeof name, "batch_latency_%.0fms", ms);
+      json_rows.push_back({name, ba.wall_seconds, tput_ba, ba.dispatches, ba.steals});
     }
     std::cout << t.to_string();
     std::printf("  batch >= dynamic throughput at latency >= 1 ms: %s\n",
                 batch_wins_at_latency ? "yes" : "NO");
-    std::printf("  identical path results across schedulers everywhere: %s\n",
-                all_identical ? "yes" : "NO");
+  }
+
+  // ---- 6. the Pieri tree under both session policies --------------------------
+  // The same tree expansion (PieriTreeJobSource) rides the per-job FCFS
+  // protocol and the BatchSteal policy (level batches + brokered steals):
+  // dispatch counts drop, the solution set must not change by a bit.
+  {
+    const schubert::PieriProblem pb = tiny ? schubert::PieriProblem{2, 2, 1}
+                                           : schubert::PieriProblem{3, 2, 1};
+    util::Prng prng(2004);
+    const auto input = schubert::random_pieri_input(pb, prng);
+    std::printf("ABLATION 6 -- Pieri tree sessions, m=%zu p=%zu q=%zu (4 ranks)\n",
+                pb.m, pb.p, pb.q);
+    util::Table t("  FCFS vs BatchSteal over the same virtual Pieri tree");
+    t.set_header({"policy", "wall (s)", "jobs", "dispatches", "steals", "complete"});
+    sched::ParallelPieriReport reports[2];
+    for (int k = 0; k < 2; ++k) {
+      sched::ParallelPieriOptions opts;
+      opts.policy = k == 0 ? sched::Policy::kFCFS : sched::Policy::kBatchSteal;
+      reports[k] = sched::run_parallel_pieri(input, 4, opts);
+      const auto& r = reports[k];
+      t.add_row({sched::policy_name(opts.policy), util::Table::cell(r.wall_seconds, 2),
+                 util::Table::cell(static_cast<std::size_t>(r.total_jobs)),
+                 util::Table::cell(r.dispatches), util::Table::cell(r.steals),
+                 r.complete() ? "yes" : "NO"});
+      json_rows.push_back({k == 0 ? "pieri_fcfs" : "pieri_batch_steal", r.wall_seconds,
+                           static_cast<double>(r.total_jobs) / r.wall_seconds,
+                           r.dispatches, r.steals});
+    }
+    const bool same_solutions = reports[0].complete() && reports[1].complete() &&
+                                sched::canonical_solution_set(reports[0].solutions) ==
+                                    sched::canonical_solution_set(reports[1].solutions);
+    all_identical = all_identical && same_solutions;
+    std::cout << t.to_string();
+    std::printf("  identical solution sets across Pieri policies: %s\n",
+                same_solutions ? "yes" : "NO");
+  }
+
+  std::printf("\nidentical results across schedulers/policies everywhere: %s\n",
+              all_identical ? "yes" : "NO");
+  if (const char* json_path = std::getenv("PPH_BENCH_JSON");
+      json_path != nullptr && json_path[0] != '\0') {
+    write_bench_json(json_path, json_rows, tiny, all_identical);
   }
   return all_identical ? 0 : 1;
 }

@@ -54,4 +54,72 @@ StealReply unpack_steal_reply(const std::vector<std::byte>& payload) {
   return StealReply{unpack_index_batch(payload)};
 }
 
+std::vector<std::byte> pack_job_frame(const JobFrame& frame) {
+  Packer p;
+  p.write(frame.id);
+  p.write_vector(frame.payload);
+  return p.take();
+}
+
+JobFrame unpack_job_frame(const std::vector<std::byte>& payload) {
+  Unpacker u(payload);
+  JobFrame frame;
+  frame.id = u.read<std::uint64_t>();
+  frame.payload = u.read_vector<std::byte>();
+  return frame;
+}
+
+std::vector<std::byte> pack_job_frame_batch(const std::vector<JobFrame>& frames) {
+  Packer p;
+  p.write(static_cast<std::uint64_t>(frames.size()));
+  for (const auto& frame : frames) {
+    p.write(frame.id);
+    p.write_vector(frame.payload);
+  }
+  return p.take();
+}
+
+std::vector<JobFrame> unpack_job_frame_batch(const std::vector<std::byte>& payload) {
+  Unpacker u(payload);
+  const auto count = static_cast<std::size_t>(u.read<std::uint64_t>());
+  std::vector<JobFrame> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    JobFrame frame;
+    frame.id = u.read<std::uint64_t>();
+    frame.payload = u.read_vector<std::byte>();
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+void append_double_bits(std::string& out, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(bits >> shift) & 0xF]);
+  }
+}
+
+double parse_double_bits(const std::string& line, std::size_t& pos) {
+  if (pos + 16 > line.size()) {
+    throw std::invalid_argument("parse_double_bits: truncated hex field");
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = line[pos + i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else throw std::invalid_argument("parse_double_bits: malformed hex field");
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  pos += 16;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
 }  // namespace pph::mp

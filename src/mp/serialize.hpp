@@ -104,4 +104,37 @@ struct StealReply {
 std::vector<std::byte> pack_steal_reply(const StealReply& reply);
 StealReply unpack_steal_reply(const std::vector<std::byte>& payload);
 
+// ---------------------------------------------------------------------------
+// Session job framing.  The unified scheduler sessions (sched/session.hpp)
+// move *framed* jobs: an opaque per-source payload prefixed with the job id
+// the master uses for ownership bookkeeping.  Like the steal shapes above,
+// these are payload shapes only -- tags live in sched/job_pool.hpp.
+// ---------------------------------------------------------------------------
+
+struct JobFrame {
+  std::uint64_t id = 0;
+  std::vector<std::byte> payload;  // source-defined job description
+};
+std::vector<std::byte> pack_job_frame(const JobFrame& frame);
+JobFrame unpack_job_frame(const std::vector<std::byte>& payload);
+
+/// A batch of framed jobs (a master batch hand-out, or the bulk half of a
+/// session steal reply, which must carry payloads -- tree-source jobs are
+/// not reconstructible from an index).
+std::vector<std::byte> pack_job_frame_batch(const std::vector<JobFrame>& frames);
+std::vector<JobFrame> unpack_job_frame_batch(const std::vector<std::byte>& payload);
+
+// ---------------------------------------------------------------------------
+// Bit-exact text framing for the streaming result store (sched/result_store).
+// Doubles are framed as the 16 lowercase hex digits of their IEEE-754 bits:
+// round-trips NaN payloads and signed zeros exactly, which "%.17g" cannot
+// (diverged paths legitimately carry NaN endpoints, and the store must
+// reproduce them bit for bit on resume).
+// ---------------------------------------------------------------------------
+
+void append_double_bits(std::string& out, double value);
+/// Parse 16 hex digits at `pos`; advances `pos` past them.  Throws
+/// std::invalid_argument on malformed input.
+double parse_double_bits(const std::string& line, std::size_t& pos);
+
 }  // namespace pph::mp

@@ -1,275 +1,18 @@
 #include "sched/batch_scheduler.hpp"
 
-#include <chrono>
-#include <deque>
-#include <map>
-#include <set>
-#include <thread>
-#include <utility>
-
-#include "util/timer.hpp"
-
 namespace pph::sched {
-
-namespace {
-
-// Owner states for indices not currently assigned to a slave.
-constexpr int kUnassigned = -1;
-constexpr int kDoneOwner = -2;
-
-}  // namespace
 
 ParallelRunReport run_batch(const PathWorkload& workload, int ranks,
                             const BatchOptions& opts) {
-  if (ranks < 2) throw std::invalid_argument("run_batch: need a master and at least one slave");
-  if (opts.factor <= 0.0) throw std::invalid_argument("run_batch: factor must be positive");
-  validate_kill_switch(opts.kill_slave_rank, opts.kill_slave_after_jobs.has_value(), ranks,
-                       "run_batch");
-  const std::size_t total = workload.size();
-  ParallelRunReport report;
-  report.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
-  util::WallTimer wall;
-
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    if (comm.rank() == 0) {
-      // ---- master: batch dispatch + steal brokerage ----
-      // The master never touches path data; it moves indices.  Bulk steal
-      // traffic goes slave-to-slave; the master only brokers (it is the one
-      // place that knows who is loaded) and keeps the ownership map that
-      // makes death re-queuing and duplicate suppression correct.
-      std::deque<std::size_t> queue;
-      for (std::size_t i = 0; i < total; ++i) queue.push_back(i);
-      std::vector<int> owner(total, kUnassigned);
-      std::vector<std::size_t> owned_count(static_cast<std::size_t>(ranks), 0);
-      std::vector<bool> dead(static_cast<std::size_t>(ranks), false);
-      std::vector<bool> parked(static_cast<std::size_t>(ranks), false);
-      // Victims that refused a steal since the thief's last refill.
-      std::vector<std::set<int>> refused(static_cast<std::size_t>(ranks));
-      // Thieves awaiting a steal reply, per victim (to unblock them if the
-      // victim dies between the order and the reply).
-      std::map<int, std::vector<int>> awaiting;
-
-      auto alive_slaves = [&] {
-        std::size_t n = 0;
-        for (int s = 1; s < ranks; ++s) {
-          if (!dead[static_cast<std::size_t>(s)]) ++n;
-        }
-        return n;
-      };
-
-      auto dispatch_batch = [&](int s) {
-        const auto su = static_cast<std::size_t>(s);
-        while (!queue.empty() && owner[queue.front()] != kUnassigned) queue.pop_front();
-        if (queue.empty()) return false;
-        const std::size_t chunk =
-            guided_chunk_size(queue.size(), alive_slaves(), opts.factor, opts.min_batch);
-        std::vector<std::uint64_t> indices;
-        while (indices.size() < chunk && !queue.empty()) {
-          const std::size_t index = queue.front();
-          queue.pop_front();
-          if (owner[index] != kUnassigned) continue;  // stolen or finished elsewhere
-          owner[index] = s;
-          ++owned_count[su];
-          indices.push_back(static_cast<std::uint64_t>(index));
-        }
-        if (indices.empty()) return false;
-        inject_latency(opts.injected_latency);
-        comm.send(s, kTagBatch, mp::pack_index_batch(indices));
-        ++report.dispatches;
-        refused[su].clear();
-        parked[su] = false;
-        return true;
-      };
-
-      auto refill = [&](int s) {
-        const auto su = static_cast<std::size_t>(s);
-        if (dead[su]) return;
-        if (dispatch_batch(s)) return;
-        // Pool drained: broker a steal from the most loaded slave.  A load
-        // of one is not worth moving (it is the victim's in-flight path).
-        int victim = -1;
-        std::size_t best = 1;
-        for (int v = 1; v < ranks; ++v) {
-          const auto vu = static_cast<std::size_t>(v);
-          if (v == s || dead[vu] || refused[su].count(v) != 0) continue;
-          if (owned_count[vu] > best) {
-            best = owned_count[vu];
-            victim = v;
-          }
-        }
-        if (victim >= 0) {
-          inject_latency(opts.injected_latency);
-          comm.send(victim, kTagStealOrder, mp::pack_steal_request({s}));
-          awaiting[victim].push_back(s);
-        } else {
-          parked[su] = true;  // released by a death re-queue or the stop broadcast
-        }
-      };
-
-      for (int s = 1; s < ranks; ++s) refill(s);
-
-      std::size_t results = 0;
-      while (results < total) {
-        const mp::Message m = comm.recv();
-        const auto src = static_cast<std::size_t>(m.source);
-        if (m.tag == kTagBatchDone) {
-          for (auto& tp : unpack_tracked_path_batch(m.payload)) {
-            if (owner[tp.index] == kDoneOwner) continue;  // duplicate after a death re-queue
-            if (owner[tp.index] >= 0) --owned_count[static_cast<std::size_t>(owner[tp.index])];
-            owner[tp.index] = kDoneOwner;
-            report.paths.push_back(std::move(tp));
-            ++results;
-          }
-          refill(m.source);
-        } else if (m.tag == kTagStealNotify) {
-          mp::Unpacker u(m.payload);
-          const int victim = u.read<int>();
-          const auto indices = u.read_vector<std::uint64_t>();
-          auto& waiting = awaiting[victim];
-          std::erase(waiting, m.source);
-          if (indices.empty()) {
-            refused[src].insert(victim);
-            refill(m.source);
-          } else {
-            for (const auto i : indices) {
-              const auto index = static_cast<std::size_t>(i);
-              if (owner[index] == kDoneOwner) continue;
-              if (owner[index] >= 0) --owned_count[static_cast<std::size_t>(owner[index])];
-              owner[index] = m.source;
-              ++owned_count[src];
-            }
-            ++report.steals;
-            refused[src].clear();
-          }
-        } else if (m.tag == kTagDead) {
-          // Failure injection: re-queue everything the dead slave owned
-          // (its unstarted batch and any completed-but-unreported results).
-          dead[src] = true;
-          parked[src] = false;
-          owned_count[src] = 0;
-          for (std::size_t i = total; i-- > 0;) {
-            if (owner[i] == m.source) {
-              owner[i] = kUnassigned;
-              queue.push_front(i);
-            }
-          }
-          // Unblock thieves that were waiting on the dead victim, then any
-          // parked slaves, now that jobs are available again.
-          std::vector<int> thieves;
-          thieves.swap(awaiting[m.source]);
-          for (const int t : thieves) refill(t);
-          for (int s = 1; s < ranks; ++s) {
-            if (!dead[static_cast<std::size_t>(s)] && parked[static_cast<std::size_t>(s)]) {
-              refill(s);
-            }
-          }
-        }
-      }
-      // All results in: release the slaves, then collect busy-time reports
-      // (filtered receives skip any stray in-flight duplicate reports).
-      for (int s = 1; s < ranks; ++s) {
-        if (!dead[static_cast<std::size_t>(s)]) comm.send(s, kTagStop, std::vector<std::byte>{});
-      }
-      for (int s = 1; s < ranks; ++s) {
-        if (dead[static_cast<std::size_t>(s)]) continue;
-        const mp::Message m = comm.recv(s, kTagBusy);
-        mp::Unpacker u(m.payload);
-        report.rank_busy_seconds[static_cast<std::size_t>(s)] = u.read<double>();
-      }
-    } else {
-      // ---- slave: work on the local batch, serve steals between paths ----
-      std::deque<std::size_t> mine;
-      std::vector<TrackedPath> pending;
-      double tracking_seconds = 0.0;
-      std::size_t completed = 0;
-      homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this slave's paths
-      const bool killable =
-          comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
-      bool stopped = false;
-
-      auto handle = [&](const mp::Message& m) {
-        if (m.tag == kTagBatch) {
-          for (const auto i : mp::unpack_index_batch(m.payload)) {
-            mine.push_back(static_cast<std::size_t>(i));
-          }
-        } else if (m.tag == kTagStealOrder) {
-          // Donate the back half of the local queue straight to the thief
-          // (an empty reply is a refusal; the thief reports it either way).
-          const auto req = mp::unpack_steal_request(m.payload);
-          mp::StealReply reply;
-          for (std::size_t k = mine.size() / 2; k > 0; --k) {
-            reply.indices.push_back(static_cast<std::uint64_t>(mine.back()));
-            mine.pop_back();
-          }
-          inject_latency(opts.injected_latency);
-          comm.send(req.thief, kTagStealReply, mp::pack_steal_reply(reply));
-        } else if (m.tag == kTagStealReply) {
-          const auto reply = mp::unpack_steal_reply(m.payload);
-          for (const auto i : reply.indices) mine.push_back(static_cast<std::size_t>(i));
-          // One-way ownership notification so the master's map stays exact.
-          mp::Packer p;
-          p.write(m.source);
-          p.write_vector(reply.indices);
-          inject_latency(opts.injected_latency);
-          comm.isend(0, kTagStealNotify, p.take());
-        } else if (m.tag == kTagStop) {
-          stopped = true;
-        }
-      };
-
-      while (!stopped) {
-        if (mine.empty()) {
-          handle(comm.recv());
-          continue;
-        }
-        // Drain control traffic (steal orders, late batches) between paths.
-        while (auto m = comm.try_recv()) {
-          handle(*m);
-          if (stopped) break;
-        }
-        if (stopped || mine.empty()) continue;
-        if (killable && completed >= *opts.kill_slave_after_jobs) {
-          // Serve queued steal orders with refusals so no thief hangs on a
-          // reply that will never come, then die silently like the dynamic
-          // protocol's kill hook (no busy report).
-          while (auto m = comm.try_recv(mp::kAnySource, kTagStealOrder)) {
-            const auto req = mp::unpack_steal_request(m->payload);
-            inject_latency(opts.injected_latency);
-            comm.send(req.thief, kTagStealReply, mp::pack_steal_reply({}));
-          }
-          inject_latency(opts.injected_latency);
-          comm.send(0, kTagDead, std::vector<std::byte>{});
-          return;
-        }
-        const std::size_t index = mine.front();
-        mine.pop_front();
-        util::WallTimer job_timer;
-        TrackedPath tp;
-        tp.index = index;
-        tp.worker = comm.rank();
-        tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                         workload.tracker, ws);
-        tp.seconds = job_timer.seconds();
-        tracking_seconds += tp.seconds;
-        pending.push_back(std::move(tp));
-        ++completed;
-        if (mine.empty()) {
-          // Batch exhausted: one message carries every result plus the
-          // implicit request for the next batch.
-          inject_latency(opts.injected_latency);
-          comm.send(0, kTagBatchDone, pack_tracked_path_batch(pending));
-          pending.clear();
-        }
-      }
-      mp::Packer p;
-      p.write(tracking_seconds);
-      comm.send(0, kTagBusy, p);
-    }
-  });
-
-  report.wall_seconds = wall.seconds();
-  report.tally();
-  return report;
+  SessionOptions so;
+  so.policy = Policy::kBatchSteal;
+  so.factor = opts.factor;
+  so.min_batch = opts.min_batch;
+  so.injected_latency = opts.injected_latency;
+  so.kill_slave_after_jobs = opts.kill_slave_after_jobs;
+  so.kill_slave_rank = opts.kill_slave_rank;
+  so.who = "run_batch";
+  return run_paths(workload, ranks, so);
 }
 
 }  // namespace pph::sched

@@ -3,16 +3,22 @@
 // per-job dynamic protocol: the master hands out *batches* of paths whose
 // size shrinks guided-style as the pool drains, slaves report a whole
 // exhausted batch in one message, and an idle slave refills by *stealing*
-// half of a busy slave's remaining batch -- the bulk indices travel
+// half of a busy slave's remaining batch -- the bulk jobs travel
 // slave-to-slave through the mp mailbox layer, so only a small brokerage
 // message ever round-trips to the master.  Per-message cost is paid per
 // batch instead of per path, which is what survives high latency
 // (DESIGN.md section 2, "Batched work stealing"; measured against the
 // per-job protocol in bench_sched_ablation).
+//
+// LEGACY ENTRY POINT: run_batch is a thin wrapper over the unified session
+// API (sched/session.hpp, DESIGN.md section 7) -- equivalent to a Session
+// over a VectorJobSource with Policy::kBatchSteal and an
+// InMemoryReportSink.  Kept for source compatibility; new code should
+// compose a Session (or call sched::run_paths) directly.
 
 #include <optional>
 
-#include "sched/job_pool.hpp"
+#include "sched/session.hpp"
 
 namespace pph::sched {
 

@@ -1,121 +1,17 @@
 #include "sched/dynamic_scheduler.hpp"
 
-#include <chrono>
-#include <deque>
-#include <map>
-#include <thread>
-
-#include "util/timer.hpp"
-
 namespace pph::sched {
 
 ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
                               const DynamicOptions& opts) {
-  if (ranks < 2) throw std::invalid_argument("run_dynamic: need a master and at least one slave");
-  validate_kill_switch(opts.kill_slave_rank, opts.kill_slave_after_jobs.has_value(), ranks,
-                       "run_dynamic");
-  const std::size_t total = workload.size();
-  ParallelRunReport report;
-  report.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
-  util::WallTimer wall;
-
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    if (comm.rank() == 0) {
-      // ---- master: dispatch jobs first-come-first-served ----
-      std::deque<std::size_t> queue;
-      for (std::size_t i = 0; i < total; ++i) queue.push_back(i);
-      std::map<int, std::vector<std::size_t>> outstanding;
-      std::vector<bool> dead(static_cast<std::size_t>(ranks), false);
-
-      auto dispatch = [&](int slave) {
-        if (queue.empty() || dead[static_cast<std::size_t>(slave)]) return false;
-        const std::size_t index = queue.front();
-        queue.pop_front();
-        mp::Packer p;
-        p.write(static_cast<std::uint64_t>(index));
-        inject_latency(opts.injected_latency);
-        comm.send(slave, kTagJob, p);
-        outstanding[slave].push_back(index);
-        ++report.dispatches;
-        return true;
-      };
-
-      // Seed every slave with its initial jobs.
-      for (int s = 1; s < ranks; ++s) {
-        for (std::size_t k = 0; k < opts.initial_jobs_per_slave; ++k) dispatch(s);
-      }
-
-      std::size_t results = 0;
-      while (results < total) {
-        const mp::Message m = comm.recv();
-        if (m.tag == kTagResult) {
-          const TrackedPath tp = unpack_tracked_path(m.payload);
-          std::erase(outstanding[m.source], tp.index);
-          report.paths.push_back(tp);
-          ++results;
-          // First-come-first-served: the finishing slave gets the next job;
-          // an idle slave parks on its blocking recv and is released by the
-          // final stop broadcast.
-          dispatch(m.source);
-        } else if (m.tag == kTagDead) {
-          // Failure injection: re-queue everything the dead slave held.
-          dead[static_cast<std::size_t>(m.source)] = true;
-          for (const std::size_t index : outstanding[m.source]) queue.push_front(index);
-          outstanding[m.source].clear();
-          // Kick idle live slaves now that jobs are available again.
-          for (int s = 1; s < ranks; ++s) {
-            if (!dead[static_cast<std::size_t>(s)] && outstanding[s].empty()) dispatch(s);
-          }
-        }
-      }
-      // All results in: release the slaves, then collect busy-time reports.
-      for (int s = 1; s < ranks; ++s) {
-        if (!dead[static_cast<std::size_t>(s)]) comm.send(s, kTagStop, std::vector<std::byte>{});
-      }
-      for (int s = 1; s < ranks; ++s) {
-        if (dead[static_cast<std::size_t>(s)]) continue;
-        const mp::Message m = comm.recv(s, kTagBusy);
-        mp::Unpacker u(m.payload);
-        report.rank_busy_seconds[static_cast<std::size_t>(s)] = u.read<double>();
-      }
-    } else {
-      // ---- slave: busy-wait loop ----
-      double tracking_seconds = 0.0;
-      std::size_t completed = 0;
-      homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this slave's paths
-      const bool killable =
-          comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
-      for (;;) {
-        const mp::Message m = comm.recv(0);
-        if (m.tag == kTagStop) break;
-        mp::Unpacker u(m.payload);
-        const auto index = static_cast<std::size_t>(u.read<std::uint64_t>());
-        if (killable && completed >= *opts.kill_slave_after_jobs) {
-          inject_latency(opts.injected_latency);
-          comm.send(0, kTagDead, std::vector<std::byte>{});
-          return;  // dies without reporting busy time
-        }
-        util::WallTimer job_timer;
-        TrackedPath tp;
-        tp.index = index;
-        tp.worker = comm.rank();
-        tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                         workload.tracker, ws);
-        tp.seconds = job_timer.seconds();
-        tracking_seconds += tp.seconds;
-        inject_latency(opts.injected_latency);
-        comm.send(0, kTagResult, pack_tracked_path(tp));
-        ++completed;
-      }
-      mp::Packer p;
-      p.write(tracking_seconds);
-      comm.send(0, kTagBusy, p);
-    }
-  });
-
-  report.wall_seconds = wall.seconds();
-  report.tally();
-  return report;
+  SessionOptions so;
+  so.policy = Policy::kFCFS;
+  so.initial_jobs_per_slave = opts.initial_jobs_per_slave;
+  so.injected_latency = opts.injected_latency;
+  so.kill_slave_after_jobs = opts.kill_slave_after_jobs;
+  so.kill_slave_rank = opts.kill_slave_rank;
+  so.who = "run_dynamic";
+  return run_paths(workload, ranks, so);
 }
 
 }  // namespace pph::sched

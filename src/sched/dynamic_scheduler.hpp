@@ -5,10 +5,16 @@
 // communication than static assignment, but the load follows the actual
 // path costs.  The master (rank 0) only dispatches.  Protocol notes in
 // DESIGN.md section 2; overhead sensitivity is measured in section 3.
+//
+// LEGACY ENTRY POINT: run_dynamic is a thin wrapper over the unified
+// session API (sched/session.hpp, DESIGN.md section 7) -- equivalent to a
+// Session over a VectorJobSource with Policy::kFCFS and an
+// InMemoryReportSink.  Kept for source compatibility; new code should
+// compose a Session (or call sched::run_paths) directly.
 
 #include <optional>
 
-#include "sched/job_pool.hpp"
+#include "sched/session.hpp"
 
 namespace pph::sched {
 

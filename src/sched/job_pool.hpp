@@ -5,6 +5,8 @@
 // serialization of path results, and the run report.  The protocols built
 // on these definitions are described in DESIGN.md section 2.
 
+#include <iterator>
+
 #include "homotopy/tracker.hpp"
 #include "mp/comm.hpp"
 
@@ -14,20 +16,80 @@ using homotopy::PathResult;
 using homotopy::PathStatus;
 using linalg::CVector;
 
-/// Message tags of the scheduler protocols.
-enum MessageTag : int {
-  kTagJob = 1,          // master -> slave: job index (dynamic) / implicit (static)
-  kTagResult = 2,       // slave -> master: tracked path result
-  kTagStop = 3,         // master -> slave: terminate the busy-wait loop
-  kTagBusy = 4,         // slave -> master: per-rank busy-seconds report
-  kTagDead = 5,         // slave -> master: failure injection (tests): rank dies
-  // Batch scheduler protocol (DESIGN.md section 2, "Batched work stealing").
-  kTagBatch = 6,        // master -> slave: batch of job indices
-  kTagBatchDone = 7,    // slave -> master: batched results + implicit refill request
-  kTagStealOrder = 8,   // master -> victim: donate half your queue to `thief`
-  kTagStealReply = 9,   // victim -> thief: stolen indices (possibly empty)
-  kTagStealNotify = 10, // thief -> master: ownership transfer bookkeeping
+/// Message tags of the scheduler protocols: one scoped enum so every tag
+/// any policy, source, or store control message uses is defined (and
+/// collision-checked) in a single place.  `mp::Comm` traffics in plain int
+/// tags, so call sites use the `kTag*` constants below; new protocol
+/// messages add an enumerator here and a constant beside the others.
+enum class MessageTag : int {
+  kJob = 1,          // master -> slave: one framed job (FCFS) / implicit (static)
+  kResult = 2,       // slave -> master: tracked path result
+  kStop = 3,         // master -> slave: terminate the busy-wait loop
+  kBusy = 4,         // slave -> master: per-rank busy-seconds report
+  kDead = 5,         // slave -> master: failure injection (tests): rank dies
+  // Batch-steal protocol (DESIGN.md section 2, "Batched work stealing").
+  kBatch = 6,        // master -> slave: batch of framed jobs
+  kBatchDone = 7,    // slave -> master: batched results + implicit refill request
+  kStealOrder = 8,   // master -> victim: donate half your queue to `thief`
+  kStealReply = 9,   // victim -> thief: stolen framed jobs (possibly empty)
+  kStealNotify = 10, // thief -> master: ownership transfer bookkeeping
+  // Session checkpoint control (DESIGN.md section 7, "Resume protocol"):
+  // used when a session with a result store is asked to stop early so the
+  // run can be resumed from the store.
+  kAbort = 11,       // master -> slave: checkpoint: drop unstarted work, flush
+  kAbortFlush = 12,  // slave -> master: completed-but-unreported results
+  // Sentinel: keep last.  detail::kAllTags must list every enumerator
+  // above; the static_asserts below force the list (and therefore the
+  // collision check) to stay complete.
+  kSentinelCount_,
 };
+
+constexpr int tag(MessageTag t) { return static_cast<int>(t); }
+
+namespace detail {
+constexpr int kAllTags[] = {
+    tag(MessageTag::kJob),        tag(MessageTag::kResult),
+    tag(MessageTag::kStop),       tag(MessageTag::kBusy),
+    tag(MessageTag::kDead),       tag(MessageTag::kBatch),
+    tag(MessageTag::kBatchDone),  tag(MessageTag::kStealOrder),
+    tag(MessageTag::kStealReply), tag(MessageTag::kStealNotify),
+    tag(MessageTag::kAbort),      tag(MessageTag::kAbortFlush),
+};
+constexpr bool tags_unique() {
+  for (std::size_t i = 0; i < std::size(kAllTags); ++i) {
+    for (std::size_t j = i + 1; j < std::size(kAllTags); ++j) {
+      if (kAllTags[i] == kAllTags[j]) return false;
+    }
+  }
+  return true;
+}
+constexpr bool tags_positive() {
+  for (const int t : kAllTags) {
+    if (t <= 0) return false;  // mp::kAnyTag is -1; 0 is reserved
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(std::size(detail::kAllTags) + 1 ==
+                  static_cast<std::size_t>(MessageTag::kSentinelCount_),
+              "a MessageTag enumerator is missing from detail::kAllTags "
+              "(the collision check would silently skip it)");
+static_assert(detail::tags_unique(), "MessageTag values collide");
+static_assert(detail::tags_positive(), "MessageTag values must be positive");
+
+// Legacy-style spellings used throughout the protocol code.
+inline constexpr int kTagJob = tag(MessageTag::kJob);
+inline constexpr int kTagResult = tag(MessageTag::kResult);
+inline constexpr int kTagStop = tag(MessageTag::kStop);
+inline constexpr int kTagBusy = tag(MessageTag::kBusy);
+inline constexpr int kTagDead = tag(MessageTag::kDead);
+inline constexpr int kTagBatch = tag(MessageTag::kBatch);
+inline constexpr int kTagBatchDone = tag(MessageTag::kBatchDone);
+inline constexpr int kTagStealOrder = tag(MessageTag::kStealOrder);
+inline constexpr int kTagStealReply = tag(MessageTag::kStealReply);
+inline constexpr int kTagStealNotify = tag(MessageTag::kStealNotify);
+inline constexpr int kTagAbort = tag(MessageTag::kAbort);
+inline constexpr int kTagAbortFlush = tag(MessageTag::kAbortFlush);
 
 /// A path-tracking workload shared by all ranks.
 struct PathWorkload {

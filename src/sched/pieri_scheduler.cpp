@@ -1,11 +1,8 @@
 #include "sched/pieri_scheduler.hpp"
 
-#include <chrono>
-#include <deque>
-#include <map>
-#include <thread>
-
-#include "util/timer.hpp"
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace pph::sched {
 
@@ -43,9 +40,9 @@ homotopy::TrackerOptions tighten(const homotopy::TrackerOptions& base, std::size
   return t;
 }
 
-/// Job message: target pattern, attempt, start coordinates.
-std::vector<std::byte> pack_job(const std::vector<std::size_t>& pivots, std::uint32_t attempt,
-                                const linalg::CVector& start) {
+/// Edge payload: target pattern, attempt, start coordinates.
+std::vector<std::byte> pack_edge(const std::vector<std::size_t>& pivots, std::uint32_t attempt,
+                                 const linalg::CVector& start) {
   mp::Packer p;
   p.write(static_cast<std::uint32_t>(pivots.size()));
   for (const std::size_t piv : pivots) p.write(static_cast<std::uint32_t>(piv));
@@ -54,15 +51,15 @@ std::vector<std::byte> pack_job(const std::vector<std::size_t>& pivots, std::uin
   return p.take();
 }
 
-struct JobMsg {
+struct EdgeMsg {
   std::vector<std::size_t> pivots;
   std::uint32_t attempt = 0;
   linalg::CVector start;
 };
 
-JobMsg unpack_job(const std::vector<std::byte>& payload) {
+EdgeMsg unpack_edge(const std::vector<std::byte>& payload) {
   mp::Unpacker u(payload);
-  JobMsg j;
+  EdgeMsg j;
   const auto np = u.read<std::uint32_t>();
   j.pivots.reserve(np);
   for (std::uint32_t i = 0; i < np; ++i) j.pivots.push_back(u.read<std::uint32_t>());
@@ -71,237 +68,208 @@ JobMsg unpack_job(const std::vector<std::byte>& payload) {
   return j;
 }
 
-/// Result message: pattern, attempt, success, endpoint, seconds.
-std::vector<std::byte> pack_result(const JobMsg& job, bool success, const linalg::CVector& end,
-                                   double seconds) {
-  mp::Packer p;
-  p.write(static_cast<std::uint32_t>(job.pivots.size()));
-  for (const std::size_t piv : job.pivots) p.write(static_cast<std::uint32_t>(piv));
-  p.write(job.attempt);
-  p.write(static_cast<std::uint8_t>(success ? 1 : 0));
-  p.write(seconds);
-  p.write_vector(end);
-  p.write_vector(job.start);
-  return p.take();
-}
-
-struct ResultMsg {
-  std::vector<std::size_t> pivots;
-  std::uint32_t attempt = 0;
-  bool success = false;
-  double seconds = 0.0;
-  linalg::CVector end;
-  linalg::CVector start;
-};
-
-ResultMsg unpack_result(const std::vector<std::byte>& payload) {
-  mp::Unpacker u(payload);
-  ResultMsg r;
-  const auto np = u.read<std::uint32_t>();
-  r.pivots.reserve(np);
-  for (std::uint32_t i = 0; i < np; ++i) r.pivots.push_back(u.read<std::uint32_t>());
-  r.attempt = u.read<std::uint32_t>();
-  r.success = u.read<std::uint8_t>() != 0;
-  r.seconds = u.read<double>();
-  r.end = u.read_vector<linalg::Complex>();
-  r.start = u.read_vector<linalg::Complex>();
-  return r;
-}
-
-/// Master-side state of one (pattern, level) instance.
-struct Instance {
-  std::uint64_t expected = 0;   // chain count == number of incoming edges
-  std::uint32_t attempt = 0;
-  std::vector<linalg::CVector> starts;      // retained for retries
-  std::vector<linalg::CVector> endpoints;   // successful results
-  std::uint64_t received = 0;               // results of the current attempt
-  std::uint64_t dispatched = 0;             // jobs sent for the current attempt
-};
-
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// PieriTreeJobSource
+// ---------------------------------------------------------------------------
+
+PieriTreeJobSource::PieriTreeJobSource(const schubert::PieriInput& input,
+                                       const schubert::PieriSolverOptions& solver)
+    : input_(&input),
+      solver_(solver),
+      poset_(input.problem),
+      root_(Pattern::root(input.problem)),
+      jobs_per_level_(input.problem.condition_count(), 0) {
+  // Seed: the minimal pattern's trivial solution feeds its covers.
+  const Pattern minimal = Pattern::minimal(input.problem);
+  for (const Pattern& up : minimal.parents()) {
+    Instance& inst = instance_of(up.pivots());
+    const PatternChart chart(up);
+    const linalg::CVector start = chart.embed_child(PatternChart(minimal), {});
+    inst.starts.push_back(start);
+    add_job(up.pivots(), inst.attempt, start);
+  }
+}
+
+PieriTreeJobSource::Instance& PieriTreeJobSource::instance_of(
+    const std::vector<std::size_t>& pivots) {
+  auto [it, inserted] = instances_.try_emplace(pivots);
+  if (inserted) {
+    it->second.expected = poset_.chain_count(Pattern(input_->problem, pivots));
+    ++active_instances_;
+    peak_active_instances_ = std::max(peak_active_instances_, active_instances_);
+  }
+  return it->second;
+}
+
+JobId PieriTreeJobSource::add_job(std::vector<std::size_t> pivots, std::uint32_t attempt,
+                                  linalg::CVector start) {
+  const JobId id = next_id_++;
+  jobs_.emplace(id, Job{std::move(pivots), attempt, std::move(start)});
+  ready_.push_back(id);
+  return id;
+}
+
+JobId PieriTreeJobSource::pop() {
+  const JobId id = ready_.front();
+  ready_.pop_front();
+  return id;
+}
+
+std::vector<std::byte> PieriTreeJobSource::job_payload(JobId id) const {
+  const Job& job = jobs_.at(id);
+  return pack_edge(job.pivots, job.attempt, job.start);
+}
+
+bool PieriTreeJobSource::consume(const TrackedPath& tp) {
+  const auto jt = jobs_.find(tp.index);
+  if (jt == jobs_.end()) return false;  // unknown id: corrupt session state
+  const Job job = std::move(jt->second);
+  jobs_.erase(jt);
+  const Pattern pattern(input_->problem, job.pivots);
+  const std::size_t level = pattern.level();
+  Instance& inst = instances_.at(job.pivots);
+  if (job.attempt != inst.attempt) {
+    // Stale result from a superseded attempt; drop it.
+    return false;
+  }
+  ++inst.received;
+  ++total_jobs_;
+  ++jobs_per_level_[level - 1];
+  if (tp.result.converged()) inst.endpoints.push_back(tp.result.x);
+
+  if (inst.received == inst.expected) {
+    // Instance complete: quality control.
+    const bool all_converged = inst.endpoints.size() == inst.expected;
+    const bool distinct =
+        poly::deduplicate_solutions(inst.endpoints, solver_.distinct_tolerance).size() ==
+        inst.endpoints.size();
+    if ((!all_converged || !distinct) && inst.attempt < solver_.max_retries) {
+      // Retry the whole instance with a fresh deformation.
+      ++inst.attempt;
+      inst.received = 0;
+      inst.endpoints.clear();
+      for (const auto& start : inst.starts) add_job(job.pivots, inst.attempt, start);
+    } else {
+      if (!all_converged || !distinct) {
+        failures_ += inst.expected -
+                     poly::deduplicate_solutions(inst.endpoints, solver_.distinct_tolerance)
+                         .size();
+      }
+      if (pattern == root_) {
+        root_solutions_ = inst.endpoints;
+      } else {
+        // Spawn the child jobs of every parent pattern (paper: "the master
+        // generates at most p new jobs per returned result" -- batched here
+        // per instance for the deformation consistency).
+        const PatternChart chart(pattern);
+        for (const Pattern& up : pattern.parents()) {
+          Instance& next = instance_of(up.pivots());
+          const PatternChart up_chart(up);
+          for (const auto& end : inst.endpoints) {
+            const linalg::CVector start = up_chart.embed_child(chart, end);
+            next.starts.push_back(start);
+            add_job(up.pivots(), next.attempt, start);
+          }
+        }
+      }
+      // Instance memory dies here (the Pieri-tree memory argument).
+      instances_.erase(job.pivots);
+      --active_instances_;
+    }
+  }
+  return true;
+}
+
+PathResult PieriTreeJobSource::execute(const std::vector<std::byte>& payload,
+                                       homotopy::TrackerWorkspace& ws) const {
+  const EdgeMsg job = unpack_edge(payload);
+  const Pattern pattern(input_->problem, job.pivots);
+  const std::size_t level = pattern.level();
+  const PatternChart chart(pattern);
+  const std::vector<PlaneCondition> fixed(input_->conditions.begin(),
+                                          input_->conditions.begin() + (level - 1));
+  const PlaneCondition& target = input_->conditions[level - 1];
+  const InstanceDeformation def =
+      instance_deformation(solver_.gamma_seed, job.pivots, job.attempt);
+  PieriEdgeHomotopy h(chart, fixed, target, def.gamma, def.detour_s, def.detour_u);
+  ws.bind(h);
+  return homotopy::track_path(h, job.start, tighten(solver_.tracker, job.attempt), ws);
+}
+
+void PieriTreeJobSource::assemble(ParallelPieriReport& report) const {
+  report.expected_count = poset_.root_count();
+  report.total_jobs = total_jobs_;
+  report.failures = failures_;
+  report.jobs_per_level = jobs_per_level_;
+  report.peak_active_instances = peak_active_instances_;
+  const PatternChart root_chart(root_);
+  for (const auto& coords : root_solutions_) {
+    report.solutions.emplace_back(root_chart, coords);
+  }
+  for (const auto& sol : report.solutions) {
+    const double res = sol.max_residual(input_->conditions);
+    report.max_residual = std::max(report.max_residual, res);
+    if (res < solver_.verify_tolerance) ++report.verified;
+  }
+  report.distinct =
+      poly::deduplicate_solutions(root_solutions_, solver_.distinct_tolerance).size();
+}
+
+std::vector<std::vector<linalg::Complex>> canonical_solution_set(
+    const std::vector<schubert::PieriMap>& solutions) {
+  std::vector<std::vector<linalg::Complex>> out;
+  out.reserve(solutions.size());
+  for (const auto& sol : solutions) out.push_back(sol.coords());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k].real() != b[k].real()) return a[k].real() < b[k].real();
+      if (a[k].imag() != b[k].imag()) return a[k].imag() < b[k].imag();
+    }
+    return false;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-shaped wrapper
+// ---------------------------------------------------------------------------
 
 ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ranks,
                                        const ParallelPieriOptions& opts) {
-  if (ranks < 2) {
-    throw std::invalid_argument("run_parallel_pieri: need a master and at least one slave");
+  if (opts.policy == Policy::kStatic) {
+    throw std::invalid_argument(
+        "run_parallel_pieri: tree jobs are created by results; no static pre-assignment "
+        "exists");
   }
-  const PieriProblem& pb = input.problem;
-  const std::size_t n = pb.condition_count();
-  if (input.conditions.size() != n) {
+  if (input.conditions.size() != input.problem.condition_count()) {
     throw std::invalid_argument("run_parallel_pieri: wrong number of conditions");
   }
 
+  PieriTreeJobSource source(input, opts.solver);
+  // The tree source accumulates everything the report needs in consume();
+  // buffering per-edge records here would break the section III-C memory
+  // bound that peak_active_instances measures.
+  DiscardSink sink;
+  SessionOptions so;
+  so.policy = opts.policy;
+  so.factor = opts.factor;
+  so.min_batch = opts.min_batch;
+  so.injected_latency = opts.injected_latency;
+  so.kill_slave_after_jobs = opts.kill_slave_after_jobs;
+  so.kill_slave_rank = opts.kill_slave_rank;
+  so.who = "run_parallel_pieri";
+  Session session(source, sink, so);
+  const SessionStats stats = session.run(ranks);
+
   ParallelPieriReport report;
-  report.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
-  report.jobs_per_level.assign(n, 0);
-  util::WallTimer wall;
-
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    if (comm.rank() == 0) {
-      // ---------------- master ----------------
-      schubert::PatternPoset poset(pb);
-      report.expected_count = poset.root_count();
-      std::map<std::vector<std::size_t>, Instance> instances;
-      std::size_t active_instances = 0;
-      std::deque<std::pair<std::vector<std::size_t>, linalg::CVector>> job_queue;
-      std::deque<int> idle_slaves;  // the paper's queue of parked slaves
-      for (int s = 1; s < ranks; ++s) idle_slaves.push_back(s);
-      std::uint64_t outstanding = 0;
-
-      auto instance_of = [&](const std::vector<std::size_t>& pivots) -> Instance& {
-        auto [it, inserted] = instances.try_emplace(pivots);
-        if (inserted) {
-          it->second.expected = poset.chain_count(Pattern(pb, pivots));
-          ++active_instances;
-          report.peak_active_instances =
-              std::max(report.peak_active_instances, active_instances);
-        }
-        return it->second;
-      };
-
-      auto dispatch_available = [&] {
-        while (!idle_slaves.empty() && !job_queue.empty()) {
-          const int slave = idle_slaves.front();
-          idle_slaves.pop_front();
-          auto [pivots, start] = std::move(job_queue.front());
-          job_queue.pop_front();
-          Instance& inst = instance_of(pivots);
-          ++inst.dispatched;
-          inject_latency(opts.injected_latency);
-          comm.send(slave, kTagJob, pack_job(pivots, inst.attempt, start));
-          ++outstanding;
-        }
-      };
-
-      // Seed: the minimal pattern's trivial solution feeds its covers.
-      const Pattern minimal = Pattern::minimal(pb);
-      for (const Pattern& up : minimal.parents()) {
-        Instance& inst = instance_of(up.pivots());
-        const PatternChart chart(up);
-        const linalg::CVector start = chart.embed_child(PatternChart(minimal), {});
-        inst.starts.push_back(start);
-        job_queue.emplace_back(up.pivots(), start);
-      }
-      dispatch_available();
-
-      std::vector<linalg::CVector> root_solutions;
-      const Pattern root = Pattern::root(pb);
-
-      while (outstanding > 0) {
-        const mp::Message m = comm.recv(mp::kAnySource, kTagResult);
-        --outstanding;
-        idle_slaves.push_back(m.source);
-        const ResultMsg r = unpack_result(m.payload);
-        const Pattern pattern(pb, r.pivots);
-        const std::size_t level = pattern.level();
-        Instance& inst = instances.at(r.pivots);
-        if (r.attempt != inst.attempt) {
-          // Stale result from a superseded attempt; drop it.
-          dispatch_available();
-          continue;
-        }
-        ++inst.received;
-        ++report.total_jobs;
-        ++report.jobs_per_level[level - 1];
-        if (r.success) inst.endpoints.push_back(r.end);
-
-        if (inst.received == inst.expected) {
-          // Instance complete: quality control.
-          const bool all_converged = inst.endpoints.size() == inst.expected;
-          const bool distinct =
-              poly::deduplicate_solutions(inst.endpoints, opts.solver.distinct_tolerance)
-                  .size() == inst.endpoints.size();
-          if ((!all_converged || !distinct) && inst.attempt < opts.solver.max_retries) {
-            // Retry the whole instance with a fresh deformation.
-            ++inst.attempt;
-            inst.received = 0;
-            inst.endpoints.clear();
-            for (const auto& start : inst.starts) job_queue.emplace_back(r.pivots, start);
-          } else {
-            if (!all_converged || !distinct) {
-              report.failures += inst.expected -
-                                 poly::deduplicate_solutions(inst.endpoints,
-                                                             opts.solver.distinct_tolerance)
-                                     .size();
-            }
-            if (pattern == root) {
-              root_solutions = inst.endpoints;
-            } else {
-              // Spawn the child jobs of every parent pattern (paper: "the
-              // master generates at most p new jobs per returned result" --
-              // batched here per instance for the deformation consistency).
-              const PatternChart chart(pattern);
-              for (const Pattern& up : pattern.parents()) {
-                Instance& next = instance_of(up.pivots());
-                const PatternChart up_chart(up);
-                for (const auto& end : inst.endpoints) {
-                  const linalg::CVector start = up_chart.embed_child(chart, end);
-                  next.starts.push_back(start);
-                  job_queue.emplace_back(up.pivots(), start);
-                }
-              }
-            }
-            // Instance memory dies here (the Pieri-tree memory argument).
-            instances.erase(r.pivots);
-            --active_instances;
-          }
-        }
-        dispatch_available();
-      }
-
-      // All work done: release every slave and collect busy times.
-      for (int s = 1; s < ranks; ++s) comm.send(s, kTagStop, std::vector<std::byte>{});
-      for (int s = 1; s < ranks; ++s) {
-        const mp::Message bm = comm.recv(s, kTagBusy);
-        mp::Unpacker u(bm.payload);
-        report.rank_busy_seconds[static_cast<std::size_t>(s)] = u.read<double>();
-      }
-
-      // Assemble and verify the solutions.
-      const PatternChart root_chart(root);
-      for (const auto& coords : root_solutions) {
-        report.solutions.emplace_back(root_chart, coords);
-      }
-      for (const auto& sol : report.solutions) {
-        const double res = sol.max_residual(input.conditions);
-        report.max_residual = std::max(report.max_residual, res);
-        if (res < opts.solver.verify_tolerance) ++report.verified;
-      }
-      report.distinct =
-          poly::deduplicate_solutions(root_solutions, opts.solver.distinct_tolerance).size();
-    } else {
-      // ---------------- slave ----------------
-      double busy = 0.0;
-      homotopy::TrackerWorkspace ws;  // LU/buffer reuse across this slave's jobs
-      for (;;) {
-        const mp::Message m = comm.recv(0);
-        if (m.tag == kTagStop) break;
-        const JobMsg job = unpack_job(m.payload);
-        const Pattern pattern(pb, job.pivots);
-        const std::size_t level = pattern.level();
-        const PatternChart chart(pattern);
-        const std::vector<PlaneCondition> fixed(input.conditions.begin(),
-                                                input.conditions.begin() + (level - 1));
-        const PlaneCondition& target = input.conditions[level - 1];
-        const InstanceDeformation def =
-            instance_deformation(opts.solver.gamma_seed, job.pivots, job.attempt);
-        PieriEdgeHomotopy h(chart, fixed, target, def.gamma, def.detour_s, def.detour_u);
-        ws.bind(h);
-        util::WallTimer job_timer;
-        const auto r =
-            homotopy::track_path(h, job.start, tighten(opts.solver.tracker, job.attempt), ws);
-        const double seconds = job_timer.seconds();
-        busy += seconds;
-        inject_latency(opts.injected_latency);
-        comm.send(0, kTagResult, pack_result(job, r.converged(), r.x, seconds));
-      }
-      mp::Packer p;
-      p.write(busy);
-      comm.send(0, kTagBusy, p);
-    }
-  });
-
-  report.wall_seconds = wall.seconds();
+  source.assemble(report);
+  report.wall_seconds = stats.wall_seconds;
+  report.rank_busy_seconds = stats.rank_busy_seconds;
+  report.dispatches = stats.dispatches;
+  report.steals = stats.steals;
   return report;
 }
 

@@ -1,0 +1,95 @@
+#pragma once
+// Streaming on-disk result store for scheduler sessions (DESIGN.md
+// section 7): a JSONL file with one TrackedPath record per line, flushed
+// per record so a killed run loses at most the line being written, plus an
+// index/offset footer appended on clean shutdown.  Doubles are framed as
+// their IEEE-754 bits in hex (mp::append_double_bits), because resumed
+// sessions must reproduce results bit for bit and diverged paths
+// legitimately carry NaN endpoints.
+//
+// File layout:
+//   {"pph_result_store":{"version":1}}                      header
+//   {"i":...,"w":...,"sec":"<hex>", ... ,"x":"<hex...>"}    one per record
+//   ...
+//   {"footer":{"records":N,"offsets":[[id,byte],...]}}      clean close only
+//
+// Resume protocol: load_result_store parses records up to the footer (clean
+// close) or up to the first truncated/corrupt line (killed run; the partial
+// tail is dropped and its jobs simply re-track -- tracking is deterministic,
+// so the resumed store is identical).  A resuming JsonlStoreSink cuts the
+// footer/tail and appends; the session skips the restored indices and only
+// tracks the remainder.
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "sched/session.hpp"
+
+namespace pph::sched {
+
+/// One parsed store file.
+struct StoreLoad {
+  std::vector<TrackedPath> records;  // file order; first occurrence of an id wins
+  std::vector<std::pair<JobId, std::uint64_t>> offsets;  // byte offset per record
+  std::uint64_t append_offset = 0;  // where a resuming writer continues
+  bool had_footer = false;          // clean close
+  bool truncated = false;           // partial/corrupt tail dropped
+};
+
+/// Render / parse one record line (no trailing newline).  Exposed for the
+/// round-trip tests; throws std::invalid_argument on malformed input.
+std::string store_record_line(const TrackedPath& tp);
+TrackedPath parse_store_record(const std::string& line);
+
+/// Parse a store file.  A missing file loads as empty and clean; a file
+/// whose header is unreadable loads as empty with truncated set (the
+/// resuming writer starts over).
+StoreLoad load_result_store(const std::string& path);
+
+/// ResultSink streaming every accepted record to a JSONL store.
+class JsonlStoreSink final : public ResultSink {
+ public:
+  /// Open `path`.  resume=true loads whatever the store already holds
+  /// (restored()/restored_ids()), cuts any footer or corrupt tail, and
+  /// appends; resume=false starts a fresh store.
+  explicit JsonlStoreSink(std::string path, bool resume = false);
+  ~JsonlStoreSink() override;
+  JsonlStoreSink(const JsonlStoreSink&) = delete;
+  JsonlStoreSink& operator=(const JsonlStoreSink&) = delete;
+
+  void accept(const TrackedPath& tp) override;  // append + flush (checkpoint)
+  void finish() override;                       // footer + close
+
+  const std::vector<TrackedPath>& restored() const { return restored_; }
+  std::unordered_set<JobId> restored_ids() const;
+  /// Records on disk: restored plus appended this session.
+  std::size_t stored_count() const { return restored_.size() + appended_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<TrackedPath> restored_;
+  std::vector<std::pair<JobId, std::uint64_t>> offsets_;
+  std::uint64_t offset_ = 0;
+  std::size_t appended_ = 0;
+  bool finished_ = false;
+};
+
+/// Facade: track `workload` through a session streaming to the store at
+/// `store_path`, resuming from whatever the store already holds -- a
+/// restarted session loads the completed indices and only tracks the
+/// remainder.  The report contains restored and new paths alike, so a
+/// killed-then-resumed run reports identically to an uninterrupted one.
+struct StoreRunResult {
+  ParallelRunReport report;
+  SessionStats stats;
+  std::size_t restored = 0;  // records loaded from a previous session
+  bool completed = false;    // the store now holds every workload path
+};
+StoreRunResult run_with_store(const PathWorkload& workload, int ranks,
+                              const std::string& store_path,
+                              const SessionOptions& opts = {});
+
+}  // namespace pph::sched

@@ -1,0 +1,700 @@
+#include "sched/session.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace pph::sched {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFCFS: return "fcfs";
+    case Policy::kStatic: return "static";
+    case Policy::kBatchSteal: return "batch-steal";
+  }
+  return "?";
+}
+
+ParallelRunReport InMemoryReportSink::report(const SessionStats& stats) {
+  ParallelRunReport r;
+  r.paths = std::move(paths_);
+  paths_.clear();
+  r.wall_seconds = stats.wall_seconds;
+  r.rank_busy_seconds = stats.rank_busy_seconds;
+  r.dispatches = stats.dispatches;
+  r.steals = stats.steals;
+  r.tally();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// VectorJobSource
+// ---------------------------------------------------------------------------
+
+VectorJobSource::VectorJobSource(const PathWorkload& workload) : workload_(&workload) {
+  for (std::size_t i = 0; i < workload.size(); ++i) ready_.push_back(i);
+}
+
+std::size_t VectorJobSource::skip_completed(const std::unordered_set<JobId>& done) {
+  const std::size_t before = ready_.size();
+  std::erase_if(ready_, [&](JobId id) { return done.count(id) != 0; });
+  return before - ready_.size();
+}
+
+JobId VectorJobSource::pop() {
+  const JobId id = ready_.front();
+  ready_.pop_front();
+  return id;
+}
+
+std::vector<std::byte> VectorJobSource::job_payload(JobId id) const {
+  mp::Packer p;
+  p.write(id);
+  return p.take();
+}
+
+homotopy::TrackerWorkspace VectorJobSource::make_workspace() const {
+  return homotopy::TrackerWorkspace(*workload_->homotopy);
+}
+
+PathResult VectorJobSource::execute(const std::vector<std::byte>& payload,
+                                    homotopy::TrackerWorkspace& ws) const {
+  mp::Unpacker u(payload);
+  const auto index = static_cast<std::size_t>(u.read<std::uint64_t>());
+  return homotopy::track_path(*workload_->homotopy, (*workload_->starts)[index],
+                              workload_->tracker, ws);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared master loop.  One ownership map, one duplicate-suppression set, one
+// death-requeue and one checkpoint/abort implementation; policies only decide
+// how jobs reach slaves.
+// ---------------------------------------------------------------------------
+
+struct MasterContext {
+  mp::Comm& comm;
+  JobSource& source;
+  ResultSink& sink;
+  const SessionOptions& opts;
+  SessionStats& stats;
+  const int ranks;
+
+  std::unordered_map<JobId, int> owner;   // in-flight job -> owning slave
+  std::vector<std::size_t> owned_count;   // per-rank in-flight job count
+  std::vector<bool> dead;
+  std::vector<bool> busy_reported;        // kTagBusy already folded into stats
+  bool aborting = false;
+
+  explicit MasterContext(mp::Comm& c, JobSource& src, ResultSink& snk,
+                         const SessionOptions& o, SessionStats& st, int r)
+      : comm(c), source(src), sink(snk), opts(o), stats(st), ranks(r),
+        owned_count(static_cast<std::size_t>(r), 0),
+        dead(static_cast<std::size_t>(r), false),
+        busy_reported(static_cast<std::size_t>(r), false) {}
+
+  std::size_t alive_slaves() const {
+    std::size_t n = 0;
+    for (int s = 1; s < ranks; ++s) {
+      if (!dead[static_cast<std::size_t>(s)]) ++n;
+    }
+    return n;
+  }
+
+  bool work_remains() const { return !owner.empty() || source.ready() > 0; }
+
+  /// A result landed on the master: retire it from the ownership map,
+  /// let the source consume it (possibly creating new jobs), and forward
+  /// counted results to the sink.  Results for jobs no longer in flight
+  /// (duplicates after a death re-queue) are dropped.
+  void accept_result(const TrackedPath& tp) {
+    const auto it = owner.find(tp.index);
+    if (it == owner.end()) return;
+    --owned_count[static_cast<std::size_t>(it->second)];
+    owner.erase(it);
+    if (source.consume(tp)) {
+      sink.accept(tp);
+      ++stats.accepted;
+    }
+  }
+
+  /// Death re-queue shared by every policy: everything the dead slave still
+  /// owned goes back to the front of the ready queue.
+  void requeue_dead(int s) {
+    const auto su = static_cast<std::size_t>(s);
+    dead[su] = true;
+    owned_count[su] = 0;
+    std::vector<JobId> held;
+    for (const auto& [id, own] : owner) {
+      if (own == s) held.push_back(id);
+    }
+    // Descending + push_front puts the re-queued jobs at the front in
+    // ascending id order, as the legacy schedulers did.
+    std::sort(held.begin(), held.end(), std::greater<>());
+    for (const JobId id : held) {
+      owner.erase(id);
+      source.requeue(id);
+    }
+  }
+
+  bool should_abort() const {
+    return opts.stop_after_results.has_value() && stats.accepted >= *opts.stop_after_results;
+  }
+};
+
+class MasterPolicy {
+ public:
+  virtual ~MasterPolicy() = default;
+  /// Initial hand-outs before the receive loop starts.
+  virtual void seed(MasterContext& ctx) = 0;
+  /// Slave `s` delivered its results (or a steal refusal) and wants work.
+  virtual void refill(MasterContext& ctx, int s) = 0;
+  /// The ready queue may have grown (tree expansion or death re-queue):
+  /// hand work to parked slaves.
+  virtual void wake_parked(MasterContext& ctx) = 0;
+  /// Policy-specific message (steal bookkeeping); true when handled.
+  virtual bool handle(MasterContext&, const mp::Message&) { return false; }
+  virtual void on_death(MasterContext&, int) {}
+};
+
+// ---- FCFS: per-job dispatch with an idle queue (the paper's dynamic
+// protocol, plus the Pieri scheduler's parking of jobless slaves) ----------
+
+class FcfsPolicy final : public MasterPolicy {
+ public:
+  void seed(MasterContext& ctx) override {
+    for (int s = 1; s < ctx.ranks; ++s) {
+      bool got_one = false;
+      for (std::size_t k = 0; k < ctx.opts.initial_jobs_per_slave; ++k) {
+        if (!dispatch_one(ctx, s)) break;
+        got_one = true;
+      }
+      // A slave seeded with nothing parks until results create jobs (tree
+      // sources) or a death re-queue frees some.
+      if (!got_one) idle_.push_back(s);
+    }
+  }
+
+  void refill(MasterContext& ctx, int s) override {
+    if (ctx.dead[static_cast<std::size_t>(s)] || ctx.aborting) return;
+    idle_.push_back(s);
+    wake_parked(ctx);
+  }
+
+  void wake_parked(MasterContext& ctx) override {
+    if (ctx.aborting) return;
+    while (!idle_.empty() && ctx.source.ready() > 0) {
+      const int s = idle_.front();
+      idle_.pop_front();
+      if (ctx.dead[static_cast<std::size_t>(s)]) continue;
+      dispatch_one(ctx, s);
+    }
+  }
+
+ private:
+  bool dispatch_one(MasterContext& ctx, int s) {
+    if (ctx.source.ready() == 0) return false;
+    const JobId id = ctx.source.pop();
+    mp::JobFrame frame{id, ctx.source.job_payload(id)};
+    inject_latency(ctx.opts.injected_latency);
+    ctx.comm.send(s, kTagJob, mp::pack_job_frame(frame));
+    ctx.owner.emplace(id, s);
+    ++ctx.owned_count[static_cast<std::size_t>(s)];
+    ++ctx.stats.dispatches;
+    return true;
+  }
+
+  std::deque<int> idle_;  // the paper's queue of parked slaves
+};
+
+// ---- BatchSteal: guided batches + master-brokered stealing ----------------
+
+class BatchStealPolicy final : public MasterPolicy {
+ public:
+  explicit BatchStealPolicy(int ranks)
+      : parked_(static_cast<std::size_t>(ranks), false),
+        refused_(static_cast<std::size_t>(ranks)) {}
+
+  void seed(MasterContext& ctx) override {
+    for (int s = 1; s < ctx.ranks; ++s) refill(ctx, s);
+  }
+
+  void refill(MasterContext& ctx, int s) override {
+    const auto su = static_cast<std::size_t>(s);
+    if (ctx.dead[su] || ctx.aborting) return;
+    if (dispatch_batch(ctx, s)) return;
+    // Pool drained: broker a steal from the most loaded slave.  A load of
+    // one is not worth moving (it is the victim's in-flight job).
+    int victim = -1;
+    std::size_t best = 1;
+    for (int v = 1; v < ctx.ranks; ++v) {
+      const auto vu = static_cast<std::size_t>(v);
+      if (v == s || ctx.dead[vu] || refused_[su].count(v) != 0) continue;
+      if (ctx.owned_count[vu] > best) {
+        best = ctx.owned_count[vu];
+        victim = v;
+      }
+    }
+    if (victim >= 0) {
+      inject_latency(ctx.opts.injected_latency);
+      ctx.comm.send(victim, kTagStealOrder, mp::pack_steal_request({s}));
+      awaiting_[victim].push_back(s);
+    } else {
+      parked_[su] = true;  // released by new jobs or the stop broadcast
+    }
+  }
+
+  void wake_parked(MasterContext& ctx) override {
+    if (ctx.aborting) return;
+    for (int s = 1; s < ctx.ranks && ctx.source.ready() > 0; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (!ctx.dead[su] && parked_[su]) refill(ctx, s);
+    }
+  }
+
+  bool handle(MasterContext& ctx, const mp::Message& m) override {
+    if (m.tag != kTagStealNotify) return false;
+    const auto src = static_cast<std::size_t>(m.source);
+    mp::Unpacker u(m.payload);
+    const int victim = u.read<int>();
+    const auto ids = u.read_vector<std::uint64_t>();
+    auto& waiting = awaiting_[victim];
+    std::erase(waiting, m.source);
+    if (ids.empty()) {
+      refused_[src].insert(victim);
+      refill(ctx, m.source);
+    } else {
+      for (const auto id : ids) {
+        const auto it = ctx.owner.find(id);
+        if (it == ctx.owner.end()) continue;  // raced with completion/death
+        --ctx.owned_count[static_cast<std::size_t>(it->second)];
+        it->second = m.source;
+        ++ctx.owned_count[src];
+      }
+      ++ctx.stats.steals;
+      refused_[src].clear();
+    }
+    return true;
+  }
+
+  void on_death(MasterContext& ctx, int s) override {
+    parked_[static_cast<std::size_t>(s)] = false;
+    // Unblock thieves that were waiting on the dead victim.
+    std::vector<int> thieves;
+    thieves.swap(awaiting_[s]);
+    for (const int t : thieves) {
+      if (!ctx.dead[static_cast<std::size_t>(t)]) refill(ctx, t);
+    }
+  }
+
+ private:
+  bool dispatch_batch(MasterContext& ctx, int s) {
+    if (ctx.source.ready() == 0) return false;
+    const auto su = static_cast<std::size_t>(s);
+    const std::size_t chunk = guided_chunk_size(ctx.source.ready(), ctx.alive_slaves(),
+                                                ctx.opts.factor, ctx.opts.min_batch);
+    std::vector<mp::JobFrame> frames;
+    frames.reserve(chunk);
+    while (frames.size() < chunk && ctx.source.ready() > 0) {
+      const JobId id = ctx.source.pop();
+      frames.push_back({id, ctx.source.job_payload(id)});
+      ctx.owner.emplace(id, s);
+      ++ctx.owned_count[su];
+    }
+    inject_latency(ctx.opts.injected_latency);
+    ctx.comm.send(s, kTagBatch, mp::pack_job_frame_batch(frames));
+    ++ctx.stats.dispatches;
+    refused_[su].clear();
+    parked_[su] = false;
+    return true;
+  }
+
+  std::vector<bool> parked_;
+  std::vector<std::set<int>> refused_;   // victims that refused since last refill
+  std::map<int, std::vector<int>> awaiting_;  // thieves awaiting a reply, per victim
+};
+
+// ---- the loop itself ------------------------------------------------------
+
+/// Checkpoint shutdown (DESIGN.md section 7, "Resume protocol"): broadcast
+/// kTagAbort, then drain until every alive slave has flushed.  In-flight and
+/// flushed results are real completed work and still reach the sink (so a
+/// resumed session re-tracks as little as possible); unstarted jobs are
+/// simply dropped -- the store, not master state, is the source of truth on
+/// resume.
+void abort_session(MasterContext& ctx) {
+  ctx.aborting = true;
+  ctx.stats.stopped_early = true;
+  for (int s = 1; s < ctx.ranks; ++s) {
+    if (!ctx.dead[static_cast<std::size_t>(s)]) {
+      inject_latency(ctx.opts.injected_latency);
+      ctx.comm.send(s, kTagAbort, std::vector<std::byte>{});
+    }
+  }
+  std::size_t pending = ctx.alive_slaves();
+  while (pending > 0) {
+    const mp::Message m = ctx.comm.recv();
+    if (m.tag == kTagResult) {
+      ctx.accept_result(unpack_tracked_path(m.payload));
+    } else if (m.tag == kTagBatchDone || m.tag == kTagAbortFlush) {
+      for (const auto& tp : unpack_tracked_path_batch(m.payload)) ctx.accept_result(tp);
+      if (m.tag == kTagAbortFlush) --pending;
+    } else if (m.tag == kTagDead) {
+      ctx.requeue_dead(m.source);
+      --pending;
+    } else if (m.tag == kTagBusy) {
+      // A fast slave's busy report can overtake the drain; fold it in here
+      // so the final collection does not wait for a consumed message.
+      mp::Unpacker u(m.payload);
+      ctx.stats.rank_busy_seconds[static_cast<std::size_t>(m.source)] = u.read<double>();
+      ctx.busy_reported[static_cast<std::size_t>(m.source)] = true;
+    }
+    // Steal notifies and the like are bookkeeping for work that will never
+    // be dispatched again; ignore them.
+  }
+}
+
+void run_master(MasterContext& ctx, MasterPolicy& policy) {
+  policy.seed(ctx);
+  while (ctx.work_remains()) {
+    if (ctx.should_abort()) {
+      abort_session(ctx);
+      break;
+    }
+    const mp::Message m = ctx.comm.recv();
+    if (m.tag == kTagResult) {
+      ctx.accept_result(unpack_tracked_path(m.payload));
+      policy.refill(ctx, m.source);
+      policy.wake_parked(ctx);  // tree growth may feed more than one slave
+    } else if (m.tag == kTagBatchDone) {
+      for (const auto& tp : unpack_tracked_path_batch(m.payload)) ctx.accept_result(tp);
+      policy.refill(ctx, m.source);
+      policy.wake_parked(ctx);
+    } else if (m.tag == kTagDead) {
+      ctx.requeue_dead(m.source);
+      policy.on_death(ctx, m.source);
+      policy.wake_parked(ctx);
+    } else {
+      policy.handle(ctx, m);
+    }
+  }
+  if (!ctx.aborting) {
+    // All work done: release the slaves (parked ones wake up here).
+    for (int s = 1; s < ctx.ranks; ++s) {
+      if (!ctx.dead[static_cast<std::size_t>(s)]) {
+        ctx.comm.send(s, kTagStop, std::vector<std::byte>{});
+      }
+    }
+  }
+  // Collect busy-time reports (filtered receives skip stray in-flight
+  // messages; dead slaves never report, and the abort drain may have
+  // folded some reports in already).
+  for (int s = 1; s < ctx.ranks; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    if (ctx.dead[su] || ctx.busy_reported[su]) continue;
+    const mp::Message m = ctx.comm.recv(s, kTagBusy);
+    mp::Unpacker u(m.payload);
+    ctx.stats.rank_busy_seconds[su] = u.read<double>();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slave loops.
+// ---------------------------------------------------------------------------
+
+void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts) {
+  double tracking_seconds = 0.0;
+  std::size_t completed = 0;
+  homotopy::TrackerWorkspace ws = source.make_workspace();
+  const bool killable =
+      comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
+  bool aborted = false;
+  for (;;) {
+    const mp::Message m = comm.recv(0);
+    if (m.tag == kTagStop) break;
+    if (m.tag == kTagAbort) {
+      aborted = true;
+      break;
+    }
+    const mp::JobFrame frame = mp::unpack_job_frame(m.payload);
+    if (killable && completed >= *opts.kill_slave_after_jobs) {
+      inject_latency(opts.injected_latency);
+      comm.send(0, kTagDead, std::vector<std::byte>{});
+      return;  // dies without reporting busy time
+    }
+    util::WallTimer job_timer;
+    TrackedPath tp;
+    tp.index = frame.id;
+    tp.worker = comm.rank();
+    tp.result = source.execute(frame.payload, ws);
+    tp.seconds = job_timer.seconds();
+    tracking_seconds += tp.seconds;
+    inject_latency(opts.injected_latency);
+    comm.send(0, kTagResult, pack_tracked_path(tp));
+    ++completed;
+  }
+  if (aborted) {
+    // FCFS slaves hold no unreported results; the flush is the ack the
+    // master counts alive slaves by.
+    inject_latency(opts.injected_latency);
+    comm.send(0, kTagAbortFlush, pack_tracked_path_batch({}));
+  }
+  mp::Packer p;
+  p.write(tracking_seconds);
+  comm.send(0, kTagBusy, p);
+}
+
+void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts) {
+  std::deque<mp::JobFrame> mine;
+  std::vector<TrackedPath> pending;
+  double tracking_seconds = 0.0;
+  std::size_t completed = 0;
+  homotopy::TrackerWorkspace ws = source.make_workspace();
+  const bool killable =
+      comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
+  bool stopped = false;
+  bool aborted = false;
+
+  auto handle = [&](const mp::Message& m) {
+    if (m.tag == kTagBatch) {
+      for (auto& frame : mp::unpack_job_frame_batch(m.payload)) {
+        mine.push_back(std::move(frame));
+      }
+    } else if (m.tag == kTagStealOrder) {
+      // Donate the back half of the local queue straight to the thief
+      // (an empty reply is a refusal; the thief reports it either way).
+      const auto req = mp::unpack_steal_request(m.payload);
+      std::vector<mp::JobFrame> donated;
+      for (std::size_t k = mine.size() / 2; k > 0; --k) {
+        donated.push_back(std::move(mine.back()));
+        mine.pop_back();
+      }
+      inject_latency(opts.injected_latency);
+      comm.send(req.thief, kTagStealReply, mp::pack_job_frame_batch(donated));
+    } else if (m.tag == kTagStealReply) {
+      auto frames = mp::unpack_job_frame_batch(m.payload);
+      std::vector<std::uint64_t> ids;
+      ids.reserve(frames.size());
+      for (const auto& frame : frames) ids.push_back(frame.id);
+      for (auto& frame : frames) mine.push_back(std::move(frame));
+      // One-way ownership notification so the master's map stays exact.
+      mp::Packer p;
+      p.write(m.source);
+      p.write_vector(ids);
+      inject_latency(opts.injected_latency);
+      comm.isend(0, kTagStealNotify, p.take());
+    } else if (m.tag == kTagStop) {
+      stopped = true;
+    } else if (m.tag == kTagAbort) {
+      stopped = true;
+      aborted = true;
+    }
+  };
+
+  while (!stopped) {
+    if (mine.empty()) {
+      handle(comm.recv());
+      continue;
+    }
+    // Drain control traffic (steal orders, late batches) between jobs.
+    while (auto m = comm.try_recv()) {
+      handle(*m);
+      if (stopped) break;
+    }
+    if (stopped || mine.empty()) continue;
+    if (killable && completed >= *opts.kill_slave_after_jobs) {
+      // Serve queued steal orders with refusals so no thief hangs on a
+      // reply that will never come, then die silently (no busy report).
+      while (auto m = comm.try_recv(mp::kAnySource, kTagStealOrder)) {
+        const auto req = mp::unpack_steal_request(m->payload);
+        inject_latency(opts.injected_latency);
+        comm.send(req.thief, kTagStealReply, mp::pack_job_frame_batch({}));
+      }
+      inject_latency(opts.injected_latency);
+      comm.send(0, kTagDead, std::vector<std::byte>{});
+      return;
+    }
+    mp::JobFrame frame = std::move(mine.front());
+    mine.pop_front();
+    util::WallTimer job_timer;
+    TrackedPath tp;
+    tp.index = frame.id;
+    tp.worker = comm.rank();
+    tp.result = source.execute(frame.payload, ws);
+    tp.seconds = job_timer.seconds();
+    tracking_seconds += tp.seconds;
+    pending.push_back(std::move(tp));
+    ++completed;
+    if (mine.empty()) {
+      // Batch exhausted: one message carries every result plus the
+      // implicit request for the next batch.
+      inject_latency(opts.injected_latency);
+      comm.send(0, kTagBatchDone, pack_tracked_path_batch(pending));
+      pending.clear();
+    }
+  }
+  if (aborted) {
+    // Flush completed-but-unreported results; unstarted queued jobs are
+    // dropped (the resumed session re-tracks them).
+    inject_latency(opts.injected_latency);
+    comm.send(0, kTagAbortFlush, pack_tracked_path_batch(pending));
+    pending.clear();
+  }
+  mp::Packer p;
+  p.write(tracking_seconds);
+  comm.send(0, kTagBusy, p);
+}
+
+// ---------------------------------------------------------------------------
+// Static sessions: pre-assigned shares, every rank (including 0) tracks.
+// ---------------------------------------------------------------------------
+
+SessionStats run_static_session(JobSource& source, ResultSink& sink, int ranks,
+                                const SessionOptions& opts) {
+  SessionStats stats;
+  stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
+  // Pre-assignment happens on the calling thread before any rank exists:
+  // every rank then derives its share from the same snapshot, exactly as
+  // each MPI process would from the replicated workload.
+  std::vector<JobId> jobs;
+  while (source.ready() > 0) jobs.push_back(source.pop());
+  const std::size_t total = jobs.size();
+  util::WallTimer wall;
+
+  mp::World::run(ranks, [&](mp::Comm& comm) {
+    const auto p = static_cast<std::size_t>(comm.size());
+    const auto r = static_cast<std::size_t>(comm.rank());
+
+    // Positions in the snapshot assigned to this rank.
+    std::vector<std::size_t> mine;
+    if (opts.assignment == StaticAssignment::kCyclic) {
+      for (std::size_t i = r; i < total; i += p) mine.push_back(i);
+    } else {
+      const std::size_t base = total / p;
+      const std::size_t extra = total % p;
+      const std::size_t begin = r * base + std::min(r, extra);
+      const std::size_t count = base + (r < extra ? 1 : 0);
+      for (std::size_t i = begin; i < begin + count; ++i) mine.push_back(i);
+    }
+
+    double tracking_seconds = 0.0;
+    homotopy::TrackerWorkspace ws = source.make_workspace();
+    for (const std::size_t pos : mine) {
+      const JobId id = jobs[pos];
+      util::WallTimer job_timer;
+      TrackedPath tp;
+      tp.index = id;
+      tp.worker = comm.rank();
+      tp.result = source.execute(source.job_payload(id), ws);
+      tp.seconds = job_timer.seconds();
+      tracking_seconds += tp.seconds;
+      inject_latency(opts.injected_latency);
+      comm.send(0, kTagResult, pack_tracked_path(tp));
+    }
+    mp::Packer p_busy;
+    p_busy.write(tracking_seconds);
+    comm.send(0, kTagBusy, p_busy);
+
+    if (comm.rank() == 0) {
+      std::size_t results = 0, busy_reports = 0;
+      while (results < total || busy_reports < p) {
+        const mp::Message m = comm.recv();
+        if (m.tag == kTagResult) {
+          const TrackedPath tp = unpack_tracked_path(m.payload);
+          if (source.consume(tp)) {
+            sink.accept(tp);
+            ++stats.accepted;
+          }
+          ++results;
+        } else if (m.tag == kTagBusy) {
+          mp::Unpacker u(m.payload);
+          stats.rank_busy_seconds[static_cast<std::size_t>(m.source)] = u.read<double>();
+          ++busy_reports;
+        }
+      }
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(JobSource& source, ResultSink& sink, SessionOptions opts)
+    : source_(source), sink_(sink), opts_(std::move(opts)) {}
+
+SessionStats Session::run(int ranks) {
+  const std::string who(opts_.who);
+  if (opts_.policy == Policy::kStatic) {
+    if (ranks <= 0) throw std::invalid_argument(who + ": need at least one rank");
+    if (!source_.fixed_total().has_value()) {
+      throw std::invalid_argument(who + ": static pre-assignment needs a fixed job pool");
+    }
+    if (opts_.kill_slave_after_jobs.has_value()) {
+      throw std::invalid_argument(who + ": the static policy has no master to re-queue "
+                                        "a dead slave's jobs");
+    }
+    if (opts_.stop_after_results.has_value()) {
+      throw std::invalid_argument(who + ": the static policy cannot stop early");
+    }
+    SessionStats stats = run_static_session(source_, sink_, ranks, opts_);
+    sink_.finish();
+    return stats;
+  }
+
+  if (ranks < 2) throw std::invalid_argument(who + ": need a master and at least one slave");
+  if (opts_.policy == Policy::kBatchSteal && opts_.factor <= 0.0) {
+    throw std::invalid_argument(who + ": factor must be positive");
+  }
+  validate_kill_switch(opts_.kill_slave_rank, opts_.kill_slave_after_jobs.has_value(), ranks,
+                       opts_.who);
+
+  SessionStats stats;
+  stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
+  util::WallTimer wall;
+
+  mp::World::run(ranks, [&](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
+      if (opts_.policy == Policy::kFCFS) {
+        FcfsPolicy policy;
+        run_master(ctx, policy);
+      } else {
+        BatchStealPolicy policy(ranks);
+        run_master(ctx, policy);
+      }
+    } else if (opts_.policy == Policy::kFCFS) {
+      run_fcfs_slave(comm, source_, opts_);
+    } else {
+      run_batch_slave(comm, source_, opts_);
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  sink_.finish();
+  return stats;
+}
+
+ParallelRunReport run_paths(const PathWorkload& workload, int ranks,
+                            const SessionOptions& opts) {
+  VectorJobSource source(workload);
+  InMemoryReportSink sink;
+  Session session(source, sink, opts);
+  const SessionStats stats = session.run(ranks);
+  return sink.report(stats);
+}
+
+}  // namespace pph::sched

@@ -1,0 +1,237 @@
+#pragma once
+// Unified scheduler sessions (DESIGN.md section 7).  The paper's two
+// parallel workloads -- a fixed list of start solutions (section II) and the
+// dynamically expanding Pieri tree (section III-D) -- and every dispatch
+// protocol built for them compose here from three orthogonal axes:
+//
+//   JobSource  -- where jobs come from: a fixed pool (VectorJobSource) or a
+//                 master-side expansion that creates jobs from results
+//                 (PieriTreeJobSource in sched/pieri_scheduler.hpp);
+//   Policy     -- how jobs reach slaves: per-job FCFS dispatch, static
+//                 pre-assignment, or guided batches with master-brokered
+//                 work stealing -- one shared master loop, one set of
+//                 message tags (job_pool.hpp), one kill-switch and
+//                 death-requeue implementation;
+//   ResultSink -- where finished jobs go: an in-memory report
+//                 (InMemoryReportSink), a streaming on-disk store
+//                 (JsonlStoreSink in sched/result_store.hpp), or both
+//                 (TeeSink).
+//
+// The legacy entry points (run_static, run_dynamic, run_batch,
+// run_parallel_pieri) are thin wrappers over a Session; new code should
+// compose a Session directly.  Scheduling never changes the numerics: for a
+// given source, every policy produces bit-identical result sets.
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "sched/job_pool.hpp"
+
+namespace pph::sched {
+
+/// Master-side job identity: how the session's ownership map, the result
+/// store, and death re-queuing name a job.  For a VectorJobSource the id IS
+/// the path index; tree sources hand out sequential ids.
+using JobId = std::uint64_t;
+
+/// Dispatch policy of a session.  The cluster simulator understands the
+/// same enum (simcluster::simulate), so a simulated and a real run of one
+/// experiment are selected by one type.
+enum class Policy {
+  kFCFS,        // per-job master/slave dispatch (paper section II-A "dynamic")
+  kStatic,      // pre-assigned shares, no dispatch (paper section II-A)
+  kBatchSteal,  // guided batches + brokered stealing (DESIGN.md section 2)
+};
+
+const char* policy_name(Policy policy);
+
+/// How the static policy pre-assigns job positions to ranks.
+enum class StaticAssignment {
+  kBlock,   // contiguous chunks: rank r gets [r*N/P, (r+1)*N/P)
+  kCyclic,  // interleaved: rank r gets r, r+P, r+2P, ...
+};
+
+// ---------------------------------------------------------------------------
+// ResultSink: where finished jobs go (rank 0 only, master arrival order).
+// ---------------------------------------------------------------------------
+
+struct SessionStats;
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// One finished job.  Called on the master in arrival order (NOT sorted
+  /// by index); sinks that need order sort at assembly time.
+  virtual void accept(const TrackedPath& tp) = 0;
+  /// Called exactly once when the session ends (flush point for stores).
+  virtual void finish() {}
+};
+
+/// Collects every record in memory and assembles the legacy report.
+class InMemoryReportSink final : public ResultSink {
+ public:
+  void accept(const TrackedPath& tp) override { paths_.push_back(tp); }
+  std::size_t count() const { return paths_.size(); }
+  /// The legacy ParallelRunReport: paths sorted + tallied, stats folded in.
+  /// One-shot: moves the collected records out of the sink (a second copy
+  /// of a million-path result set has no business existing on the master).
+  ParallelRunReport report(const SessionStats& stats);
+
+ private:
+  std::vector<TrackedPath> paths_;
+};
+
+/// Drops every record: for sources that accumulate what they need inside
+/// consume() (the Pieri tree keeps only live instances -- the paper's
+/// section III-C memory argument), buffering per-edge records on the
+/// master would defeat the point.
+class DiscardSink final : public ResultSink {
+ public:
+  void accept(const TrackedPath&) override {}
+};
+
+/// Fan a session's results into two sinks (e.g. report + on-disk store).
+class TeeSink final : public ResultSink {
+ public:
+  TeeSink(ResultSink& first, ResultSink& second) : first_(first), second_(second) {}
+  void accept(const TrackedPath& tp) override {
+    first_.accept(tp);
+    second_.accept(tp);
+  }
+  void finish() override {
+    first_.finish();
+    second_.finish();
+  }
+
+ private:
+  ResultSink& first_;
+  ResultSink& second_;
+};
+
+// ---------------------------------------------------------------------------
+// JobSource: where jobs come from and how a slave executes one.
+// ---------------------------------------------------------------------------
+
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+
+  // ---- master side (rank 0 only; never called concurrently) ----
+
+  /// Jobs dispatchable right now.  For tree sources this can grow when
+  /// consume() turns a result into new jobs.
+  virtual std::size_t ready() const = 0;
+  /// Pop the next ready job.  Precondition: ready() > 0.
+  virtual JobId pop() = 0;
+  /// Return a job to the FRONT of the ready queue (death re-queue).  The
+  /// source must retain enough state to re-issue job_payload(id) for any
+  /// popped-but-unconsumed job.
+  virtual void requeue(JobId id) = 0;
+  /// The job description a slave needs to execute `id`.
+  virtual std::vector<std::byte> job_payload(JobId id) const = 0;
+  /// Consume a finished job on the master.  May create new ready jobs (the
+  /// session wakes parked slaves afterwards).  Returns false for a stale
+  /// result the sink must not see (e.g. a superseded Pieri retry attempt).
+  virtual bool consume(const TrackedPath& tp) = 0;
+  /// Job count of a fixed pool, or nullopt for dynamically expanding
+  /// sources.  Static pre-assignment requires a fixed pool.
+  virtual std::optional<std::size_t> fixed_total() const { return std::nullopt; }
+
+  // ---- slave side (called concurrently from rank threads: must touch
+  // only read-only shared state plus the caller-owned workspace; for the
+  // static policy job_payload(id) must be thread-safe too) ----
+
+  virtual homotopy::TrackerWorkspace make_workspace() const = 0;
+  virtual PathResult execute(const std::vector<std::byte>& payload,
+                             homotopy::TrackerWorkspace& ws) const = 0;
+};
+
+/// The paper's section-II workload: a fixed pool of start solutions,
+/// replicated read-only on every rank.  JobId == path index.
+class VectorJobSource final : public JobSource {
+ public:
+  explicit VectorJobSource(const PathWorkload& workload);
+
+  /// Resume support: drop jobs a previous session already completed.
+  /// Returns how many were skipped.
+  std::size_t skip_completed(const std::unordered_set<JobId>& done);
+
+  std::size_t ready() const override { return ready_.size(); }
+  JobId pop() override;
+  void requeue(JobId id) override { ready_.push_front(id); }
+  std::vector<std::byte> job_payload(JobId id) const override;
+  bool consume(const TrackedPath&) override { return true; }
+  std::optional<std::size_t> fixed_total() const override { return workload_->size(); }
+
+  homotopy::TrackerWorkspace make_workspace() const override;
+  PathResult execute(const std::vector<std::byte>& payload,
+                     homotopy::TrackerWorkspace& ws) const override;
+
+ private:
+  const PathWorkload* workload_;
+  std::deque<JobId> ready_;
+};
+
+// ---------------------------------------------------------------------------
+// Session: one run loop over (source, policy, sink).
+// ---------------------------------------------------------------------------
+
+struct SessionOptions {
+  Policy policy = Policy::kFCFS;
+  /// Static only: how pre-assigned positions interleave across ranks.
+  StaticAssignment assignment = StaticAssignment::kCyclic;
+  /// FCFS only: jobs handed to each slave up front (the paper uses one).
+  std::size_t initial_jobs_per_slave = 1;
+  /// BatchSteal only: guided shrink rate (a refill takes
+  /// remaining/(factor*slaves) jobs) and the batch size floor.
+  double factor = 2.0;
+  std::size_t min_batch = 1;
+  /// Simulated per-message latency in seconds (0 for none), charged on the
+  /// sender before each send; surfaces communication overhead in-process.
+  double injected_latency = 0.0;
+  /// Fail-injection hook for tests: the slave at kill_slave_rank "dies"
+  /// after completing this many jobs (nullopt disables); the master
+  /// re-queues everything the dead slave still owned.
+  std::optional<std::size_t> kill_slave_after_jobs;
+  int kill_slave_rank = -1;
+  /// Checkpoint control (DESIGN.md section 7 "Resume protocol"): once this
+  /// many results have been accepted the master broadcasts kTagAbort,
+  /// collects the slaves' completed-but-unreported results (kTagAbortFlush)
+  /// into the sink, and returns early with stopped_early set.  A session
+  /// whose sink is a result store can then be resumed.  nullopt runs to
+  /// completion.  Not supported by the static policy (no master dispatch).
+  std::optional<std::size_t> stop_after_results;
+  /// Name used in validation error messages (legacy wrappers pass theirs).
+  const char* who = "sched::Session";
+};
+
+struct SessionStats {
+  double wall_seconds = 0.0;
+  std::vector<double> rank_busy_seconds;  // tracking time per rank
+  std::size_t dispatches = 0;             // master job/batch hand-outs
+  std::size_t steals = 0;                 // successful slave-to-slave steals
+  std::size_t accepted = 0;               // results delivered to the sink
+  bool stopped_early = false;             // stop_after_results fired
+};
+
+class Session {
+ public:
+  Session(JobSource& source, ResultSink& sink, SessionOptions opts = {});
+  /// Run on `ranks` ranks.  FCFS/BatchSteal need >= 2 (rank 0 = master);
+  /// static runs on >= 1 (every rank tracks its share).
+  SessionStats run(int ranks);
+
+ private:
+  JobSource& source_;
+  ResultSink& sink_;
+  SessionOptions opts_;
+};
+
+/// Facade for the common composition: track a PathWorkload under
+/// opts.policy, collecting the legacy report.  The four legacy run_*
+/// entry points delegate here / to Session.
+ParallelRunReport run_paths(const PathWorkload& workload, int ranks,
+                            const SessionOptions& opts = {});
+
+}  // namespace pph::sched

@@ -1,71 +1,14 @@
 #include "sched/static_scheduler.hpp"
 
-#include "util/timer.hpp"
-
 namespace pph::sched {
 
 ParallelRunReport run_static(const PathWorkload& workload, int ranks,
                              StaticAssignment assignment) {
-  if (ranks <= 0) throw std::invalid_argument("run_static: need at least one rank");
-  const std::size_t total = workload.size();
-  ParallelRunReport report;
-  report.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
-  util::WallTimer wall;
-
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    const std::size_t p = static_cast<std::size_t>(comm.size());
-    const std::size_t r = static_cast<std::size_t>(comm.rank());
-
-    // Pre-assigned indices for this rank.
-    std::vector<std::size_t> mine;
-    if (assignment == StaticAssignment::kCyclic) {
-      for (std::size_t i = r; i < total; i += p) mine.push_back(i);
-    } else {
-      const std::size_t base = total / p;
-      const std::size_t extra = total % p;
-      const std::size_t begin = r * base + std::min(r, extra);
-      const std::size_t count = base + (r < extra ? 1 : 0);
-      for (std::size_t i = begin; i < begin + count; ++i) mine.push_back(i);
-    }
-
-    util::CpuTimer busy;
-    double tracking_seconds = 0.0;
-    homotopy::TrackerWorkspace ws(*workload.homotopy);  // reused across this rank's paths
-    for (const std::size_t index : mine) {
-      util::WallTimer job_timer;
-      TrackedPath tp;
-      tp.index = index;
-      tp.worker = comm.rank();
-      tp.result = homotopy::track_path(*workload.homotopy, (*workload.starts)[index],
-                                       workload.tracker, ws);
-      tp.seconds = job_timer.seconds();
-      tracking_seconds += tp.seconds;
-      comm.send(0, kTagResult, pack_tracked_path(tp));
-    }
-    // Report this rank's busy time.
-    mp::Packer p_busy;
-    p_busy.write(tracking_seconds);
-    comm.send(0, kTagBusy, p_busy);
-
-    if (comm.rank() == 0) {
-      std::size_t results = 0, busy_reports = 0;
-      while (results < total || busy_reports < p) {
-        const mp::Message m = comm.recv();
-        if (m.tag == kTagResult) {
-          report.paths.push_back(unpack_tracked_path(m.payload));
-          ++results;
-        } else if (m.tag == kTagBusy) {
-          mp::Unpacker u(m.payload);
-          report.rank_busy_seconds[static_cast<std::size_t>(m.source)] = u.read<double>();
-          ++busy_reports;
-        }
-      }
-    }
-  });
-
-  report.wall_seconds = wall.seconds();
-  report.tally();
-  return report;
+  SessionOptions opts;
+  opts.policy = Policy::kStatic;
+  opts.assignment = assignment;
+  opts.who = "run_static";
+  return run_paths(workload, ranks, opts);
 }
 
 }  // namespace pph::sched

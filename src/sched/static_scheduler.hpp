@@ -5,16 +5,16 @@
 // varies with the path cost distribution -- paths diverging to infinity
 // take longer, so the slowest rank gates the run.  Protocol notes in
 // DESIGN.md section 2; the block-vs-cyclic default is argued in section 3.
+//
+// LEGACY ENTRY POINT: run_static is a thin wrapper over the unified
+// session API (sched/session.hpp, DESIGN.md section 7) -- equivalent to a
+// Session over a VectorJobSource with Policy::kStatic and an
+// InMemoryReportSink.  Kept for source compatibility; new code should
+// compose a Session (or call sched::run_paths) directly.
 
-#include "sched/job_pool.hpp"
+#include "sched/session.hpp"
 
 namespace pph::sched {
-
-/// How indices are pre-assigned to ranks.
-enum class StaticAssignment {
-  kBlock,   // contiguous chunks: rank r gets [r*N/P, (r+1)*N/P)
-  kCyclic,  // interleaved: rank r gets r, r+P, r+2P, ...
-};
 
 /// Track all workload paths on `ranks` ranks with a static pre-assignment;
 /// every rank (including 0) tracks its share and sends results to rank 0.

@@ -193,4 +193,17 @@ SimOutcome simulate_batch_steal(const std::vector<double>& durations, std::size_
   return out;
 }
 
+SimOutcome simulate(sched::Policy policy, const std::vector<double>& durations,
+                    std::size_t cpus, const CommModel& comm, const SimPolicyOptions& opts) {
+  switch (policy) {
+    case sched::Policy::kStatic:
+      return simulate_static(durations, cpus, opts.assignment);
+    case sched::Policy::kFCFS:
+      return simulate_dynamic(durations, cpus, comm);
+    case sched::Policy::kBatchSteal:
+      return simulate_batch_steal(durations, cpus, comm, opts.factor, opts.min_chunk);
+  }
+  throw std::invalid_argument("simulate: unknown policy");
+}
+
 }  // namespace pph::simcluster

@@ -5,6 +5,7 @@
 // which the speedup tables and figures are generated.  The simulator and
 // its communication model are described in DESIGN.md section 4.
 
+#include "sched/session.hpp"
 #include "simcluster/event_sim.hpp"
 #include "simcluster/workload.hpp"
 
@@ -60,5 +61,27 @@ SimOutcome simulate_guided(const std::vector<double>& durations, std::size_t cpu
 SimOutcome simulate_batch_steal(const std::vector<double>& durations, std::size_t cpus,
                                 const CommModel& comm = {}, double factor = 2.0,
                                 std::size_t min_chunk = 1);
+
+/// Knobs of the policy-selected entry point below; the subset of
+/// sched::SessionOptions the simulator models.  Defaults mirror
+/// SessionOptions so simulate(policy, ...) projects the schedule
+/// run_paths(..., {.policy = policy}) actually executes -- in particular
+/// cyclic static assignment (the library default), unlike the speedup
+/// studies, which pass kBlock explicitly to match the paper's tables.
+struct SimPolicyOptions {
+  SimAssignment assignment = SimAssignment::kCyclic;  // static only
+  double factor = 2.0;                                // batch+steal only
+  std::size_t min_chunk = 1;                          // batch+steal only
+};
+
+/// Unified entry point keyed by the scheduler sessions' Policy enum
+/// (sched/session.hpp): the simulated and the real run of one experiment
+/// are selected by the same type --
+///   sched::Policy::kStatic     -> simulate_static
+///   sched::Policy::kFCFS       -> simulate_dynamic
+///   sched::Policy::kBatchSteal -> simulate_batch_steal
+SimOutcome simulate(sched::Policy policy, const std::vector<double>& durations,
+                    std::size_t cpus, const CommModel& comm = {},
+                    const SimPolicyOptions& opts = {});
 
 }  // namespace pph::simcluster

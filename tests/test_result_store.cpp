@@ -1,0 +1,299 @@
+// Tests for the streaming JSONL result store (sched/result_store.hpp):
+// bit-exact round-trips of every PathStatus (including NaN/Inf payloads of
+// diverged paths), footer write/load, truncated-file recovery, and the
+// checkpoint/resume protocol -- a killed-then-resumed session re-tracks
+// exactly the un-stored indices and reports bit-identically to an
+// uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "sched/result_store.hpp"
+#include "scheduler_fixture.hpp"
+
+namespace {
+
+using pph::sched::JsonlStoreSink;
+using pph::sched::load_result_store;
+using pph::sched::parse_store_record;
+using pph::sched::store_record_line;
+using pph::sched::TrackedPath;
+using pph::homotopy::PathStatus;
+using pph::testing::SchedulerTest;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_record_equal(const TrackedPath& a, const TrackedPath& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.worker, b.worker);
+  EXPECT_TRUE(same_bits(a.seconds, b.seconds));
+  EXPECT_EQ(static_cast<int>(a.result.status), static_cast<int>(b.result.status));
+  EXPECT_TRUE(same_bits(a.result.t_reached, b.result.t_reached));
+  EXPECT_TRUE(same_bits(a.result.residual, b.result.residual));
+  EXPECT_EQ(a.result.steps, b.result.steps);
+  EXPECT_EQ(a.result.rejections, b.result.rejections);
+  EXPECT_EQ(a.result.newton_iterations, b.result.newton_iterations);
+  ASSERT_EQ(a.result.x.size(), b.result.x.size());
+  for (std::size_t k = 0; k < a.result.x.size(); ++k) {
+    EXPECT_TRUE(same_bits(a.result.x[k].real(), b.result.x[k].real()));
+    EXPECT_TRUE(same_bits(a.result.x[k].imag(), b.result.x[k].imag()));
+  }
+}
+
+TrackedPath sample_record(PathStatus status) {
+  TrackedPath tp;
+  tp.index = 42;
+  tp.worker = 3;
+  tp.seconds = 0.00123;
+  tp.result.status = status;
+  tp.result.t_reached = status == PathStatus::kConverged ? 1.0 : 0.875;
+  tp.result.residual = 3.5e-13;
+  tp.result.steps = 158;
+  tp.result.rejections = 7;
+  tp.result.newton_iterations = 391;
+  tp.result.x = {{1.25, -2.5}, {0.0, -0.0}, {1e300, 1e-300}};
+  return tp;
+}
+
+// ---- record round-trips -----------------------------------------------------
+
+TEST(ResultStoreRecord, RoundTripsEveryPathStatus) {
+  for (const auto status :
+       {PathStatus::kConverged, PathStatus::kDiverged, PathStatus::kFailed}) {
+    const TrackedPath tp = sample_record(status);
+    expect_record_equal(parse_store_record(store_record_line(tp)), tp);
+  }
+}
+
+TEST(ResultStoreRecord, RoundTripsNanAndInfinityBits) {
+  // A diverged path legitimately carries NaN/Inf in endpoint and residual;
+  // "identical" means identical bits, which decimal formatting cannot give.
+  TrackedPath tp = sample_record(PathStatus::kDiverged);
+  tp.result.residual = std::numeric_limits<double>::quiet_NaN();
+  tp.result.t_reached = -std::numeric_limits<double>::infinity();
+  tp.result.x = {{std::nan("0x5"), std::numeric_limits<double>::infinity()},
+                 {-0.0, std::numeric_limits<double>::denorm_min()}};
+  expect_record_equal(parse_store_record(store_record_line(tp)), tp);
+}
+
+TEST(ResultStoreRecord, RoundTripsEmptyEndpoint) {
+  TrackedPath tp = sample_record(PathStatus::kFailed);
+  tp.result.x.clear();
+  expect_record_equal(parse_store_record(store_record_line(tp)), tp);
+}
+
+TEST(ResultStoreRecord, RejectsMalformedLines) {
+  const std::string good = store_record_line(sample_record(PathStatus::kConverged));
+  EXPECT_THROW(parse_store_record(good.substr(0, good.size() / 2)), std::invalid_argument);
+  EXPECT_THROW(parse_store_record(good + "x"), std::invalid_argument);
+  EXPECT_THROW(parse_store_record("{\"footer\":{}}"), std::invalid_argument);
+  EXPECT_THROW(parse_store_record(""), std::invalid_argument);
+}
+
+// ---- store files ------------------------------------------------------------
+
+TEST(ResultStoreFile, WriteFinishLoadWithFooter) {
+  const std::string path = temp_path("store_footer.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlStoreSink sink(path);
+    for (std::size_t i = 0; i < 5; ++i) {
+      TrackedPath tp = sample_record(PathStatus::kConverged);
+      tp.index = i;
+      sink.accept(tp);
+    }
+    sink.finish();
+  }
+  const auto load = load_result_store(path);
+  EXPECT_TRUE(load.had_footer);
+  EXPECT_FALSE(load.truncated);
+  ASSERT_EQ(load.records.size(), 5u);
+  ASSERT_EQ(load.offsets.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(load.records[i].index, i);
+
+  // The footer offsets point at real record line starts.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  for (const auto& [id, off] : load.offsets) {
+    const auto end = content.find('\n', off);
+    ASSERT_NE(end, std::string::npos);
+    const TrackedPath tp = parse_store_record(content.substr(off, end - off));
+    EXPECT_EQ(tp.index, id);
+  }
+}
+
+TEST(ResultStoreFile, KilledWriterWithoutFooterStillLoads) {
+  const std::string path = temp_path("store_nofooter.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlStoreSink sink(path);
+    TrackedPath tp = sample_record(PathStatus::kDiverged);
+    sink.accept(tp);
+    // no finish(): models a killed process; the flush-per-record property
+    // means the record is already durable
+  }
+  const auto load = load_result_store(path);
+  EXPECT_FALSE(load.had_footer);
+  EXPECT_FALSE(load.truncated);
+  ASSERT_EQ(load.records.size(), 1u);
+}
+
+TEST(ResultStoreFile, TruncatedTailIsDroppedAndRecovered) {
+  const std::string path = temp_path("store_truncated.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlStoreSink sink(path);
+    for (std::size_t i = 0; i < 3; ++i) {
+      TrackedPath tp = sample_record(PathStatus::kConverged);
+      tp.index = i;
+      sink.accept(tp);
+    }
+  }
+  // Simulate a crash mid-write: append half a record line.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::string partial = store_record_line(sample_record(PathStatus::kFailed));
+    out << partial.substr(0, partial.size() / 2);
+  }
+  const auto load = load_result_store(path);
+  EXPECT_TRUE(load.truncated);
+  ASSERT_EQ(load.records.size(), 3u);
+
+  // A resuming writer cuts the partial tail and appends cleanly.
+  {
+    JsonlStoreSink sink(path, /*resume=*/true);
+    EXPECT_EQ(sink.restored().size(), 3u);
+    TrackedPath tp = sample_record(PathStatus::kConverged);
+    tp.index = 9;
+    sink.accept(tp);
+    sink.finish();
+  }
+  const auto reloaded = load_result_store(path);
+  EXPECT_TRUE(reloaded.had_footer);
+  EXPECT_FALSE(reloaded.truncated);
+  ASSERT_EQ(reloaded.records.size(), 4u);
+  EXPECT_EQ(reloaded.records.back().index, 9u);
+}
+
+TEST(ResultStoreFile, FooterKilledMidWriteCountsAsTruncatedNotClean) {
+  const std::string path = temp_path("store_halffooter.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlStoreSink sink(path);
+    TrackedPath tp = sample_record(PathStatus::kConverged);
+    sink.accept(tp);
+    sink.finish();
+  }
+  // Cut the file mid-footer (no trailing newline survives).
+  const auto clean = load_result_store(path);
+  ASSERT_TRUE(clean.had_footer);
+  std::filesystem::resize_file(path, clean.append_offset + 12);
+  const auto cut = load_result_store(path);
+  EXPECT_FALSE(cut.had_footer);
+  EXPECT_TRUE(cut.truncated);
+  ASSERT_EQ(cut.records.size(), 1u);
+  EXPECT_EQ(cut.append_offset, clean.append_offset);
+}
+
+TEST(ResultStoreFile, GarbageFileStartsOver) {
+  const std::string path = temp_path("store_garbage.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a store\n";
+  }
+  const auto load = load_result_store(path);
+  EXPECT_TRUE(load.truncated);
+  EXPECT_TRUE(load.records.empty());
+  JsonlStoreSink sink(path, /*resume=*/true);
+  EXPECT_TRUE(sink.restored().empty());
+  sink.finish();
+  EXPECT_TRUE(load_result_store(path).had_footer);
+}
+
+// ---- checkpoint + resume over a real workload ------------------------------
+
+TEST_F(SchedulerTest, StoreSessionMatchesStraightRun) {
+  const std::string path = temp_path("store_straight.jsonl");
+  std::remove(path.c_str());
+  const auto out = pph::sched::run_with_store(workload_, 4, path);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.restored, 0u);
+  expect_matches_baseline(out.report);
+  // The store holds every path, reloadable bit for bit.
+  const auto load = load_result_store(path);
+  EXPECT_TRUE(load.had_footer);
+  EXPECT_EQ(load.records.size(), starts_.size());
+}
+
+TEST_F(SchedulerTest, KilledThenResumedSessionIsBitIdentical) {
+  const std::string straight_path = temp_path("store_run_a.jsonl");
+  const std::string resumed_path = temp_path("store_run_b.jsonl");
+  std::remove(straight_path.c_str());
+  std::remove(resumed_path.c_str());
+
+  const auto straight = pph::sched::run_with_store(workload_, 4, straight_path);
+  ASSERT_TRUE(straight.completed);
+
+  // Checkpoint-stop mid-run: the master aborts after 37 accepted results
+  // (in-flight and unreported-but-completed work still reaches the store).
+  pph::sched::SessionOptions kill_opts;
+  kill_opts.stop_after_results = 37;
+  const auto killed = pph::sched::run_with_store(workload_, 4, resumed_path, kill_opts);
+  EXPECT_TRUE(killed.stats.stopped_early);
+  EXPECT_FALSE(killed.completed);
+  EXPECT_GE(killed.stats.accepted, 37u);
+  EXPECT_LT(killed.stats.accepted, starts_.size());
+
+  // Resume: only the un-stored indices are tracked...
+  const auto resumed = pph::sched::run_with_store(workload_, 4, resumed_path);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.restored, killed.stats.accepted);
+  EXPECT_EQ(resumed.stats.accepted + resumed.restored, starts_.size());
+
+  // ...and the assembled report is bit-identical to the uninterrupted run.
+  EXPECT_TRUE(pph::sched::identical_path_results(straight.report, resumed.report));
+  expect_identical_results(straight.report, resumed.report);
+}
+
+TEST_F(SchedulerTest, ResumingACompleteStoreTracksNothing) {
+  const std::string path = temp_path("store_complete.jsonl");
+  std::remove(path.c_str());
+  const auto first = pph::sched::run_with_store(workload_, 4, path);
+  ASSERT_TRUE(first.completed);
+  const auto again = pph::sched::run_with_store(workload_, 4, path);
+  EXPECT_TRUE(again.completed);
+  EXPECT_EQ(again.restored, starts_.size());
+  EXPECT_EQ(again.stats.accepted, 0u);
+  expect_identical_results(first.report, again.report);
+}
+
+TEST_F(SchedulerTest, StoreResumeWorksUnderBatchStealPolicy) {
+  const std::string path = temp_path("store_batch.jsonl");
+  std::remove(path.c_str());
+  pph::sched::SessionOptions opts;
+  opts.policy = pph::sched::Policy::kBatchSteal;
+  opts.stop_after_results = 25;
+  const auto killed = pph::sched::run_with_store(workload_, 4, path, opts);
+  EXPECT_TRUE(killed.stats.stopped_early);
+
+  pph::sched::SessionOptions resume_opts;
+  resume_opts.policy = pph::sched::Policy::kBatchSteal;
+  const auto resumed = pph::sched::run_with_store(workload_, 4, path, resume_opts);
+  EXPECT_TRUE(resumed.completed);
+  expect_matches_baseline(resumed.report);
+}
+
+}  // namespace

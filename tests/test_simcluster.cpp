@@ -295,6 +295,33 @@ TEST(SpeedupStudy, TableRendering) {
   EXPECT_NE(fig.find("optimal"), std::string::npos);
 }
 
+TEST(ScheduleSim, PolicyEnumSelectsTheMatchingSimulator) {
+  // The unified entry point (DESIGN.md section 7): the sched::Policy enum
+  // selects the same simulation the per-policy functions run, so a real
+  // session and its simulated projection are keyed by one type.
+  Prng rng(21);
+  WorkloadModel m;
+  m.jobs = 2000;
+  m.divergent_fraction = 0.05;
+  const auto d = pph::simcluster::synthesize(m, rng);
+  CommModel comm;
+  comm.dispatch_overhead = 0.001;
+  comm.message_latency = 0.002;
+  pph::simcluster::SimPolicyOptions opts;
+  opts.assignment = SimAssignment::kCyclic;
+  opts.factor = 3.0;
+
+  const auto st = pph::simcluster::simulate(pph::sched::Policy::kStatic, d, 16, comm, opts);
+  EXPECT_EQ(st.makespan, simulate_static(d, 16, SimAssignment::kCyclic).makespan);
+  const auto dy = pph::simcluster::simulate(pph::sched::Policy::kFCFS, d, 16, comm, opts);
+  EXPECT_EQ(dy.makespan, simulate_dynamic(d, 16, comm).makespan);
+  EXPECT_EQ(dy.dispatches, d.size());
+  const auto bs =
+      pph::simcluster::simulate(pph::sched::Policy::kBatchSteal, d, 16, comm, opts);
+  EXPECT_EQ(bs.makespan,
+            pph::simcluster::simulate_batch_steal(d, 16, comm, 3.0, 1).makespan);
+}
+
 TEST(SpeedupStudy, SpeedupMonotoneInCpus) {
   Prng rng(13);
   WorkloadModel m;
