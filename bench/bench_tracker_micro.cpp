@@ -193,6 +193,55 @@ void BM_PieriEdgeJacobian(benchmark::State& state) {
 }
 BENCHMARK(BM_PieriEdgeJacobian);
 
+// ---- interpreted vs compiled Pieri edge evaluation ------------------------
+//
+// The Pieri analogue of the BM_HomotopyEvalJac* pair (DESIGN.md section 8):
+// the same root-level edge homotopy of the Table III instance, evaluated
+// through the interpreted bordered-determinant walk (cofactor matrix per
+// condition per call) versus the compiled edge tape's fused pass with per-t
+// cached coefficients.
+
+schubert::PieriEdgeHomotopy make_pieri_edge(const schubert::PieriInput& input) {
+  const schubert::Pattern root = schubert::Pattern::root(input.problem);
+  schubert::PatternChart chart(root);
+  util::Prng rng(9);
+  std::vector<schubert::PlaneCondition> fixed(input.conditions.begin(),
+                                              input.conditions.end() - 1);
+  return schubert::PieriEdgeHomotopy(chart, fixed, input.conditions.back(), rng.unit_complex(),
+                                     0.7 * rng.unit_complex(), 0.7 * rng.unit_complex());
+}
+
+void BM_PieriEdgeFusedInterpreted(benchmark::State& state) {
+  const schubert::PieriProblem pb{3, 2, 1};
+  util::Prng rng(9);
+  const auto input = schubert::random_pieri_input(pb, rng);
+  const auto h = make_pieri_edge(input);
+  const CVector x = random_point(rng, h.dimension());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate_with_jacobian(x, 0.37));
+    benchmark::DoNotOptimize(h.derivative_t(x, 0.37));
+  }
+}
+BENCHMARK(BM_PieriEdgeFusedInterpreted);
+
+void BM_PieriEdgeFusedCompiled(benchmark::State& state) {
+  const schubert::PieriProblem pb{3, 2, 1};
+  util::Prng rng(9);
+  const auto input = schubert::random_pieri_input(pb, rng);
+  const auto h = make_pieri_edge(input);
+  const CVector x = random_point(rng, h.dimension());
+  auto ws = h.make_workspace();
+  CVector hv, ht;
+  CMatrix jac;
+  for (auto _ : state) {
+    h.evaluate_fused(x, 0.37, ws.get(), hv, jac, ht);
+    benchmark::DoNotOptimize(hv.data());
+    benchmark::DoNotOptimize(jac.data());
+    benchmark::DoNotOptimize(ht.data());
+  }
+}
+BENCHMARK(BM_PieriEdgeFusedCompiled);
+
 }  // namespace
 
 // Custom main: honour PPH_BENCH_JSON=<path> by forwarding the path to

@@ -1,0 +1,204 @@
+#pragma once
+// INTERNAL header: the fused blend kernels shared by CompiledHomotopy and
+// CompiledPieriHomotopy.  Included only from compiled_homotopy.cpp and
+// compiled_pieri.cpp — not part of the public eval/ interface.
+//
+// The kernel walks a CompiledSystem term tape with per-term H coefficients
+// (sc) and per-term dH/dt coefficients (dc) supplied by the caller, and
+// fills H, dH/dx, and optionally dH/dt in one pass.  Each term's
+// reverse-mode suffix product is seeded with its sc entry, so Jacobian
+// contributions land pre-blended; common factor counts are unrolled so the
+// prefix products never leave registers.
+//
+// Two row shapes share the body:
+//   Stacked == true  — row i sums equations {i, n+i} (the convex homotopy's
+//                      start/target stacking, coefficients pre-blended by t);
+//   Stacked == false — row i sums equation i only (the Pieri edge tape,
+//                      one bordered-determinant polynomial per row).
+//
+// This is the single hottest loop in the tracker, executed millions of
+// times per solve.  The library builds for generic x86-64 (SSE2, no FMA),
+// so the same kernel body is compiled twice — once generic, once with
+// AVX2+FMA enabled — and picked once at runtime via __builtin_cpu_supports.
+// Results differ from the generic kernel only by FMA contraction (|diff|
+// well under the 1e-12 golden-test tolerance), and every rank of a run uses
+// the same kernel, so scheduler bit-identity is preserved.
+
+#include "eval/compiled_system.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PPH_EVAL_X86_DISPATCH 1
+#else
+#define PPH_EVAL_X86_DISPATCH 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PPH_EVAL_INLINE __attribute__((always_inline)) inline
+#else
+#define PPH_EVAL_INLINE inline
+#endif
+
+namespace pph::eval::detail {
+
+/// Everything the kernel touches, as raw pointers: the tape (immutable),
+/// the workspace scratch, and the output buffers (pre-sized by the caller).
+struct BlendCtx {
+  std::size_t n;                          // homotopy dimension (output rows)
+  const CompiledSystem::Factor* fac;      // factor tape
+  const CompiledSystem::TermRef* terms;   // term tape
+  const std::uint32_t* moff;              // monomial -> factor range
+  const std::uint32_t* eoff;              // equation -> term range
+  const Complex* pow;                     // filled power tables
+  Complex* prefix;                        // forward-product scratch
+  const Complex* sc;                      // per-term H coefficients
+  const Complex* dc;                      // per-term dH/dt coefficients
+  Complex* h;
+  Complex* jx;                            // row-major n x n
+  Complex* ht;                            // nullptr when not wanted
+};
+
+/// One term whose monomial has exactly K factors, fully unrolled: the
+/// prefix products live in registers instead of a scratch array, and the
+/// suffix seed is the term's pre-blended coefficient.  K is a compile-time
+/// constant so every loop below flattens to straight-line code.
+template <int K, bool WantHt>
+PPH_EVAL_INLINE void blend_term_k(const BlendCtx& c, const CompiledSystem::Factor* fs,
+                                  const Complex sck, const Complex dck, Complex* jrow,
+                                  Complex& acc_h, Complex& acc_t) {
+  Complex pv[K];   // factor values x_v^e
+  Complex pre[K];  // prefix products
+  for (int j = 0; j < K; ++j) pv[j] = c.pow[fs[j].pidx + fs[j].exp];
+  Complex running{1.0, 0.0};
+  for (int j = 0; j < K; ++j) {
+    pre[j] = running;
+    running *= pv[j];
+  }
+  acc_h += sck * running;
+  if constexpr (WantHt) acc_t += dck * running;
+  Complex suffix = sck;
+  for (int j = K; j-- > 0;) {
+    const Complex outer = pre[j] * suffix;
+    if (fs[j].exp == 1) {  // d/dx of x^1: most factors in practice
+      jrow[fs[j].var] += outer;
+    } else {
+      jrow[fs[j].var] +=
+          outer * (static_cast<double>(fs[j].exp) * c.pow[fs[j].pidx + fs[j].exp - 1]);
+    }
+    suffix *= pv[j];
+  }
+}
+
+/// Accumulate equation `eq`'s term range into (acc_h, acc_t, jrow).
+/// Force-inlined so the body is recompiled inside each dispatch target
+/// (a plain call from the FMA clone would land back in generic code).
+template <bool WantHt>
+PPH_EVAL_INLINE void blend_equation(const BlendCtx& c, const std::size_t eq, Complex* jrow,
+                                    Complex& acc_h, Complex& acc_t) {
+  for (std::size_t k = c.eoff[eq]; k < c.eoff[eq + 1]; ++k) {
+    const std::uint32_t m = c.terms[k].mono;
+    const std::size_t lo = c.moff[m];
+    const std::size_t hi = c.moff[m + 1];
+    if (lo == hi) {  // constant term
+      acc_h += c.sc[k];
+      if constexpr (WantHt) acc_t += c.dc[k];
+      continue;
+    }
+    const CompiledSystem::Factor* fs = c.fac + lo;
+    const Complex sck = c.sc[k];
+    const Complex dck = WantHt ? c.dc[k] : Complex{};
+    if (hi == lo + 1) {  // single factor x_v^e
+      const auto& fc = *fs;
+      const Complex v = c.pow[fc.pidx + fc.exp];
+      acc_h += sck * v;
+      if constexpr (WantHt) acc_t += dck * v;
+      if (fc.exp == 1) {
+        jrow[fc.var] += sck;
+      } else {
+        jrow[fc.var] += sck * (static_cast<double>(fc.exp) * c.pow[fc.pidx + fc.exp - 1]);
+      }
+      continue;
+    }
+    // Reverse-mode prefix/suffix products with the scaled coefficient
+    // folded into the suffix seed so every partial arrives pre-blended.
+    // Common factor counts are unrolled so the prefixes never leave
+    // registers; wider monomials spill to the workspace scratch.
+    switch (hi - lo) {
+      case 2: blend_term_k<2, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 3: blend_term_k<3, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 4: blend_term_k<4, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 5: blend_term_k<5, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 6: blend_term_k<6, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 7: blend_term_k<7, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      case 8: blend_term_k<8, WantHt>(c, fs, sck, dck, jrow, acc_h, acc_t); break;
+      default: {
+        Complex running{1.0, 0.0};
+        for (std::size_t f = lo; f < hi; ++f) {
+          c.prefix[f - lo] = running;
+          running *= c.pow[c.fac[f].pidx + c.fac[f].exp];
+        }
+        acc_h += sck * running;
+        if constexpr (WantHt) acc_t += dck * running;
+        Complex suffix = sck;
+        for (std::size_t f = hi; f-- > lo;) {
+          const auto& fc = c.fac[f];
+          const Complex outer = c.prefix[f - lo] * suffix;
+          if (fc.exp == 1) {
+            jrow[fc.var] += outer;
+            suffix *= c.pow[fc.pidx + 1];
+          } else {
+            jrow[fc.var] +=
+                outer * (static_cast<double>(fc.exp) * c.pow[fc.pidx + fc.exp - 1]);
+            suffix *= c.pow[fc.pidx + fc.exp];
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+template <bool WantHt, bool Stacked>
+PPH_EVAL_INLINE void blend_rows(const BlendCtx& c) {
+  for (std::size_t i = 0; i < c.n; ++i) {
+    Complex* jrow = c.jx + i * c.n;
+    for (std::size_t col = 0; col < c.n; ++col) jrow[col] = Complex{};
+    Complex acc_h{};
+    Complex acc_t{};
+    if constexpr (Stacked) {
+      blend_equation<WantHt>(c, i, jrow, acc_h, acc_t);
+      blend_equation<WantHt>(c, c.n + i, jrow, acc_h, acc_t);
+    } else {
+      blend_equation<WantHt>(c, i, jrow, acc_h, acc_t);
+    }
+    c.h[i] = acc_h;
+    if constexpr (WantHt) c.ht[i] = acc_t;
+  }
+}
+
+#if PPH_EVAL_X86_DISPATCH
+template <bool WantHt, bool Stacked>
+__attribute__((target("avx2,fma"))) inline void blend_rows_fma(const BlendCtx& c) {
+  blend_rows<WantHt, Stacked>(c);
+}
+
+inline bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+template <bool WantHt, bool Stacked>
+inline void blend_dispatch(const BlendCtx& c) {
+  static const bool use_fma = cpu_has_avx2_fma();
+  if (use_fma) {
+    blend_rows_fma<WantHt, Stacked>(c);
+  } else {
+    blend_rows<WantHt, Stacked>(c);
+  }
+}
+#else
+template <bool WantHt, bool Stacked>
+inline void blend_dispatch(const BlendCtx& c) {
+  blend_rows<WantHt, Stacked>(c);
+}
+#endif
+
+}  // namespace pph::eval::detail

@@ -1,0 +1,391 @@
+#include "eval/compiled_pieri.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "eval/blend_kernel.hpp"
+
+namespace pph::eval {
+
+namespace {
+
+Complex ipow(Complex base, std::size_t e) {
+  Complex v{1.0, 0.0};
+  while (e) {
+    if (e & 1u) v *= base;
+    base *= base;
+    e >>= 1u;
+  }
+  return v;
+}
+
+/// In-place determinant of an m x m buffer by Gaussian elimination with
+/// partial pivoting (destroys the buffer; never allocates).  The minors are
+/// tiny (m = plane columns), so no blocking.
+Complex det_inplace(Complex* a, std::size_t m) {
+  Complex det{1.0, 0.0};
+  for (std::size_t c = 0; c < m; ++c) {
+    std::size_t piv = c;
+    double best = std::abs(a[c * m + c]);
+    for (std::size_t r = c + 1; r < m; ++r) {
+      const double mag = std::abs(a[r * m + c]);
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    if (best == 0.0) return Complex{};
+    if (piv != c) {
+      for (std::size_t cc = 0; cc < m; ++cc) std::swap(a[c * m + cc], a[piv * m + cc]);
+      det = -det;
+    }
+    const Complex d = a[c * m + c];
+    det *= d;
+    for (std::size_t r = c + 1; r < m; ++r) {
+      const Complex f = a[r * m + c] / d;
+      for (std::size_t cc = c + 1; cc < m; ++cc) a[r * m + cc] -= f * a[c * m + cc];
+    }
+  }
+  return det;
+}
+
+/// det of the given rows of a (rows x m) matrix, gathered into scratch.
+Complex det_of_rows(const linalg::CMatrix& k, const std::uint32_t* rows, std::size_t m,
+                    Complex* scratch) {
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) scratch[a * m + b] = k(rows[a], b);
+  }
+  return det_inplace(scratch, m);
+}
+
+}  // namespace
+
+CompiledPieriHomotopy::CompiledPieriHomotopy(const schubert::PatternChart& chart,
+                                             const std::vector<schubert::PlaneCondition>& fixed,
+                                             const schubert::PlaneCondition& target,
+                                             Complex gamma, Complex detour_s, Complex detour_u)
+    : n_(chart.dimension()),
+      s_target_(target.point),
+      detour_s_(detour_s),
+      detour_u_(detour_u) {
+  static std::atomic<std::uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  const schubert::Pattern& pat = chart.pattern();
+  const schubert::PieriProblem& pb = pat.problem();
+  space_ = pb.space_dim();
+  m_ = pb.m;
+  if (fixed.size() + 1 != n_) {
+    throw std::invalid_argument(
+        "CompiledPieriHomotopy: need level-1 fixed conditions plus one target");
+  }
+  if (space_ > 64) {
+    throw std::invalid_argument("CompiledPieriHomotopy: m+p > 64 unsupported");
+  }
+  k_start_ = schubert::special_plane(pat) * gamma;
+  k_dot_ = target.plane - k_start_;
+
+  // Entry options of each map column of the bordered matrix: the normalized
+  // top pivot (factor u^{deg_j}, no coordinate) and the column's free cells
+  // (factor x_k s^{d} u^{deg_j - d} at the cell's row residue).  Distinct
+  // degree blocks of one column can share a residue; they stay separate
+  // options, exactly as they are separate summands of the matrix entry.
+  struct Option {
+    std::int32_t cell;  // chart coordinate index, -1 for the pivot
+    std::uint32_t row, ds, du;
+  };
+  const std::size_t p = pb.p;
+  std::vector<std::vector<Option>> opts(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    opts[j].push_back({-1, static_cast<std::uint32_t>(j), 0u,
+                       static_cast<std::uint32_t>(pat.column_degree(j))});
+  }
+  const auto& cells = chart.cells();
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const auto [concat_row, j] = cells[k];
+    const std::uint32_t d = static_cast<std::uint32_t>(concat_row / space_);
+    opts[j].push_back({static_cast<std::int32_t>(k),
+                       static_cast<std::uint32_t>(concat_row % space_), d,
+                       static_cast<std::uint32_t>(pat.column_degree(j)) - d});
+  }
+
+  // Generalized Laplace expansion along the map columns: one option per
+  // column with all chosen rows distinct.  The plane block fills the m
+  // complementary rows, contributing det(K[comp, :]) with the permutation
+  // sign of [chosen rows..., comp...].  Each leaf is one multilinear
+  // monomial in the chart coordinates; the cell set determines the
+  // monomial uniquely (every cell is one coordinate), so leaves are
+  // distinct tape terms.
+  struct Mono {
+    std::vector<std::uint32_t> cells;  // sorted coordinate indices
+    std::uint32_t minor = 0, spow = 0, upow = 0;
+    double sign = 1.0;
+  };
+  std::vector<Mono> monos;
+  std::map<std::vector<std::uint32_t>, std::uint32_t> minor_ids;
+  std::vector<std::uint32_t> sel_rows(p);
+  std::vector<std::uint32_t> sel_cells;
+  sel_cells.reserve(p);
+  std::vector<std::uint32_t> perm(space_);
+  std::vector<std::uint32_t> comp;
+  comp.reserve(m_);
+  std::uint64_t rowmask = 0;
+
+  const auto leaf = [&](std::uint32_t spow, std::uint32_t upow) {
+    comp.clear();
+    for (std::uint32_t r = 0; r < space_; ++r) {
+      if (!((rowmask >> r) & 1u)) comp.push_back(r);
+    }
+    const auto [it, inserted] =
+        minor_ids.try_emplace(comp, static_cast<std::uint32_t>(minor_ids.size()));
+    if (inserted) minor_rows_.insert(minor_rows_.end(), comp.begin(), comp.end());
+    for (std::size_t j = 0; j < p; ++j) perm[j] = sel_rows[j];
+    for (std::size_t c = 0; c < m_; ++c) perm[p + c] = comp[c];
+    int inversions = 0;
+    for (std::size_t a = 0; a < space_; ++a) {
+      for (std::size_t b = a + 1; b < space_; ++b) {
+        if (perm[a] > perm[b]) inversions ^= 1;
+      }
+    }
+    Mono mo;
+    mo.cells = sel_cells;
+    std::sort(mo.cells.begin(), mo.cells.end());
+    mo.minor = it->second;
+    mo.spow = spow;
+    mo.upow = upow;
+    mo.sign = inversions ? -1.0 : 1.0;
+    max_spow_ = std::max(max_spow_, spow);
+    max_upow_ = std::max(max_upow_, upow);
+    monos.push_back(std::move(mo));
+  };
+  const std::function<void(std::size_t, std::uint32_t, std::uint32_t)> expand =
+      [&](std::size_t j, std::uint32_t spow, std::uint32_t upow) {
+        if (j == p) {
+          leaf(spow, upow);
+          return;
+        }
+        for (const Option& o : opts[j]) {
+          if ((rowmask >> o.row) & 1u) continue;
+          rowmask |= std::uint64_t{1} << o.row;
+          sel_rows[j] = o.row;
+          if (o.cell >= 0) sel_cells.push_back(static_cast<std::uint32_t>(o.cell));
+          expand(j + 1, spow + o.ds, upow + o.du);
+          if (o.cell >= 0) sel_cells.pop_back();
+          rowmask &= ~(std::uint64_t{1} << o.row);
+        }
+      };
+  expand(0, 0, 0);
+  nminor_ = minor_ids.size();
+
+  // Lower onto one shared tape.  Fixed rows (u = 1, constant plane) get
+  // their literal coefficients sign * s_i^D * det(K_i[comp, :]) — the
+  // cached Laplace minors, computed once per distinct row set per
+  // condition, never re-expanded during tracking.  The moving row gets
+  // placeholder coefficients; its real per-t values live in the workspace.
+  poly::PolySystem sys(n_);
+  std::vector<Complex> row_minors(nminor_);
+  std::vector<Complex> scratch(m_ * m_);
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    for (std::size_t r = 0; r < nminor_; ++r) {
+      row_minors[r] =
+          det_of_rows(fixed[i].plane, minor_rows_.data() + r * m_, m_, scratch.data());
+    }
+    std::vector<poly::Term> terms;
+    terms.reserve(monos.size());
+    for (const Mono& mo : monos) {
+      poly::Monomial mono(n_);
+      for (const std::uint32_t cell : mo.cells) mono.set_exponent(cell, 1);
+      terms.push_back(
+          {mo.sign * ipow(fixed[i].point, mo.spow) * row_minors[mo.minor], std::move(mono)});
+    }
+    sys.add_equation(poly::Polynomial(n_, std::move(terms)));
+  }
+  {
+    std::vector<poly::Term> terms;
+    terms.reserve(monos.size());
+    for (const Mono& mo : monos) {
+      poly::Monomial mono(n_);
+      for (const std::uint32_t cell : mo.cells) mono.set_exponent(cell, 1);
+      terms.push_back({Complex{1.0, 0.0}, std::move(mono)});
+    }
+    sys.add_equation(poly::Polynomial(n_, std::move(terms)));
+  }
+  tape_ = CompiledSystem(sys);
+  moving_begin_ = tape_.eq_offset_[n_ - 1];
+
+  // Polynomial normalization sorts terms, so re-associate each moving-row
+  // tape term with its expansion leaf by the cell set (the factor tape
+  // stores variables in ascending order, matching the sorted cells).
+  std::map<std::vector<std::uint32_t>, std::uint32_t> mono_of_cells;
+  for (std::size_t idx = 0; idx < monos.size(); ++idx) {
+    const auto [it, inserted] =
+        mono_of_cells.try_emplace(monos[idx].cells, static_cast<std::uint32_t>(idx));
+    (void)it;
+    if (!inserted) throw std::logic_error("CompiledPieriHomotopy: duplicate expansion leaf");
+  }
+  moving_.resize(tape_.terms_.size() - moving_begin_);
+  std::vector<std::uint32_t> vars;
+  for (std::size_t k = moving_begin_; k < tape_.terms_.size(); ++k) {
+    const std::uint32_t m = tape_.terms_[k].mono;
+    vars.clear();
+    for (std::size_t f = tape_.mono_offset_[m]; f < tape_.mono_offset_[m + 1]; ++f) {
+      vars.push_back(tape_.factors_[f].var);
+    }
+    const auto it = mono_of_cells.find(vars);
+    if (it == mono_of_cells.end()) {
+      throw std::logic_error("CompiledPieriHomotopy: moving term lost its expansion leaf");
+    }
+    const Mono& mo = monos[it->second];
+    moving_[k - moving_begin_] = {mo.minor, mo.spow, mo.upow, mo.sign};
+  }
+}
+
+void CompiledPieriHomotopy::prepare(Workspace& ws) const {
+  tape_.prepare(ws.eval);
+  const std::size_t nterms = tape_.terms_.size();
+  if (ws.scaled_coeff.size() < nterms) ws.scaled_coeff.resize(nterms);
+  if (ws.dcoeff.size() < nterms) ws.dcoeff.resize(nterms);
+  if (ws.minor_val.size() < nminor_) ws.minor_val.resize(nminor_);
+  if (ws.minor_dval.size() < nminor_) ws.minor_dval.resize(nminor_);
+  if (ws.spow.size() < max_spow_ + 1u) ws.spow.resize(max_spow_ + 1u);
+  if (ws.upow.size() < max_upow_ + 1u) ws.upow.resize(max_upow_ + 1u);
+  if (ws.plane.size() < space_ * m_) ws.plane.resize(space_ * m_);
+  if (ws.det_scratch.size() < m_ * m_) ws.det_scratch.resize(m_ * m_);
+}
+
+void CompiledPieriHomotopy::refresh_coefficients(double t, Workspace& ws) const {
+  if (ws.cached_owner == id_ && ws.cached_t == t) return;
+  Complex* sc = ws.scaled_coeff.data();
+  Complex* dc = ws.dcoeff.data();
+  if (ws.cached_owner != id_) {
+    // Fixed rows: the tape's literal coefficients, t-independent, dH/dt 0.
+    for (std::size_t k = 0; k < moving_begin_; ++k) {
+      sc[k] = tape_.terms_[k].coeff;
+      dc[k] = Complex{};
+    }
+  }
+
+  // Moving interpolation point — the same path as the interpreted
+  // PieriEdgeHomotopy::moving_point / moving_point_dt reference:
+  //   s(t) = 1 + t (s_target - 1) + t(1-t) detour_s,
+  //   u(t) = t + t(1-t) detour_u.
+  const double bump = t * (1.0 - t);
+  const double dbump = 1.0 - 2.0 * t;
+  const Complex s = Complex{1.0, 0.0} + Complex{t, 0.0} * (s_target_ - Complex{1.0, 0.0}) +
+                    bump * detour_s_;
+  const Complex u = Complex{t, 0.0} + bump * detour_u_;
+  const Complex sdot = (s_target_ - Complex{1.0, 0.0}) + dbump * detour_s_;
+  const Complex udot = Complex{1.0, 0.0} + dbump * detour_u_;
+  Complex* spow = ws.spow.data();
+  Complex* upow = ws.upow.data();
+  spow[0] = Complex{1.0, 0.0};
+  for (std::uint32_t e = 1; e <= max_spow_; ++e) spow[e] = spow[e - 1] * s;
+  upow[0] = Complex{1.0, 0.0};
+  for (std::uint32_t e = 1; e <= max_upow_; ++e) upow[e] = upow[e - 1] * u;
+
+  // Moving plane K(t) = gamma*(1-t) K_F + t K_target, and its distinct
+  // Laplace minors with their d/dt (dK/dt is constant, so the derivative
+  // is one column-replacement determinant per plane column).
+  Complex* plane = ws.plane.data();
+  const Complex* ks = k_start_.data();
+  const Complex* kd = k_dot_.data();
+  for (std::size_t i = 0; i < space_ * m_; ++i) plane[i] = ks[i] + t * kd[i];
+  Complex* scratch = ws.det_scratch.data();
+  for (std::size_t r = 0; r < nminor_; ++r) {
+    const std::uint32_t* rows = minor_rows_.data() + r * m_;
+    for (std::size_t a = 0; a < m_; ++a) {
+      for (std::size_t b = 0; b < m_; ++b) scratch[a * m_ + b] = plane[rows[a] * m_ + b];
+    }
+    ws.minor_val[r] = det_inplace(scratch, m_);
+    Complex dval{};
+    for (std::size_t rc = 0; rc < m_; ++rc) {
+      for (std::size_t a = 0; a < m_; ++a) {
+        for (std::size_t b = 0; b < m_; ++b) {
+          scratch[a * m_ + b] =
+              (b == rc) ? kd[rows[a] * m_ + b] : plane[rows[a] * m_ + b];
+        }
+      }
+      dval += det_inplace(scratch, m_);
+    }
+    ws.minor_dval[r] = dval;
+  }
+
+  // Per-term moving coefficients: product rule over s^D u^E and the minor.
+  for (std::size_t idx = 0; idx < moving_.size(); ++idx) {
+    const MovingTerm& mt = moving_[idx];
+    const std::size_t k = moving_begin_ + idx;
+    const Complex powf = spow[mt.spow] * upow[mt.upow];
+    Complex dpow{};
+    if (mt.spow > 0) {
+      dpow += static_cast<double>(mt.spow) * spow[mt.spow - 1] * sdot * upow[mt.upow];
+    }
+    if (mt.upow > 0) {
+      dpow += spow[mt.spow] * static_cast<double>(mt.upow) * upow[mt.upow - 1] * udot;
+    }
+    const Complex mv = ws.minor_val[mt.minor];
+    sc[k] = mt.sign * powf * mv;
+    dc[k] = mt.sign * (dpow * mv + powf * ws.minor_dval[mt.minor]);
+  }
+  ws.cached_owner = id_;
+  ws.cached_t = t;
+}
+
+void CompiledPieriHomotopy::evaluate(const CVector& x, double t, Workspace& ws,
+                                     CVector& h) const {
+  prepare(ws);
+  refresh_coefficients(t, ws);
+  tape_.fill_powers(x, ws.eval);
+  tape_.eval_monomials(ws.eval);
+  const Complex* mval = ws.eval.mono_val_.data();
+  const Complex* sc = ws.scaled_coeff.data();
+  h.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    Complex acc{};
+    for (std::size_t k = tape_.eq_offset_[i]; k < tape_.eq_offset_[i + 1]; ++k) {
+      acc += sc[k] * mval[tape_.terms_[k].mono];
+    }
+    h[i] = acc;
+  }
+}
+
+template <bool WantHt>
+void CompiledPieriHomotopy::pass(const CVector& x, double t, Workspace& ws, CVector& h,
+                                 CMatrix& jx, CVector* ht) const {
+  prepare(ws);
+  refresh_coefficients(t, ws);
+  tape_.fill_powers(x, ws.eval);
+
+  h.resize(n_);
+  jx.resize(n_, n_);
+  if constexpr (WantHt) ht->resize(n_);
+
+  detail::BlendCtx c;
+  c.n = n_;
+  c.fac = tape_.factors_.data();
+  c.terms = tape_.terms_.data();
+  c.moff = tape_.mono_offset_.data();
+  c.eoff = tape_.eq_offset_.data();
+  c.pow = ws.eval.powers_.data();
+  c.prefix = ws.eval.prefix_.data();
+  c.sc = ws.scaled_coeff.data();
+  c.dc = ws.dcoeff.data();
+  c.h = h.data();
+  c.jx = jx.data();
+  c.ht = WantHt ? ht->data() : nullptr;
+  detail::blend_dispatch<WantHt, /*Stacked=*/false>(c);
+}
+
+void CompiledPieriHomotopy::evaluate_with_jacobian(const CVector& x, double t, Workspace& ws,
+                                                   CVector& h, CMatrix& jx) const {
+  pass<false>(x, t, ws, h, jx, nullptr);
+}
+
+void CompiledPieriHomotopy::evaluate_fused(const CVector& x, double t, Workspace& ws, CVector& h,
+                                           CMatrix& jx, CVector& ht) const {
+  pass<true>(x, t, ws, h, jx, &ht);
+}
+
+}  // namespace pph::eval

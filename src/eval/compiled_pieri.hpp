@@ -1,0 +1,135 @@
+#pragma once
+// Compiled straight-line form of the Pieri edge homotopy (paper eq. (3)).
+//
+// Every equation of the edge homotopy is a bordered intersection
+// determinant det([X(s,u) | K]) in the chart coordinates of one pattern.
+// The interpreted path (schubert::evaluate_condition) re-expands that
+// determinant from scratch on every Newton iteration: a full cofactor
+// matrix of the (m+p) x (m+p) bordered matrix — (m+p)^2 LU determinants —
+// per equation per call.  This class expands each determinant ONCE, at
+// construction, by generalized Laplace expansion along the map columns:
+//
+//   det([A | K]) = sum_mu  sign_mu * s^{D_mu} u^{E_mu}
+//                          * prod_{k in mu} x_k * det(K[R_mu, :])
+//
+// where mu ranges over the ways to pick, per map column, either its top
+// pivot (factor u^{deg_j}) or one of its free cells (factor
+// x_k s^{d_k} u^{deg_j - d_k}) with all chosen rows distinct, and R_mu is
+// the complementary m-row set the plane block must fill.  The polynomial
+// is multilinear in the chart coordinates (each x_k is one matrix entry),
+// so all rows share one monomial pool on a CompiledSystem tape:
+//
+//   * fixed-condition rows (conditions 1..l-1: constant plane, u = 1) get
+//     literal constant coefficients — their Laplace minors det(K_i[R, :])
+//     are computed once here and never re-expanded per step;
+//   * the moving row (plane K(t) = (1-t) gamma K_F + t K_target, point
+//     (s(t), u(t)) with complex detours) keeps per-t coefficients in the
+//     workspace: on a t change, the distinct minors det(K(t)[R, :]) and
+//     their d/dt (constant K' = K_target - gamma K_F, one
+//     column-replacement determinant per plane column) are recomputed
+//     once, then every moving term's H and dH/dt coefficients follow from
+//     the (s, u) power tables.  The Newton iterations of one corrector
+//     call all reuse the same coefficients.
+//
+// The fused pass then rides the shared blend kernels of the convex
+// homotopy (prefix/suffix partials, unrolled <=8-factor terms, AVX2+FMA
+// runtime dispatch): one pass fills H, dH/dx, dH/dt into caller buffers
+// with zero heap allocations after warm-up.  dH/dt of the fixed rows is
+// exactly zero, as in the interpreted reference.
+//
+// A Workspace is keyed on the owning instance's construction id (the
+// CompiledHomotopy scheme): one workspace serves every edge homotopy a
+// slave tracks in sequence, refreshing its caches whenever the owner or t
+// changes, so scheduler workers stop reallocating per edge.
+
+#include <cstdint>
+#include <limits>
+
+#include "eval/compiled_system.hpp"
+#include "schubert/conditions.hpp"
+
+namespace pph::eval {
+
+class CompiledPieriHomotopy {
+ public:
+  /// Scratch for one evaluation stream.  Reusable across instances of any
+  /// chart size (buffers grow to the largest tape seen); the coefficient
+  /// caches are rebuilt whenever the owning instance or t changes.
+  struct Workspace {
+    EvalWorkspace eval;
+    CVector scaled_coeff;  // per tape term: H coefficient at cached_t
+    CVector dcoeff;        // per tape term: dH/dt coefficient at cached_t
+    CVector minor_val;     // per distinct minor: det(K(t)[R, :])
+    CVector minor_dval;    // per distinct minor: d/dt of the above
+    CVector spow;          // powers of s(t), 0..max_spow
+    CVector upow;          // powers of u(t), 0..max_upow
+    CVector plane;         // K(t), row-major (m+p) x m
+    CVector det_scratch;   // m x m in-place elimination buffer
+    std::uint64_t cached_owner = 0;  // 0: never used
+    double cached_t = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  CompiledPieriHomotopy() = default;
+  /// Lower one edge homotopy: `chart` of the parent pattern, `fixed` are
+  /// conditions 1..l-1 (enforced with u = 1), `target` is condition l,
+  /// `gamma` randomizes the start plane, and the detour constants bend the
+  /// interpolation-point path exactly as in PieriEdgeHomotopy (whose
+  /// interpreted virtuals are the golden reference for this tape).
+  CompiledPieriHomotopy(const schubert::PatternChart& chart,
+                        const std::vector<schubert::PlaneCondition>& fixed,
+                        const schubert::PlaneCondition& target, Complex gamma,
+                        Complex detour_s, Complex detour_u);
+
+  std::size_t dimension() const { return n_; }
+  const CompiledSystem& tape() const { return tape_; }
+  /// Distinct Laplace minors of the plane block (diagnostics / tests).
+  std::size_t minor_count() const { return nminor_; }
+
+  /// Size the workspace for this tape (implicit in the evaluators; exposed
+  /// for allocation-counted regions).
+  void prepare(Workspace& ws) const;
+
+  /// h <- H(x, t).
+  void evaluate(const CVector& x, double t, Workspace& ws, CVector& h) const;
+  /// h <- H(x,t), jx <- dH/dx(x,t) in one fused pass.
+  void evaluate_with_jacobian(const CVector& x, double t, Workspace& ws, CVector& h,
+                              CMatrix& jx) const;
+  /// h <- H, jx <- dH/dx, ht <- dH/dt, all from one pass over the tape.
+  void evaluate_fused(const CVector& x, double t, Workspace& ws, CVector& h, CMatrix& jx,
+                      CVector& ht) const;
+
+ private:
+  /// Per-t data of one moving-row term, aligned with the tape's term range
+  /// [moving_begin_, term_count): coefficient
+  ///   sign * s(t)^spow * u(t)^upow * det(K(t)[minor rows, :]).
+  struct MovingTerm {
+    std::uint32_t minor;
+    std::uint32_t spow;
+    std::uint32_t upow;
+    double sign;
+  };
+
+  template <bool WantHt>
+  void pass(const CVector& x, double t, Workspace& ws, CVector& h, CMatrix& jx,
+            CVector* ht) const;
+  void refresh_coefficients(double t, Workspace& ws) const;
+
+  CompiledSystem tape_;        // n rows: fixed conditions, then the moving row
+  std::size_t n_ = 0;          // equations == chart coordinates
+  std::size_t m_ = 0;          // plane columns
+  std::size_t space_ = 0;      // m + p == bordered matrix dimension
+  CMatrix k_start_;            // gamma * K_F
+  CMatrix k_dot_;              // K_target - gamma * K_F (constant dK/dt)
+  Complex s_target_;
+  Complex detour_s_;
+  Complex detour_u_;
+  std::vector<std::uint32_t> minor_rows_;  // minor r owns rows [r*m, (r+1)*m)
+  std::size_t nminor_ = 0;
+  std::vector<MovingTerm> moving_;
+  std::size_t moving_begin_ = 0;  // first moving-row term on the tape
+  std::uint32_t max_spow_ = 0;
+  std::uint32_t max_upow_ = 0;
+  std::uint64_t id_ = 0;  // construction id for the workspace caches
+};
+
+}  // namespace pph::eval

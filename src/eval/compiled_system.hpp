@@ -42,6 +42,7 @@ class EvalWorkspace {
  private:
   friend class CompiledSystem;
   friend class CompiledHomotopy;
+  friend class CompiledPieriHomotopy;
   CVector powers_;     // concatenated per-variable power tables
   CVector mono_val_;   // value of each pooled monomial
   CVector mono_dval_;  // partial of each pooled monomial, aligned with the factor tape
@@ -93,7 +94,8 @@ class CompiledSystem {
   };
 
  private:
-  friend class CompiledHomotopy;  // walks the tape for the blended pass
+  friend class CompiledHomotopy;       // walk the tape for their blended
+  friend class CompiledPieriHomotopy;  // per-term-coefficient passes
 
   void fill_powers(const CVector& x, EvalWorkspace& ws) const;
   // Monomial pool passes over a prepared, power-filled workspace.

@@ -182,6 +182,15 @@ bool PieriTreeJobSource::consume(const TrackedPath& tp) {
   return true;
 }
 
+homotopy::TrackerWorkspace PieriTreeJobSource::make_workspace() const {
+  homotopy::TrackerWorkspace ws;
+  // Family-level evaluation scratch (no edge homotopy exists yet): every
+  // compiled edge tape evaluates through it, refreshing the coefficient
+  // caches when the owning instance changes.
+  if (solver_.compiled_eval) ws.hws = std::make_unique<schubert::PieriEvalWorkspace>();
+  return ws;
+}
+
 PathResult PieriTreeJobSource::execute(const std::vector<std::byte>& payload,
                                        homotopy::TrackerWorkspace& ws) const {
   const EdgeMsg job = unpack_edge(payload);
@@ -194,7 +203,12 @@ PathResult PieriTreeJobSource::execute(const std::vector<std::byte>& payload,
   const InstanceDeformation def =
       instance_deformation(solver_.gamma_seed, job.pivots, job.attempt);
   PieriEdgeHomotopy h(chart, fixed, target, def.gamma, def.detour_s, def.detour_u);
-  ws.bind(h);
+  h.set_compiled(solver_.compiled_eval);
+  // Keep the slave's family workspace across edges; only a cold caller
+  // (legacy tests constructing a bare TrackerWorkspace) binds here.
+  if (solver_.compiled_eval && !dynamic_cast<schubert::PieriEvalWorkspace*>(ws.hws.get())) {
+    ws.bind(h);
+  }
   return homotopy::track_path(h, job.start, tighten(solver_.tracker, job.attempt), ws);
 }
 

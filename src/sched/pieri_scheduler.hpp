@@ -90,7 +90,12 @@ class PieriTreeJobSource final : public JobSource {
   std::vector<std::byte> job_payload(JobId id) const override;
   bool consume(const TrackedPath& tp) override;
 
-  homotopy::TrackerWorkspace make_workspace() const override { return {}; }
+  /// One workspace per slave, bound to the edge-homotopy FAMILY: the
+  /// compiled fast path's caches are keyed on the owning tape, so the same
+  /// workspace (predictor/corrector/LU buffers AND the eval scratch) is
+  /// reused across every tree edge the slave tracks instead of being
+  /// reallocated per edge.
+  homotopy::TrackerWorkspace make_workspace() const override;
   PathResult execute(const std::vector<std::byte>& payload,
                      homotopy::TrackerWorkspace& ws) const override;
 

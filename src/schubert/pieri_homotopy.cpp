@@ -21,6 +21,56 @@ PieriEdgeHomotopy::PieriEdgeHomotopy(PatternChart chart, std::vector<PlaneCondit
   plane_dot_ = target_.plane - special_ * gamma_;
 }
 
+PieriEdgeHomotopy::~PieriEdgeHomotopy() = default;
+
+// ---------------------------------------------------------------------------
+// Compiled fast path
+// ---------------------------------------------------------------------------
+
+const eval::CompiledPieriHomotopy* PieriEdgeHomotopy::ensure_compiled() const {
+  std::call_once(compile_once_, [this] {
+    compiled_ = std::make_unique<eval::CompiledPieriHomotopy>(chart_, fixed_, target_, gamma_,
+                                                              detour_s_, detour_u_);
+  });
+  return compiled_.get();
+}
+
+std::unique_ptr<homotopy::HomotopyWorkspace> PieriEdgeHomotopy::make_workspace() const {
+  if (!compiled_enabled_) return nullptr;
+  auto ws = std::make_unique<PieriEvalWorkspace>();
+  ensure_compiled()->prepare(ws->w);
+  return ws;
+}
+
+void PieriEdgeHomotopy::evaluate_into(const CVector& x, double t,
+                                      homotopy::HomotopyWorkspace* ws, CVector& h) const {
+  if (auto* pw = dynamic_cast<PieriEvalWorkspace*>(ws); pw != nullptr && compiled_enabled_) {
+    ensure_compiled()->evaluate(x, t, pw->w, h);
+    return;
+  }
+  Homotopy::evaluate_into(x, t, ws, h);
+}
+
+void PieriEdgeHomotopy::evaluate_with_jacobian_into(const CVector& x, double t,
+                                                    homotopy::HomotopyWorkspace* ws, CVector& h,
+                                                    CMatrix& jx) const {
+  if (auto* pw = dynamic_cast<PieriEvalWorkspace*>(ws); pw != nullptr && compiled_enabled_) {
+    ensure_compiled()->evaluate_with_jacobian(x, t, pw->w, h, jx);
+    return;
+  }
+  Homotopy::evaluate_with_jacobian_into(x, t, ws, h, jx);
+}
+
+void PieriEdgeHomotopy::evaluate_fused(const CVector& x, double t,
+                                       homotopy::HomotopyWorkspace* ws, CVector& h, CMatrix& jx,
+                                       CVector& ht) const {
+  if (auto* pw = dynamic_cast<PieriEvalWorkspace*>(ws); pw != nullptr && compiled_enabled_) {
+    ensure_compiled()->evaluate_fused(x, t, pw->w, h, jx, ht);
+    return;
+  }
+  Homotopy::evaluate_fused(x, t, ws, h, jx, ht);
+}
+
 CMatrix PieriEdgeHomotopy::moving_plane(double t) const {
   CMatrix k = special_ * (gamma_ * (1.0 - t));
   k += target_.plane * Complex{t, 0.0};

@@ -11,11 +11,30 @@
 // moves both; the paper notes the "double use of t" as homogenizing
 // variable and continuation parameter -- here the homogenizing coordinate
 // is named u and u(t) = t.
+//
+// Two evaluation paths coexist.  The allocating virtuals walk the bordered
+// determinants through schubert::evaluate_condition (full cofactor matrix
+// per call) -- the golden reference.  The buffer-filling fast path lowers
+// the homotopy onto an eval::CompiledPieriHomotopy tape, lazily on the
+// first workspace request, and evaluates through the shared blend kernels
+// with per-t cached coefficients: the route the tracker hot loop takes.
 
+#include <memory>
+#include <mutex>
+
+#include "eval/compiled_pieri.hpp"
 #include "homotopy/homotopy.hpp"
 #include "schubert/conditions.hpp"
 
 namespace pph::schubert {
+
+/// Family-level workspace of the compiled fast path: any PieriEdgeHomotopy
+/// evaluates through any instance of this type (the caches are keyed on
+/// the owning tape's construction id), so a scheduler slave allocates ONE
+/// of these and reuses it across every tree edge it tracks.
+struct PieriEvalWorkspace final : homotopy::HomotopyWorkspace {
+  eval::CompiledPieriHomotopy::Workspace w;
+};
 
 /// Square homotopy in the chart coordinates of the parent pattern.
 class PieriEdgeHomotopy final : public homotopy::Homotopy {
@@ -30,12 +49,37 @@ class PieriEdgeHomotopy final : public homotopy::Homotopy {
   PieriEdgeHomotopy(PatternChart chart, std::vector<PlaneCondition> fixed,
                     PlaneCondition target, Complex gamma, Complex detour_s = Complex{},
                     Complex detour_u = Complex{});
+  ~PieriEdgeHomotopy() override;
 
   std::size_t dimension() const override { return chart_.dimension(); }
+
+  // Interpreted path (re-expands the bordered determinants per call); kept
+  // as fallback and as the golden reference the compiled tape is validated
+  // against in test_pieri_compiled.
   CVector evaluate(const CVector& x, double t) const override;
   CMatrix jacobian_x(const CVector& x, double t) const override;
   CVector derivative_t(const CVector& x, double t) const override;
   std::pair<CVector, CMatrix> evaluate_with_jacobian(const CVector& x, double t) const override;
+
+  // Compiled fast path: the tape is built lazily on the first workspace
+  // request (or first fast-path call) and rides the shared blend kernels.
+  // A foreign or null workspace falls back to the interpreted virtuals.
+  std::unique_ptr<homotopy::HomotopyWorkspace> make_workspace() const override;
+  void evaluate_into(const CVector& x, double t, homotopy::HomotopyWorkspace* ws,
+                     CVector& h) const override;
+  void evaluate_with_jacobian_into(const CVector& x, double t, homotopy::HomotopyWorkspace* ws,
+                                   CVector& h, CMatrix& jx) const override;
+  void evaluate_fused(const CVector& x, double t, homotopy::HomotopyWorkspace* ws, CVector& h,
+                      CMatrix& jx, CVector& ht) const override;
+
+  /// Toggle the compiled fast path (default on).  With it off,
+  /// make_workspace returns nullptr and every entry point takes the
+  /// interpreted route -- the A/B switch of the benches and the CI guard.
+  void set_compiled(bool enabled) { compiled_enabled_ = enabled; }
+  bool compiled_enabled() const { return compiled_enabled_; }
+
+  /// The lazily built tape (compiles on first call; tests/diagnostics).
+  const eval::CompiledPieriHomotopy& compiled() const { return *ensure_compiled(); }
 
   const PatternChart& chart() const { return chart_; }
 
@@ -49,6 +93,8 @@ class PieriEdgeHomotopy final : public homotopy::Homotopy {
   std::pair<Complex, Complex> moving_point_dt(double t) const;
 
  private:
+  const eval::CompiledPieriHomotopy* ensure_compiled() const;
+
   PatternChart chart_;
   std::vector<PlaneCondition> fixed_;
   PlaneCondition target_;
@@ -57,6 +103,9 @@ class PieriEdgeHomotopy final : public homotopy::Homotopy {
   Complex detour_u_;
   CMatrix special_;       // K_F of the chart's pattern
   CMatrix plane_dot_;     // dK/dt = K_target - gamma K_F (constant)
+  bool compiled_enabled_ = true;
+  mutable std::once_flag compile_once_;
+  mutable std::unique_ptr<eval::CompiledPieriHomotopy> compiled_;
 };
 
 }  // namespace pph::schubert

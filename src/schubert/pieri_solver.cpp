@@ -105,6 +105,7 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
         const Complex detour_s = 0.7 * gamma_rng.unit_complex();
         const Complex detour_u = 0.7 * gamma_rng.unit_complex();
         PieriEdgeHomotopy h(chart, fixed, target, gamma, detour_s, detour_u);
+        h.set_compiled(opts.compiled_eval);
         const auto topts = tighten(opts.tracker, attempt);
         homotopy::TrackerWorkspace ws(h);
         for (const CVector& start : starts) {

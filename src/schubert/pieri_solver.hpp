@@ -22,6 +22,10 @@ struct PieriSolverOptions {
   std::size_t max_retries = 2;
   /// Minimal pairwise chart distance for solutions to count as distinct.
   double distinct_tolerance = 1e-6;
+  /// Track edges through the compiled Pieri tape (eval::CompiledPieriHomotopy).
+  /// Off = the interpreted bordered-determinant walk, kept as the golden
+  /// reference; the benches and the CI guard flip this for the A/B.
+  bool compiled_eval = true;
 
   static homotopy::TrackerOptions default_tracker();
 };
