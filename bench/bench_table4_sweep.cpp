@@ -35,8 +35,9 @@ int main() {
   // edge tape (DESIGN.md section 8) made per-edge tracking ~25x cheaper,
   // so the q=4 column is now reachable within the default budget for the
   // small (m,p) rows.  #solutions stays exact for every cell regardless.
-  // (2,2,4) typically prints '!': its deep levels lose a few paths to
-  // jumping for most seeds, engine-independent -- see EXPERIMENTS.md.
+  // (2,2,4) used to print '!' (deep levels lost a few paths to jumping);
+  // the rescue tier (DESIGN.md section 9) recovers them -- bench_endgame
+  // replays those seeds with certification.  See EXPERIMENTS.md.
   const std::size_t qmax = 4;
 
   util::Table t(

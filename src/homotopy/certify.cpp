@@ -1,0 +1,99 @@
+#include "homotopy/certify.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pph::homotopy {
+
+namespace {
+
+void append_pairs(std::string& out, const char* name, const std::vector<CertifyPair>& pairs) {
+  out += "\"";
+  out += name;
+  out += "\":[";
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (k != 0) out += ',';
+    out += "{\"a\":" + std::to_string(pairs[k].a) + ",\"b\":" + std::to_string(pairs[k].b) +
+           ",\"d\":" + std::to_string(pairs[k].distance) + "}";
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string CertificateReport::summary() const {
+  std::string s = ok() ? "certified: " : "certification FAILED: ";
+  s += std::to_string(found) + "/" + std::to_string(expected_count) + " roots, ";
+  s += std::to_string(residual_ok) + " residual-ok (max " + std::to_string(max_residual) + "), ";
+  s += std::to_string(duplicates.size()) + " duplicate pairs, ";
+  s += std::to_string(near_duplicates.size()) + " near-duplicate pairs";
+  return s;
+}
+
+std::string CertificateReport::to_json() const {
+  std::string out = "{\"ok\":";
+  out += ok() ? "true" : "false";
+  out += ",\"expected\":" + std::to_string(expected_count);
+  out += ",\"found\":" + std::to_string(found);
+  out += ",\"residual_ok\":" + std::to_string(residual_ok);
+  out += ",\"max_residual\":" + std::to_string(max_residual);
+  out += ",\"residual_failures\":[";
+  for (std::size_t k = 0; k < residual_failures.size(); ++k) {
+    if (k != 0) out += ',';
+    out += std::to_string(residual_failures[k]);
+  }
+  out += "],";
+  append_pairs(out, "duplicates", duplicates);
+  out += ",";
+  append_pairs(out, "near_duplicates", near_duplicates);
+  out += ",\"min_pairwise_distance\":" + std::to_string(min_pairwise_distance);
+  out += "}";
+  return out;
+}
+
+CertificateReport certify_solution_set(const std::vector<CVector>& solutions,
+                                       const std::vector<double>& residuals,
+                                       std::uint64_t expected_count,
+                                       const CertifyOptions& opts) {
+  if (residuals.size() != solutions.size()) {
+    throw std::invalid_argument("certify_solution_set: one residual per solution required");
+  }
+  CertificateReport report;
+  report.expected_count = expected_count;
+  report.found = solutions.size();
+  report.min_pairwise_distance = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    report.max_residual = std::max(report.max_residual, residuals[i]);
+    if (residuals[i] <= opts.residual_tolerance) {
+      ++report.residual_ok;
+    } else {
+      report.residual_failures.push_back(i);
+    }
+  }
+
+  // One scan at the widened radius covers both bands: a pair below the
+  // dedup tolerance is a duplicate, one inside the band is a near-miss.
+  const double radius = opts.distinct_tolerance * std::max(opts.near_duplicate_factor, 1.0);
+  for (const poly::ClosePair& p : poly::duplicate_pairs(solutions, radius)) {
+    const CertifyPair pair{p.a, p.b, p.distance};
+    report.min_pairwise_distance = std::min(report.min_pairwise_distance, p.distance);
+    if (p.distance < opts.distinct_tolerance) {
+      report.duplicates.push_back(pair);
+    } else {
+      report.near_duplicates.push_back(pair);
+    }
+  }
+  return report;
+}
+
+CertificateReport certify(const poly::PolySystem& target, const std::vector<CVector>& solutions,
+                          std::uint64_t expected_count, const CertifyOptions& opts) {
+  std::vector<double> residuals;
+  residuals.reserve(solutions.size());
+  for (const auto& x : solutions) residuals.push_back(target.residual(x));
+  return certify_solution_set(solutions, residuals, expected_count, opts);
+}
+
+}  // namespace pph::homotopy

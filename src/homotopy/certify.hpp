@@ -1,0 +1,82 @@
+#pragma once
+// Root-count certification: validate a computed solution set against the
+// exact combinatorial count (Pieri chain count, Bezout number,
+// multihomogeneous bound) plus residual and pairwise-distinctness checks.
+//
+// A homotopy solve that silently loses a path serves a wrong answer; the
+// certificate turns that into a machine-readable verdict that benches and
+// CI convert into a non-zero exit (DESIGN.md section 9).  Where
+// deduplicate_solutions silently merges close endpoints, the certificate
+// reports the offending pairs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/system.hpp"
+
+namespace pph::homotopy {
+
+using linalg::CVector;
+
+struct CertifyOptions {
+  /// A solution whose residual exceeds this fails the residual check.
+  double residual_tolerance = 1e-7;
+  /// Pairs closer than this count as duplicates (the same constant
+  /// deduplicate_solutions merges with -- hoisted, not re-invented).
+  double distinct_tolerance = 1e-6;
+  /// Pairs within near_duplicate_factor * distinct_tolerance are reported
+  /// as near-duplicates: not merged, not fatal, but exactly where a path
+  /// jump would hide.
+  double near_duplicate_factor = 10.0;
+};
+
+/// One suspicious pair in the certified set (indices into the solution
+/// list, a < b, max-norm distance).
+struct CertifyPair {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double distance = 0.0;
+};
+
+/// Machine-readable certification verdict.
+struct CertificateReport {
+  std::uint64_t expected_count = 0;  // exact combinatorial root count
+  std::size_t found = 0;             // solutions presented
+  std::size_t residual_ok = 0;       // solutions passing the residual check
+  double max_residual = 0.0;
+  std::vector<std::size_t> residual_failures;  // indices of the offenders
+  /// Pairs closer than distinct_tolerance: would-be merges, each one a
+  /// missing root somewhere else.
+  std::vector<CertifyPair> duplicates;
+  /// Pairs inside the near-duplicate band: reported, not fatal.
+  std::vector<CertifyPair> near_duplicates;
+  /// Smallest pairwise distance among the reported pairs (infinity when
+  /// the set is cleanly separated).
+  double min_pairwise_distance = 0.0;
+
+  bool count_ok() const { return found == expected_count; }
+  bool residuals_ok() const { return residual_failures.empty(); }
+  bool distinct_ok() const { return duplicates.empty(); }
+  /// The certificate: count, residuals and distinctness all agree.
+  bool ok() const { return count_ok() && residuals_ok() && distinct_ok(); }
+
+  /// One-line human verdict ("certified: 512 roots ..." / "FAILED: ...").
+  std::string summary() const;
+  /// Full verdict as a single JSON object (benches embed it in artifacts).
+  std::string to_json() const;
+};
+
+/// Certify a solution set given per-solution residuals (any scale-aware
+/// residual the caller trusts) and the exact expected count.
+CertificateReport certify_solution_set(const std::vector<CVector>& solutions,
+                                       const std::vector<double>& residuals,
+                                       std::uint64_t expected_count,
+                                       const CertifyOptions& opts = {});
+
+/// Certify against a polynomial target system: residuals are computed as
+/// target.residual at each point.
+CertificateReport certify(const poly::PolySystem& target, const std::vector<CVector>& solutions,
+                          std::uint64_t expected_count, const CertifyOptions& opts = {});
+
+}  // namespace pph::homotopy

@@ -1,6 +1,30 @@
 #include "homotopy/corrector.hpp"
 
+#include "util/dd.hpp"
+
 namespace pph::homotopy {
+
+namespace {
+
+/// Mixed-precision iterative refinement of the Newton update.  On entry
+/// ws.h_val holds -H (the solved right-hand side) and ws.dx the computed
+/// update; the defect r = J*dx + H is accumulated in double-double, then
+/// one extra back-substitution with the already-factored LU corrects dx.
+void refine_newton_update(TrackerWorkspace& ws) {
+  const std::size_t n = ws.dx.size();
+  ws.refine_r.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::DDComplex acc;  // J(i,:)*dx - (-H_i), compensated
+    for (std::size_t j = 0; j < n; ++j) util::ddc_fma(acc, ws.refine_jac(i, j), ws.dx[j]);
+    acc = util::ddc_add(acc, util::DDComplex(-ws.h_val[i]));
+    // Right-hand side of the correction system J*e = -r.
+    ws.refine_r[i] = -acc.to_complex();
+  }
+  if (!ws.lu.solve_into(ws.refine_r, ws.refine_e)) return;
+  for (std::size_t i = 0; i < n; ++i) ws.dx[i] += ws.refine_e[i];
+}
+
+}  // namespace
 
 CorrectorResult correct(const Homotopy& h, CVector& x, double t, const CorrectorOptions& opts,
                         TrackerWorkspace& ws) {
@@ -14,12 +38,14 @@ CorrectorResult correct(const Homotopy& h, CVector& x, double t, const Corrector
       return result;
     }
     for (auto& v : ws.h_val) v = -v;
+    if (opts.dd_refine) ws.refine_jac = ws.jac;  // factor() steals jac's storage
     ws.lu.factor(ws.jac);
     if (!ws.lu.solve_into(ws.h_val, ws.dx)) {
       result.status = CorrectorStatus::kSingular;
       result.iterations = it;
       return result;
     }
+    if (opts.dd_refine) refine_newton_update(ws);
     const double step = linalg::norm2(ws.dx);
     result.last_step_norm = step;
     if (step > opts.divergence_threshold) {

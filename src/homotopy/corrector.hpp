@@ -26,7 +26,12 @@ struct TrackerWorkspace {
   CVector x_pred;   // predicted point
   CVector x_corr;   // corrector iterate
   CVector x_prev;   // previous accepted point (secant predictor)
+  CVector refine_r; // compensated linear-system residual (dd_refine)
+  CVector refine_e; // refinement correction to dx (dd_refine)
   linalg::CMatrix jac;
+  /// Copy of the Jacobian taken before LU::factor steals jac's storage;
+  /// the compensated defect J*dx + H needs the original entries.
+  linalg::CMatrix refine_jac;
   linalg::LU lu;
 };
 
@@ -44,6 +49,12 @@ struct CorrectorOptions {
   /// (det-style equations scale like ||x||^p), so a residual that stagnates
   /// below this bound still counts as converged.  0 disables.
   double stagnation_tolerance = 0.0;
+  /// Mixed-precision iterative refinement of each Newton update: the
+  /// linear-system residual r = J*dx + H is accumulated in double-double
+  /// (util/dd.hpp) and one extra back-substitution with the cached LU
+  /// corrects dx.  Recovers the digits a near-singular endgame Jacobian
+  /// destroys, at the cost of one compensated matvec per iteration.
+  bool dd_refine = false;
 };
 
 enum class CorrectorStatus {

@@ -30,21 +30,79 @@ EndpointClass classify_endpoint(const poly::PolySystem& target,
   return EndpointClass::kFailure;
 }
 
+namespace {
+
+/// Tracker options for rescue attempt k (1-based): progressively shrunken
+/// step bounds, a roomier corrector and the compensated endgame.
+TrackerOptions rescue_tracker(const TrackerOptions& base, const RescueOptions& rescue,
+                              std::size_t attempt) {
+  TrackerOptions t = base;
+  for (std::size_t k = 0; k < attempt; ++k) {
+    t.initial_step *= rescue.step_scale;
+    t.max_step *= rescue.step_scale;
+    t.corrector.max_iterations += 2;
+  }
+  t.endgame.enabled = true;
+  t.endgame.dd_refine = t.endgame.dd_refine || rescue.dd_refine;
+  return t;
+}
+
+}  // namespace
+
 SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& starts,
-                                 const poly::PolySystem& target, const SolveOptions& opts) {
+                                 const poly::PolySystem& target, const SolveOptions& opts,
+                                 const RescueFamily& rescue_family) {
   SolveSummary summary;
   summary.path_count = starts.size();
   summary.paths.reserve(starts.size());
   summary.path_seconds.reserve(starts.size());
   const poly::PolySystem leading = target.leading_forms();
 
-  std::vector<CVector> raw_solutions;
+  std::vector<EndpointClass> classes;
+  classes.reserve(starts.size());
   TrackerWorkspace ws(h);
   for (const auto& x0 : starts) {
     util::WallTimer timer;
     PathResult r = track_path(h, x0, opts.tracker, ws);
     summary.path_seconds.push_back(timer.seconds());
-    switch (classify_endpoint(target, leading, r, opts)) {
+    classes.push_back(classify_endpoint(target, leading, r, opts));
+    summary.paths.push_back(std::move(r));
+  }
+
+  // Rescue tier: re-track every failure with shrunken steps (and a fresh
+  // deformation when the caller provides the homotopy family).  Divergent
+  // endpoints are genuine in the generic case and stay untouched.
+  if (opts.rescue.enabled) {
+    for (std::size_t i = 0; i < summary.paths.size(); ++i) {
+      if (classes[i] != EndpointClass::kFailure) continue;
+      util::WallTimer rescue_timer;
+      for (std::size_t attempt = 1; attempt <= opts.rescue.max_attempts; ++attempt) {
+        const std::unique_ptr<Homotopy> fresh = rescue_family ? rescue_family(attempt) : nullptr;
+        const Homotopy& hr = fresh ? *fresh : h;
+        TrackerWorkspace rescue_ws(hr);
+        PathResult r = track_path(hr, starts[i], rescue_tracker(opts.tracker, opts.rescue, attempt),
+                                  rescue_ws);
+        ++summary.rescue_retracks;
+        r.rescue_attempts = static_cast<std::uint32_t>(attempt);
+        const EndpointClass cls = classify_endpoint(target, leading, r, opts);
+        if (cls == EndpointClass::kFailure && attempt < opts.rescue.max_attempts) continue;
+        // Adopt the rescue result: either it resolved the path (root or a
+        // clean at-infinity diagnosis) or the budget ran out and the last
+        // attempt carries the provenance.
+        r.rescued = cls == EndpointClass::kFiniteRoot;
+        summary.rescued_paths += r.rescued ? 1 : 0;
+        classes[i] = cls;
+        summary.paths[i] = std::move(r);
+        break;
+      }
+      summary.rescue_seconds += rescue_timer.seconds();
+    }
+  }
+
+  std::vector<CVector> raw_solutions;
+  for (std::size_t i = 0; i < summary.paths.size(); ++i) {
+    PathResult& r = summary.paths[i];
+    switch (classes[i]) {
       case EndpointClass::kFiniteRoot:
         ++summary.converged;
         raw_solutions.push_back(r.x);
@@ -58,7 +116,6 @@ SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& 
         r.status = PathStatus::kFailed;
         break;
     }
-    summary.paths.push_back(std::move(r));
   }
   summary.solutions = poly::deduplicate_solutions(raw_solutions, opts.dedup_tolerance);
   return summary;
@@ -68,7 +125,13 @@ SolveSummary solve_total_degree(const poly::PolySystem& target, const SolveOptio
   util::Prng rng(opts.seed);
   TotalDegreeStart start(target, rng);
   ConvexHomotopy h(start.system(), target, rng.unit_complex());
-  return track_and_summarize(h, start.all_solutions(), target, opts);
+  // Fresh-gamma family for the rescue tier: the start system's roots do not
+  // depend on gamma, so failed paths re-track from the same starts.
+  const auto family = [&](std::size_t attempt) {
+    util::Prng gamma_rng(opts.seed ^ (0x7265736375655fULL + attempt));
+    return std::make_unique<ConvexHomotopy>(start.system(), target, gamma_rng.unit_complex());
+  };
+  return track_and_summarize(h, start.all_solutions(), target, opts, family);
 }
 
 SolveSummary solve_linear_product(const poly::PolySystem& target,
@@ -81,7 +144,11 @@ SolveSummary solve_linear_product(const poly::PolySystem& target,
     (void)index;
     starts.push_back(std::move(x));
   }
-  return track_and_summarize(h, starts, target, opts);
+  const auto family = [&](std::size_t attempt) {
+    util::Prng gamma_rng(opts.seed ^ (0x7265736375655fULL + attempt));
+    return std::make_unique<ConvexHomotopy>(start.system(), target, gamma_rng.unit_complex());
+  };
+  return track_and_summarize(h, starts, target, opts, family);
 }
 
 SolveSummary solve_multihomogeneous(const poly::PolySystem& target,

@@ -4,14 +4,31 @@
 // single-CPU baseline against which the schedulers are validated and the
 // speedup experiments are normalized.
 
+#include <functional>
+
 #include "homotopy/start_linear_product.hpp"
 #include "homotopy/start_total_degree.hpp"
 #include "homotopy/tracker.hpp"
 
 namespace pph::homotopy {
 
+/// Rescue tier: failed paths are re-tracked with shrunken step bounds (and,
+/// when the caller supplies a homotopy family, a fresh random gamma -- the
+/// start solutions stay valid because H(x,0) = gamma*G(x) has the same
+/// roots as G for every gamma).
+struct RescueOptions {
+  bool enabled = true;
+  /// Re-track budget per failed path.
+  std::size_t max_attempts = 2;
+  /// Initial/max step shrink per rescue attempt.
+  double step_scale = 0.25;
+  /// Compensated endgame refinement during rescue re-tracks.
+  bool dd_refine = true;
+};
+
 struct SolveOptions {
   TrackerOptions tracker;
+  RescueOptions rescue;
   std::uint64_t seed = 20040415;  // the paper's date, for reproducibility
   /// Residual acceptance threshold for a converged endpoint.
   double solution_residual = 1e-8;
@@ -45,8 +62,14 @@ struct SolveSummary {
   std::size_t diverged = 0;
   std::size_t failed = 0;
   unsigned long long path_count = 0;
+  /// Rescue provenance: re-tracks attempted and paths whose final status
+  /// came from a rescue re-track (see PathResult::rescued).
+  std::size_t rescue_retracks = 0;
+  std::size_t rescued_paths = 0;
   /// Wall seconds per path, in path order (feeds the cluster simulator).
   std::vector<double> path_seconds;
+  /// Wall seconds spent inside the rescue tier (the measured overhead).
+  double rescue_seconds = 0.0;
 };
 
 /// Solve with a total-degree start system.
@@ -64,9 +87,17 @@ SolveSummary solve_multihomogeneous(const poly::PolySystem& target,
                                     const std::vector<std::size_t>& partition,
                                     const SolveOptions& opts = {});
 
+/// Rescue homotopy family: attempt k (1-based) returns a homotopy with the
+/// same start/target systems under a fresh deformation (new gamma).  An
+/// empty function re-tracks the original homotopy with shrunken steps only.
+using RescueFamily = std::function<std::unique_ptr<Homotopy>(std::size_t attempt)>;
+
 /// Track the paths of a prepared homotopy from explicit starts, collecting
-/// the same summary (used by both solvers and directly by tests).
+/// the same summary (used by both solvers and directly by tests).  Paths
+/// that end in failure are re-tracked through the rescue tier when
+/// opts.rescue.enabled.
 SolveSummary track_and_summarize(const Homotopy& h, const std::vector<CVector>& starts,
-                                 const poly::PolySystem& target, const SolveOptions& opts);
+                                 const poly::PolySystem& target, const SolveOptions& opts,
+                                 const RescueFamily& rescue_family = {});
 
 }  // namespace pph::homotopy

@@ -36,12 +36,25 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
   std::size_t next_decade = 1;
   constexpr std::size_t kMaxDecade = 14;
 
+  const EndgameOptions& eg = opts.endgame;
+  // Tightened corrector for the final stretch, derived once.
+  CorrectorOptions endgame_corrector = opts.corrector;
+  endgame_corrector.max_iterations += eg.extra_iterations;
+  endgame_corrector.residual_tolerance *= eg.residual_scale;
+  endgame_corrector.dd_refine = endgame_corrector.dd_refine || eg.dd_refine;
+
   while (t < 1.0) {
     if (result.steps + result.rejections >= opts.max_steps) {
       result.status = PathStatus::kFailed;
       break;
     }
-    const double dt = std::min(step, 1.0 - t);
+    const bool in_endgame = eg.enabled && t >= eg.threshold;
+    double dt = std::min(step, 1.0 - t);
+    if (in_endgame && 1.0 - t > eg.min_gap) {
+      // Geometric approach: cover at most step_fraction of the remaining
+      // gap, never less than min_gap (the last hop lands exactly on 1).
+      dt = std::min(dt, std::max(eg.step_fraction * (1.0 - t), eg.min_gap));
+    }
     const double t_next = t + dt;
 
     // Predict into the reusable buffer.
@@ -61,7 +74,8 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
 
     // Correct.
     ws.x_corr = ws.x_pred;
-    const CorrectorResult corr = correct(h, ws.x_corr, t_next, opts.corrector, ws);
+    const CorrectorResult corr =
+        correct(h, ws.x_corr, t_next, in_endgame ? endgame_corrector : opts.corrector, ws);
     result.newton_iterations += corr.iterations;
 
     if (corr.status == CorrectorStatus::kConverged) {
@@ -86,6 +100,7 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
         result.x = x;
         result.t_reached = t;
         result.residual = corr.residual;
+        result.last_step = step;
         return result;
       }
     } else {
@@ -102,6 +117,7 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
         result.status = diverging ? PathStatus::kDiverged : PathStatus::kFailed;
         result.x = x;
         result.t_reached = t;
+        result.last_step = step;
         h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
         result.residual = linalg::norm2(ws.h_val);
         return result;
@@ -109,9 +125,15 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
     }
   }
 
+  result.last_step = step;
   if (t >= 1.0) {
     // Final refinement at the target.
-    const CorrectorResult end = correct(h, x, 1.0, opts.end_corrector, ws);
+    CorrectorOptions end_opts = opts.end_corrector;
+    if (eg.enabled) {
+      end_opts.max_iterations += eg.extra_iterations;
+      end_opts.dd_refine = end_opts.dd_refine || eg.dd_refine;
+    }
+    const CorrectorResult end = correct(h, x, 1.0, end_opts, ws);
     result.newton_iterations += end.iterations;
     result.residual = end.residual;
     result.t_reached = 1.0;

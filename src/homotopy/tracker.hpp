@@ -5,10 +5,37 @@
 // the unit of work the paper distributes across processors: "the solution
 // paths defined by the homotopy can be tracked independently".
 
+#include <cstdint>
+
 #include "homotopy/corrector.hpp"
 #include "homotopy/predictor.hpp"
 
 namespace pph::homotopy {
+
+/// Final-stretch policy.  Once t crosses `threshold` the tracker switches
+/// to a geometric approach of t = 1 -- each step covers at most
+/// `step_fraction` of the remaining gap -- with a tightened corrector.
+/// Path jumps happen when a coarse step near t = 1 lands the predictor in
+/// the basin of a clustered neighbour; halving the gap per step keeps the
+/// prediction error proportional to the shrinking inter-path distance at a
+/// cost of ~log2((1-threshold)/min_gap) extra steps per path.
+struct EndgameOptions {
+  bool enabled = true;
+  /// t beyond which the endgame engages.
+  double threshold = 0.99;
+  /// Fraction of the remaining gap 1-t covered per endgame step.
+  double step_fraction = 0.5;
+  /// Once 1-t falls below this the tracker steps straight to t = 1 (the
+  /// end corrector owns the last refinement anyway).
+  double min_gap = 1e-8;
+  /// Scale applied to the corrector residual tolerance inside the endgame.
+  double residual_scale = 0.1;
+  /// Extra Newton iterations granted inside the endgame and at t = 1.
+  std::size_t extra_iterations = 2;
+  /// Compensated (double-double) refinement of each Newton update during
+  /// the endgame and the final refinement; see CorrectorOptions::dd_refine.
+  bool dd_refine = false;
+};
 
 struct TrackerOptions {
   double initial_step = 0.05;
@@ -28,6 +55,7 @@ struct TrackerOptions {
   /// Tighter corrector used for the final refinement at t = 1.
   CorrectorOptions end_corrector{8, 1e-12, 1e-14, 1e8};
   PredictorKind predictor = PredictorKind::kTangent;
+  EndgameOptions endgame;
 };
 
 enum class PathStatus {
@@ -41,9 +69,17 @@ struct PathResult {
   CVector x;                  // endpoint (valid for kConverged; last point otherwise)
   double t_reached = 0.0;
   double residual = 0.0;      // ||H(x, t_reached)||
+  /// Adaptive step size when the path ended (converged, diverged or
+  /// failed); together with t_reached and residual this is the diagnostic
+  /// the rescue tier uses to target "suspect" paths.
+  double last_step = 0.0;
   std::size_t steps = 0;      // accepted steps
   std::size_t rejections = 0; // rejected (shrunk) steps
   std::size_t newton_iterations = 0;
+  /// Rescue provenance: how many rescue re-tracks this result consumed
+  /// (0 = first attempt) and whether the final status came from a rescue.
+  std::uint32_t rescue_attempts = 0;
+  bool rescued = false;
   /// ||x||_inf sampled the first time t crosses 1 - 10^{-k}, k = 1, 2, ...
   /// A slowly escaping path (|x| ~ (1-t)^{-alpha}) shows steady geometric
   /// growth across these samples; the tracker's endgame classifier uses
@@ -51,6 +87,14 @@ struct PathResult {
   std::vector<double> endgame_norms;
   bool converged() const { return status == PathStatus::kConverged; }
 };
+
+/// A converged result whose residual sits well above the tracker's
+/// tolerances signals a near-singular endpoint accepted through the
+/// step-tolerance/stagnation exits -- exactly where path jumps hide.  The
+/// rescue tiers re-track these alongside the hard failures.
+inline bool suspect_path(const PathResult& r, double suspect_residual) {
+  return r.converged() && r.residual > suspect_residual;
+}
 
 /// Track a single path from the start solution x0 (which must satisfy
 /// H(x0, 0) ~ 0), reusing the workspace's buffers across steps — the

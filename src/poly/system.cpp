@@ -115,4 +115,37 @@ std::vector<CVector> deduplicate_solutions(const std::vector<CVector>& points, d
   return reps;
 }
 
+std::vector<ClosePair> duplicate_pairs(const std::vector<CVector>& points, double tol) {
+  const auto key_of = [](const CVector& p) { return p.empty() ? 0.0 : p[0].real(); };
+  std::vector<ClosePair> pairs;
+  std::multimap<double, std::size_t> by_key;  // key -> index into points
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CVector& p = points[i];
+    const double key = key_of(p);
+    // Pair with the nearest earlier point inside the window (one pair per
+    // point keeps the output linear even when a whole cluster collapses).
+    std::size_t best = points.size();
+    double best_dist = tol;
+    const auto lo = by_key.lower_bound(key - tol);
+    const auto hi = by_key.upper_bound(key + tol);
+    for (auto it = lo; it != hi; ++it) {
+      const CVector& r = points[it->second];
+      if (p.size() != r.size()) continue;
+      double maxdiff = 0.0;
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        maxdiff = std::max(maxdiff, std::abs(p[k] - r[k]));
+      }
+      if (maxdiff < best_dist) {
+        best_dist = maxdiff;
+        best = it->second;
+      }
+    }
+    if (best != points.size()) {
+      pairs.push_back(ClosePair{std::min(best, i), std::max(best, i), best_dist});
+    }
+    by_key.emplace(key, i);
+  }
+  return pairs;
+}
+
 }  // namespace pph::poly

@@ -59,4 +59,19 @@ class PolySystem {
 /// `tol` in the max norm.  Returns representatives in first-seen order.
 std::vector<CVector> deduplicate_solutions(const std::vector<CVector>& points, double tol);
 
+/// One close pair of points (indices into the input list, a < b) with
+/// their max-norm distance.
+struct ClosePair {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double distance = 0.0;
+};
+
+/// All pairs closer than `tol` in the max norm, each point paired with its
+/// nearest already-seen neighbour inside the window.  Where
+/// deduplicate_solutions silently merges, this reports -- the certification
+/// layer uses it to list duplicates and near-duplicates instead of hiding
+/// them (same key-window scan, O(n log n + n * w)).
+std::vector<ClosePair> duplicate_pairs(const std::vector<CVector>& points, double tol);
+
 }  // namespace pph::poly

@@ -42,10 +42,12 @@ bool identical_path_results(const ParallelRunReport& a, const ParallelRunReport&
     const PathResult& ra = a.paths[i].result;
     const PathResult& rb = b.paths[i].result;
     if (ra.status != rb.status || ra.steps != rb.steps || ra.rejections != rb.rejections ||
-        ra.newton_iterations != rb.newton_iterations) {
+        ra.newton_iterations != rb.newton_iterations ||
+        ra.rescue_attempts != rb.rescue_attempts || ra.rescued != rb.rescued) {
       return false;
     }
-    if (!bits_equal(ra.t_reached, rb.t_reached) || !bits_equal(ra.residual, rb.residual)) {
+    if (!bits_equal(ra.t_reached, rb.t_reached) || !bits_equal(ra.residual, rb.residual) ||
+        !bits_equal(ra.last_step, rb.last_step)) {
       return false;
     }
     if (ra.x.size() != rb.x.size()) return false;
@@ -67,6 +69,9 @@ std::vector<std::byte> pack_tracked_path(const TrackedPath& tp) {
   p.write(static_cast<std::uint64_t>(tp.result.steps));
   p.write(static_cast<std::uint64_t>(tp.result.rejections));
   p.write(static_cast<std::uint64_t>(tp.result.newton_iterations));
+  p.write(tp.result.last_step);
+  p.write(tp.result.rescue_attempts);
+  p.write(static_cast<std::uint8_t>(tp.result.rescued ? 1 : 0));
   p.write_vector(tp.result.x);
   return p.take();
 }
@@ -83,6 +88,9 @@ TrackedPath unpack_tracked_path(const std::vector<std::byte>& payload) {
   tp.result.steps = static_cast<std::size_t>(u.read<std::uint64_t>());
   tp.result.rejections = static_cast<std::size_t>(u.read<std::uint64_t>());
   tp.result.newton_iterations = static_cast<std::size_t>(u.read<std::uint64_t>());
+  tp.result.last_step = u.read<double>();
+  tp.result.rescue_attempts = u.read<std::uint32_t>();
+  tp.result.rescued = u.read<std::uint8_t>() != 0;
   tp.result.x = u.read_vector<linalg::Complex>();
   return tp;
 }

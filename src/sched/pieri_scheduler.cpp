@@ -30,23 +30,14 @@ InstanceDeformation instance_deformation(std::uint64_t seed,
 
 namespace {
 
-homotopy::TrackerOptions tighten(const homotopy::TrackerOptions& base, std::size_t attempt) {
-  homotopy::TrackerOptions t = base;
-  for (std::size_t k = 0; k < attempt; ++k) {
-    t.initial_step *= 0.25;
-    t.max_step *= 0.5;
-    t.corrector.max_iterations += 2;
-  }
-  return t;
-}
-
-/// Edge payload: target pattern, attempt, start coordinates.
+/// Edge payload: target pattern, attempt, rescue round, start coordinates.
 std::vector<std::byte> pack_edge(const std::vector<std::size_t>& pivots, std::uint32_t attempt,
-                                 const linalg::CVector& start) {
+                                 std::uint32_t rescue, const linalg::CVector& start) {
   mp::Packer p;
   p.write(static_cast<std::uint32_t>(pivots.size()));
   for (const std::size_t piv : pivots) p.write(static_cast<std::uint32_t>(piv));
   p.write(attempt);
+  p.write(rescue);
   p.write_vector(start);
   return p.take();
 }
@@ -54,6 +45,7 @@ std::vector<std::byte> pack_edge(const std::vector<std::size_t>& pivots, std::ui
 struct EdgeMsg {
   std::vector<std::size_t> pivots;
   std::uint32_t attempt = 0;
+  std::uint32_t rescue = 0;
   linalg::CVector start;
 };
 
@@ -64,6 +56,7 @@ EdgeMsg unpack_edge(const std::vector<std::byte>& payload) {
   j.pivots.reserve(np);
   for (std::uint32_t i = 0; i < np; ++i) j.pivots.push_back(u.read<std::uint32_t>());
   j.attempt = u.read<std::uint32_t>();
+  j.rescue = u.read<std::uint32_t>();
   j.start = u.read_vector<linalg::Complex>();
   return j;
 }
@@ -88,7 +81,8 @@ PieriTreeJobSource::PieriTreeJobSource(const schubert::PieriInput& input,
     const PatternChart chart(up);
     const linalg::CVector start = chart.embed_child(PatternChart(minimal), {});
     inst.starts.push_back(start);
-    add_job(up.pivots(), inst.attempt, start);
+    add_job(up.pivots(), inst.attempt, 0, static_cast<std::uint32_t>(inst.starts.size() - 1),
+            start);
   }
 }
 
@@ -97,6 +91,7 @@ PieriTreeJobSource::Instance& PieriTreeJobSource::instance_of(
   auto [it, inserted] = instances_.try_emplace(pivots);
   if (inserted) {
     it->second.expected = poset_.chain_count(Pattern(input_->problem, pivots));
+    it->second.results.resize(it->second.expected);
     ++active_instances_;
     peak_active_instances_ = std::max(peak_active_instances_, active_instances_);
   }
@@ -104,9 +99,10 @@ PieriTreeJobSource::Instance& PieriTreeJobSource::instance_of(
 }
 
 JobId PieriTreeJobSource::add_job(std::vector<std::size_t> pivots, std::uint32_t attempt,
+                                  std::uint32_t rescue, std::uint32_t start_index,
                                   linalg::CVector start) {
   const JobId id = next_id_++;
-  jobs_.emplace(id, Job{std::move(pivots), attempt, std::move(start)});
+  jobs_.emplace(id, Job{std::move(pivots), attempt, rescue, start_index, std::move(start)});
   ready_.push_back(id);
   return id;
 }
@@ -119,7 +115,7 @@ JobId PieriTreeJobSource::pop() {
 
 std::vector<std::byte> PieriTreeJobSource::job_payload(JobId id) const {
   const Job& job = jobs_.at(id);
-  return pack_edge(job.pivots, job.attempt, job.start);
+  return pack_edge(job.pivots, job.attempt, job.rescue, job.start);
 }
 
 bool PieriTreeJobSource::consume(const TrackedPath& tp) {
@@ -131,55 +127,93 @@ bool PieriTreeJobSource::consume(const TrackedPath& tp) {
   const std::size_t level = pattern.level();
   Instance& inst = instances_.at(job.pivots);
   if (job.attempt != inst.attempt) {
-    // Stale result from a superseded attempt; drop it.
+    // Stale result from a superseded attempt; drop it.  (A full retry only
+    // starts with no rescue jobs in flight, so this also covers them.)
     return false;
   }
-  ++inst.received;
-  ++total_jobs_;
-  ++jobs_per_level_[level - 1];
-  if (tp.result.converged()) inst.endpoints.push_back(tp.result.x);
+  inst.results[job.start_index] = tp.result;
+  if (job.rescue == 0) {
+    ++inst.received;
+    ++total_jobs_;
+    ++jobs_per_level_[level - 1];
+  } else {
+    --inst.outstanding_rescue;
+  }
 
-  if (inst.received == inst.expected) {
-    // Instance complete: quality control.
-    const bool all_converged = inst.endpoints.size() == inst.expected;
-    const bool distinct =
-        poly::deduplicate_solutions(inst.endpoints, solver_.distinct_tolerance).size() ==
-        inst.endpoints.size();
-    if ((!all_converged || !distinct) && inst.attempt < solver_.max_retries) {
-      // Retry the whole instance with a fresh deformation.
-      ++inst.attempt;
-      inst.received = 0;
-      inst.endpoints.clear();
-      for (const auto& start : inst.starts) add_job(job.pivots, inst.attempt, start);
-    } else {
-      if (!all_converged || !distinct) {
-        failures_ += inst.expected -
-                     poly::deduplicate_solutions(inst.endpoints, solver_.distinct_tolerance)
-                         .size();
+  if (inst.received == inst.expected && inst.outstanding_rescue == 0) {
+    // Instance complete: quality control.  Targeted same-deformation
+    // rescue first (failed, suspect and colliding paths -- the start-to-
+    // root correspondence is fixed by gamma, so only a same-gamma re-track
+    // recovers the root a path actually leads to), then the fresh-
+    // deformation whole-instance retry as the fallback.
+    const auto targets = schubert::rescue_targets(inst.results, solver_);
+    if (!targets.empty() && solver_.rescue && inst.rescue_round < solver_.rescue_attempts) {
+      ++inst.rescue_round;
+      inst.used_rescue = true;
+      suspect_paths_ += targets.size();
+      rescue_retracks_ += targets.size();
+      inst.outstanding_rescue = targets.size();
+      for (const std::size_t i : targets) {
+        add_job(job.pivots, inst.attempt, inst.rescue_round, static_cast<std::uint32_t>(i),
+                inst.starts[i]);
       }
-      if (pattern == root_) {
-        root_solutions_ = inst.endpoints;
-      } else {
-        // Spawn the child jobs of every parent pattern (paper: "the master
-        // generates at most p new jobs per returned result" -- batched here
-        // per instance for the deformation consistency).
-        const PatternChart chart(pattern);
-        for (const Pattern& up : pattern.parents()) {
-          Instance& next = instance_of(up.pivots());
-          const PatternChart up_chart(up);
-          for (const auto& end : inst.endpoints) {
-            const linalg::CVector start = up_chart.embed_child(chart, end);
-            next.starts.push_back(start);
-            add_job(up.pivots(), next.attempt, start);
-          }
-        }
-      }
-      // Instance memory dies here (the Pieri-tree memory argument).
-      instances_.erase(job.pivots);
-      --active_instances_;
+      return true;
     }
+    settle_instance(job.pivots, inst);
   }
   return true;
+}
+
+void PieriTreeJobSource::settle_instance(const std::vector<std::size_t>& pivots,
+                                         Instance& inst) {
+  const Pattern pattern(input_->problem, pivots);
+  std::vector<linalg::CVector> endpoints;
+  endpoints.reserve(inst.expected);
+  for (const auto& r : inst.results) {
+    if (r.converged()) endpoints.push_back(r.x);
+  }
+  const bool all_converged = endpoints.size() == inst.expected;
+  const bool distinct =
+      poly::deduplicate_solutions(endpoints, solver_.distinct_tolerance).size() ==
+      endpoints.size();
+  if ((!all_converged || !distinct) && inst.attempt < solver_.max_retries) {
+    // Retry the whole instance with a fresh deformation.
+    ++inst.attempt;
+    inst.rescue_round = 0;
+    inst.received = 0;
+    inst.results.assign(inst.expected, {});
+    for (std::size_t i = 0; i < inst.starts.size(); ++i) {
+      add_job(pivots, inst.attempt, 0, static_cast<std::uint32_t>(i), inst.starts[i]);
+    }
+    return;
+  }
+  if (!all_converged || !distinct) {
+    failures_ += inst.expected -
+                 poly::deduplicate_solutions(endpoints, solver_.distinct_tolerance).size();
+  } else if (inst.used_rescue) {
+    ++rescued_instances_;
+  }
+  if (pattern == root_) {
+    root_solutions_ = endpoints;
+  } else {
+    // Spawn the child jobs of every parent pattern (paper: "the master
+    // generates at most p new jobs per returned result" -- batched here
+    // per instance for the deformation consistency).
+    const PatternChart chart(pattern);
+    for (const Pattern& up : pattern.parents()) {
+      Instance& next = instance_of(up.pivots());
+      const PatternChart up_chart(up);
+      for (const auto& end : endpoints) {
+        const linalg::CVector start = up_chart.embed_child(chart, end);
+        next.starts.push_back(start);
+        add_job(up.pivots(), next.attempt, 0,
+                static_cast<std::uint32_t>(next.starts.size() - 1), start);
+      }
+    }
+  }
+  // Instance memory dies here (the Pieri-tree memory argument).
+  instances_.erase(pivots);
+  --active_instances_;
 }
 
 homotopy::TrackerWorkspace PieriTreeJobSource::make_workspace() const {
@@ -209,7 +243,11 @@ PathResult PieriTreeJobSource::execute(const std::vector<std::byte>& payload,
   if (solver_.compiled_eval && !dynamic_cast<schubert::PieriEvalWorkspace*>(ws.hws.get())) {
     ws.bind(h);
   }
-  return homotopy::track_path(h, job.start, tighten(solver_.tracker, job.attempt), ws);
+  auto r = homotopy::track_path(h, job.start,
+                                schubert::attempt_tracker(solver_, job.attempt, job.rescue), ws);
+  r.rescue_attempts = job.attempt + job.rescue;
+  r.rescued = job.rescue > 0 && r.converged();
+  return r;
 }
 
 void PieriTreeJobSource::assemble(ParallelPieriReport& report) const {
@@ -218,6 +256,9 @@ void PieriTreeJobSource::assemble(ParallelPieriReport& report) const {
   report.failures = failures_;
   report.jobs_per_level = jobs_per_level_;
   report.peak_active_instances = peak_active_instances_;
+  report.rescue_retracks = rescue_retracks_;
+  report.rescued_instances = rescued_instances_;
+  report.suspect_paths = suspect_paths_;
   const PatternChart root_chart(root_);
   for (const auto& coords : root_solutions_) {
     report.solutions.emplace_back(root_chart, coords);

@@ -18,10 +18,12 @@
 // On top of the paper's protocol this implementation adds the same
 // instance-level quality control as the sequential solver: all sibling
 // edges into one (pattern, level) instance ride one deformation (gamma and
-// point-path detours derived deterministically from the pattern), and an
-// instance whose endpoints fail to converge or collide is re-dispatched
-// with a fresh deformation.  See DESIGN.md section 2 for the protocol and
-// the parking rationale.
+// point-path detours derived deterministically from the pattern).  When an
+// instance's edges all report back, the failed, suspect and colliding
+// paths are first re-dispatched as targeted same-deformation rescue jobs
+// (DESIGN.md section 9); only if the rescue budget runs dry is the whole
+// instance re-dispatched with a fresh deformation.  See DESIGN.md
+// section 2 for the protocol and the parking rationale.
 
 #include <map>
 #include <unordered_map>
@@ -66,6 +68,14 @@ struct ParallelPieriReport {
   /// Session traffic: master job/batch hand-outs and brokered steals.
   std::size_t dispatches = 0;
   std::size_t steals = 0;
+  /// Rescue provenance (DESIGN.md section 9), mirroring PieriSolveSummary:
+  /// targeted same-gamma re-tracks issued, instances that passed quality
+  /// control with rescue help, and rescue-target sightings (failed +
+  /// suspect + colliding paths).  Rescue re-tracks are NOT part of
+  /// total_jobs/jobs_per_level, which keep counting tree edges.
+  std::uint64_t rescue_retracks = 0;
+  std::uint64_t rescued_instances = 0;
+  std::uint64_t suspect_paths = 0;
 
   bool complete() const {
     return failures == 0 && solutions.size() == expected_count &&
@@ -104,24 +114,33 @@ class PieriTreeJobSource final : public JobSource {
   void assemble(ParallelPieriReport& report) const;
 
  private:
-  /// One enqueued-or-in-flight tree edge.
+  /// One enqueued-or-in-flight tree edge (rescue > 0: a targeted re-track
+  /// of start_index under the same attempt deformation).
   struct Job {
     std::vector<std::size_t> pivots;
     std::uint32_t attempt = 0;
+    std::uint32_t rescue = 0;
+    std::uint32_t start_index = 0;
     linalg::CVector start;
   };
   /// Master-side state of one (pattern, level) instance.
   struct Instance {
     std::uint64_t expected = 0;   // chain count == number of incoming edges
     std::uint32_t attempt = 0;
+    std::uint32_t rescue_round = 0;           // targeted re-track rounds issued
     std::vector<linalg::CVector> starts;      // retained for retries
-    std::vector<linalg::CVector> endpoints;   // successful results
-    std::uint64_t received = 0;               // results of the current attempt
+    /// Per-start results of the current attempt, indexed like starts; the
+    /// rescue quality control needs full diagnostics, not just endpoints.
+    std::vector<homotopy::PathResult> results;
+    std::uint64_t received = 0;               // first-sweep results received
+    std::uint64_t outstanding_rescue = 0;     // rescue re-tracks in flight
+    bool used_rescue = false;
   };
 
   Instance& instance_of(const std::vector<std::size_t>& pivots);
-  JobId add_job(std::vector<std::size_t> pivots, std::uint32_t attempt,
-                linalg::CVector start);
+  JobId add_job(std::vector<std::size_t> pivots, std::uint32_t attempt, std::uint32_t rescue,
+                std::uint32_t start_index, linalg::CVector start);
+  void settle_instance(const std::vector<std::size_t>& pivots, Instance& inst);
 
   const schubert::PieriInput* input_;
   schubert::PieriSolverOptions solver_;
@@ -136,6 +155,9 @@ class PieriTreeJobSource final : public JobSource {
   // Report accounting.
   std::uint64_t total_jobs_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t rescue_retracks_ = 0;
+  std::uint64_t rescued_instances_ = 0;
+  std::uint64_t suspect_paths_ = 0;
   std::vector<std::uint64_t> jobs_per_level_;
   std::size_t peak_active_instances_ = 0;
   std::vector<linalg::CVector> root_solutions_;

@@ -9,7 +9,10 @@ namespace pph::sched {
 
 namespace {
 
-constexpr const char kHeaderLine[] = "{\"pph_result_store\":{\"version\":1}}";
+// Version 2 added the rescue-provenance fields ("ls"/"ra"/"rs"); a v1
+// store fails the header comparison and restarts cleanly, re-tracking its
+// jobs deterministically.
+constexpr const char kHeaderLine[] = "{\"pph_result_store\":{\"version\":2}}";
 constexpr const char kFooterPrefix[] = "{\"footer\":";
 
 // ---- strict positional parsing helpers ------------------------------------
@@ -57,6 +60,12 @@ std::string store_record_line(const TrackedPath& tp) {
   line += std::to_string(tp.result.rejections);
   line += ",\"nwt\":";
   line += std::to_string(tp.result.newton_iterations);
+  line += ",\"ls\":\"";
+  mp::append_double_bits(line, tp.result.last_step);
+  line += "\",\"ra\":";
+  line += std::to_string(tp.result.rescue_attempts);
+  line += ",\"rs\":";
+  line += std::to_string(tp.result.rescued ? 1 : 0);
   line += ",\"x\":\"";
   for (const auto& c : tp.result.x) {
     mp::append_double_bits(line, c.real());
@@ -91,6 +100,14 @@ TrackedPath parse_store_record(const std::string& line) {
   tp.result.rejections = static_cast<std::size_t>(parse_uint(line, pos));
   expect(line, pos, ",\"nwt\":");
   tp.result.newton_iterations = static_cast<std::size_t>(parse_uint(line, pos));
+  expect(line, pos, ",\"ls\":\"");
+  tp.result.last_step = mp::parse_double_bits(line, pos);
+  expect(line, pos, "\",\"ra\":");
+  tp.result.rescue_attempts = static_cast<std::uint32_t>(parse_uint(line, pos));
+  expect(line, pos, ",\"rs\":");
+  const auto rescued = parse_uint(line, pos);
+  if (rescued > 1) throw std::invalid_argument("result store: rescued flag must be 0/1");
+  tp.result.rescued = rescued == 1;
   expect(line, pos, ",\"x\":\"");
   while (pos < line.size() && line[pos] != '"') {
     const double re = mp::parse_double_bits(line, pos);

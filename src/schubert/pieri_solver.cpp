@@ -1,5 +1,6 @@
 #include "schubert/pieri_solver.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "util/logging.hpp"
@@ -24,19 +25,71 @@ homotopy::TrackerOptions PieriSolverOptions::default_tracker() {
   return t;
 }
 
-namespace {
-
-homotopy::TrackerOptions tighten(const homotopy::TrackerOptions& base, std::size_t attempt) {
-  homotopy::TrackerOptions t = base;
+homotopy::TrackerOptions attempt_tracker(const PieriSolverOptions& opts, std::size_t attempt,
+                                         std::size_t rescue) {
+  homotopy::TrackerOptions t = opts.tracker;
   for (std::size_t k = 0; k < attempt; ++k) {
     t.initial_step *= 0.25;
     t.max_step *= 0.5;
     t.corrector.max_iterations += 2;
   }
+  for (std::size_t k = 0; k < rescue; ++k) {
+    t.initial_step *= 0.2;
+    t.max_step *= 0.2;
+    t.corrector.max_iterations += 2;
+    // Tighten the corrector residual, but never below the double rounding
+    // floor -- an unreachable tolerance rejects every step and the re-track
+    // dies of step underflow instead of rescuing anything.
+    t.corrector.residual_tolerance = std::max(t.corrector.residual_tolerance * 0.1, 1e-12);
+  }
+  if (rescue > 0) {
+    t.endgame.enabled = true;
+    t.endgame.threshold = 0.9;
+    t.endgame.dd_refine = true;
+  }
+  if (rescue >= 2) {
+    // Last-resort rounds: compensated Newton on EVERY step (not just the
+    // endgame), an earlier endgame engagement, and stagnation acceptance in
+    // the mid-path corrector.  A path skirting the discriminant locus hits
+    // an interior near-singular point whose conditioning caps the
+    // attainable residual above the hard tolerance; without a stagnation
+    // floor every step there is rejected until the step size underflows.
+    // The floor sits below suspect_residual, so accepted points still face
+    // the suspect/collision quality control.
+    t.corrector.dd_refine = true;
+    t.corrector.stagnation_tolerance = std::max(t.corrector.stagnation_tolerance, 1e-8);
+    t.endgame.threshold = 0.8;
+    t.min_step = std::min(t.min_step, 1e-12);
+  }
   return t;
 }
 
-}  // namespace
+std::vector<std::size_t> rescue_targets(const std::vector<homotopy::PathResult>& results,
+                                        const PieriSolverOptions& opts) {
+  std::vector<std::size_t> targets;
+  std::vector<char> flagged(results.size(), 0);
+  std::vector<CVector> endpoints;
+  std::vector<std::size_t> endpoint_owner;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].converged() || homotopy::suspect_path(results[i], opts.suspect_residual)) {
+      flagged[i] = 1;
+    }
+    if (results[i].converged()) {
+      endpoints.push_back(results[i].x);
+      endpoint_owner.push_back(i);
+    }
+  }
+  // Both members of a colliding pair re-track: the jumped path is not
+  // identifiable from the endpoints alone.
+  for (const poly::ClosePair& p : poly::duplicate_pairs(endpoints, opts.distinct_tolerance)) {
+    flagged[endpoint_owner[p.a]] = 1;
+    flagged[endpoint_owner[p.b]] = 1;
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (flagged[i]) targets.push_back(i);
+  }
+  return targets;
+}
 
 PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions& opts) {
   const PieriProblem& pb = input.problem;
@@ -94,10 +147,10 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
       std::vector<double> edge_seconds;
       std::size_t lost = 0;
       bool accepted = false;
+      bool used_rescue = false;
       for (std::size_t attempt = 0; attempt <= opts.max_retries && !accepted; ++attempt) {
         endpoints.clear();
         edge_seconds.clear();
-        lost = 0;
         const Complex gamma = gamma_rng.unit_complex();
         // Random detour of the interpolation-point path: structured inputs
         // (real plants, conjugate pole sets) can make the straight path
@@ -106,13 +159,41 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
         const Complex detour_u = 0.7 * gamma_rng.unit_complex();
         PieriEdgeHomotopy h(chart, fixed, target, gamma, detour_s, detour_u);
         h.set_compiled(opts.compiled_eval);
-        const auto topts = tighten(opts.tracker, attempt);
+        const auto topts = attempt_tracker(opts, attempt);
         homotopy::TrackerWorkspace ws(h);
+        std::vector<homotopy::PathResult> results;
+        results.reserve(starts.size());
         for (const CVector& start : starts) {
           util::WallTimer job_timer;
-          const auto r = homotopy::track_path(h, start, topts, ws);
+          auto r = homotopy::track_path(h, start, topts, ws);
+          r.rescue_attempts = static_cast<std::uint32_t>(attempt);
           edge_seconds.push_back(job_timer.seconds());
           stats.newton_iterations += r.newton_iterations;
+          results.push_back(std::move(r));
+        }
+        // Targeted rescue rounds: re-track the failed, suspect and
+        // colliding paths under the SAME deformation with harsher
+        // tracking.  The start-to-root correspondence is fixed by gamma,
+        // so the re-track recovers exactly the root its path leads to --
+        // a fresh gamma could legitimately send two rescued starts to the
+        // same endpoint.
+        for (std::size_t round = 1; opts.rescue && round <= opts.rescue_attempts; ++round) {
+          const auto targets = rescue_targets(results, opts);
+          if (targets.empty()) break;
+          summary.suspect_paths += targets.size();
+          const auto ropts = attempt_tracker(opts, attempt, round);
+          for (const std::size_t i : targets) {
+            auto r = homotopy::track_path(h, starts[i], ropts, ws);
+            r.rescue_attempts = static_cast<std::uint32_t>(attempt + round);
+            r.rescued = r.converged();
+            stats.newton_iterations += r.newton_iterations;
+            ++summary.rescue_retracks;
+            used_rescue = true;
+            results[i] = std::move(r);
+          }
+        }
+        lost = 0;
+        for (const auto& r : results) {
           if (r.converged()) {
             endpoints.push_back(r.x);
           } else {
@@ -130,8 +211,17 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
                   poly::deduplicate_solutions(endpoints, opts.distinct_tolerance).size();
           PPH_LOG_WARN << "Pieri instance failed at level " << level << " pattern "
                        << parent.to_string() << " (" << lost << " paths lost)";
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& r = results[i];
+            if (r.converged()) continue;
+            PPH_LOG_WARN << "  lost path " << i << ": status="
+                         << (r.status == homotopy::PathStatus::kDiverged ? "diverged" : "failed")
+                         << " t=" << r.t_reached << " residual=" << r.residual
+                         << " last_step=" << r.last_step << " rescue=" << r.rescue_attempts;
+          }
         }
       }
+      if (accepted && used_rescue) ++summary.rescued_instances;
       if (!accepted) stats.failures += lost;
       stats.jobs += starts.size();
       summary.job_seconds.insert(summary.job_seconds.end(), edge_seconds.begin(),
@@ -170,6 +260,20 @@ PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions&
 
   summary.seconds = total_timer.seconds();
   return summary;
+}
+
+homotopy::CertificateReport certify_pieri(const PieriInput& input,
+                                          const PieriSolveSummary& summary,
+                                          const homotopy::CertifyOptions& opts) {
+  std::vector<CVector> coords;
+  std::vector<double> residuals;
+  coords.reserve(summary.solutions.size());
+  residuals.reserve(summary.solutions.size());
+  for (const auto& sol : summary.solutions) {
+    coords.push_back(sol.coords());
+    residuals.push_back(sol.max_residual(input.conditions));
+  }
+  return homotopy::certify_solution_set(coords, residuals, summary.expected_count, opts);
 }
 
 PieriSolveSummary solve_random_pieri(const PieriProblem& problem, std::uint64_t seed,

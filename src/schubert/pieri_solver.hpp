@@ -6,6 +6,7 @@
 // data of the paper's Table III; the parallel scheduler (src/sched)
 // produces the same jobs from the virtual Pieri tree.
 
+#include "homotopy/certify.hpp"
 #include "homotopy/tracker.hpp"
 #include "schubert/map.hpp"
 #include "schubert/pieri_homotopy.hpp"
@@ -20,6 +21,19 @@ struct PieriSolverOptions {
   double verify_tolerance = 1e-7;
   /// Failed edges are retried with progressively tighter tracking.
   std::size_t max_retries = 2;
+  /// Rescue tier (DESIGN.md section 9): after an instance tracks all its
+  /// edges, the failed, colliding and suspect paths are re-tracked
+  /// individually under the SAME deformation with progressively harsher
+  /// tracking (shrunken steps, tighter corrector residual, early
+  /// compensated endgame).  Same gamma is essential: the start-to-root
+  /// correspondence depends on the deformation, so only a same-gamma
+  /// re-track can recover the root its path actually leads to.  Fresh-gamma
+  /// whole-instance retries (max_retries) remain the fallback.
+  bool rescue = true;
+  /// Targeted re-track rounds per instance attempt.
+  std::size_t rescue_attempts = 3;
+  /// Converged endpoints with tracker residual above this are suspects.
+  double suspect_residual = 1e-7;
   /// Minimal pairwise chart distance for solutions to count as distinct.
   double distinct_tolerance = 1e-6;
   /// Track edges through the compiled Pieri tape (eval::CompiledPieriHomotopy).
@@ -29,6 +43,21 @@ struct PieriSolverOptions {
 
   static homotopy::TrackerOptions default_tracker();
 };
+
+/// Tracker options for instance attempt `attempt` (0 = first try) at
+/// rescue round `rescue` (0 = the regular sweep).  Retries shrink steps
+/// and grant Newton iterations; rescue rounds additionally tighten the
+/// corrector residual and engage the compensated endgame early -- a path
+/// jump is a predictor landing in a clustered neighbour's basin, so the
+/// decisive knob is the step bound.
+homotopy::TrackerOptions attempt_tracker(const PieriSolverOptions& opts, std::size_t attempt,
+                                         std::size_t rescue = 0);
+
+/// Indices (into `results`) of the paths a rescue round must re-track:
+/// hard failures, suspects (see suspect_residual) and both members of
+/// every endpoint pair closer than distinct_tolerance.
+std::vector<std::size_t> rescue_targets(const std::vector<homotopy::PathResult>& results,
+                                        const PieriSolverOptions& opts);
 
 /// Per-level accounting (the rows of the paper's Table III).
 struct PieriLevelStats {
@@ -53,6 +82,12 @@ struct PieriSolveSummary {
   double max_residual = 0.0;
   /// Number of pairwise-distinct solutions.
   std::size_t distinct = 0;
+  /// Rescue provenance: single paths re-tracked by the rescue tier,
+  /// instances that passed quality control with rescue help, and rescue
+  /// targets observed (failed + suspect + colliding path sightings).
+  std::uint64_t rescue_retracks = 0;
+  std::uint64_t rescued_instances = 0;
+  std::uint64_t suspect_paths = 0;
   /// Wall seconds of every individual tracking job, in execution order;
   /// this is the workload sample fed to the cluster simulator.
   std::vector<double> job_seconds;
@@ -65,6 +100,13 @@ struct PieriSolveSummary {
 
 /// Solve a Pieri problem instance sequentially.
 PieriSolveSummary solve_pieri(const PieriInput& input, const PieriSolverOptions& opts = {});
+
+/// Certify a Pieri solve against the exact combinatorial root count: the
+/// per-solution residual is the scale-aware max condition residual,
+/// distinctness is measured in root-chart coordinates.
+homotopy::CertificateReport certify_pieri(const PieriInput& input,
+                                          const PieriSolveSummary& summary,
+                                          const homotopy::CertifyOptions& opts = {});
 
 /// Convenience: random instance for the given sizes.
 PieriSolveSummary solve_random_pieri(const PieriProblem& problem, std::uint64_t seed = 1,

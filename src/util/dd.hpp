@@ -1,0 +1,115 @@
+#pragma once
+// Double-double ("compensated") arithmetic: an unevaluated sum hi + lo of
+// two doubles carrying ~32 significant decimal digits.  The endgame
+// corrector uses it for mixed-precision iterative refinement of the Newton
+// update: the linear-system residual r = J*dx + H is accumulated in
+// double-double, then one extra back-substitution with the already-factored
+// LU recovers the digits a near-singular Jacobian destroys (see
+// corrector.cpp and DESIGN.md section 9).
+//
+// The error-free transformations are the classical ones (Dekker 1971,
+// Knuth TAOCP 2); two_prod uses FMA, which every targeted toolchain
+// provides in hardware.
+
+#include <cmath>
+#include <complex>
+
+namespace pph::util {
+
+/// Error-free sum: a + b = s + e exactly, s = fl(a + b).
+struct TwoSum {
+  double s, e;
+};
+
+inline TwoSum two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  const double e = (a - (s - bb)) + (b - bb);
+  return {s, e};
+}
+
+/// Error-free sum under |a| >= |b| (one flop cheaper); caller guarantees
+/// the magnitude ordering.
+inline TwoSum quick_two_sum(double a, double b) {
+  const double s = a + b;
+  const double e = b - (s - a);
+  return {s, e};
+}
+
+/// Error-free product: a * b = p + e exactly, p = fl(a * b).
+inline TwoSum two_prod(double a, double b) {
+  const double p = a * b;
+  const double e = std::fma(a, b, -p);
+  return {p, e};
+}
+
+/// Unevaluated sum hi + lo with |lo| <= ulp(hi)/2.
+struct DD {
+  double hi = 0.0;
+  double lo = 0.0;
+
+  DD() = default;
+  DD(double h) : hi(h) {}
+  DD(double h, double l) : hi(h), lo(l) {}
+
+  double to_double() const { return hi + lo; }
+};
+
+inline DD dd_add(const DD& a, const DD& b) {
+  TwoSum s = two_sum(a.hi, b.hi);
+  const TwoSum t = two_sum(a.lo, b.lo);
+  s.e += t.s;
+  s = quick_two_sum(s.s, s.e);
+  s.e += t.e;
+  s = quick_two_sum(s.s, s.e);
+  return {s.s, s.e};
+}
+
+inline DD dd_add(const DD& a, double b) {
+  TwoSum s = two_sum(a.hi, b);
+  s.e += a.lo;
+  s = quick_two_sum(s.s, s.e);
+  return {s.s, s.e};
+}
+
+inline DD dd_sub(const DD& a, const DD& b) { return dd_add(a, DD{-b.hi, -b.lo}); }
+
+inline DD dd_mul(const DD& a, const DD& b) {
+  TwoSum p = two_prod(a.hi, b.hi);
+  p.e += a.hi * b.lo + a.lo * b.hi;
+  p = quick_two_sum(p.s, p.e);
+  return {p.s, p.e};
+}
+
+inline DD dd_mul(double a, double b) {
+  const TwoSum p = two_prod(a, b);
+  return {p.s, p.e};
+}
+
+/// Complex double-double: real and imaginary parts carried separately.
+struct DDComplex {
+  DD re, im;
+
+  DDComplex() = default;
+  DDComplex(const std::complex<double>& z) : re(z.real()), im(z.imag()) {}
+  DDComplex(DD r, DD i) : re(r), im(i) {}
+
+  std::complex<double> to_complex() const { return {re.to_double(), im.to_double()}; }
+};
+
+inline DDComplex ddc_add(const DDComplex& a, const DDComplex& b) {
+  return {dd_add(a.re, b.re), dd_add(a.im, b.im)};
+}
+
+/// acc += a * b with both factors plain complex doubles; every partial
+/// product is error-free, so the accumulation carries ~2x the significand.
+inline void ddc_fma(DDComplex& acc, const std::complex<double>& a,
+                    const std::complex<double>& b) {
+  // (ar + ai i)(br + bi i) = (ar*br - ai*bi) + (ar*bi + ai*br) i
+  acc.re = dd_add(acc.re, dd_mul(a.real(), b.real()));
+  acc.re = dd_sub(acc.re, dd_mul(a.imag(), b.imag()));
+  acc.im = dd_add(acc.im, dd_mul(a.real(), b.imag()));
+  acc.im = dd_add(acc.im, dd_mul(a.imag(), b.real()));
+}
+
+}  // namespace pph::util

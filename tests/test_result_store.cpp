@@ -42,9 +42,12 @@ void expect_record_equal(const TrackedPath& a, const TrackedPath& b) {
   EXPECT_EQ(static_cast<int>(a.result.status), static_cast<int>(b.result.status));
   EXPECT_TRUE(same_bits(a.result.t_reached, b.result.t_reached));
   EXPECT_TRUE(same_bits(a.result.residual, b.result.residual));
+  EXPECT_TRUE(same_bits(a.result.last_step, b.result.last_step));
   EXPECT_EQ(a.result.steps, b.result.steps);
   EXPECT_EQ(a.result.rejections, b.result.rejections);
   EXPECT_EQ(a.result.newton_iterations, b.result.newton_iterations);
+  EXPECT_EQ(a.result.rescue_attempts, b.result.rescue_attempts);
+  EXPECT_EQ(a.result.rescued, b.result.rescued);
   ASSERT_EQ(a.result.x.size(), b.result.x.size());
   for (std::size_t k = 0; k < a.result.x.size(); ++k) {
     EXPECT_TRUE(same_bits(a.result.x[k].real(), b.result.x[k].real()));
@@ -60,9 +63,12 @@ TrackedPath sample_record(PathStatus status) {
   tp.result.status = status;
   tp.result.t_reached = status == PathStatus::kConverged ? 1.0 : 0.875;
   tp.result.residual = 3.5e-13;
+  tp.result.last_step = 0.0375;
   tp.result.steps = 158;
   tp.result.rejections = 7;
   tp.result.newton_iterations = 391;
+  tp.result.rescue_attempts = 2;
+  tp.result.rescued = status == PathStatus::kConverged;
   tp.result.x = {{1.25, -2.5}, {0.0, -0.0}, {1e300, 1e-300}};
   return tp;
 }
