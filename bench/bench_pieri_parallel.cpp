@@ -160,7 +160,7 @@ int main() {
   t.set_header({"ranks", "solutions", "complete", "jobs", "peak instances", "wall (s)"});
   const std::vector<int> widths = tiny ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 5};
   for (const int ranks : widths) {
-    const auto report = sched::run_parallel_pieri(input, ranks);
+    const auto report = sched::run_pieri(input, ranks);
     ok = ok && report.complete();
     t.add_row({util::Table::cell(static_cast<std::size_t>(ranks)),
                util::Table::cell(report.solutions.size()),

@@ -29,10 +29,8 @@
 #include <vector>
 
 #include "homotopy/start_total_degree.hpp"
-#include "sched/batch_scheduler.hpp"
-#include "sched/dynamic_scheduler.hpp"
 #include "sched/pieri_scheduler.hpp"
-#include "sched/static_scheduler.hpp"
+#include "sched/session.hpp"
 #include "simcluster/speedup.hpp"
 #include "systems/cyclic.hpp"
 #include "util/table.hpp"
@@ -193,9 +191,11 @@ int main() {
   bool all_identical = true;
   {
     std::printf("ABLATION 4 -- thread runtime on cyclic-%d (real tracking)\n", cyclic_n);
-    const auto st = sched::run_static(workload, 4);
-    const auto dy = sched::run_dynamic(workload, 4);
-    const auto ba = sched::run_batch(workload, 4);
+    const auto st = sched::run_paths(workload, 4,
+                                     sched::SessionOptions().with_policy(sched::Policy::kStatic));
+    const auto dy = sched::run_paths(workload, 4);
+    const auto ba = sched::run_paths(workload, 4,
+                                     sched::SessionOptions().with_policy(sched::Policy::kBatchSteal));
     const bool same = sched::identical_path_results(st, dy) && sched::identical_path_results(st, ba);
     all_identical = all_identical && same;
     std::printf(
@@ -230,12 +230,12 @@ int main() {
     if (!tiny) latencies_ms.push_back(5.0);
     bool batch_wins_at_latency = true;
     for (const double ms : latencies_ms) {
-      sched::DynamicOptions dopts;
-      dopts.injected_latency = ms / 1000.0;
-      const auto dy = sched::run_dynamic(workload, 4, dopts);
-      sched::BatchOptions bopts;
-      bopts.injected_latency = ms / 1000.0;
-      const auto ba = sched::run_batch(workload, 4, bopts);
+      const auto dy = sched::run_paths(
+          workload, 4, sched::SessionOptions().with_latency(ms / 1000.0));
+      const auto ba = sched::run_paths(workload, 4,
+                                       sched::SessionOptions()
+                                           .with_policy(sched::Policy::kBatchSteal)
+                                           .with_latency(ms / 1000.0));
       const double n = static_cast<double>(starts.size());
       const double tput_dy = n / dy.wall_seconds;
       const double tput_ba = n / ba.wall_seconds;
@@ -274,7 +274,7 @@ int main() {
     for (int k = 0; k < 2; ++k) {
       sched::ParallelPieriOptions opts;
       opts.policy = k == 0 ? sched::Policy::kFCFS : sched::Policy::kBatchSteal;
-      reports[k] = sched::run_parallel_pieri(input, 4, opts);
+      reports[k] = sched::run_pieri(input, 4, opts);
       const auto& r = reports[k];
       t.add_row({sched::policy_name(opts.policy), util::Table::cell(r.wall_seconds, 2),
                  util::Table::cell(static_cast<std::size_t>(r.total_jobs)),

@@ -1,0 +1,215 @@
+// Solve-service throughput study (DESIGN.md section 10): drive the serve()
+// loop with modeled arrival traffic and sweep the offered rate across the
+// measured service capacity.
+//
+//   1. drain the workload once to measure per-path service times and the
+//      cluster's empirical capacity mu = requests / drain wall time (robust
+//      to an oversubscribed host, where workers/mean_service would
+//      overstate what the machine can actually sustain);
+//   2. for each arrival process (Poisson, slotted Bernoulli, bursty on-off)
+//      sweep offered rates {0.5, 0.8, 1.1} x mu: achieved req/s, p50/p99
+//      sojourn, queue depth -- a service is "sustainable" at a rate when it
+//      achieves >= 95% of the offered load;
+//   3. replay every trace through the discrete-event twin
+//      (simcluster::simulate_service) with the measured service times: the
+//      modeled sojourn percentiles land next to the measured ones (the
+//      model assumes truly parallel workers, so on an oversubscribed host
+//      it undercuts the measured queueing delay).
+//
+// The streamed result set must stay bit-identical to the drained run at
+// every rate -- any mismatch makes the binary exit non-zero (the CI smoke
+// job relies on this).
+//
+// Set PPH_BENCH_SERVICE_TINY=1 for a seconds-scale run (CI smoke): the
+// workload drops to cyclic-5 and the on-off process is skipped.  Set
+// PPH_BENCH_JSON=<path> to also write the measured rows as JSON (the
+// perf-trajectory format committed under docs/bench/).
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "homotopy/start_total_degree.hpp"
+#include "sched/arrival.hpp"
+#include "sched/session.hpp"
+#include "sched/stream_source.hpp"
+#include "simcluster/service_sim.hpp"
+#include "systems/cyclic.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+bool tiny_mode() {
+  const char* v = std::getenv("PPH_BENCH_SERVICE_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// One measured serve-loop row of the JSON perf trajectory.
+struct JsonRow {
+  std::string name;
+  double offered_per_s = 0.0;
+  double achieved_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double sim_p99_ms = 0.0;
+  bool sustainable = false;
+};
+
+void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
+                      bool tiny, bool all_identical) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "PPH_BENCH_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  out << "{\n  \"context\": {\n"
+      << "    \"bench\": \"bench_solve_service\",\n"
+      << "    \"date\": \"" << stamp << "\",\n"
+      << "    \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+      << "    \"streamed_identical_to_drained_everywhere\": "
+      << (all_identical ? "true" : "false") << "\n  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"offered_per_second\": " << r.offered_per_s
+        << ", \"achieved_per_second\": " << r.achieved_per_s
+        << ", \"sojourn_p50_ms\": " << r.p50_ms << ", \"sojourn_p99_ms\": " << r.p99_ms
+        << ", \"sim_sojourn_p99_ms\": " << r.sim_p99_ms
+        << ", \"sustainable\": " << (r.sustainable ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote JSON trajectory point: %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace pph;
+  const bool tiny = tiny_mode();
+  if (tiny) std::printf("(tiny mode: PPH_BENCH_SERVICE_TINY set)\n\n");
+
+  // ---- workload + measured capacity ----------------------------------------
+  const int cyclic_n = tiny ? 5 : 6;
+  const int ranks = 4;  // rank 0 = master, 3 tracking workers
+  const std::size_t workers = static_cast<std::size_t>(ranks - 1);
+  util::Prng rng(3);
+  const auto target = systems::cyclic(cyclic_n);
+  const homotopy::TotalDegreeStart start(target, rng);
+  const homotopy::ConvexHomotopy h(start.system(), target, rng.unit_complex());
+  const auto starts = start.all_solutions();
+  sched::PathWorkload workload;
+  workload.homotopy = &h;
+  workload.starts = &starts;
+  const std::size_t n = starts.size();
+
+  const auto drained = sched::run_paths(workload, ranks);
+  std::vector<double> service_seconds(n, 0.0);
+  double total_service = 0.0;
+  for (const auto& tp : drained.paths) {
+    service_seconds[tp.index] = tp.seconds;
+    total_service += tp.seconds;
+  }
+  const double mean_service = total_service / static_cast<double>(n);
+  const double mu = static_cast<double>(n) / drained.wall_seconds;  // capacity req/s
+  std::printf("workload: cyclic-%d, %zu requests, %d ranks (%zu workers)\n", cyclic_n, n,
+              ranks, workers);
+  std::printf("measured mean service %.3f ms, drain wall %.2f s -> capacity mu = %.0f req/s\n\n",
+              mean_service * 1e3, drained.wall_seconds, mu);
+
+  // ---- rate sweep x arrival process ----------------------------------------
+  // Each serve run gets a fresh deterministic trace (seeded per row); the
+  // same trace and the measured service times replay through the simulator.
+  struct ProcessSpec {
+    const char* name;
+    // Factory: an arrival process with long-run rate `rate`.
+    std::unique_ptr<sched::ArrivalProcess> (*make)(double rate);
+  };
+  std::vector<ProcessSpec> processes{
+      {"poisson",
+       +[](double rate) -> std::unique_ptr<sched::ArrivalProcess> {
+         return std::make_unique<sched::PoissonArrivals>(rate);
+       }},
+      {"bernoulli",
+       +[](double rate) -> std::unique_ptr<sched::ArrivalProcess> {
+         // p = 0.25 per slot, slot sized so p/slot = rate.
+         return std::make_unique<sched::BernoulliArrivals>(0.25, 0.25 / rate);
+       }},
+  };
+  if (!tiny) {
+    processes.push_back(
+        {"onoff", +[](double rate) -> std::unique_ptr<sched::ArrivalProcess> {
+           // Bursts at 4x the long-run rate, on 1/4 of the time; on-phases
+           // hold ~20 arrivals each.
+           const double burst = 4.0 * rate;
+           const double mean_on = 20.0 / burst;
+           return std::make_unique<sched::OnOffArrivals>(burst, mean_on, 3.0 * mean_on);
+         }});
+  }
+  const std::vector<double> load_factors{0.5, 0.8, 1.1};
+
+  util::Table t("solve service -- offered rate sweep (sustainable = achieved >= 95% offered)");
+  t.set_header({"process", "offered/s", "achieved/s", "p50 (ms)", "p99 (ms)",
+                "sim p99 (ms)", "max q", "sustainable", "identical"});
+  std::vector<JsonRow> json_rows;
+  bool all_identical = true;
+  std::uint64_t seed = 40;
+  for (const auto& spec : processes) {
+    for (const double f : load_factors) {
+      auto proc = spec.make(f * mu);
+      util::Prng trace_rng(++seed);
+      const auto trace = sched::arrival_times(*proc, trace_rng, n);
+      // The realized trace rate (n requests over the span actually drawn):
+      // with a few hundred samples the nominal rate is ~10% noisy, and
+      // "sustainable" should measure drain lag, not sampling noise.
+      const double offered = static_cast<double>(n) / trace.back();
+
+      sched::VectorJobSource inner(workload);
+      sched::StreamJobSource stream(inner, trace);
+      sched::InMemoryReportSink sink;
+      sched::Session session(stream, sink, sched::SessionOptions());
+      const auto stats = session.serve(ranks);
+      const auto report = sink.report(stats);
+
+      const bool identical = sched::identical_path_results(report, drained);
+      all_identical = all_identical && identical;
+      const double achieved =
+          static_cast<double>(stats.service.completed) / stats.wall_seconds;
+      const bool sustainable = achieved >= 0.95 * offered;
+      const auto& sj = stats.service.sojourn;
+
+      simcluster::ServiceSimOptions sim_opts;
+      sim_opts.comm.dispatch_overhead = 2e-6;
+      sim_opts.comm.message_latency = 1e-6;
+      const auto sim = simcluster::simulate_service(service_seconds, trace, workers, sim_opts);
+
+      char label[48];
+      std::snprintf(label, sizeof label, "%s x%.1f", spec.name, f);
+      t.add_row({label, util::Table::cell(offered, 0), util::Table::cell(achieved, 0),
+                 util::Table::cell(sj.p50() * 1e3, 2), util::Table::cell(sj.p99() * 1e3, 2),
+                 util::Table::cell(sim.service.sojourn.p99() * 1e3, 2),
+                 util::Table::cell(stats.service.max_queue_depth),
+                 sustainable ? "yes" : "no", identical ? "yes" : "NO"});
+      char name[64];
+      std::snprintf(name, sizeof name, "serve_%s_load%.1f", spec.name, f);
+      json_rows.push_back({name, offered, achieved, sj.p50() * 1e3, sj.p99() * 1e3,
+                           sim.service.sojourn.p99() * 1e3, sustainable});
+    }
+  }
+  std::cout << t.to_string();
+  std::printf("  streamed result sets identical to the drained run everywhere: %s\n",
+              all_identical ? "yes" : "NO");
+
+  if (const char* json_path = std::getenv("PPH_BENCH_JSON");
+      json_path != nullptr && json_path[0] != '\0') {
+    write_bench_json(json_path, json_rows, tiny, all_identical);
+  }
+  return all_identical ? 0 : 1;
+}

@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "homotopy/start_total_degree.hpp"
-#include "sched/dynamic_scheduler.hpp"
-#include "sched/static_scheduler.hpp"
+#include "sched/session.hpp"
 #include "simcluster/speedup.hpp"
 #include "systems/cyclic.hpp"
 
@@ -30,13 +29,15 @@ int main() {
 
   std::printf("workload: cyclic 5-roots, %zu paths\n\n", starts.size());
 
-  const auto st = sched::run_static(workload, 4);
+  const auto st = sched::run_paths(
+      workload, 4, sched::SessionOptions().with_policy(sched::Policy::kStatic));
   std::printf("static  (4 ranks): %zu paths, %zu converged, %zu diverged; busy seconds:",
               st.paths.size(), st.converged, st.diverged);
   for (const double b : st.rank_busy_seconds) std::printf(" %.3f", b);
   std::printf("\n");
 
-  const auto dy = sched::run_dynamic(workload, 4);
+  const auto dy = sched::run_paths(
+      workload, 4, sched::SessionOptions().with_policy(sched::Policy::kFCFS));
   std::printf("dynamic (1 master + 3 slaves): %zu paths, %zu converged; busy seconds:",
               dy.paths.size(), dy.converged);
   for (const double b : dy.rank_busy_seconds) std::printf(" %.3f", b);

@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
     std::printf("running toward a crash after %zu records (store: %s, %zu restored)\n",
                 crash_after, store_path.c_str(), store.restored().size());
     CrashSink sink(store, crash_after);
-    sched::Session session(source, sink, {});
+    sched::Session session(source, sink,
+                           sched::SessionOptions().with_name("session_resume"));
     session.run(4);
     std::printf("session completed before the crash threshold; store is complete\n");
     return 0;

@@ -26,6 +26,10 @@ std::optional<Message> Comm::try_recv(int source, int tag) const {
   return world_->mailboxes_[static_cast<std::size_t>(rank_)]->try_recv(source, tag);
 }
 
+std::optional<Message> Comm::recv_for(double seconds, int source, int tag) const {
+  return world_->mailboxes_[static_cast<std::size_t>(rank_)]->recv_for(seconds, source, tag);
+}
+
 std::optional<std::pair<int, int>> Comm::probe(int source, int tag) const {
   return world_->mailboxes_[static_cast<std::size_t>(rank_)]->probe(source, tag);
 }

@@ -41,6 +41,11 @@ class Comm {
   /// Blocking receive with optional source/tag filters.
   Message recv(int source = kAnySource, int tag = kAnyTag) const;
   std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) const;
+  /// Timed receive: block up to `seconds` for a matching message (nullopt
+  /// on timeout).  MPI would spell this probe-with-timeout; the serve loop
+  /// uses it to sleep until a result lands or the next arrival is due.
+  std::optional<Message> recv_for(double seconds, int source = kAnySource,
+                                  int tag = kAnyTag) const;
   std::optional<std::pair<int, int>> probe(int source = kAnySource, int tag = kAnyTag) const;
 
   /// All ranks must call; returns when every rank has arrived.

@@ -1,5 +1,7 @@
 #include "mp/mailbox.hpp"
 
+#include <chrono>
+
 namespace pph::mp {
 
 void Mailbox::push(Message m) {
@@ -34,6 +36,34 @@ std::optional<Message> Mailbox::try_recv(int source, int tag) {
     }
   }
   return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recv_for(double seconds, int source, int tag) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last scan: a push between the timeout and reacquiring the lock
+      // may already have delivered the message we were waiting for.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message m = std::move(*it);
+          queue_.erase(it);
+          return m;
+        }
+      }
+      return std::nullopt;
+    }
+  }
 }
 
 std::optional<std::pair<int, int>> Mailbox::probe(int source, int tag) const {

@@ -37,6 +37,13 @@ class Mailbox {
   /// Non-blocking receive.
   std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag);
 
+  /// Timed receive: block up to `seconds` for a matching message, then give
+  /// up (nullopt).  The serve loop's idle wait (DESIGN.md section 10): the
+  /// master sleeps until a slave reports or the next modeled arrival is
+  /// due, whichever comes first.  seconds <= 0 degenerates to try_recv.
+  std::optional<Message> recv_for(double seconds, int source = kAnySource,
+                                  int tag = kAnyTag);
+
   /// Non-blocking probe: source and tag of the first matching message.
   std::optional<std::pair<int, int>> probe(int source = kAnySource, int tag = kAnyTag) const;
 

@@ -1,0 +1,182 @@
+#pragma once
+// The scheduler front door (DESIGN.md sections 7 and 10).  Every parallel
+// run in this library is a sched::Session composed from three orthogonal
+// axes -- a JobSource (where jobs come from), a Policy (how jobs reach
+// slaves), and a ResultSink (where finished jobs go) -- and this header
+// owns the types a caller composes a session FROM: the Policy enum, the
+// fluent SessionOptions, and the SessionStats / ServiceStats a run hands
+// back.  Include "sched/session.hpp" for Session itself and the built-in
+// sources and sinks, "sched/stream_source.hpp" + "sched/arrival.hpp" for
+// the streamed solve-service mode, "sched/result_store.hpp" for the
+// on-disk store, "sched/pieri_scheduler.hpp" for the Pieri tree source.
+//
+//   // batch drain:
+//   auto report = sched::run_paths(workload, ranks,
+//       sched::SessionOptions().with_policy(sched::Policy::kBatchSteal)
+//                              .with_batch(/*factor=*/2.0, /*min_batch=*/4));
+//   // solve service (DESIGN.md section 10):
+//   sched::StreamJobSource stream(inner, trace, stream_opts);
+//   sched::Session session(stream, sink,
+//       sched::SessionOptions().with_serve_deadline(10.0));
+//   auto stats = session.serve(ranks);  // stats.service has the queue metrics
+//
+// The legacy entry points (run_static, run_dynamic, run_batch,
+// run_parallel_pieri) are deprecated wrappers over these types; compose a
+// Session (or call the run_paths / run_pieri / run_with_store facades).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pph::sched {
+
+/// Dispatch policy of a session.  The cluster simulator understands the
+/// same enum (simcluster::simulate, simcluster::simulate_service), so a
+/// simulated and a real run of one experiment are selected by one type.
+enum class Policy {
+  kFCFS,        // per-job master/slave dispatch (paper section II-A "dynamic")
+  kStatic,      // pre-assigned shares, no dispatch (paper section II-A)
+  kBatchSteal,  // guided batches + brokered stealing (DESIGN.md section 2)
+};
+
+const char* policy_name(Policy policy);
+
+/// How the static policy pre-assigns job positions to ranks.
+enum class StaticAssignment {
+  kBlock,   // contiguous chunks: rank r gets [r*N/P, (r+1)*N/P)
+  kCyclic,  // interleaved: rank r gets r, r+P, r+2P, ...
+};
+
+/// What a bounded admission queue does with an arrival that finds it full
+/// (DESIGN.md section 10, "Backpressure").
+enum class AdmissionPolicy {
+  kDrop,   // reject the request (counted in ServiceStats::dropped)
+  kBlock,  // hold it at the door until the queue drains (flow control)
+};
+
+const char* admission_policy_name(AdmissionPolicy policy);
+
+/// Queueing metrics of a serve() run (DESIGN.md section 10, "Metrics").
+/// The simulator twin (simcluster::simulate_service) fills the same struct
+/// so a modeled and a measured service are compared field by field.
+struct ServiceStats {
+  std::size_t arrivals = 0;   // requests whose modeled arrival time was reached
+  std::size_t admitted = 0;   // entered the admission queue
+  std::size_t dropped = 0;    // rejected by AdmissionPolicy::kDrop backpressure
+  std::size_t shed = 0;       // never arrived: the deadline closed the stream
+  std::size_t completed = 0;  // admitted jobs whose results reached the sink
+  /// Admission-queue depth (admitted, waiting for dispatch): high-water
+  /// mark and time-weighted average over the serving window.
+  std::size_t max_queue_depth = 0;
+  double avg_queue_depth = 0.0;
+  /// Per-job sojourn time, admission -> result accepted on the master.
+  util::PercentileAccumulator sojourn;
+
+  /// Zero-loss drain invariant of a graceful shutdown: every admitted job's
+  /// result reached the sink.
+  bool drained() const { return completed == admitted; }
+};
+
+struct SessionStats {
+  double wall_seconds = 0.0;
+  std::vector<double> rank_busy_seconds;  // tracking time per rank
+  std::size_t dispatches = 0;             // master job/batch hand-outs
+  std::size_t steals = 0;                 // successful slave-to-slave steals
+  std::size_t accepted = 0;               // results delivered to the sink
+  bool stopped_early = false;             // stop_after_results fired
+  /// Filled by Session::serve() only (all-zero for batch runs).
+  ServiceStats service;
+};
+
+struct SessionOptions {
+  Policy policy = Policy::kFCFS;
+  /// Static only: how pre-assigned positions interleave across ranks.
+  StaticAssignment assignment = StaticAssignment::kCyclic;
+  /// FCFS only: jobs handed to each slave up front (the paper uses one).
+  std::size_t initial_jobs_per_slave = 1;
+  /// BatchSteal only: guided shrink rate (a refill takes
+  /// remaining/(factor*slaves) jobs) and the batch size floor.
+  double factor = 2.0;
+  std::size_t min_batch = 1;
+  /// Simulated per-message latency in seconds (0 for none), charged on the
+  /// sender before each send; surfaces communication overhead in-process.
+  double injected_latency = 0.0;
+  /// Fail-injection hook for tests: the slave at kill_slave_rank "dies"
+  /// after completing this many jobs (nullopt disables); the master
+  /// re-queues everything the dead slave still owned.
+  std::optional<std::size_t> kill_slave_after_jobs;
+  int kill_slave_rank = -1;
+  /// Checkpoint control (DESIGN.md section 7 "Resume protocol"): once this
+  /// many results have been accepted the master broadcasts kTagAbort,
+  /// collects the slaves' completed-but-unreported results (kTagAbortFlush)
+  /// into the sink, and returns early with stopped_early set.  A session
+  /// whose sink is a result store can then be resumed.  nullopt runs to
+  /// completion.  Not supported by the static policy (no master dispatch).
+  std::optional<std::size_t> stop_after_results;
+  /// serve() only: close the stream after this many seconds of serving --
+  /// requests not yet arrived are shed, everything admitted or in flight
+  /// drains to the sink (graceful shutdown, DESIGN.md section 10).
+  /// nullopt serves until the arrival schedule is exhausted and drained.
+  std::optional<double> serve_deadline_seconds;
+  /// Name used in validation error messages (legacy wrappers pass theirs).
+  const char* who = "sched::Session";
+
+  // Fluent setters, chainable on an rvalue:
+  //   SessionOptions().with_policy(Policy::kBatchSteal).with_batch(2.0, 4)
+  SessionOptions& with_policy(Policy p) {
+    policy = p;
+    return *this;
+  }
+  SessionOptions& with_assignment(StaticAssignment a) {
+    assignment = a;
+    return *this;
+  }
+  SessionOptions& with_initial_jobs(std::size_t per_slave) {
+    initial_jobs_per_slave = per_slave;
+    return *this;
+  }
+  SessionOptions& with_batch(double shrink_factor, std::size_t batch_floor = 1) {
+    factor = shrink_factor;
+    min_batch = batch_floor;
+    return *this;
+  }
+  SessionOptions& with_latency(double seconds) {
+    injected_latency = seconds;
+    return *this;
+  }
+  SessionOptions& with_kill_after(std::size_t jobs, int rank) {
+    kill_slave_after_jobs = jobs;
+    kill_slave_rank = rank;
+    return *this;
+  }
+  SessionOptions& with_stop_after(std::size_t results) {
+    stop_after_results = results;
+    return *this;
+  }
+  SessionOptions& with_serve_deadline(double seconds) {
+    serve_deadline_seconds = seconds;
+    return *this;
+  }
+  SessionOptions& with_name(const char* name) {
+    who = name;
+    return *this;
+  }
+};
+
+/// Admission-queue knobs of a StreamJobSource (DESIGN.md section 10).
+struct StreamOptions {
+  /// Bound on the admission queue depth; 0 = unbounded (never drop/block).
+  std::size_t queue_capacity = 0;
+  AdmissionPolicy on_full = AdmissionPolicy::kDrop;
+
+  StreamOptions& with_capacity(std::size_t capacity, AdmissionPolicy policy) {
+    queue_capacity = capacity;
+    on_full = policy;
+    return *this;
+  }
+};
+
+}  // namespace pph::sched

@@ -1,0 +1,90 @@
+#include "sched/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pph::sched {
+
+namespace {
+
+/// Exponential(rate) draw.  uniform() is in [0, 1); flip to (0, 1] so the
+/// log is finite.
+double exponential(util::Prng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+BernoulliArrivals::BernoulliArrivals(double p, double slot_seconds)
+    : p_(p), slot_(slot_seconds) {
+  if (!(p > 0.0) || p > 1.0)
+    throw std::invalid_argument("BernoulliArrivals: p must be in (0, 1]");
+  if (!(slot_seconds > 0.0))
+    throw std::invalid_argument("BernoulliArrivals: slot must be positive");
+}
+
+double BernoulliArrivals::next_interarrival(util::Prng& rng) {
+  // Geometric(p) slot count >= 1 by inversion: ceil(log(1-U)/log(1-p)).
+  if (p_ >= 1.0) return slot_;
+  const double u = rng.uniform();
+  const double k = std::ceil(std::log1p(-u) / std::log1p(-p_));
+  return slot_ * (k < 1.0 ? 1.0 : k);
+}
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("PoissonArrivals: rate must be positive");
+}
+
+double PoissonArrivals::next_interarrival(util::Prng& rng) {
+  return exponential(rng, rate_);
+}
+
+OnOffArrivals::OnOffArrivals(double burst_rate, double mean_on_seconds,
+                             double mean_off_seconds)
+    : burst_rate_(burst_rate), mean_on_(mean_on_seconds), mean_off_(mean_off_seconds) {
+  if (!(burst_rate > 0.0))
+    throw std::invalid_argument("OnOffArrivals: burst_rate must be positive");
+  if (!(mean_on_seconds > 0.0) || !(mean_off_seconds > 0.0))
+    throw std::invalid_argument("OnOffArrivals: phase means must be positive");
+}
+
+double OnOffArrivals::next_interarrival(util::Prng& rng) {
+  double gap = 0.0;
+  if (!phase_started_) {
+    phase_started_ = true;
+    on_ = true;
+    phase_left_ = exponential(rng, 1.0 / mean_on_);
+  }
+  for (;;) {
+    if (on_) {
+      const double next = exponential(rng, burst_rate_);
+      if (next <= phase_left_) {
+        phase_left_ -= next;
+        return gap + next;
+      }
+      // The ON phase ends before the next candidate arrival: discard the
+      // candidate (memorylessness makes this exact) and cross into OFF.
+      gap += phase_left_;
+      on_ = false;
+      phase_left_ = exponential(rng, 1.0 / mean_off_);
+    } else {
+      gap += phase_left_;
+      on_ = true;
+      phase_left_ = exponential(rng, 1.0 / mean_on_);
+    }
+  }
+}
+
+std::vector<double> arrival_times(ArrivalProcess& process, util::Prng& rng,
+                                  std::size_t n) {
+  std::vector<double> times;
+  times.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += process.next_interarrival(rng);
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace pph::sched

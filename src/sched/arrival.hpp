@@ -1,0 +1,96 @@
+#pragma once
+// Arrival-traffic models for the solve service (DESIGN.md section 10).
+//
+// A StreamJobSource admits requests over time instead of all at once; the
+// WHEN comes from an ArrivalProcess: a generator of inter-arrival gaps
+// drawn from a pluggable traffic model.  Three models cover the usual
+// queueing regimes:
+//
+//   BernoulliArrivals -- slotted traffic: each slot of length `slot`
+//       seconds carries a request with probability p, so gaps are
+//       slot * Geometric(p).  The discrete twin of Poisson traffic.
+//   PoissonArrivals   -- memoryless traffic at `rate` requests/second:
+//       gaps are Exponential(rate).  The M in M/G/c.
+//   OnOffArrivals     -- bursty traffic: an on/off modulating phase with
+//       exponentially distributed dwell times; requests are Poisson at
+//       `burst_rate` during ON phases and silent during OFF.  Stresses
+//       backpressure in a way smooth traffic cannot.
+//
+// Determinism: a process is a pure function of the Prng handed to it, so a
+// fixed seed fixes the whole trace.  arrival_times() materializes the
+// prefix-sum trace that both the thread runtime (Session::serve) and the
+// simulator twin (simcluster::simulate_service) consume -- same trace in,
+// field-by-field comparable queueing stats out.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pph::sched {
+
+/// A traffic model: draws successive inter-arrival gaps (seconds).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual const char* name() const = 0;
+  /// The gap between the previous arrival (or t=0) and the next one.
+  /// Must be >= 0 and finite for every draw.
+  virtual double next_interarrival(util::Prng& rng) = 0;
+};
+
+/// Slotted Bernoulli traffic: P(request in a slot) = p, slots are `slot`
+/// seconds long.  Gap = slot * Geometric(p) (support slot, 2*slot, ...).
+class BernoulliArrivals final : public ArrivalProcess {
+ public:
+  BernoulliArrivals(double p, double slot_seconds);
+  const char* name() const override { return "bernoulli"; }
+  double next_interarrival(util::Prng& rng) override;
+  /// Mean rate in requests/second (p per slot).
+  double rate() const { return p_ / slot_; }
+
+ private:
+  double p_;
+  double slot_;
+};
+
+/// Memoryless Poisson traffic at `rate` requests/second.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+  const char* name() const override { return "poisson"; }
+  double next_interarrival(util::Prng& rng) override;
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Bursty on-off traffic (a Markov-modulated Poisson process with two
+/// phases): ON phases last Exponential(1/mean_on) and carry Poisson
+/// traffic at burst_rate; OFF phases last Exponential(1/mean_off) and are
+/// silent.  Long-run mean rate = burst_rate * mean_on / (mean_on + mean_off).
+class OnOffArrivals final : public ArrivalProcess {
+ public:
+  OnOffArrivals(double burst_rate, double mean_on_seconds, double mean_off_seconds);
+  const char* name() const override { return "onoff"; }
+  double next_interarrival(util::Prng& rng) override;
+  /// Long-run mean rate in requests/second.
+  double rate() const { return burst_rate_ * mean_on_ / (mean_on_ + mean_off_); }
+
+ private:
+  double burst_rate_;
+  double mean_on_;
+  double mean_off_;
+  bool on_ = true;        // phase the process is currently in
+  double phase_left_ = 0.0;  // seconds of the current phase remaining
+  bool phase_started_ = false;
+};
+
+/// Materialize the first `n` absolute arrival times (prefix sums of the
+/// process's gaps) starting from t=0.  The canonical way to build the
+/// shared trace for a runtime + simulator comparison.
+std::vector<double> arrival_times(ArrivalProcess& process, util::Prng& rng, std::size_t n);
+
+}  // namespace pph::sched

@@ -40,6 +40,7 @@ struct BatchOptions {
 /// Track all workload paths with `ranks` ranks (rank 0 = master, so at
 /// least 2 are required).  Path results are identical to run_static /
 /// run_dynamic: scheduling policy never changes the numerics.
+[[deprecated("compose a sched::Session (or call sched::run_paths with Policy::kBatchSteal)")]]
 ParallelRunReport run_batch(const PathWorkload& workload, int ranks,
                             const BatchOptions& opts = {});
 

@@ -34,6 +34,7 @@ struct DynamicOptions {
 
 /// Track all workload paths with `ranks` ranks (rank 0 = master, so at
 /// least 2 are required).
+[[deprecated("compose a sched::Session (or call sched::run_paths with Policy::kFCFS)")]]
 ParallelRunReport run_dynamic(const PathWorkload& workload, int ranks,
                               const DynamicOptions& opts = {});
 

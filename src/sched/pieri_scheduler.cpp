@@ -289,18 +289,18 @@ std::vector<std::vector<linalg::Complex>> canonical_solution_set(
 }
 
 // ---------------------------------------------------------------------------
-// Legacy-shaped wrapper
+// Facade (and its legacy-shaped deprecated twin)
 // ---------------------------------------------------------------------------
 
-ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ranks,
-                                       const ParallelPieriOptions& opts) {
+ParallelPieriReport run_pieri(const schubert::PieriInput& input, int ranks,
+                              const ParallelPieriOptions& opts) {
   if (opts.policy == Policy::kStatic) {
     throw std::invalid_argument(
-        "run_parallel_pieri: tree jobs are created by results; no static pre-assignment "
+        "run_pieri: tree jobs are created by results; no static pre-assignment "
         "exists");
   }
   if (input.conditions.size() != input.problem.condition_count()) {
-    throw std::invalid_argument("run_parallel_pieri: wrong number of conditions");
+    throw std::invalid_argument("run_pieri: wrong number of conditions");
   }
 
   PieriTreeJobSource source(input, opts.solver);
@@ -315,7 +315,7 @@ ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ra
   so.injected_latency = opts.injected_latency;
   so.kill_slave_after_jobs = opts.kill_slave_after_jobs;
   so.kill_slave_rank = opts.kill_slave_rank;
-  so.who = "run_parallel_pieri";
+  so.who = "run_pieri";
   Session session(source, sink, so);
   const SessionStats stats = session.run(ranks);
 
@@ -326,6 +326,11 @@ ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ra
   report.dispatches = stats.dispatches;
   report.steals = stats.steals;
   return report;
+}
+
+ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ranks,
+                                       const ParallelPieriOptions& opts) {
+  return run_pieri(input, ranks, opts);
 }
 
 }  // namespace pph::sched

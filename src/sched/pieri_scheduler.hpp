@@ -8,8 +8,8 @@
 // stop message.
 //
 // The tree expansion lives in PieriTreeJobSource, a sched::JobSource
-// (DESIGN.md section 7): run_parallel_pieri is a thin wrapper composing it
-// with a Session, so the tree rides the same dispatch policies as the flat
+// (DESIGN.md section 7): run_pieri is a thin wrapper composing it with a
+// Session, so the tree rides the same dispatch policies as the flat
 // path pools -- Policy::kFCFS (the paper's per-job protocol) or
 // Policy::kBatchSteal (level batches with master-brokered steals), with
 // the shared kill-switch/death-requeue fail injection.  Scheduling never
@@ -163,9 +163,14 @@ class PieriTreeJobSource final : public JobSource {
   std::vector<linalg::CVector> root_solutions_;
 };
 
-/// Solve a Pieri problem on `ranks` ranks (rank 0 = master; needs >= 2).
-/// LEGACY-SHAPED ENTRY POINT: a thin wrapper composing PieriTreeJobSource
-/// with a Session under opts.policy.
+/// Solve a Pieri problem on `ranks` ranks (rank 0 = master; needs >= 2):
+/// the tree facade symmetric with run_paths, composing PieriTreeJobSource
+/// with a Session under opts.policy (kFCFS or kBatchSteal).
+ParallelPieriReport run_pieri(const schubert::PieriInput& input, int ranks,
+                              const ParallelPieriOptions& opts = {});
+
+/// Legacy-shaped entry point; identical to run_pieri.
+[[deprecated("compose a sched::Session (or call sched::run_pieri)")]]
 ParallelPieriReport run_parallel_pieri(const schubert::PieriInput& input, int ranks,
                                        const ParallelPieriOptions& opts = {});
 

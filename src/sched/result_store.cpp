@@ -267,9 +267,9 @@ StoreRunResult run_with_store(const PathWorkload& workload, int ranks,
 
   InMemoryReportSink mem;
   for (const auto& tp : store.restored()) mem.accept(tp);
-  TeeSink tee(mem, store);
+  FanoutSink fan = tee(mem, store);
 
-  Session session(source, tee, opts);
+  Session session(source, fan, opts);
   StoreRunResult out;
   out.restored = store.restored().size();
   out.stats = session.run(ranks);

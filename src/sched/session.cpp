@@ -1,6 +1,7 @@
 #include "sched/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <set>
@@ -9,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "sched/stream_source.hpp"
 #include "util/timer.hpp"
 
 namespace pph::sched {
@@ -362,41 +364,38 @@ void abort_session(MasterContext& ctx) {
   }
 }
 
-void run_master(MasterContext& ctx, MasterPolicy& policy) {
-  policy.seed(ctx);
-  while (ctx.work_remains()) {
-    if (ctx.should_abort()) {
-      abort_session(ctx);
-      break;
-    }
-    const mp::Message m = ctx.comm.recv();
-    if (m.tag == kTagResult) {
-      ctx.accept_result(unpack_tracked_path(m.payload));
-      policy.refill(ctx, m.source);
-      policy.wake_parked(ctx);  // tree growth may feed more than one slave
-    } else if (m.tag == kTagBatchDone) {
-      for (const auto& tp : unpack_tracked_path_batch(m.payload)) ctx.accept_result(tp);
-      policy.refill(ctx, m.source);
-      policy.wake_parked(ctx);
-    } else if (m.tag == kTagDead) {
-      ctx.requeue_dead(m.source);
-      policy.on_death(ctx, m.source);
-      policy.wake_parked(ctx);
-    } else {
-      policy.handle(ctx, m);
-    }
+/// One master-side message, dispatched the same way in every loop shape
+/// (batch run_master, streamed run_serve_master, tests via either).
+void handle_master_message(MasterContext& ctx, MasterPolicy& policy, const mp::Message& m) {
+  if (m.tag == kTagResult) {
+    ctx.accept_result(unpack_tracked_path(m.payload));
+    policy.refill(ctx, m.source);
+    policy.wake_parked(ctx);  // tree growth may feed more than one slave
+  } else if (m.tag == kTagBatchDone) {
+    for (const auto& tp : unpack_tracked_path_batch(m.payload)) ctx.accept_result(tp);
+    policy.refill(ctx, m.source);
+    policy.wake_parked(ctx);
+  } else if (m.tag == kTagDead) {
+    ctx.requeue_dead(m.source);
+    policy.on_death(ctx, m.source);
+    policy.wake_parked(ctx);
+  } else {
+    policy.handle(ctx, m);
   }
+}
+
+/// Shared master epilogue: release the slaves (unless an abort already
+/// did), then collect busy-time reports (filtered receives skip stray
+/// in-flight messages; dead slaves never report, and the abort drain may
+/// have folded some reports in already).
+void finish_master(MasterContext& ctx) {
   if (!ctx.aborting) {
-    // All work done: release the slaves (parked ones wake up here).
     for (int s = 1; s < ctx.ranks; ++s) {
       if (!ctx.dead[static_cast<std::size_t>(s)]) {
         ctx.comm.send(s, kTagStop, std::vector<std::byte>{});
       }
     }
   }
-  // Collect busy-time reports (filtered receives skip stray in-flight
-  // messages; dead slaves never report, and the abort drain may have
-  // folded some reports in already).
   for (int s = 1; s < ctx.ranks; ++s) {
     const auto su = static_cast<std::size_t>(s);
     if (ctx.dead[su] || ctx.busy_reported[su]) continue;
@@ -404,6 +403,60 @@ void run_master(MasterContext& ctx, MasterPolicy& policy) {
     mp::Unpacker u(m.payload);
     ctx.stats.rank_busy_seconds[su] = u.read<double>();
   }
+}
+
+void run_master(MasterContext& ctx, MasterPolicy& policy) {
+  policy.seed(ctx);
+  while (ctx.work_remains()) {
+    if (ctx.should_abort()) {
+      abort_session(ctx);
+      break;
+    }
+    handle_master_message(ctx, policy, ctx.comm.recv());
+  }
+  finish_master(ctx);
+}
+
+/// The solve-service master loop (DESIGN.md section 10): admit arrivals as
+/// they come due, dispatch under the policy, sleep until the next timed
+/// event (arrival or deadline) or until a message lands, and on shutdown
+/// drain everything admitted or in flight before releasing the slaves.
+void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource& stream) {
+  stream.begin();
+  util::WallTimer wall;
+  stream.poll();      // a trace can start at t=0 (burst workloads)
+  policy.seed(ctx);   // slaves with nothing to do park until arrivals come
+  for (;;) {
+    const std::size_t admitted = stream.poll();
+    if (admitted > 0) policy.wake_parked(ctx);
+    bool handled = false;
+    while (auto m = ctx.comm.try_recv()) {
+      handle_master_message(ctx, policy, *m);
+      handled = true;
+      if (ctx.should_abort()) break;
+    }
+    if (ctx.should_abort()) {
+      abort_session(ctx);
+      break;
+    }
+    const auto& deadline = ctx.opts.serve_deadline_seconds;
+    if (deadline.has_value() && wall.seconds() >= *deadline) stream.close();
+    if (stream.closed() && !ctx.work_remains()) break;
+    if (handled || admitted > 0) continue;  // state changed: re-evaluate first
+    // Nothing due and nothing queued: sleep until the next timed event or
+    // the next message, whichever comes first.
+    double wait = stream.seconds_until_next_arrival();
+    if (deadline.has_value()) wait = std::min(wait, std::max(*deadline - wall.seconds(), 0.0));
+    if (std::isinf(wait)) {
+      // No timed event left: only in-flight work remains, so the next
+      // state change is by message.
+      handle_master_message(ctx, policy, ctx.comm.recv());
+    } else if (wait > 0.0) {
+      if (auto m = ctx.comm.recv_for(wait)) handle_master_message(ctx, policy, *m);
+    }
+    // wait == 0: an arrival is due; the poll at the top admits it.
+  }
+  finish_master(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -684,6 +737,51 @@ SessionStats Session::run(int ranks) {
   });
 
   stats.wall_seconds = wall.seconds();
+  sink_.finish();
+  return stats;
+}
+
+SessionStats Session::serve(int ranks) {
+  const std::string who(opts_.who);
+  auto* stream = dynamic_cast<StreamJobSource*>(&source_);
+  if (stream == nullptr) {
+    throw std::invalid_argument(who + ": serve() needs a StreamJobSource "
+                                      "(wrap the job source in one, with an arrival trace)");
+  }
+  if (opts_.policy == Policy::kStatic) {
+    throw std::invalid_argument(who + ": the static policy cannot serve a stream "
+                                      "(jobs that have not arrived cannot be pre-assigned)");
+  }
+  if (ranks < 2) throw std::invalid_argument(who + ": need a master and at least one slave");
+  if (opts_.policy == Policy::kBatchSteal && opts_.factor <= 0.0) {
+    throw std::invalid_argument(who + ": factor must be positive");
+  }
+  validate_kill_switch(opts_.kill_slave_rank, opts_.kill_slave_after_jobs.has_value(), ranks,
+                       opts_.who);
+
+  SessionStats stats;
+  stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
+  util::WallTimer wall;
+
+  mp::World::run(ranks, [&](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
+      if (opts_.policy == Policy::kFCFS) {
+        FcfsPolicy policy;
+        run_serve_master(ctx, policy, *stream);
+      } else {
+        BatchStealPolicy policy(ranks);
+        run_serve_master(ctx, policy, *stream);
+      }
+    } else if (opts_.policy == Policy::kFCFS) {
+      run_fcfs_slave(comm, source_, opts_);
+    } else {
+      run_batch_slave(comm, source_, opts_);
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  stats.service = stream->take_service();
   sink_.finish();
   return stats;
 }

@@ -14,19 +14,24 @@
 //                 death-requeue implementation;
 //   ResultSink -- where finished jobs go: an in-memory report
 //                 (InMemoryReportSink), a streaming on-disk store
-//                 (JsonlStoreSink in sched/result_store.hpp), or both
-//                 (TeeSink).
+//                 (JsonlStoreSink in sched/result_store.hpp), a latency
+//                 decorator (LatencySink), or several at once (tee(...)).
 //
-// The legacy entry points (run_static, run_dynamic, run_batch,
-// run_parallel_pieri) are thin wrappers over a Session; new code should
-// compose a Session directly.  Scheduling never changes the numerics: for a
-// given source, every policy produces bit-identical result sets.
+// The option/stat/policy types a session is composed from live in the
+// front-door header sched/api.hpp.  The legacy entry points (run_static,
+// run_dynamic, run_batch, run_parallel_pieri) are deprecated wrappers over
+// a Session; new code should compose a Session directly.  Scheduling never
+// changes the numerics: for a given source, every policy produces
+// bit-identical result sets.
 
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "sched/api.hpp"
 #include "sched/job_pool.hpp"
+#include "util/timer.hpp"
 
 namespace pph::sched {
 
@@ -35,28 +40,9 @@ namespace pph::sched {
 /// the path index; tree sources hand out sequential ids.
 using JobId = std::uint64_t;
 
-/// Dispatch policy of a session.  The cluster simulator understands the
-/// same enum (simcluster::simulate), so a simulated and a real run of one
-/// experiment are selected by one type.
-enum class Policy {
-  kFCFS,        // per-job master/slave dispatch (paper section II-A "dynamic")
-  kStatic,      // pre-assigned shares, no dispatch (paper section II-A)
-  kBatchSteal,  // guided batches + brokered stealing (DESIGN.md section 2)
-};
-
-const char* policy_name(Policy policy);
-
-/// How the static policy pre-assigns job positions to ranks.
-enum class StaticAssignment {
-  kBlock,   // contiguous chunks: rank r gets [r*N/P, (r+1)*N/P)
-  kCyclic,  // interleaved: rank r gets r, r+P, r+2P, ...
-};
-
 // ---------------------------------------------------------------------------
 // ResultSink: where finished jobs go (rank 0 only, master arrival order).
 // ---------------------------------------------------------------------------
-
-struct SessionStats;
 
 class ResultSink {
  public:
@@ -91,22 +77,58 @@ class DiscardSink final : public ResultSink {
   void accept(const TrackedPath&) override {}
 };
 
-/// Fan a session's results into two sinks (e.g. report + on-disk store).
-class TeeSink final : public ResultSink {
+/// Fan a session's results into any number of sinks (e.g. report +
+/// on-disk store + latency decorator).  Compose through the variadic
+/// tee(...) factory below; the referenced sinks must outlive the fan-out.
+class FanoutSink final : public ResultSink {
  public:
-  TeeSink(ResultSink& first, ResultSink& second) : first_(first), second_(second) {}
+  explicit FanoutSink(std::vector<ResultSink*> sinks) : sinks_(std::move(sinks)) {}
   void accept(const TrackedPath& tp) override {
-    first_.accept(tp);
-    second_.accept(tp);
+    for (ResultSink* s : sinks_) s->accept(tp);
   }
   void finish() override {
-    first_.finish();
-    second_.finish();
+    for (ResultSink* s : sinks_) s->finish();
   }
 
  private:
-  ResultSink& first_;
-  ResultSink& second_;
+  std::vector<ResultSink*> sinks_;
+};
+
+/// tee(report, store, ...): one sink that forwards to all of its arguments
+/// in order.  Replaces the old two-arm TeeSink constructor.
+template <typename... Sinks>
+FanoutSink tee(Sinks&... sinks) {
+  return FanoutSink({static_cast<ResultSink*>(&sinks)...});
+}
+
+/// Decorator adding admit->report latency percentiles to ANY sink: the
+/// serve loop (or any caller) stamps admission with admit(id); accept()
+/// takes the sample and forwards to the inner sink unchanged.  A job that
+/// was never stamped is measured from the decorator's construction -- in a
+/// batch (non-streamed) session every job "arrives" when the run starts,
+/// so the samples degenerate to time-to-completion.
+class LatencySink final : public ResultSink {
+ public:
+  explicit LatencySink(ResultSink& inner) : inner_(inner) {}
+
+  void admit(JobId id) { admit_seconds_[id] = clock_.seconds(); }
+
+  void accept(const TrackedPath& tp) override {
+    const auto it = admit_seconds_.find(tp.index);
+    const double admitted = it == admit_seconds_.end() ? 0.0 : it->second;
+    latencies_.add(clock_.seconds() - admitted);
+    if (it != admit_seconds_.end()) admit_seconds_.erase(it);
+    inner_.accept(tp);
+  }
+  void finish() override { inner_.finish(); }
+
+  const util::PercentileAccumulator& latencies() const { return latencies_; }
+
+ private:
+  ResultSink& inner_;
+  util::WallTimer clock_;
+  std::unordered_map<JobId, double> admit_seconds_;
+  util::PercentileAccumulator latencies_;
 };
 
 // ---------------------------------------------------------------------------
@@ -174,46 +196,9 @@ class VectorJobSource final : public JobSource {
 };
 
 // ---------------------------------------------------------------------------
-// Session: one run loop over (source, policy, sink).
+// Session: one run loop over (source, policy, sink).  Options and stats
+// live in sched/api.hpp (the front-door header).
 // ---------------------------------------------------------------------------
-
-struct SessionOptions {
-  Policy policy = Policy::kFCFS;
-  /// Static only: how pre-assigned positions interleave across ranks.
-  StaticAssignment assignment = StaticAssignment::kCyclic;
-  /// FCFS only: jobs handed to each slave up front (the paper uses one).
-  std::size_t initial_jobs_per_slave = 1;
-  /// BatchSteal only: guided shrink rate (a refill takes
-  /// remaining/(factor*slaves) jobs) and the batch size floor.
-  double factor = 2.0;
-  std::size_t min_batch = 1;
-  /// Simulated per-message latency in seconds (0 for none), charged on the
-  /// sender before each send; surfaces communication overhead in-process.
-  double injected_latency = 0.0;
-  /// Fail-injection hook for tests: the slave at kill_slave_rank "dies"
-  /// after completing this many jobs (nullopt disables); the master
-  /// re-queues everything the dead slave still owned.
-  std::optional<std::size_t> kill_slave_after_jobs;
-  int kill_slave_rank = -1;
-  /// Checkpoint control (DESIGN.md section 7 "Resume protocol"): once this
-  /// many results have been accepted the master broadcasts kTagAbort,
-  /// collects the slaves' completed-but-unreported results (kTagAbortFlush)
-  /// into the sink, and returns early with stopped_early set.  A session
-  /// whose sink is a result store can then be resumed.  nullopt runs to
-  /// completion.  Not supported by the static policy (no master dispatch).
-  std::optional<std::size_t> stop_after_results;
-  /// Name used in validation error messages (legacy wrappers pass theirs).
-  const char* who = "sched::Session";
-};
-
-struct SessionStats {
-  double wall_seconds = 0.0;
-  std::vector<double> rank_busy_seconds;  // tracking time per rank
-  std::size_t dispatches = 0;             // master job/batch hand-outs
-  std::size_t steals = 0;                 // successful slave-to-slave steals
-  std::size_t accepted = 0;               // results delivered to the sink
-  bool stopped_early = false;             // stop_after_results fired
-};
 
 class Session {
  public:
@@ -221,6 +206,14 @@ class Session {
   /// Run on `ranks` ranks.  FCFS/BatchSteal need >= 2 (rank 0 = master);
   /// static runs on >= 1 (every rank tracks its share).
   SessionStats run(int ranks);
+  /// Long-lived solve service (DESIGN.md section 10): the source must be a
+  /// StreamJobSource (sched/stream_source.hpp).  Admits jobs as their
+  /// modeled arrival times come due, dispatches under the session policy,
+  /// and drains in-flight work on shutdown (deadline via
+  /// SessionOptions::serve_deadline_seconds, or stream exhaustion).  The
+  /// returned stats carry the queueing metrics in .service.  FCFS and
+  /// BatchSteal only; needs >= 2 ranks.
+  SessionStats serve(int ranks);
 
  private:
   JobSource& source_;

@@ -18,6 +18,7 @@ namespace pph::sched {
 
 /// Track all workload paths on `ranks` ranks with a static pre-assignment;
 /// every rank (including 0) tracks its share and sends results to rank 0.
+[[deprecated("compose a sched::Session (or call sched::run_paths with Policy::kStatic)")]]
 ParallelRunReport run_static(const PathWorkload& workload, int ranks,
                              StaticAssignment assignment = StaticAssignment::kCyclic);
 

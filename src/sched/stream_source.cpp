@@ -1,0 +1,142 @@
+#include "sched/stream_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pph::sched {
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kDrop:
+      return "drop";
+    case AdmissionPolicy::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+StreamJobSource::StreamJobSource(JobSource& inner, std::vector<double> arrival_seconds,
+                                 StreamOptions opts)
+    : inner_(inner), trace_(std::move(arrival_seconds)), opts_(opts) {
+  while (inner_.ready() > 0) requests_.push_back(inner_.pop());
+  if (trace_.size() < requests_.size())
+    throw std::invalid_argument(
+        "StreamJobSource: arrival trace shorter than the request list");
+  trace_.resize(requests_.size());
+  if (!std::is_sorted(trace_.begin(), trace_.end()))
+    throw std::invalid_argument("StreamJobSource: arrival trace must be non-decreasing");
+}
+
+void StreamJobSource::begin() {
+  clock_.reset();
+  last_queue_event_ = 0.0;
+}
+
+void StreamJobSource::note_queue_change(double now) {
+  queue_area_ += static_cast<double>(ready_.size()) * (now - last_queue_event_);
+  last_queue_event_ = now;
+}
+
+void StreamJobSource::admit(JobId id, double now) {
+  note_queue_change(now);
+  ready_.push_back(id);
+  ++service_.admitted;
+  service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
+  admit_seconds_[id] = now;
+  if (admit_observer_) admit_observer_(id);
+}
+
+std::size_t StreamJobSource::poll() {
+  if (closed_) return 0;
+  const double now = clock_.seconds();
+  // Everything due crosses from pending to the door...
+  while (next_ < requests_.size() && trace_[next_] <= now) {
+    door_.push_back(requests_[next_]);
+    ++next_;
+    ++service_.arrivals;
+  }
+  // ...and the door admits what the queue bound allows.
+  std::size_t admitted = 0;
+  const std::size_t cap = opts_.queue_capacity;
+  while (!door_.empty() && (cap == 0 || ready_.size() < cap)) {
+    admit(door_.front(), now);
+    door_.pop_front();
+    ++admitted;
+  }
+  // kDrop rejects the overflow outright; kBlock keeps it at the door for a
+  // later poll, once dispatch has drained some queue slots.
+  if (!door_.empty() && opts_.on_full == AdmissionPolicy::kDrop) {
+    service_.dropped += door_.size();
+    door_.clear();
+  }
+  return admitted;
+}
+
+void StreamJobSource::close() {
+  if (closed_) return;
+  closed_ = true;
+  service_.shed += (requests_.size() - next_) + door_.size();
+  next_ = requests_.size();
+  door_.clear();
+}
+
+bool StreamJobSource::closed() const {
+  return closed_ || (next_ == requests_.size() && door_.empty());
+}
+
+double StreamJobSource::seconds_until_next_arrival() const {
+  // A request blocked at the door is NOT a timed event: only dispatch can
+  // free a queue slot, and dispatch is message-driven -- the serve loop
+  // re-polls after every message, so reporting "no timed event" here keeps
+  // it from busy-spinning on a full queue.
+  if (closed_ || next_ == requests_.size())
+    return std::numeric_limits<double>::infinity();
+  const double wait = trace_[next_] - clock_.seconds();
+  return wait > 0.0 ? wait : 0.0;
+}
+
+ServiceStats StreamJobSource::take_service() const {
+  const double now = clock_.seconds();
+  ServiceStats out = service_;
+  const double area =
+      queue_area_ + static_cast<double>(ready_.size()) * (now - last_queue_event_);
+  out.avg_queue_depth = now > 0.0 ? area / now : 0.0;
+  return out;
+}
+
+JobId StreamJobSource::pop() {
+  note_queue_change(clock_.seconds());  // integrate the PRE-change depth
+  const JobId id = ready_.front();
+  ready_.pop_front();
+  return id;
+}
+
+void StreamJobSource::requeue(JobId id) {
+  note_queue_change(clock_.seconds());
+  ready_.push_front(id);
+  service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
+}
+
+bool StreamJobSource::consume(const TrackedPath& tp) {
+  const bool fresh = inner_.consume(tp);
+  const double now = clock_.seconds();
+  if (fresh) {
+    ++service_.completed;
+    const auto it = admit_seconds_.find(tp.index);
+    if (it != admit_seconds_.end()) {
+      service_.sojourn.add(now - it->second);
+      admit_seconds_.erase(it);
+    }
+  }
+  // Continuation jobs the inner source just created (the Pieri tree expands
+  // inside consume()) are follow-ups of admitted work: promote them past
+  // the arrival gate immediately.
+  while (inner_.ready() > 0) {
+    const JobId id = inner_.pop();
+    ++service_.arrivals;
+    admit(id, now);
+  }
+  return fresh;
+}
+
+}  // namespace pph::sched

@@ -1,0 +1,150 @@
+#include "simcluster/service_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pph::simcluster {
+
+namespace {
+
+struct Completion {
+  double time;
+  std::size_t worker;
+  std::size_t job;
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
+                                   const std::vector<double>& arrival_seconds,
+                                   std::size_t cpus, const ServiceSimOptions& opts) {
+  if (cpus == 0) throw std::invalid_argument("simulate_service: need at least one worker");
+  if (service_seconds.size() != arrival_seconds.size())
+    throw std::invalid_argument(
+        "simulate_service: one service time per arrival required");
+  if (!std::is_sorted(arrival_seconds.begin(), arrival_seconds.end()))
+    throw std::invalid_argument("simulate_service: arrivals must be non-decreasing");
+
+  const std::size_t n = arrival_seconds.size();
+  ServiceSimOutcome out;
+  out.busy.assign(cpus, 0.0);
+
+  std::deque<std::size_t> door;    // arrived, blocked by a full queue (kBlock)
+  std::deque<std::size_t> ready;   // admitted, awaiting dispatch
+  std::vector<double> admit_time(n, 0.0);
+  std::vector<std::size_t> idle;   // free workers (LIFO: reuse the hot one)
+  for (std::size_t w = cpus; w > 0; --w) idle.push_back(w - 1);
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
+      completions;
+
+  double master_free = 0.0;        // dispatch serialization point
+  double queue_area = 0.0;
+  double last_event = 0.0;
+  double makespan = 0.0;
+  std::size_t next_arrival = 0;
+
+  const bool bounded = opts.queue_capacity > 0;
+  const auto& deadline = opts.deadline_seconds;
+  const auto closed_at = [&](double t) {
+    return deadline.has_value() && t >= *deadline;
+  };
+
+  const auto note_queue_change = [&](double t) {
+    queue_area += static_cast<double>(ready.size()) * (t - last_event);
+    last_event = t;
+  };
+  const auto admit = [&](std::size_t job, double t) {
+    note_queue_change(t);
+    ready.push_back(job);
+    ++out.service.admitted;
+    out.service.max_queue_depth = std::max(out.service.max_queue_depth, ready.size());
+    admit_time[job] = t;
+  };
+  const auto dispatch_all = [&](double t) {
+    while (!idle.empty() && !ready.empty()) {
+      const std::size_t w = idle.back();
+      idle.pop_back();
+      const std::size_t job = ready.front();
+      ready.pop_front();
+      note_queue_change(t);
+      // The master serializes hand-outs (dispatch_overhead each) and each
+      // leg of the round trip pays message_latency -- the CommModel the
+      // batch simulators use.
+      const double handed = std::max(t, master_free) + opts.comm.dispatch_overhead;
+      master_free = handed;
+      const double start = handed + opts.comm.message_latency;
+      const double finish = start + service_seconds[job] + opts.comm.message_latency;
+      out.busy[w] += service_seconds[job];
+      ++out.dispatches;
+      completions.push({finish, w, job});
+    }
+  };
+
+  for (;;) {
+    // Next event: the earlier of the next arrival (while the stream is
+    // open) and the next completion.  Arrivals win ties so that every
+    // arrival sharing a timestamp is admitted before dispatch, the way the
+    // runtime's poll() runs to completion first.
+    const bool have_arrival =
+        next_arrival < n && !closed_at(arrival_seconds[next_arrival]);
+    const bool have_completion = !completions.empty();
+    if (!have_arrival && !have_completion) break;
+    const double ta = have_arrival ? arrival_seconds[next_arrival]
+                                   : std::numeric_limits<double>::infinity();
+    const double tc = have_completion ? completions.top().time
+                                      : std::numeric_limits<double>::infinity();
+    if (ta <= tc) {
+      // Admit the whole same-timestamp batch, then drop/hold the overflow.
+      const double t = ta;
+      while (next_arrival < n && arrival_seconds[next_arrival] == t) {
+        const std::size_t job = next_arrival++;
+        ++out.service.arrivals;
+        if (bounded && ready.size() >= opts.queue_capacity) {
+          if (opts.on_full == sched::AdmissionPolicy::kDrop) {
+            ++out.service.dropped;
+          } else {
+            door.push_back(job);
+          }
+        } else {
+          admit(job, t);
+        }
+      }
+      dispatch_all(t);
+    } else {
+      const Completion c = completions.top();
+      completions.pop();
+      ++out.service.completed;
+      out.service.sojourn.add(c.time - admit_time[c.job]);
+      makespan = std::max(makespan, c.time);
+      idle.push_back(c.worker);
+      // A free queue slot lets the door drain -- unless the deadline has
+      // closed the stream.
+      while (!door.empty() && !closed_at(c.time) &&
+             (!bounded || ready.size() < opts.queue_capacity)) {
+        admit(door.front(), c.time);
+        door.pop_front();
+      }
+      dispatch_all(c.time);
+    }
+  }
+
+  // Shed everything the deadline kept out: arrivals never reached plus
+  // requests still blocked at the door.
+  out.service.shed += (n - next_arrival) + door.size();
+
+  out.makespan = makespan;
+  const double horizon = std::max(makespan, last_event);
+  out.service.avg_queue_depth = horizon > 0.0 ? queue_area / horizon : 0.0;
+  if (makespan > 0.0) {
+    double idle_share = 0.0;
+    for (const double b : out.busy) idle_share += (makespan - b) / makespan;
+    out.idle_fraction = idle_share / static_cast<double>(cpus);
+  }
+  return out;
+}
+
+}  // namespace pph::simcluster

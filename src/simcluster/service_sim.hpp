@@ -1,0 +1,52 @@
+#pragma once
+// Discrete-event twin of the solve service (DESIGN.md section 10): replay
+// an arrival trace and a per-request service-time list through a simulated
+// FCFS master/worker cluster with the same bounded admission queue the
+// thread runtime uses (sched::StreamJobSource), producing the SAME
+// sched::ServiceStats struct -- a modeled and a measured service are
+// compared field by field on a fixed trace, exactly as schedule_sim.hpp
+// pairs with the batch runtime.
+//
+// Event ordering mirrors the runtime's serve loop: every arrival sharing a
+// timestamp is admitted (or dropped) BEFORE any dispatch at that time, the
+// way StreamJobSource::poll() runs to completion before the master wakes
+// parked slaves.  This makes {arrivals, admitted, dropped, shed, completed,
+// max_queue_depth} on a burst trace deterministic and bit-equal between
+// simulator and runtime.
+
+#include <optional>
+
+#include "sched/api.hpp"
+#include "simcluster/schedule_sim.hpp"
+
+namespace pph::simcluster {
+
+struct ServiceSimOptions {
+  /// Admission queue bound and overflow behavior (sched::StreamOptions).
+  std::size_t queue_capacity = 0;  // 0 = unbounded
+  sched::AdmissionPolicy on_full = sched::AdmissionPolicy::kDrop;
+  /// Dispatch/latency cost model shared with the batch simulators.
+  CommModel comm;
+  /// Close the stream at this time: later arrivals (and anything still
+  /// blocked at the door) are shed, admitted work drains.
+  std::optional<double> deadline_seconds;
+};
+
+struct ServiceSimOutcome {
+  /// Queueing metrics, same struct the thread runtime fills.
+  sched::ServiceStats service;
+  double makespan = 0.0;          // last result arrives at the master
+  std::size_t dispatches = 0;     // one per admitted job (FCFS)
+  std::vector<double> busy;       // per-worker service time
+  double idle_fraction = 0.0;     // relative to the makespan
+};
+
+/// Simulate an FCFS solve service on `cpus` workers: request i arrives at
+/// arrival_seconds[i] and needs service_seconds[i] of worker time.  The
+/// two vectors must have equal length; arrivals must be non-decreasing.
+ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
+                                   const std::vector<double>& arrival_seconds,
+                                   std::size_t cpus,
+                                   const ServiceSimOptions& opts = {});
+
+}  // namespace pph::simcluster

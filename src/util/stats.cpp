@@ -44,6 +44,44 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void PercentileAccumulator::merge(const PercentileAccumulator& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = xs_.size() < 2;
+}
+
+void PercentileAccumulator::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double PercentileAccumulator::mean() const { return pph::util::mean(xs_); }
+
+double PercentileAccumulator::min() const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  return xs_.front();
+}
+
+double PercentileAccumulator::max() const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  return xs_.back();
+}
+
+double PercentileAccumulator::percentile(double pct) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  if (pct <= 0.0) return xs_.front();
+  if (pct >= 100.0) return xs_.back();
+  const double rank = pct / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;

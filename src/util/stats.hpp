@@ -31,6 +31,38 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// Exact percentile accumulator: collects samples and answers percentile
+/// queries with linear interpolation (the batch `percentile` below over a
+/// retained sample set, sorted lazily).  Used for the solve-service latency
+/// metrics (DESIGN.md section 10): per-job sojourn times stream in through
+/// add(), the p50/p99 headline numbers come out of percentile().
+class PercentileAccumulator {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = xs_.size() < 2;
+  }
+  void merge(const PercentileAccumulator& other);
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double min() const;  // 0 when empty, like percentile()
+  double max() const;
+  /// Percentile in [0,100] with linear interpolation; 0 when empty.
+  double percentile(double pct) const;
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+
+  const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+  // Sorting is deferred to the first query after an add; queries keep the
+  // logical state const.
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
 /// Batch helpers over a sample vector.
 double mean(const std::vector<double>& xs);
 double stddev(const std::vector<double>& xs);

@@ -7,17 +7,19 @@
 
 #include <set>
 
-#include "sched/batch_scheduler.hpp"
-#include "sched/dynamic_scheduler.hpp"
-#include "sched/static_scheduler.hpp"
+#include "sched/session.hpp"
 #include "scheduler_fixture.hpp"
 
 namespace {
 
-using pph::sched::BatchOptions;
+namespace sched = pph::sched;
 using pph::sched::guided_chunk_size;
-using pph::sched::run_batch;
 using pph::testing::SchedulerTest;
+
+/// Batch-steal session options shared by every test below.
+sched::SessionOptions batch_opts() {
+  return sched::SessionOptions().with_policy(sched::Policy::kBatchSteal);
+}
 
 // ---- adaptive batch sizing -------------------------------------------------
 
@@ -49,7 +51,7 @@ TEST(GuidedChunkSize, RejectsBadArguments) {
 // ---- correctness against the baseline --------------------------------------
 
 TEST_F(SchedulerTest, BatchMatchesSequential) {
-  const auto report = run_batch(workload_, 4);
+  const auto report = sched::run_paths(workload_, 4, batch_opts());
   expect_matches_baseline(report);
   EXPECT_EQ(report.converged + report.diverged + report.failed, starts_.size());
   // Master does not track.
@@ -60,21 +62,21 @@ TEST_F(SchedulerTest, BatchMatchesSequential) {
 }
 
 TEST_F(SchedulerTest, BatchManyWorkers) {
-  const auto report = run_batch(workload_, 9);
+  const auto report = sched::run_paths(workload_, 9, batch_opts());
   expect_matches_baseline(report);
 }
 
 TEST_F(SchedulerTest, BatchSingleSlaveDegeneratesToSequential) {
-  const auto report = run_batch(workload_, 2);
+  const auto report = sched::run_paths(workload_, 2, batch_opts());
   expect_matches_baseline(report);
   EXPECT_EQ(report.steals, 0u);  // nobody to steal from
 }
 
 TEST_F(SchedulerTest, BatchProducesIdenticalResultsToStaticAndDynamic) {
   // The scheduler-independence invariant extended to the batch policy.
-  const auto st = pph::sched::run_static(workload_, 4);
-  const auto dy = pph::sched::run_dynamic(workload_, 4);
-  const auto ba = run_batch(workload_, 4);
+  const auto st = sched::run_paths(workload_, 4, sched::SessionOptions().with_policy(sched::Policy::kStatic));
+  const auto dy = sched::run_paths(workload_, 4);
+  const auto ba = sched::run_paths(workload_, 4, batch_opts());
   expect_identical_results(st, ba);
   expect_identical_results(dy, ba);
 }
@@ -84,17 +86,15 @@ TEST_F(SchedulerTest, BatchProducesIdenticalResultsToStaticAndDynamic) {
 TEST_F(SchedulerTest, SkewedSeedForcesSteals) {
   // factor << 1 makes the first hand-out grab (nearly) the whole pool, so
   // the remaining slaves can only refill by stealing.
-  BatchOptions opts;
-  opts.factor = 0.1;
-  const auto report = run_batch(workload_, 4, opts);
+  const auto opts = batch_opts().with_batch(/*shrink_factor=*/0.1);
+  const auto report = sched::run_paths(workload_, 4, opts);
   expect_matches_baseline(report);
   EXPECT_GE(report.steals, 1u);
 }
 
 TEST_F(SchedulerTest, StealsRebalanceAcrossWorkers) {
-  BatchOptions opts;
-  opts.factor = 0.1;
-  const auto report = run_batch(workload_, 4, opts);
+  const auto opts = batch_opts().with_batch(/*shrink_factor=*/0.1);
+  const auto report = sched::run_paths(workload_, 4, opts);
   // With stealing, no single slave tracks everything.
   std::set<int> workers;
   for (const auto& tp : report.paths) workers.insert(tp.worker);
@@ -104,10 +104,9 @@ TEST_F(SchedulerTest, StealsRebalanceAcrossWorkers) {
 // ---- failure injection -------------------------------------------------------
 
 TEST_F(SchedulerTest, BatchSurvivesWorkerDeath) {
-  BatchOptions opts;
-  opts.kill_slave_rank = 2;
-  opts.kill_slave_after_jobs = 3;  // rank 2 dies on its 4th path
-  const auto report = run_batch(workload_, 4, opts);
+  // Rank 2 dies on its 4th path.
+  const auto opts = batch_opts().with_kill_after(3, /*rank=*/2);
+  const auto report = sched::run_paths(workload_, 4, opts);
   // All paths still tracked, by the surviving workers; the master
   // re-queues the dead slave's batch (including unreported results).
   expect_matches_baseline(report);
@@ -120,46 +119,38 @@ TEST_F(SchedulerTest, BatchSurvivesWorkerDeath) {
 TEST_F(SchedulerTest, BatchDeathUnderStealPressure) {
   // Death and stealing interact: the skewed seed concentrates the pool on
   // one slave, the kill hook removes another mid-run.
-  BatchOptions opts;
-  opts.factor = 0.1;
-  opts.kill_slave_rank = 1;
-  opts.kill_slave_after_jobs = 2;
-  const auto report = run_batch(workload_, 4, opts);
+  const auto opts =
+      batch_opts().with_batch(/*shrink_factor=*/0.1).with_kill_after(2, /*rank=*/1);
+  const auto report = sched::run_paths(workload_, 4, opts);
   expect_matches_baseline(report);
 }
 
 // ---- validation --------------------------------------------------------------
 
 TEST_F(SchedulerTest, BatchRequiresTwoRanks) {
-  EXPECT_THROW(run_batch(workload_, 1), std::invalid_argument);
+  EXPECT_THROW(sched::run_paths(workload_, 1, batch_opts()), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, BatchRejectsKillingTheMaster) {
-  BatchOptions opts;
-  opts.kill_slave_rank = 0;
-  opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(run_batch(workload_, 4, opts), std::invalid_argument);
+  const auto opts = batch_opts().with_kill_after(1, /*rank=*/0);
+  EXPECT_THROW(sched::run_paths(workload_, 4, opts), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, BatchRejectsOutOfRangeKillRank) {
-  BatchOptions opts;
-  opts.kill_slave_rank = 9;
-  opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(run_batch(workload_, 4, opts), std::invalid_argument);
+  const auto opts = batch_opts().with_kill_after(1, /*rank=*/9);
+  EXPECT_THROW(sched::run_paths(workload_, 4, opts), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, BatchRejectsNonPositiveFactor) {
-  BatchOptions opts;
-  opts.factor = 0.0;
-  EXPECT_THROW(run_batch(workload_, 4, opts), std::invalid_argument);
+  const auto opts = batch_opts().with_batch(/*shrink_factor=*/0.0);
+  EXPECT_THROW(sched::run_paths(workload_, 4, opts), std::invalid_argument);
 }
 
 // ---- latency robustness ------------------------------------------------------
 
 TEST_F(SchedulerTest, BatchWithInjectedLatencyStillMatches) {
-  BatchOptions opts;
-  opts.injected_latency = 0.002;
-  const auto report = run_batch(workload_, 4, opts);
+  const auto opts = batch_opts().with_latency(0.002);
+  const auto report = sched::run_paths(workload_, 4, opts);
   expect_matches_baseline(report);
 }
 

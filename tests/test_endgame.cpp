@@ -404,7 +404,7 @@ TEST(PieriRescueFaultInjection, KilledSlaveLeavesRescueBitIdentical) {
   const auto input = pph::schubert::random_pieri_input(PieriProblem{2, 2, 1}, rng);
   pph::sched::ParallelPieriOptions opts;
   opts.solver.suspect_residual = 0.0;  // force rescue rounds on every instance
-  const auto healthy = pph::sched::run_parallel_pieri(input, 4, opts);
+  const auto healthy = pph::sched::run_pieri(input, 4, opts);
   ASSERT_TRUE(healthy.complete());
   EXPECT_GT(healthy.rescue_retracks, 0u);
   EXPECT_GT(healthy.rescued_instances, 0u);
@@ -413,7 +413,7 @@ TEST(PieriRescueFaultInjection, KilledSlaveLeavesRescueBitIdentical) {
   pph::sched::ParallelPieriOptions kill = opts;
   kill.kill_slave_rank = 2;
   kill.kill_slave_after_jobs = 3;
-  const auto wounded = pph::sched::run_parallel_pieri(input, 4, kill);
+  const auto wounded = pph::sched::run_pieri(input, 4, kill);
   EXPECT_TRUE(wounded.complete());
   // The re-queued rescue re-tracks are deterministic, so the canonical
   // solution set and the rescue ledger both survive the death untouched.
@@ -435,7 +435,7 @@ TEST(PieriRescueFaultInjection, SequentialAndParallelAgreeOnTheRootCount) {
   Prng rng(11);
   const auto input = pph::schubert::random_pieri_input(PieriProblem{2, 2, 1}, rng);
   const auto sequential = pph::schubert::solve_pieri(input);
-  const auto parallel = pph::sched::run_parallel_pieri(input, 3);
+  const auto parallel = pph::sched::run_pieri(input, 3);
   EXPECT_TRUE(sequential.complete());
   EXPECT_TRUE(parallel.complete());
   EXPECT_EQ(parallel.solutions.size(), sequential.solutions.size());

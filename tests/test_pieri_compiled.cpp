@@ -379,8 +379,8 @@ TEST(CompiledPieri, PoliciesBitIdenticalWithEngineOn) {
   fcfs.policy = pph::sched::Policy::kFCFS;
   pph::sched::ParallelPieriOptions steal;
   steal.policy = pph::sched::Policy::kBatchSteal;
-  const auto ra = pph::sched::run_parallel_pieri(input, 3, fcfs);
-  const auto rb = pph::sched::run_parallel_pieri(input, 3, steal);
+  const auto ra = pph::sched::run_pieri(input, 3, fcfs);
+  const auto rb = pph::sched::run_pieri(input, 3, steal);
   ASSERT_TRUE(ra.complete());
   ASSERT_TRUE(rb.complete());
   EXPECT_EQ(pph::sched::canonical_solution_set(ra.solutions),

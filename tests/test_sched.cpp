@@ -11,71 +11,71 @@
 #include <algorithm>
 #include <set>
 
-#include "sched/dynamic_scheduler.hpp"
 #include "sched/pieri_scheduler.hpp"
-#include "sched/static_scheduler.hpp"
+#include "sched/session.hpp"
 #include "scheduler_fixture.hpp"
 
 namespace {
 
+namespace sched = pph::sched;
 using pph::linalg::Complex;
 using pph::schubert::PieriProblem;
 using pph::testing::SchedulerTest;
 using pph::util::Prng;
 
 TEST_F(SchedulerTest, StaticCyclicMatchesSequential) {
-  const auto report = pph::sched::run_static(workload_, 4);
+  const auto report = sched::run_paths(workload_, 4, sched::SessionOptions().with_policy(sched::Policy::kStatic));
   expect_matches_baseline(report);
   EXPECT_EQ(report.converged + report.diverged + report.failed, starts_.size());
 }
 
 TEST_F(SchedulerTest, StaticBlockMatchesSequential) {
   const auto report =
-      pph::sched::run_static(workload_, 3, pph::sched::StaticAssignment::kBlock);
+      sched::run_paths(workload_, 3,
+                       sched::SessionOptions()
+                           .with_policy(sched::Policy::kStatic)
+                           .with_assignment(sched::StaticAssignment::kBlock));
   expect_matches_baseline(report);
 }
 
 TEST_F(SchedulerTest, StaticSingleRankDegeneratesToSequential) {
-  const auto report = pph::sched::run_static(workload_, 1);
+  const auto report = sched::run_paths(workload_, 1, sched::SessionOptions().with_policy(sched::Policy::kStatic));
   expect_matches_baseline(report);
   EXPECT_GT(report.rank_busy_seconds[0], 0.0);
 }
 
 TEST_F(SchedulerTest, DynamicMatchesSequential) {
-  const auto report = pph::sched::run_dynamic(workload_, 4);
+  const auto report = sched::run_paths(workload_, 4);
   expect_matches_baseline(report);
 }
 
 TEST_F(SchedulerTest, DynamicManyWorkers) {
-  const auto report = pph::sched::run_dynamic(workload_, 9);
+  const auto report = sched::run_paths(workload_, 9);
   expect_matches_baseline(report);
   // Master does not track.
   EXPECT_EQ(report.rank_busy_seconds[0], 0.0);
 }
 
 TEST_F(SchedulerTest, DynamicRequiresTwoRanks) {
-  EXPECT_THROW(pph::sched::run_dynamic(workload_, 1), std::invalid_argument);
+  EXPECT_THROW(sched::run_paths(workload_, 1), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, DynamicRejectsKillingTheMaster) {
-  pph::sched::DynamicOptions opts;
-  opts.kill_slave_rank = 0;  // the master can never be the kill target
-  opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(pph::sched::run_dynamic(workload_, 4, opts), std::invalid_argument);
+  // The master can never be the kill target.
+  const auto opts = sched::SessionOptions().with_kill_after(1, /*rank=*/0);
+  EXPECT_THROW(sched::run_paths(workload_, 4, opts), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, DynamicRejectsOutOfRangeKillRank) {
-  pph::sched::DynamicOptions opts;
-  opts.kill_slave_rank = 7;  // only ranks 1..3 exist
-  opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(pph::sched::run_dynamic(workload_, 4, opts), std::invalid_argument);
+  // Only ranks 1..3 exist.
+  const auto opts = sched::SessionOptions().with_kill_after(1, /*rank=*/7);
+  EXPECT_THROW(sched::run_paths(workload_, 4, opts), std::invalid_argument);
 }
 
 TEST_F(SchedulerTest, DynamicSurvivesWorkerDeath) {
-  pph::sched::DynamicOptions opts;
-  opts.kill_slave_rank = 2;
-  opts.kill_slave_after_jobs = 3;  // rank 2 dies on its 4th job
-  const auto report = pph::sched::run_dynamic(workload_, 4, opts);
+  // Rank 2 dies on its 4th job.
+  const auto opts = sched::SessionOptions().with_kill_after(3, /*rank=*/2);
+  const auto report = sched::run_paths(workload_, 4, opts);
   // All paths still tracked exactly once, by the surviving workers.
   expect_matches_baseline(report);
   std::set<int> workers;
@@ -84,8 +84,8 @@ TEST_F(SchedulerTest, DynamicSurvivesWorkerDeath) {
 }
 
 TEST_F(SchedulerTest, StatusTalliesAgreeAcrossSchedulers) {
-  const auto st = pph::sched::run_static(workload_, 5);
-  const auto dy = pph::sched::run_dynamic(workload_, 5);
+  const auto st = sched::run_paths(workload_, 5, sched::SessionOptions().with_policy(sched::Policy::kStatic));
+  const auto dy = sched::run_paths(workload_, 5);
   EXPECT_EQ(status_multiset(st), status_multiset(dy));
   EXPECT_EQ(st.converged, dy.converged);
   EXPECT_EQ(st.diverged, dy.diverged);
@@ -95,13 +95,13 @@ TEST_F(SchedulerTest, StaticAndDynamicProduceIdenticalPathResults) {
   // The scheduler-independence invariant: policy changes who tracks a path
   // and when, never the numerics, so the PathResult sets must be identical
   // bit for bit (status, step counts, endpoints).
-  const auto st = pph::sched::run_static(workload_, 4);
-  const auto dy = pph::sched::run_dynamic(workload_, 4);
+  const auto st = sched::run_paths(workload_, 4, sched::SessionOptions().with_policy(sched::Policy::kStatic));
+  const auto dy = sched::run_paths(workload_, 4);
   expect_identical_results(st, dy);
 }
 
 TEST_F(SchedulerTest, BusyTimesCoverAllRanks) {
-  const auto report = pph::sched::run_static(workload_, 4);
+  const auto report = sched::run_paths(workload_, 4, sched::SessionOptions().with_policy(sched::Policy::kStatic));
   ASSERT_EQ(report.rank_busy_seconds.size(), 4u);
   for (const double b : report.rank_busy_seconds) EXPECT_GE(b, 0.0);
 }
@@ -115,7 +115,7 @@ TEST(ParallelPieri, MatchesSequentialSolutionSet221) {
   const auto sequential = pph::schubert::solve_pieri(input);
   ASSERT_TRUE(sequential.complete());
 
-  const auto parallel = pph::sched::run_parallel_pieri(input, 4);
+  const auto parallel = sched::run_pieri(input, 4);
   EXPECT_TRUE(parallel.complete());
   ASSERT_EQ(parallel.solutions.size(), sequential.solutions.size());
   // Match solution sets within tolerance.
@@ -132,8 +132,8 @@ TEST(ParallelPieri, WorkerCountInvariance) {
   const PieriProblem pb{2, 2, 1};
   pph::util::Prng rng(43);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
-  const auto two = pph::sched::run_parallel_pieri(input, 2);
-  const auto five = pph::sched::run_parallel_pieri(input, 5);
+  const auto two = sched::run_pieri(input, 2);
+  const auto five = sched::run_pieri(input, 5);
   EXPECT_TRUE(two.complete());
   EXPECT_TRUE(five.complete());
   EXPECT_EQ(two.solutions.size(), five.solutions.size());
@@ -144,7 +144,7 @@ TEST(ParallelPieri, JobsPerLevelMatchPoset) {
   const PieriProblem pb{3, 2, 1};  // the Table III instance
   pph::util::Prng rng(44);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
-  const auto report = pph::sched::run_parallel_pieri(input, 3);
+  const auto report = sched::run_pieri(input, 3);
   EXPECT_TRUE(report.complete());
   pph::schubert::PatternPoset poset(pb);
   const auto expected = poset.jobs_per_level();
@@ -164,7 +164,7 @@ TEST(ParallelPieri, PeakActiveInstancesBounded) {
   const PieriProblem pb{2, 2, 1};
   pph::util::Prng rng(45);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
-  const auto report = pph::sched::run_parallel_pieri(input, 3);
+  const auto report = sched::run_pieri(input, 3);
   pph::schubert::PatternPoset poset(pb);
   EXPECT_LE(report.peak_active_instances, poset.pattern_count());
   EXPECT_GT(report.peak_active_instances, 0u);
@@ -174,7 +174,7 @@ TEST(ParallelPieri, RequiresTwoRanks) {
   const PieriProblem pb{2, 2, 0};
   pph::util::Prng rng(46);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
-  EXPECT_THROW(pph::sched::run_parallel_pieri(input, 1), std::invalid_argument);
+  EXPECT_THROW(sched::run_pieri(input, 1), std::invalid_argument);
 }
 
 TEST(ParallelPieri, DeformationDeterministic) {

@@ -1,6 +1,7 @@
 // Tests for the unified scheduler sessions (sched/session.hpp): the
 // JobSource x Policy x ResultSink composition must reproduce the legacy
-// entry points bit for bit, the Pieri tree source must ride both dispatch
+// entry points bit for bit (the legacy-equivalence tests below deliberately
+// call the deprecated wrappers; the pragma scopes the opt-out), the Pieri tree source must ride both dispatch
 // policies with one solution set, the kill-switch fail injection must cover
 // the Pieri scheduler (death re-queue), and the checkpoint control
 // (stop_after_results) must stop a session early without losing results.
@@ -26,6 +27,11 @@ using pph::testing::SchedulerTest;
 using pph::util::Prng;
 
 // ---- the facade vs the legacy wrappers --------------------------------------
+// The wrappers are deprecated; these equivalence tests are the one place
+// that still calls them ON PURPOSE, to pin the facade to the legacy
+// behavior bit for bit.  The pragma scopes the opt-out to exactly here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST_F(SchedulerTest, RunPathsFcfsMatchesLegacyDynamic) {
   SessionOptions opts;
@@ -51,6 +57,8 @@ TEST_F(SchedulerTest, RunPathsBatchStealMatchesLegacyBatch) {
   const auto legacy = pph::sched::run_batch(workload_, 4);
   expect_identical_results(session, legacy);
 }
+
+#pragma GCC diagnostic pop
 
 TEST_F(SchedulerTest, FcfsHonorsInitialJobsPerSlave) {
   SessionOptions opts;
@@ -100,12 +108,12 @@ TEST(ParallelPieriSession, BatchStealMatchesFcfsSolutionSet) {
   Prng rng(42);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
 
-  const auto fcfs = pph::sched::run_parallel_pieri(input, 4);
+  const auto fcfs = pph::sched::run_pieri(input, 4);
   ASSERT_TRUE(fcfs.complete());
 
   pph::sched::ParallelPieriOptions opts;
   opts.policy = Policy::kBatchSteal;
-  const auto batch = pph::sched::run_parallel_pieri(input, 4, opts);
+  const auto batch = pph::sched::run_pieri(input, 4, opts);
   EXPECT_TRUE(batch.complete());
   EXPECT_EQ(batch.total_jobs, fcfs.total_jobs);
   EXPECT_EQ(batch.jobs_per_level, fcfs.jobs_per_level);
@@ -138,7 +146,7 @@ TEST(ParallelPieriSession, BatchStealBatchesDispatches) {
   const auto input = pph::schubert::random_pieri_input(pb, rng);
   pph::sched::ParallelPieriOptions opts;
   opts.policy = Policy::kBatchSteal;
-  const auto batch = pph::sched::run_parallel_pieri(input, 4, opts);
+  const auto batch = pph::sched::run_pieri(input, 4, opts);
   ASSERT_TRUE(batch.complete());
   EXPECT_LT(batch.dispatches, (batch.total_jobs * 2) / 3);
 }
@@ -149,7 +157,7 @@ TEST(ParallelPieriSession, RejectsStaticPolicy) {
   const auto input = pph::schubert::random_pieri_input(pb, rng);
   pph::sched::ParallelPieriOptions opts;
   opts.policy = Policy::kStatic;
-  EXPECT_THROW(pph::sched::run_parallel_pieri(input, 3, opts), std::invalid_argument);
+  EXPECT_THROW(pph::sched::run_pieri(input, 3, opts), std::invalid_argument);
 }
 
 // ---- Pieri fail injection (the satellite: the Pieri path was the only
@@ -159,13 +167,13 @@ TEST(ParallelPieriSession, SurvivesWorkerDeathUnderFcfs) {
   const PieriProblem pb{2, 2, 1};
   Prng rng(42);
   const auto input = pph::schubert::random_pieri_input(pb, rng);
-  const auto healthy = pph::sched::run_parallel_pieri(input, 4);
+  const auto healthy = pph::sched::run_pieri(input, 4);
   ASSERT_TRUE(healthy.complete());
 
   pph::sched::ParallelPieriOptions opts;
   opts.kill_slave_rank = 2;
   opts.kill_slave_after_jobs = 3;  // rank 2 dies on its 4th edge
-  const auto report = pph::sched::run_parallel_pieri(input, 4, opts);
+  const auto report = pph::sched::run_pieri(input, 4, opts);
   // The master re-queues the dead slave's edges; the survivors finish the
   // tree with the full solution set.
   EXPECT_TRUE(report.complete());
@@ -184,7 +192,7 @@ TEST(ParallelPieriSession, SurvivesWorkerDeathUnderBatchSteal) {
   opts.policy = Policy::kBatchSteal;
   opts.kill_slave_rank = 1;
   opts.kill_slave_after_jobs = 2;
-  const auto report = pph::sched::run_parallel_pieri(input, 4, opts);
+  const auto report = pph::sched::run_pieri(input, 4, opts);
   EXPECT_TRUE(report.complete());
 }
 
@@ -195,7 +203,7 @@ TEST(ParallelPieriSession, RejectsKillingTheMaster) {
   pph::sched::ParallelPieriOptions opts;
   opts.kill_slave_rank = 0;
   opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(pph::sched::run_parallel_pieri(input, 4, opts), std::invalid_argument);
+  EXPECT_THROW(pph::sched::run_pieri(input, 4, opts), std::invalid_argument);
 }
 
 TEST(ParallelPieriSession, RejectsOutOfRangeKillRank) {
@@ -205,7 +213,7 @@ TEST(ParallelPieriSession, RejectsOutOfRangeKillRank) {
   pph::sched::ParallelPieriOptions opts;
   opts.kill_slave_rank = 9;
   opts.kill_slave_after_jobs = 1;
-  EXPECT_THROW(pph::sched::run_parallel_pieri(input, 4, opts), std::invalid_argument);
+  EXPECT_THROW(pph::sched::run_pieri(input, 4, opts), std::invalid_argument);
 }
 
 }  // namespace
