@@ -207,6 +207,62 @@ int main() {
   std::printf("  streamed result sets identical to the drained run everywhere: %s\n",
               all_identical ? "yes" : "NO");
 
+  // ---- supervised recovery cost (DESIGN.md section 11) ---------------------
+  // The same Poisson trace served twice with supervision on: once healthy,
+  // once with rank 2 dying silently mid-run (no kTagDead -- only the
+  // heartbeat-miss verdict recovers its work).  Both runs must drain with
+  // zero loss and bit-identical results; the delta between the rows is the
+  // cost of one uncooperative death in achieved rate and tail latency.
+  {
+    sched::PoissonArrivals proc(0.8 * mu);
+    util::Prng trace_rng(++seed);
+    const auto trace = sched::arrival_times(proc, trace_rng, n);
+    const double offered = static_cast<double>(n) / trace.back();
+    const auto supervisor =
+        sched::SupervisorOptions().with_heartbeat(0.01).with_miss_budget(20, 2.0);
+
+    util::Table ft("solve service -- one silent worker death at 0.8 x mu (supervised)");
+    ft.set_header({"run", "offered/s", "achieved/s", "p50 (ms)", "p99 (ms)", "deaths",
+                   "requeued", "identical"});
+    double healthy_achieved = 0.0, healthy_p99 = 0.0;
+    for (const bool faulted : {false, true}) {
+      sched::VectorJobSource inner(workload);
+      sched::StreamJobSource stream(inner, trace);
+      sched::InMemoryReportSink sink;
+      auto opts = sched::SessionOptions().with_supervision(supervisor);
+      if (faulted) {
+        opts.with_fault_plan(mp::FaultPlan().kill(2, n / 6));
+      }
+      sched::Session session(stream, sink, opts);
+      const auto stats = session.serve(ranks);
+      const auto report = sink.report(stats);
+      const bool identical = sched::identical_path_results(report, drained);
+      all_identical = all_identical && identical && stats.service.drained();
+      const double achieved =
+          static_cast<double>(stats.service.completed) / stats.wall_seconds;
+      const auto& sj = stats.service.sojourn;
+      if (!faulted) {
+        healthy_achieved = achieved;
+        healthy_p99 = sj.p99() * 1e3;
+      }
+      ft.add_row({faulted ? "rank 2 dies silently" : "healthy",
+                  util::Table::cell(offered, 0), util::Table::cell(achieved, 0),
+                  util::Table::cell(sj.p50() * 1e3, 2), util::Table::cell(sj.p99() * 1e3, 2),
+                  util::Table::cell(stats.supervision.deaths_detected),
+                  util::Table::cell(stats.supervision.requeued_jobs),
+                  identical ? "yes" : "NO"});
+      json_rows.push_back({faulted ? "serve_poisson_faulted" : "serve_poisson_supervised",
+                           offered, achieved, sj.p50() * 1e3, sj.p99() * 1e3,
+                           /*sim_p99_ms=*/0.0, achieved >= 0.95 * offered});
+      if (faulted) {
+        std::cout << ft.to_string();
+        std::printf("  degradation from one silent death: achieved %.0f -> %.0f req/s, "
+                    "p99 %.2f -> %.2f ms\n",
+                    healthy_achieved, achieved, healthy_p99, sj.p99() * 1e3);
+      }
+    }
+  }
+
   if (const char* json_path = std::getenv("PPH_BENCH_JSON");
       json_path != nullptr && json_path[0] != '\0') {
     write_bench_json(json_path, json_rows, tiny, all_identical);

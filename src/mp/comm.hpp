@@ -19,6 +19,7 @@
 
 namespace pph::mp {
 
+class FaultInjector;
 class World;
 
 /// Per-rank communicator handle passed to each rank's main function.
@@ -65,21 +66,33 @@ class World {
   using RankMain = std::function<void(Comm&)>;
 
   /// Spawn `size` ranks, run `main` on each, join all (exceptions from rank
-  /// functions are rethrown on the caller thread, first rank wins).
+  /// functions are rethrown on the caller thread, first rank wins).  When a
+  /// rank's main throws, the world is poisoned: sibling ranks blocked in
+  /// recv/recv_for/barrier unblock with WorldAborted instead of deadlocking,
+  /// so the join always completes.
   static void run(int size, const RankMain& main);
+  /// As above with a fault injector (mp/fault.hpp): Comm::send consults it
+  /// for armed per-rank send delays; the rank loops consult it at job
+  /// boundaries.  nullptr behaves exactly like the two-argument overload.
+  static void run(int size, const RankMain& main, FaultInjector* fault);
 
  private:
   friend class Comm;
   explicit World(int size);
 
+  /// Wake every blocked rank: poison all mailboxes and the barrier.
+  void poison();
+
   int size_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  FaultInjector* fault_ = nullptr;
 
   // Barrier state.
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  bool barrier_poisoned_ = false;
 };
 
 }  // namespace pph::mp

@@ -1,0 +1,108 @@
+#include "mp/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/prng.hpp"
+
+namespace pph::mp {
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int ranks, const ChaosOptions& opts) {
+  FaultPlan plan;
+  if (ranks < 3) return plan;  // a terminal fault needs a surviving slave
+  util::Prng rng(seed);
+  std::vector<int> slaves;
+  slaves.reserve(static_cast<std::size_t>(ranks - 1));
+  for (int s = 1; s < ranks; ++s) slaves.push_back(s);
+  rng.shuffle(slaves);
+
+  // Victims are drawn without replacement in shuffled order: terminal
+  // faults first (never all slaves), then stragglers, then send-delayers.
+  std::size_t cursor = 0;
+  const auto draw_jobs = [&] {
+    return static_cast<std::size_t>(rng.uniform_index(opts.max_jobs_before_fault + 1));
+  };
+  const std::size_t terminal = std::min(opts.max_terminal, slaves.size() - 1);
+  for (std::size_t i = 0; i < terminal; ++i) {
+    const int r = slaves[cursor++];
+    if (rng.uniform() < 0.5) {
+      plan.kill(r, draw_jobs());
+    } else {
+      plan.hang(r, draw_jobs());
+    }
+  }
+  for (std::size_t i = 0; i < opts.max_stragglers && cursor < slaves.size(); ++i) {
+    plan.straggle(slaves[cursor++], draw_jobs(),
+                  rng.uniform(opts.straggle_min_seconds, opts.straggle_max_seconds));
+  }
+  for (std::size_t i = 0; i < opts.max_delayed && cursor < slaves.size(); ++i) {
+    plan.delay_sends(slaves[cursor++], draw_jobs(), opts.send_delay_seconds);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int ranks)
+    : state_(static_cast<std::size_t>(ranks > 0 ? ranks : 0)) {
+  for (const auto& a : plan.actions()) {
+    if (a.rank == kAnyFaultRank) {
+      any_rank_.push_back(a);
+    } else if (a.rank >= 0 && a.rank < ranks) {
+      state_[static_cast<std::size_t>(a.rank)].pending.push_back(a);
+    }
+    active_ = true;
+  }
+}
+
+std::optional<FaultKind> FaultInjector::on_job_start(int rank, std::size_t completed,
+                                                     std::uint64_t job_id) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= state_.size()) return std::nullopt;
+  auto& st = state_[static_cast<std::size_t>(rank)];
+  std::optional<FaultKind> terminal;
+  const auto fire = [&](const FaultAction& a) {
+    switch (a.kind) {
+      case FaultKind::kStraggle:
+        st.straggle = std::max(st.straggle, a.seconds);
+        break;
+      case FaultKind::kDelaySends:
+        st.send_delay = std::max(st.send_delay, a.seconds);
+        break;
+      default:
+        if (!terminal.has_value()) terminal = a.kind;
+        break;
+    }
+  };
+  for (auto it = st.pending.begin(); it != st.pending.end();) {
+    const bool due =
+        it->on_job.has_value() ? *it->on_job == job_id : completed >= it->after_jobs;
+    if (due) {
+      fire(*it);
+      it = st.pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Any-rank (poison-job) actions stay armed: every rank that picks the job
+  // up triggers them independently, until the supervisor quarantines it.
+  for (const auto& a : any_rank_) {
+    if (a.on_job.has_value() && *a.on_job == job_id) fire(a);
+  }
+  return terminal;
+}
+
+double FaultInjector::straggle_seconds(int rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= state_.size()) return 0.0;
+  return state_[static_cast<std::size_t>(rank)].straggle;
+}
+
+double FaultInjector::send_delay(int rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= state_.size()) return 0.0;
+  return state_[static_cast<std::size_t>(rank)].send_delay;
+}
+
+void FaultInjector::sleep_for(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace pph::mp

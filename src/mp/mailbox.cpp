@@ -22,6 +22,7 @@ Message Mailbox::recv(int source, int tag) {
         return m;
       }
     }
+    if (poisoned_) throw WorldAborted();
     cv_.wait(lock);
   }
 }
@@ -51,6 +52,7 @@ std::optional<Message> Mailbox::recv_for(double seconds, int source, int tag) {
         return m;
       }
     }
+    if (poisoned_) throw WorldAborted();
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One last scan: a push between the timeout and reacquiring the lock
       // may already have delivered the message we were waiting for.
@@ -77,6 +79,14 @@ std::optional<std::pair<int, int>> Mailbox::probe(int source, int tag) const {
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
 }
 
 }  // namespace pph::mp

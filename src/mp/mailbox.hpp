@@ -8,12 +8,22 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace pph::mp {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Thrown by blocking receives and barriers after World::poison(): when one
+/// rank's main throws, the survivors must unblock (instead of deadlocking
+/// in recv) so the join completes and the original exception is rethrown on
+/// the caller.
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("mp::World aborted: another rank failed") {}
+};
 
 /// A delivered message: origin rank, user tag, raw payload.
 struct Message {
@@ -31,7 +41,8 @@ class Mailbox {
   void push(Message m);
 
   /// Blocking receive of the first message matching (source, tag); either
-  /// filter may be kAnySource / kAnyTag.
+  /// filter may be kAnySource / kAnyTag.  Throws WorldAborted when the
+  /// mailbox is poisoned and holds no matching message.
   Message recv(int source = kAnySource, int tag = kAnyTag);
 
   /// Non-blocking receive.
@@ -49,6 +60,11 @@ class Mailbox {
 
   std::size_t size() const;
 
+  /// Irreversibly mark the world as failing: wakes every blocked receiver;
+  /// recv/recv_for throw WorldAborted once no matching message remains
+  /// (queued messages still drain first).  try_recv/probe are unaffected.
+  void poison();
+
  private:
   static bool matches(const Message& m, int source, int tag) {
     return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
@@ -57,6 +73,7 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  bool poisoned_ = false;
 };
 
 }  // namespace pph::mp

@@ -27,8 +27,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "mp/fault.hpp"
 #include "util/stats.hpp"
 
 namespace pph::sched {
@@ -78,6 +80,91 @@ struct ServiceStats {
   /// Zero-loss drain invariant of a graceful shutdown: every admitted job's
   /// result reached the sink.
   bool drained() const { return completed == admitted; }
+
+  /// Of the completed jobs, how many were quarantined by the supervisor
+  /// (reported as failed PathResults rather than tracked; DESIGN.md
+  /// section 11).  Zero in a healthy service.
+  std::size_t quarantined = 0;
+};
+
+/// Supervisor knobs (DESIGN.md section 11).  Defaults are sized for the
+/// in-process runtime: heartbeats every 20 ms, a slave is suspect after 25
+/// missed beats (0.5 s of silence) and dead at twice that.  All thresholds
+/// scale with the measured per-job EWMA so slow (sanitizer) builds do not
+/// produce false positives on busy slaves.
+struct SupervisorOptions {
+  /// Master-side supervision: heartbeat tracking, silent-death/hang
+  /// detection, speculative re-dispatch, poison-job quarantine.  Off by
+  /// default -- the classic drain loop stays blocking-recv and byte-for-byte
+  /// on its hot path.
+  bool enabled = false;
+  /// Idle slaves beacon at this cadence; the master's supervision tick (the
+  /// recv_for timeout) uses the same period.
+  double heartbeat_seconds = 0.02;
+  /// An idle slave silent for miss_budget * heartbeat_seconds is suspect.
+  std::size_t miss_budget = 25;
+  /// ... and declared dead after death_multiplier times the suspect window.
+  double death_multiplier = 2.0;
+  /// EWMA smoothing of the per-job service time observed at the master.
+  double ewma_alpha = 0.2;
+  /// A busy slave (jobs in flight) gets hang_factor * EWMA of silence
+  /// before suspicion instead of the idle window, whichever is larger.
+  double hang_factor = 16.0;
+  /// Straggler mitigation: re-dispatch a copy of a job older than
+  /// speculation_factor * EWMA to an idle slave (first result wins).
+  bool speculate = true;
+  double speculation_factor = 8.0;
+  /// Speculation needs a trustworthy EWMA first.
+  std::size_t speculation_min_samples = 8;
+  /// Poison-job quarantine: a job whose owner died this many times is
+  /// reported as a failed PathResult instead of being re-queued forever.
+  std::size_t max_attempts = 3;
+
+  SupervisorOptions& with_heartbeat(double seconds) {
+    heartbeat_seconds = seconds;
+    return *this;
+  }
+  SupervisorOptions& with_miss_budget(std::size_t beats, double multiplier = 2.0) {
+    miss_budget = beats;
+    death_multiplier = multiplier;
+    return *this;
+  }
+  SupervisorOptions& with_hang_factor(double factor) {
+    hang_factor = factor;
+    return *this;
+  }
+  SupervisorOptions& with_speculation(double factor, std::size_t min_samples = 8) {
+    speculate = true;
+    speculation_factor = factor;
+    speculation_min_samples = min_samples;
+    return *this;
+  }
+  SupervisorOptions& without_speculation() {
+    speculate = false;
+    return *this;
+  }
+  SupervisorOptions& with_max_attempts(std::size_t attempts) {
+    max_attempts = attempts;
+    return *this;
+  }
+  SupervisorOptions& with_ewma_alpha(double alpha) {
+    ewma_alpha = alpha;
+    return *this;
+  }
+};
+
+/// Supervision counters of one session run (all-zero when the supervisor
+/// is disabled and no fault plan is armed).
+struct SupervisionStats {
+  std::size_t heartbeats = 0;             // beacons received by the master
+  std::size_t suspects = 0;               // suspect transitions
+  std::size_t deaths_detected = 0;        // declared dead by silence
+  std::size_t deaths_announced = 0;       // cooperative kTagDead deaths
+  std::size_t requeued_jobs = 0;          // re-queued off dead slaves
+  std::size_t speculative_dispatches = 0; // straggler copies handed out
+  std::size_t speculation_wins = 0;       // a copy's result arrived first
+  std::size_t quarantined = 0;            // jobs failed by the attempt ledger
+  double ewma_job_seconds = 0.0;          // final per-job EWMA on the master
 };
 
 struct SessionStats {
@@ -89,6 +176,8 @@ struct SessionStats {
   bool stopped_early = false;             // stop_after_results fired
   /// Filled by Session::serve() only (all-zero for batch runs).
   ServiceStats service;
+  /// Supervision counters (DESIGN.md section 11).
+  SupervisionStats supervision;
 };
 
 struct SessionOptions {
@@ -121,6 +210,17 @@ struct SessionOptions {
   /// drains to the sink (graceful shutdown, DESIGN.md section 10).
   /// nullopt serves until the arrival schedule is exhausted and drained.
   std::optional<double> serve_deadline_seconds;
+  /// Master-side supervision (DESIGN.md section 11): heartbeat liveness
+  /// tracking, suspect -> dead declaration for silent/hung slaves,
+  /// speculative re-dispatch of stragglers, poison-job quarantine.
+  /// Requires a master, so not supported by the static policy.
+  SupervisorOptions supervisor;
+  /// Deterministic fault injection (mp/fault.hpp): the plan is compiled
+  /// into a FaultInjector consulted by the slave loops at job boundaries
+  /// and by Comm::send.  Uncooperative faults (silent death, hang) require
+  /// the supervisor -- nobody else would notice.  The legacy kill switch
+  /// above is folded into this plan as one kDieAnnounced action.
+  mp::FaultPlan fault_plan;
   /// Name used in validation error messages (legacy wrappers pass theirs).
   const char* who = "sched::Session";
 
@@ -158,6 +258,17 @@ struct SessionOptions {
   }
   SessionOptions& with_serve_deadline(double seconds) {
     serve_deadline_seconds = seconds;
+    return *this;
+  }
+  /// Enable supervision, optionally with tuned knobs (`enabled` is forced
+  /// on -- passing options is opting in).
+  SessionOptions& with_supervision(SupervisorOptions options = {}) {
+    supervisor = options;
+    supervisor.enabled = true;
+    return *this;
+  }
+  SessionOptions& with_fault_plan(mp::FaultPlan plan) {
+    fault_plan = std::move(plan);
     return *this;
   }
   SessionOptions& with_name(const char* name) {

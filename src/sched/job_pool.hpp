@@ -38,6 +38,8 @@ enum class MessageTag : int {
   // run can be resumed from the store.
   kAbort = 11,       // master -> slave: checkpoint: drop unstarted work, flush
   kAbortFlush = 12,  // slave -> master: completed-but-unreported results
+  // Supervision protocol (DESIGN.md section 11).
+  kHeartbeat = 13,   // slave -> master: periodic liveness beacon (empty payload)
   // Sentinel: keep last.  detail::kAllTags must list every enumerator
   // above; the static_asserts below force the list (and therefore the
   // collision check) to stay complete.
@@ -54,6 +56,7 @@ constexpr int kAllTags[] = {
     tag(MessageTag::kBatchDone),  tag(MessageTag::kStealOrder),
     tag(MessageTag::kStealReply), tag(MessageTag::kStealNotify),
     tag(MessageTag::kAbort),      tag(MessageTag::kAbortFlush),
+    tag(MessageTag::kHeartbeat),
 };
 constexpr bool tags_unique() {
   for (std::size_t i = 0; i < std::size(kAllTags); ++i) {
@@ -90,6 +93,7 @@ inline constexpr int kTagStealReply = tag(MessageTag::kStealReply);
 inline constexpr int kTagStealNotify = tag(MessageTag::kStealNotify);
 inline constexpr int kTagAbort = tag(MessageTag::kAbort);
 inline constexpr int kTagAbortFlush = tag(MessageTag::kAbortFlush);
+inline constexpr int kTagHeartbeat = tag(MessageTag::kHeartbeat);
 
 /// A path-tracking workload shared by all ranks.
 struct PathWorkload {

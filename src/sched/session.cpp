@@ -4,12 +4,14 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "mp/fault.hpp"
 #include "sched/stream_source.hpp"
 #include "util/timer.hpp"
 
@@ -82,6 +84,22 @@ namespace {
 // how jobs reach slaves.
 // ---------------------------------------------------------------------------
 
+/// Master-side supervision state (DESIGN.md section 11), live only when
+/// SupervisorOptions::enabled.  Liveness is inferred from traffic: every
+/// message (result, steal bookkeeping, explicit kTagHeartbeat) refreshes
+/// the sender's last-seen stamp.
+struct SupervisionState {
+  util::WallTimer clock;
+  std::vector<double> last_seen;                    // per rank, clock seconds
+  std::vector<bool> suspect;
+  std::unordered_map<JobId, double> dispatched_at;  // primary dispatch stamp
+  std::unordered_map<JobId, int> spec_owner;        // live speculative copy
+  std::unordered_map<JobId, std::size_t> attempts;  // death-coincidence ledger
+  double ewma = 0.0;                                // per-job service time
+  std::size_t ewma_samples = 0;
+  double last_sweep = 0.0;
+};
+
 struct MasterContext {
   mp::Comm& comm;
   JobSource& source;
@@ -95,13 +113,19 @@ struct MasterContext {
   std::vector<bool> dead;
   std::vector<bool> busy_reported;        // kTagBusy already folded into stats
   bool aborting = false;
+  SupervisionState sup;
 
   explicit MasterContext(mp::Comm& c, JobSource& src, ResultSink& snk,
                          const SessionOptions& o, SessionStats& st, int r)
       : comm(c), source(src), sink(snk), opts(o), stats(st), ranks(r),
         owned_count(static_cast<std::size_t>(r), 0),
         dead(static_cast<std::size_t>(r), false),
-        busy_reported(static_cast<std::size_t>(r), false) {}
+        busy_reported(static_cast<std::size_t>(r), false) {
+    sup.last_seen.assign(static_cast<std::size_t>(r), 0.0);
+    sup.suspect.assign(static_cast<std::size_t>(r), false);
+  }
+
+  bool sup_on() const { return opts.supervisor.enabled; }
 
   std::size_t alive_slaves() const {
     std::size_t n = 0;
@@ -113,27 +137,102 @@ struct MasterContext {
 
   bool work_remains() const { return !owner.empty() || source.ready() > 0; }
 
+  /// Any message from a slave proves it alive.
+  void note_message(int src) {
+    if (!sup_on() || src <= 0 || src >= ranks) return;
+    const auto su = static_cast<std::size_t>(src);
+    sup.last_seen[su] = sup.clock.seconds();
+    if (!dead[su]) sup.suspect[su] = false;  // dead is terminal
+  }
+
+  /// Stamp a (re-)dispatched job for EWMA sampling and straggler aging.
+  void note_dispatch(JobId id) {
+    if (sup_on()) sup.dispatched_at[id] = sup.clock.seconds();
+  }
+
+  /// How long a slave may stay silent before suspicion: the idle heartbeat
+  /// window, or -- for a busy slave -- a multiple of the per-job EWMA
+  /// (whichever is larger, so long jobs on slow builds are not misread as
+  /// hangs).
+  double silence_allowance(int s) const {
+    const auto& so = opts.supervisor;
+    const double idle_window = static_cast<double>(so.miss_budget) * so.heartbeat_seconds;
+    const double busy_grace =
+        owned_count[static_cast<std::size_t>(s)] > 0 ? so.hang_factor * sup.ewma : 0.0;
+    return std::max(idle_window, busy_grace);
+  }
+
   /// A result landed on the master: retire it from the ownership map,
   /// let the source consume it (possibly creating new jobs), and forward
   /// counted results to the sink.  Results for jobs no longer in flight
-  /// (duplicates after a death re-queue) are dropped.
+  /// (duplicates after a death re-queue) are dropped.  With a speculative
+  /// copy in flight, whichever worker reported first wins -- the loser's
+  /// later duplicate falls into the same drop path, so the sink sees each
+  /// job exactly once and the bits never depend on who won.
   void accept_result(const TrackedPath& tp) {
     const auto it = owner.find(tp.index);
     if (it == owner.end()) return;
     --owned_count[static_cast<std::size_t>(it->second)];
     owner.erase(it);
+    if (sup_on()) {
+      if (const auto sp = sup.spec_owner.find(tp.index); sp != sup.spec_owner.end()) {
+        --owned_count[static_cast<std::size_t>(sp->second)];
+        if (tp.worker == sp->second) ++stats.supervision.speculation_wins;
+        sup.spec_owner.erase(sp);
+      }
+      if (const auto d = sup.dispatched_at.find(tp.index); d != sup.dispatched_at.end()) {
+        const double sample = sup.clock.seconds() - d->second;
+        sup.dispatched_at.erase(d);
+        sup.ewma = sup.ewma_samples == 0
+                       ? sample
+                       : opts.supervisor.ewma_alpha * sample +
+                             (1.0 - opts.supervisor.ewma_alpha) * sup.ewma;
+        ++sup.ewma_samples;
+      }
+      sup.attempts.erase(tp.index);
+    }
     if (source.consume(tp)) {
       sink.accept(tp);
       ++stats.accepted;
     }
   }
 
+  /// Quarantine: report the job as a failed PathResult so the service keeps
+  /// its zero-loss accounting without re-queueing a killer input forever.
+  void quarantine(JobId id) {
+    TrackedPath tp;
+    tp.index = id;
+    tp.worker = -1;  // synthesized on the master, no worker tracked it
+    tp.result.status = PathStatus::kFailed;
+    if (source.consume(tp)) {
+      sink.accept(tp);
+      ++stats.accepted;
+    }
+    ++stats.supervision.quarantined;
+    sup.attempts.erase(id);
+    sup.dispatched_at.erase(id);
+  }
+
   /// Death re-queue shared by every policy: everything the dead slave still
-  /// owned goes back to the front of the ready queue.
+  /// owned goes back to the front of the ready queue.  Under supervision a
+  /// job inherits its live speculative copy instead of re-queueing, the
+  /// attempt ledger is charged, and repeat offenders are quarantined.
   void requeue_dead(int s) {
     const auto su = static_cast<std::size_t>(s);
+    if (dead[su]) return;  // silence-declared, then announced: count once
     dead[su] = true;
     owned_count[su] = 0;
+    if (sup_on()) {
+      // Speculative copies the dead slave held die with it; the primaries
+      // are still owned elsewhere and need no re-queue.
+      for (auto it = sup.spec_owner.begin(); it != sup.spec_owner.end();) {
+        if (it->second == s) {
+          it = sup.spec_owner.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     std::vector<JobId> held;
     for (const auto& [id, own] : owner) {
       if (own == s) held.push_back(id);
@@ -143,6 +242,20 @@ struct MasterContext {
     std::sort(held.begin(), held.end(), std::greater<>());
     for (const JobId id : held) {
       owner.erase(id);
+      if (sup_on()) {
+        if (const auto sp = sup.spec_owner.find(id); sp != sup.spec_owner.end()) {
+          // A live speculative copy inherits the job: no re-queue, and the
+          // copy's owned_count slot already carries it.
+          owner.emplace(id, sp->second);
+          sup.spec_owner.erase(sp);
+          continue;
+        }
+        if (++sup.attempts[id] >= opts.supervisor.max_attempts) {
+          quarantine(id);
+          continue;
+        }
+        ++stats.supervision.requeued_jobs;
+      }
       source.requeue(id);
     }
   }
@@ -165,6 +278,12 @@ class MasterPolicy {
   /// Policy-specific message (steal bookkeeping); true when handled.
   virtual bool handle(MasterContext&, const mp::Message&) { return false; }
   virtual void on_death(MasterContext&, int) {}
+  /// Supervision hooks (DESIGN.md section 11): hand back a parked/idle
+  /// slave to run a speculative copy (-1 when none; `exclude` is the job's
+  /// current owner) ...
+  virtual int claim_idle(MasterContext&, int) { return -1; }
+  /// ... and deliver one framed job copy to it in this policy's transport.
+  virtual void dispatch_copy(MasterContext&, int, const mp::JobFrame&) {}
 };
 
 // ---- FCFS: per-job dispatch with an idle queue (the paper's dynamic
@@ -201,6 +320,21 @@ class FcfsPolicy final : public MasterPolicy {
     }
   }
 
+  int claim_idle(MasterContext& ctx, int exclude) override {
+    for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+      if (*it == exclude || ctx.dead[static_cast<std::size_t>(*it)]) continue;
+      const int s = *it;
+      idle_.erase(it);
+      return s;
+    }
+    return -1;
+  }
+
+  void dispatch_copy(MasterContext& ctx, int s, const mp::JobFrame& frame) override {
+    inject_latency(ctx.opts.injected_latency);
+    ctx.comm.send(s, kTagJob, mp::pack_job_frame(frame));
+  }
+
  private:
   bool dispatch_one(MasterContext& ctx, int s) {
     if (ctx.source.ready() == 0) return false;
@@ -209,6 +343,7 @@ class FcfsPolicy final : public MasterPolicy {
     inject_latency(ctx.opts.injected_latency);
     ctx.comm.send(s, kTagJob, mp::pack_job_frame(frame));
     ctx.owner.emplace(id, s);
+    ctx.note_dispatch(id);
     ++ctx.owned_count[static_cast<std::size_t>(s)];
     ++ctx.stats.dispatches;
     return true;
@@ -297,6 +432,23 @@ class BatchStealPolicy final : public MasterPolicy {
     }
   }
 
+  int claim_idle(MasterContext& ctx, int exclude) override {
+    // A slave awaiting a steal reply is busy negotiating, not parked, so
+    // only genuinely parked slaves are eligible.
+    for (int s = 1; s < ctx.ranks; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (s == exclude || ctx.dead[su] || !parked_[su]) continue;
+      parked_[su] = false;
+      return s;
+    }
+    return -1;
+  }
+
+  void dispatch_copy(MasterContext& ctx, int s, const mp::JobFrame& frame) override {
+    inject_latency(ctx.opts.injected_latency);
+    ctx.comm.send(s, kTagBatch, mp::pack_job_frame_batch({frame}));
+  }
+
  private:
   bool dispatch_batch(MasterContext& ctx, int s) {
     if (ctx.source.ready() == 0) return false;
@@ -309,6 +461,7 @@ class BatchStealPolicy final : public MasterPolicy {
       const JobId id = ctx.source.pop();
       frames.push_back({id, ctx.source.job_payload(id)});
       ctx.owner.emplace(id, s);
+      ctx.note_dispatch(id);
       ++ctx.owned_count[su];
     }
     inject_latency(ctx.opts.injected_latency);
@@ -323,6 +476,76 @@ class BatchStealPolicy final : public MasterPolicy {
   std::vector<std::set<int>> refused_;   // victims that refused since last refill
   std::map<int, std::vector<int>> awaiting_;  // thieves awaiting a reply, per victim
 };
+
+// ---- supervision (DESIGN.md section 11) -----------------------------------
+
+/// One death, however detected: re-queue (or quarantine) the slave's jobs,
+/// let the policy clean up its bookkeeping, and hand freed work out.
+void declare_dead(MasterContext& ctx, MasterPolicy& policy, int s, bool announced) {
+  if (ctx.dead[static_cast<std::size_t>(s)]) return;
+  if (announced) {
+    ++ctx.stats.supervision.deaths_announced;
+  } else {
+    ++ctx.stats.supervision.deaths_detected;
+  }
+  ctx.requeue_dead(s);
+  policy.on_death(ctx, s);
+  policy.wake_parked(ctx);
+}
+
+/// The supervision sweep, run on every master tick: walk the slaves'
+/// last-seen stamps through the suspect -> dead state machine, speculate
+/// on over-age in-flight jobs, and fail what no surviving worker can run.
+void supervise(MasterContext& ctx, MasterPolicy& policy) {
+  if (!ctx.sup_on()) return;
+  const auto& so = ctx.opts.supervisor;
+  auto& sup = ctx.sup;
+  const double now = sup.clock.seconds();
+  if (now - sup.last_sweep < 0.5 * so.heartbeat_seconds) return;
+  sup.last_sweep = now;
+
+  for (int s = 1; s < ctx.ranks; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    if (ctx.dead[su]) continue;
+    const double silent = now - sup.last_seen[su];
+    const double allowance = ctx.silence_allowance(s);
+    if (silent <= allowance) continue;
+    if (!sup.suspect[su]) {
+      sup.suspect[su] = true;
+      ++ctx.stats.supervision.suspects;
+    }
+    if (silent > allowance * so.death_multiplier) declare_dead(ctx, policy, s, false);
+  }
+
+  // Straggler mitigation: when the pool is empty and the EWMA is seeded,
+  // hand copies of the oldest over-age in-flight jobs to idle slaves.
+  // First result wins in accept_result; bits cannot depend on the winner.
+  if (so.speculate && sup.ewma_samples >= so.speculation_min_samples &&
+      ctx.source.ready() == 0 && !ctx.owner.empty()) {
+    const double age_limit = so.speculation_factor * sup.ewma;
+    std::vector<std::pair<double, JobId>> overdue;
+    for (const auto& [id, at] : sup.dispatched_at) {
+      if (ctx.owner.count(id) == 0 || sup.spec_owner.count(id) != 0) continue;
+      if (now - at > age_limit) overdue.emplace_back(at, id);
+    }
+    std::sort(overdue.begin(), overdue.end());
+    for (const auto& [at, id] : overdue) {
+      const int s = policy.claim_idle(ctx, ctx.owner.at(id));
+      if (s < 0) break;
+      policy.dispatch_copy(ctx, s, {id, ctx.source.job_payload(id)});
+      sup.spec_owner.emplace(id, s);
+      ++ctx.owned_count[static_cast<std::size_t>(s)];
+      ++ctx.stats.supervision.speculative_dispatches;
+    }
+  }
+
+  // Failsafe: every worker is gone but jobs remain (a poison job can
+  // outlive the whole pool before its ledger fills).  Fail them through
+  // the quarantine path rather than spinning forever.
+  if (ctx.alive_slaves() == 0) {
+    while (ctx.source.ready() > 0) ctx.quarantine(ctx.source.pop());
+  }
+}
 
 // ---- the loop itself ------------------------------------------------------
 
@@ -339,17 +562,50 @@ void abort_session(MasterContext& ctx) {
     if (!ctx.dead[static_cast<std::size_t>(s)]) {
       inject_latency(ctx.opts.injected_latency);
       ctx.comm.send(s, kTagAbort, std::vector<std::byte>{});
+    } else if (ctx.sup_on()) {
+      // A dead-marked slave may be hung, not exited: the abort is what
+      // releases its thread (a genuinely dead rank just absorbs it).
+      ctx.comm.send(s, kTagAbort, std::vector<std::byte>{});
     }
   }
   std::size_t pending = ctx.alive_slaves();
+  std::vector<bool> flushed(static_cast<std::size_t>(ctx.ranks), false);
   while (pending > 0) {
-    const mp::Message m = ctx.comm.recv();
+    std::optional<mp::Message> maybe;
+    if (ctx.sup_on()) {
+      // A slave can die uncooperatively between the broadcast and its
+      // flush; a blocking recv would stall the checkpoint forever, so tick
+      // and give up on anyone silent past the death window.
+      maybe = ctx.comm.recv_for(ctx.opts.supervisor.heartbeat_seconds);
+      if (!maybe.has_value()) {
+        const double now = ctx.sup.clock.seconds();
+        for (int s = 1; s < ctx.ranks; ++s) {
+          const auto su = static_cast<std::size_t>(s);
+          if (ctx.dead[su] || flushed[su]) continue;
+          if (now - ctx.sup.last_seen[su] >
+              ctx.silence_allowance(s) * ctx.opts.supervisor.death_multiplier) {
+            ++ctx.stats.supervision.deaths_detected;
+            ctx.requeue_dead(s);
+            --pending;
+          }
+        }
+        continue;
+      }
+    } else {
+      maybe = ctx.comm.recv();
+    }
+    const mp::Message& m = *maybe;
+    ctx.note_message(m.source);
     if (m.tag == kTagResult) {
       ctx.accept_result(unpack_tracked_path(m.payload));
     } else if (m.tag == kTagBatchDone || m.tag == kTagAbortFlush) {
       for (const auto& tp : unpack_tracked_path_batch(m.payload)) ctx.accept_result(tp);
-      if (m.tag == kTagAbortFlush) --pending;
+      if (m.tag == kTagAbortFlush) {
+        flushed[static_cast<std::size_t>(m.source)] = true;
+        --pending;
+      }
     } else if (m.tag == kTagDead) {
+      ++ctx.stats.supervision.deaths_announced;
       ctx.requeue_dead(m.source);
       --pending;
     } else if (m.tag == kTagBusy) {
@@ -359,15 +615,18 @@ void abort_session(MasterContext& ctx) {
       ctx.stats.rank_busy_seconds[static_cast<std::size_t>(m.source)] = u.read<double>();
       ctx.busy_reported[static_cast<std::size_t>(m.source)] = true;
     }
-    // Steal notifies and the like are bookkeeping for work that will never
-    // be dispatched again; ignore them.
+    // Steal notifies, heartbeats and the like are bookkeeping for work that
+    // will never be dispatched again; ignore them.
   }
 }
 
 /// One master-side message, dispatched the same way in every loop shape
 /// (batch run_master, streamed run_serve_master, tests via either).
 void handle_master_message(MasterContext& ctx, MasterPolicy& policy, const mp::Message& m) {
-  if (m.tag == kTagResult) {
+  ctx.note_message(m.source);
+  if (m.tag == kTagHeartbeat) {
+    ++ctx.stats.supervision.heartbeats;  // liveness noted above; nothing else
+  } else if (m.tag == kTagResult) {
     ctx.accept_result(unpack_tracked_path(m.payload));
     policy.refill(ctx, m.source);
     policy.wake_parked(ctx);  // tree growth may feed more than one slave
@@ -376,9 +635,7 @@ void handle_master_message(MasterContext& ctx, MasterPolicy& policy, const mp::M
     policy.refill(ctx, m.source);
     policy.wake_parked(ctx);
   } else if (m.tag == kTagDead) {
-    ctx.requeue_dead(m.source);
-    policy.on_death(ctx, m.source);
-    policy.wake_parked(ctx);
+    declare_dead(ctx, policy, m.source, /*announced=*/true);
   } else {
     policy.handle(ctx, m);
   }
@@ -389,19 +646,66 @@ void handle_master_message(MasterContext& ctx, MasterPolicy& policy, const mp::M
 /// in-flight messages; dead slaves never report, and the abort drain may
 /// have folded some reports in already).
 void finish_master(MasterContext& ctx) {
+  if (ctx.sup_on()) ctx.stats.supervision.ewma_job_seconds = ctx.sup.ewma;
   if (!ctx.aborting) {
     for (int s = 1; s < ctx.ranks; ++s) {
-      if (!ctx.dead[static_cast<std::size_t>(s)]) {
+      // Under supervision the stop is broadcast to dead-marked slaves too:
+      // a hung (not exited) thread wakes on it, so the join completes.
+      if (!ctx.dead[static_cast<std::size_t>(s)] || ctx.sup_on()) {
         ctx.comm.send(s, kTagStop, std::vector<std::byte>{});
       }
     }
   }
-  for (int s = 1; s < ctx.ranks; ++s) {
-    const auto su = static_cast<std::size_t>(s);
-    if (ctx.dead[su] || ctx.busy_reported[su]) continue;
-    const mp::Message m = ctx.comm.recv(s, kTagBusy);
-    mp::Unpacker u(m.payload);
-    ctx.stats.rank_busy_seconds[su] = u.read<double>();
+  if (!ctx.sup_on()) {
+    for (int s = 1; s < ctx.ranks; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (ctx.dead[su] || ctx.busy_reported[su]) continue;
+      const mp::Message m = ctx.comm.recv(s, kTagBusy);
+      mp::Unpacker u(m.payload);
+      ctx.stats.rank_busy_seconds[su] = u.read<double>();
+    }
+    return;
+  }
+  // Under supervision a rank can have died uncooperatively without ever
+  // being declared dead: a speculative copy may have completed its last job
+  // before the silence sweep fired, so the loop above exited with the rank
+  // still marked alive.  A blocking recv on its busy report would deadlock;
+  // tick instead, and give up on anyone silent past the death window.
+  const auto missing = [&] {
+    for (int s = 1; s < ctx.ranks; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (!ctx.dead[su] && !ctx.busy_reported[su]) return true;
+    }
+    return false;
+  };
+  while (missing()) {
+    if (auto m = ctx.comm.recv_for(ctx.opts.supervisor.heartbeat_seconds)) {
+      ctx.note_message(m->source);
+      const auto su = static_cast<std::size_t>(m->source);
+      if (m->tag == kTagBusy) {
+        mp::Unpacker u(m->payload);
+        ctx.stats.rank_busy_seconds[su] = u.read<double>();
+        ctx.busy_reported[su] = true;
+      } else if (m->tag == kTagDead) {
+        // An announced death whose jobs were all finished by speculative
+        // copies: the main loop exited before this message was processed.
+        ++ctx.stats.supervision.deaths_announced;
+        ctx.requeue_dead(m->source);
+      }
+      // Heartbeats, duplicate results from speculation losers, and steal
+      // bookkeeping carry no busy time; note_message above was all we owed.
+      continue;
+    }
+    const double now = ctx.sup.clock.seconds();
+    for (int s = 1; s < ctx.ranks; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (ctx.dead[su] || ctx.busy_reported[su]) continue;
+      if (now - ctx.sup.last_seen[su] >
+          ctx.silence_allowance(s) * ctx.opts.supervisor.death_multiplier) {
+        ++ctx.stats.supervision.deaths_detected;
+        ctx.requeue_dead(s);  // no jobs left to re-queue; marks the rank dead
+      }
+    }
   }
 }
 
@@ -412,7 +716,15 @@ void run_master(MasterContext& ctx, MasterPolicy& policy) {
       abort_session(ctx);
       break;
     }
-    handle_master_message(ctx, policy, ctx.comm.recv());
+    if (ctx.sup_on()) {
+      // Timed tick instead of a blocking recv: silence is information.
+      if (auto m = ctx.comm.recv_for(ctx.opts.supervisor.heartbeat_seconds)) {
+        handle_master_message(ctx, policy, *m);
+      }
+      supervise(ctx, policy);
+    } else {
+      handle_master_message(ctx, policy, ctx.comm.recv());
+    }
   }
   finish_master(ctx);
 }
@@ -439,14 +751,17 @@ void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource&
       abort_session(ctx);
       break;
     }
+    supervise(ctx, policy);  // may free or fail work: run before the exit check
     const auto& deadline = ctx.opts.serve_deadline_seconds;
     if (deadline.has_value() && wall.seconds() >= *deadline) stream.close();
     if (stream.closed() && !ctx.work_remains()) break;
     if (handled || admitted > 0) continue;  // state changed: re-evaluate first
     // Nothing due and nothing queued: sleep until the next timed event or
-    // the next message, whichever comes first.
+    // the next message, whichever comes first; under supervision the wait
+    // is additionally bounded by the heartbeat tick.
     double wait = stream.seconds_until_next_arrival();
     if (deadline.has_value()) wait = std::min(wait, std::max(*deadline - wall.seconds(), 0.0));
+    if (ctx.sup_on()) wait = std::min(wait, ctx.opts.supervisor.heartbeat_seconds);
     if (std::isinf(wait)) {
       // No timed event left: only in-flight work remains, so the next
       // state change is by message.
@@ -460,28 +775,73 @@ void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource&
 }
 
 // ---------------------------------------------------------------------------
-// Slave loops.
+// Slave loops.  Fault injection is consulted at job boundaries: the plan is
+// the single fault source (the legacy kill switch arrives here as one
+// kDieAnnounced action).
 // ---------------------------------------------------------------------------
 
-void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts) {
+/// A hung rank does no work and sends nothing -- not even heartbeats -- but
+/// its thread stays parked on the mailbox so the world remains joinable;
+/// only the master's shutdown/abort broadcast releases it.
+void hang_until_released(mp::Comm& comm) {
+  for (;;) {
+    const mp::Message m = comm.recv();
+    if (m.tag == kTagStop || m.tag == kTagAbort) return;
+  }
+}
+
+/// Consult the injector at a job boundary: arms straggler sleep (and takes
+/// it) as a side effect, and returns the terminal fault due now, if any --
+/// the caller acts on it and returns without a busy report, exactly as the
+/// legacy kill switch did.
+std::optional<mp::FaultKind> fault_at_job_boundary(mp::Comm& comm, mp::FaultInjector* fault,
+                                                   std::size_t completed,
+                                                   std::uint64_t job_id) {
+  if (fault == nullptr) return std::nullopt;
+  const auto terminal = fault->on_job_start(comm.rank(), completed, job_id);
+  if (!terminal.has_value()) {
+    mp::FaultInjector::sleep_for(fault->straggle_seconds(comm.rank()));
+  }
+  return terminal;
+}
+
+void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts,
+                    mp::FaultInjector* fault) {
   double tracking_seconds = 0.0;
   std::size_t completed = 0;
   homotopy::TrackerWorkspace ws = source.make_workspace();
-  const bool killable =
-      comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
+  const bool beacon = opts.supervisor.enabled;
   bool aborted = false;
   for (;;) {
-    const mp::Message m = comm.recv(0);
+    mp::Message m;
+    if (beacon) {
+      // Idle heartbeat loop: while no work is queued, tell the master once
+      // per interval that this rank is alive (results themselves refresh
+      // liveness, so a busy slave need not beacon).
+      for (;;) {
+        if (auto got = comm.recv_for(opts.supervisor.heartbeat_seconds, 0)) {
+          m = std::move(*got);
+          break;
+        }
+        comm.send(0, kTagHeartbeat, std::vector<std::byte>{});
+      }
+    } else {
+      m = comm.recv(0);
+    }
     if (m.tag == kTagStop) break;
     if (m.tag == kTagAbort) {
       aborted = true;
       break;
     }
     const mp::JobFrame frame = mp::unpack_job_frame(m.payload);
-    if (killable && completed >= *opts.kill_slave_after_jobs) {
-      inject_latency(opts.injected_latency);
-      comm.send(0, kTagDead, std::vector<std::byte>{});
-      return;  // dies without reporting busy time
+    if (const auto f = fault_at_job_boundary(comm, fault, completed, frame.id)) {
+      if (*f == mp::FaultKind::kDieAnnounced) {
+        inject_latency(opts.injected_latency);
+        comm.send(0, kTagDead, std::vector<std::byte>{});
+      } else if (*f == mp::FaultKind::kHang) {
+        hang_until_released(comm);
+      }
+      return;  // dies without reporting busy time (kDieSilently: no message)
     }
     util::WallTimer job_timer;
     TrackedPath tp;
@@ -505,14 +865,15 @@ void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOption
   comm.send(0, kTagBusy, p);
 }
 
-void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts) {
+void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts,
+                     mp::FaultInjector* fault) {
   std::deque<mp::JobFrame> mine;
   std::vector<TrackedPath> pending;
   double tracking_seconds = 0.0;
   std::size_t completed = 0;
   homotopy::TrackerWorkspace ws = source.make_workspace();
-  const bool killable =
-      comm.rank() == opts.kill_slave_rank && opts.kill_slave_after_jobs.has_value();
+  const bool beacon = opts.supervisor.enabled;
+  util::WallTimer since_beacon;
   bool stopped = false;
   bool aborted = false;
 
@@ -554,7 +915,17 @@ void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptio
 
   while (!stopped) {
     if (mine.empty()) {
-      handle(comm.recv());
+      if (beacon) {
+        // Idle heartbeat loop (any source: steal replies land here too).
+        if (auto m = comm.recv_for(opts.supervisor.heartbeat_seconds)) {
+          handle(*m);
+        } else {
+          comm.send(0, kTagHeartbeat, std::vector<std::byte>{});
+          since_beacon.reset();
+        }
+      } else {
+        handle(comm.recv());
+      }
       continue;
     }
     // Drain control traffic (steal orders, late batches) between jobs.
@@ -563,17 +934,28 @@ void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptio
       if (stopped) break;
     }
     if (stopped || mine.empty()) continue;
-    if (killable && completed >= *opts.kill_slave_after_jobs) {
-      // Serve queued steal orders with refusals so no thief hangs on a
-      // reply that will never come, then die silently (no busy report).
-      while (auto m = comm.try_recv(mp::kAnySource, kTagStealOrder)) {
-        const auto req = mp::unpack_steal_request(m->payload);
+    if (const auto f = fault_at_job_boundary(comm, fault, completed, mine.front().id)) {
+      if (*f == mp::FaultKind::kDieAnnounced) {
+        // A cooperative death still serves queued steal orders with
+        // refusals so no thief hangs on a reply that will never come;
+        // uncooperative kinds leave the thieves for the supervisor.
+        while (auto so = comm.try_recv(mp::kAnySource, kTagStealOrder)) {
+          const auto req = mp::unpack_steal_request(so->payload);
+          inject_latency(opts.injected_latency);
+          comm.send(req.thief, kTagStealReply, mp::pack_job_frame_batch({}));
+        }
         inject_latency(opts.injected_latency);
-        comm.send(req.thief, kTagStealReply, mp::pack_job_frame_batch({}));
+        comm.send(0, kTagDead, std::vector<std::byte>{});
+      } else if (*f == mp::FaultKind::kHang) {
+        hang_until_released(comm);
       }
-      inject_latency(opts.injected_latency);
-      comm.send(0, kTagDead, std::vector<std::byte>{});
       return;
+    }
+    // Mid-batch liveness: a long batch sends no results until exhausted, so
+    // beacon between jobs at the heartbeat cadence.
+    if (beacon && since_beacon.seconds() >= opts.supervisor.heartbeat_seconds) {
+      comm.send(0, kTagHeartbeat, std::vector<std::byte>{});
+      since_beacon.reset();
     }
     mp::JobFrame frame = std::move(mine.front());
     mine.pop_front();
@@ -680,6 +1062,60 @@ SessionStats run_static_session(JobSource& source, ResultSink& sink, int ranks,
   return stats;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-plan assembly + validation.
+// ---------------------------------------------------------------------------
+
+/// The single fault source: the session's declarative plan, with the legacy
+/// cooperative kill switch folded in as one announced death.
+mp::FaultPlan effective_fault_plan(const SessionOptions& opts) {
+  mp::FaultPlan plan = opts.fault_plan;
+  if (opts.kill_slave_after_jobs.has_value()) {
+    plan.kill_announced(opts.kill_slave_rank, *opts.kill_slave_after_jobs);
+  }
+  return plan;
+}
+
+void validate_supervisor(const SupervisorOptions& so, const std::string& who) {
+  if (!so.enabled) return;
+  if (so.heartbeat_seconds <= 0.0) {
+    throw std::invalid_argument(who + ": heartbeat_seconds must be positive");
+  }
+  if (so.miss_budget == 0) throw std::invalid_argument(who + ": miss_budget must be positive");
+  if (so.death_multiplier < 1.0) {
+    throw std::invalid_argument(who + ": death_multiplier must be at least 1");
+  }
+  if (so.ewma_alpha <= 0.0 || so.ewma_alpha > 1.0) {
+    throw std::invalid_argument(who + ": ewma_alpha must be in (0, 1]");
+  }
+  if (so.max_attempts == 0) throw std::invalid_argument(who + ": max_attempts must be positive");
+}
+
+void validate_fault_plan(const mp::FaultPlan& plan, int ranks, const SessionOptions& opts,
+                         const std::string& who) {
+  std::set<int> terminal_ranks;
+  for (const auto& a : plan.actions()) {
+    if (a.rank == mp::kAnyFaultRank) {
+      if (!a.on_job.has_value()) {
+        throw std::invalid_argument(who + ": an any-rank fault needs an on_job trigger");
+      }
+    } else if (a.rank <= 0 || a.rank >= ranks) {
+      throw std::invalid_argument(who + ": a fault plan can only target slave ranks "
+                                        "(1 <= rank < ranks)");
+    }
+    if (mp::fault_is_uncooperative(a.kind) && !opts.supervisor.enabled) {
+      throw std::invalid_argument(who + ": uncooperative faults (silent death, hang) need "
+                                        "supervision enabled -- nobody else would notice");
+    }
+    if (mp::fault_is_terminal(a.kind) && a.rank != mp::kAnyFaultRank) {
+      terminal_ranks.insert(a.rank);
+    }
+  }
+  if (!terminal_ranks.empty() && static_cast<int>(terminal_ranks.size()) >= ranks - 1) {
+    throw std::invalid_argument(who + ": the fault plan must leave at least one slave alive");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -696,9 +1132,12 @@ SessionStats Session::run(int ranks) {
     if (!source_.fixed_total().has_value()) {
       throw std::invalid_argument(who + ": static pre-assignment needs a fixed job pool");
     }
-    if (opts_.kill_slave_after_jobs.has_value()) {
+    if (opts_.kill_slave_after_jobs.has_value() || !opts_.fault_plan.empty()) {
       throw std::invalid_argument(who + ": the static policy has no master to re-queue "
                                         "a dead slave's jobs");
+    }
+    if (opts_.supervisor.enabled) {
+      throw std::invalid_argument(who + ": the static policy has no master to supervise");
     }
     if (opts_.stop_after_results.has_value()) {
       throw std::invalid_argument(who + ": the static policy cannot stop early");
@@ -714,27 +1153,35 @@ SessionStats Session::run(int ranks) {
   }
   validate_kill_switch(opts_.kill_slave_rank, opts_.kill_slave_after_jobs.has_value(), ranks,
                        opts_.who);
+  validate_supervisor(opts_.supervisor, who);
+  const mp::FaultPlan plan = effective_fault_plan(opts_);
+  validate_fault_plan(plan, ranks, opts_, who);
+  mp::FaultInjector injector(plan, ranks);
+  mp::FaultInjector* fault = plan.empty() ? nullptr : &injector;
 
   SessionStats stats;
   stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
   util::WallTimer wall;
 
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    if (comm.rank() == 0) {
-      MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
-      if (opts_.policy == Policy::kFCFS) {
-        FcfsPolicy policy;
-        run_master(ctx, policy);
-      } else {
-        BatchStealPolicy policy(ranks);
-        run_master(ctx, policy);
-      }
-    } else if (opts_.policy == Policy::kFCFS) {
-      run_fcfs_slave(comm, source_, opts_);
-    } else {
-      run_batch_slave(comm, source_, opts_);
-    }
-  });
+  mp::World::run(
+      ranks,
+      [&](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
+          if (opts_.policy == Policy::kFCFS) {
+            FcfsPolicy policy;
+            run_master(ctx, policy);
+          } else {
+            BatchStealPolicy policy(ranks);
+            run_master(ctx, policy);
+          }
+        } else if (opts_.policy == Policy::kFCFS) {
+          run_fcfs_slave(comm, source_, opts_, fault);
+        } else {
+          run_batch_slave(comm, source_, opts_, fault);
+        }
+      },
+      fault);
 
   stats.wall_seconds = wall.seconds();
   sink_.finish();
@@ -758,30 +1205,39 @@ SessionStats Session::serve(int ranks) {
   }
   validate_kill_switch(opts_.kill_slave_rank, opts_.kill_slave_after_jobs.has_value(), ranks,
                        opts_.who);
+  validate_supervisor(opts_.supervisor, who);
+  const mp::FaultPlan plan = effective_fault_plan(opts_);
+  validate_fault_plan(plan, ranks, opts_, who);
+  mp::FaultInjector injector(plan, ranks);
+  mp::FaultInjector* fault = plan.empty() ? nullptr : &injector;
 
   SessionStats stats;
   stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
   util::WallTimer wall;
 
-  mp::World::run(ranks, [&](mp::Comm& comm) {
-    if (comm.rank() == 0) {
-      MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
-      if (opts_.policy == Policy::kFCFS) {
-        FcfsPolicy policy;
-        run_serve_master(ctx, policy, *stream);
-      } else {
-        BatchStealPolicy policy(ranks);
-        run_serve_master(ctx, policy, *stream);
-      }
-    } else if (opts_.policy == Policy::kFCFS) {
-      run_fcfs_slave(comm, source_, opts_);
-    } else {
-      run_batch_slave(comm, source_, opts_);
-    }
-  });
+  mp::World::run(
+      ranks,
+      [&](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
+          if (opts_.policy == Policy::kFCFS) {
+            FcfsPolicy policy;
+            run_serve_master(ctx, policy, *stream);
+          } else {
+            BatchStealPolicy policy(ranks);
+            run_serve_master(ctx, policy, *stream);
+          }
+        } else if (opts_.policy == Policy::kFCFS) {
+          run_fcfs_slave(comm, source_, opts_, fault);
+        } else {
+          run_batch_slave(comm, source_, opts_, fault);
+        }
+      },
+      fault);
 
   stats.wall_seconds = wall.seconds();
   stats.service = stream->take_service();
+  stats.service.quarantined = stats.supervision.quarantined;
   sink_.finish();
   return stats;
 }

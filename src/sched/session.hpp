@@ -23,6 +23,14 @@
 // a Session; new code should compose a Session directly.  Scheduling never
 // changes the numerics: for a given source, every policy produces
 // bit-identical result sets.
+//
+// Robustness (DESIGN.md section 11): with SessionOptions::supervisor
+// enabled, the master tracks slave liveness via heartbeats (kTagHeartbeat)
+// and per-job EWMA service times, declares silent slaves suspect -> dead
+// and re-queues their work, speculatively re-dispatches straggling jobs
+// (first result wins), and quarantines jobs that repeatedly coincide with
+// worker death.  Faults themselves are injected deterministically through
+// SessionOptions::fault_plan (mp/fault.hpp).
 
 #include <deque>
 #include <optional>

@@ -1,12 +1,15 @@
 // Tests for the in-process message-passing runtime: serialization
-// round-trips, mailbox semantics (filtering, per-sender ordering), world
-// lifecycle, barrier, and stress under contention.
+// round-trips, mailbox semantics (filtering, per-sender ordering, timed
+// receives), world lifecycle, barrier, poisoning (one rank's exception must
+// unblock every sibling so the join completes), and stress under contention.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <complex>
 #include <numeric>
+#include <thread>
 
 #include "mp/comm.hpp"
 
@@ -88,6 +91,95 @@ TEST(MailboxTest, ProbeDoesNotConsume) {
   EXPECT_EQ(box.size(), 1u);
 }
 
+// ---- timed receives ---------------------------------------------------------
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+TEST(MailboxTest, RecvForZeroOrNegativeDegeneratesToTryRecv) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.recv_for(0.0).has_value());
+  EXPECT_FALSE(box.recv_for(-1.0).has_value());
+  EXPECT_LT(seconds_since(t0), 1.0);  // no wait at all
+  box.push(Message{1, 4, {}});
+  const auto m = box.recv_for(0.0, kAnySource, 4);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 4);
+}
+
+TEST(MailboxTest, RecvForTimesOutEmptyHanded) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.recv_for(0.05).has_value());
+  EXPECT_GE(seconds_since(t0), 0.04);  // waited (almost) the full budget
+}
+
+TEST(MailboxTest, NonMatchingArrivalsDoNotShortenTheWait) {
+  // Spurious wakeups: pushes that fail the filter must send the receiver
+  // back to sleep until the original deadline, not end the wait early.
+  Mailbox box;
+  std::thread producer([&box] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      box.push(Message{0, /*tag=*/1, {}});
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.recv_for(0.15, kAnySource, /*tag=*/2).has_value());
+  EXPECT_GE(seconds_since(t0), 0.12);
+  producer.join();
+  EXPECT_EQ(box.size(), 3u);  // the mismatches stayed queued
+}
+
+TEST(MailboxTest, RecvForWakesOnMatchingConcurrentPush) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(Message{3, /*tag=*/1, {}});  // decoy first...
+    box.push(Message{3, /*tag=*/2, {}});  // ...then the match
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto m = box.recv_for(30.0, kAnySource, /*tag=*/2);
+  producer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 2);
+  EXPECT_LT(seconds_since(t0), 10.0);  // long before the deadline
+}
+
+TEST(MailboxTest, FilteredRecvForDrainsOnlyMatchesUnderContention) {
+  Mailbox box;
+  constexpr int kEach = 50;
+  std::thread producer([&box] {
+    for (int i = 0; i < kEach; ++i) {
+      box.push(Message{1, /*tag=*/1, {}});
+      box.push(Message{1, /*tag=*/2, {std::byte(i)}});
+    }
+  });
+  for (int i = 0; i < kEach; ++i) {
+    const auto m = box.recv_for(30.0, kAnySource, /*tag=*/2);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, 2);
+    EXPECT_EQ(m->payload[0], std::byte(i));  // per-sender FIFO within the tag
+  }
+  producer.join();
+  EXPECT_EQ(box.size(), static_cast<std::size_t>(kEach));  // tag-1 leftovers
+}
+
+// ---- poisoning --------------------------------------------------------------
+
+TEST(MailboxTest, PoisonDrainsQueuedMessagesBeforeThrowing) {
+  Mailbox box;
+  box.push(Message{1, 7, {}});
+  box.poison();
+  EXPECT_EQ(box.recv(1, 7).tag, 7);  // queued traffic still delivered
+  EXPECT_THROW(box.recv(), pph::mp::WorldAborted);
+  EXPECT_THROW(box.recv_for(10.0), pph::mp::WorldAborted);
+  EXPECT_FALSE(box.try_recv().has_value());  // non-blocking calls unaffected
+  EXPECT_FALSE(box.probe().has_value());
+}
+
 TEST(WorldTest, RankAndSizeVisible) {
   std::atomic<int> sum{0};
   World::run(4, [&](Comm& comm) {
@@ -156,6 +248,54 @@ TEST(WorldTest, ExceptionPropagatesToCaller) {
                             // Other ranks finish normally.
                           }),
                std::runtime_error);
+}
+
+// One rank's exception must not leave its siblings blocked: the world is
+// poisoned, every parked recv/recv_for/barrier throws WorldAborted, the
+// join completes, and the ORIGINAL exception (std::logic_error here, which
+// WorldAborted -- a runtime_error -- can never satisfy) is what the caller
+// sees.  Before poisoning, each of these tests deadlocked.
+
+TEST(WorldTest, ExceptionUnblocksSiblingBlockedInRecv) {
+  EXPECT_THROW(World::run(3,
+                          [](Comm& comm) {
+                            if (comm.rank() == 1) throw std::logic_error("boom");
+                            if (comm.rank() == 2) comm.recv();  // nobody will send
+                          }),
+               std::logic_error);
+}
+
+TEST(WorldTest, ExceptionUnblocksSiblingBlockedInTimedRecv) {
+  EXPECT_THROW(World::run(2,
+                          [](Comm& comm) {
+                            if (comm.rank() == 1) throw std::logic_error("boom");
+                            while (!comm.recv_for(60.0).has_value()) {
+                            }
+                          }),
+               std::logic_error);
+}
+
+TEST(WorldTest, ExceptionUnblocksSiblingsParkedOnBarrier) {
+  EXPECT_THROW(World::run(3,
+                          [](Comm& comm) {
+                            if (comm.rank() == 1) throw std::logic_error("boom");
+                            comm.barrier();  // rank 1 never arrives
+                          }),
+               std::logic_error);
+}
+
+TEST(WorldTest, CompletedBarrierWinsOverConcurrentPoison) {
+  // All ranks arrive at the barrier, THEN one throws: the completed barrier
+  // must have released everyone (no spurious WorldAborted for survivors).
+  std::atomic<int> released{0};
+  EXPECT_THROW(World::run(4,
+                          [&](Comm& comm) {
+                            comm.barrier();
+                            ++released;
+                            if (comm.rank() == 2) throw std::logic_error("late");
+                          }),
+               std::logic_error);
+  EXPECT_EQ(released.load(), 4);
 }
 
 TEST(WorldTest, StressManyMessages) {

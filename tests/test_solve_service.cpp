@@ -330,6 +330,14 @@ TEST_F(SchedulerTest, FluentOptionsSetEveryField) {
                         .with_kill_after(5, 2)
                         .with_stop_after(7)
                         .with_serve_deadline(1.5)
+                        .with_supervision(pph::sched::SupervisorOptions()
+                                              .with_heartbeat(0.05)
+                                              .with_miss_budget(10, 3.0)
+                                              .with_hang_factor(8.0)
+                                              .with_speculation(4.0, 6)
+                                              .with_max_attempts(2)
+                                              .with_ewma_alpha(0.5))
+                        .with_fault_plan(pph::mp::FaultPlan().kill(2, 5).straggle(1, 0, 0.01))
                         .with_name("fluent-test");
   EXPECT_EQ(opts.policy, sched::Policy::kBatchSteal);
   EXPECT_EQ(opts.assignment, sched::StaticAssignment::kBlock);
@@ -341,6 +349,20 @@ TEST_F(SchedulerTest, FluentOptionsSetEveryField) {
   EXPECT_EQ(opts.kill_slave_rank, 2);
   EXPECT_EQ(opts.stop_after_results, std::optional<std::size_t>(7));
   EXPECT_EQ(opts.serve_deadline_seconds, std::optional<double>(1.5));
+  EXPECT_TRUE(opts.supervisor.enabled);  // with_supervision is the opt-in
+  EXPECT_DOUBLE_EQ(opts.supervisor.heartbeat_seconds, 0.05);
+  EXPECT_EQ(opts.supervisor.miss_budget, 10u);
+  EXPECT_DOUBLE_EQ(opts.supervisor.death_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(opts.supervisor.hang_factor, 8.0);
+  EXPECT_TRUE(opts.supervisor.speculate);
+  EXPECT_DOUBLE_EQ(opts.supervisor.speculation_factor, 4.0);
+  EXPECT_EQ(opts.supervisor.speculation_min_samples, 6u);
+  EXPECT_EQ(opts.supervisor.max_attempts, 2u);
+  EXPECT_DOUBLE_EQ(opts.supervisor.ewma_alpha, 0.5);
+  ASSERT_EQ(opts.fault_plan.actions().size(), 2u);
+  EXPECT_EQ(opts.fault_plan.actions()[0].kind, pph::mp::FaultKind::kDieSilently);
+  EXPECT_EQ(opts.fault_plan.actions()[1].kind, pph::mp::FaultKind::kStraggle);
+  EXPECT_FALSE(pph::sched::SessionOptions().supervisor.enabled);  // default off
   EXPECT_STREQ(opts.who, "fluent-test");
 }
 
