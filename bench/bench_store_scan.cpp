@@ -1,0 +1,288 @@
+// Result-store query subsystem under load (DESIGN.md section 12): write a
+// synthetic 100k-record store, then measure
+//
+//   - open cost: footer-indexed open vs the streaming-scan fallback (the
+//     indexed open parses header + footer only -- O(footer));
+//   - random access: per-record cost of footer-indexed record(i) probes at
+//     two store sizes -- flat per-access cost is the O(1) evidence;
+//   - summary scan: the legacy whole-store reparse (load_result_store
+//     materializes every endpoint) vs store::scan with lazy RecordView
+//     decode at 1/2/4/8 threads -- the headline speedup;
+//   - global dedup at 1 vs 4 threads.
+//
+// Correctness gates (exit non-zero on disagreement): every scan variant
+// must produce the same counts as the full reparse, and dedup counts must
+// not depend on the thread count.
+//
+// Set PPH_BENCH_STORE_TINY=1 for a seconds-scale run (CI smoke, 2k
+// records).  Set PPH_BENCH_JSON=<path> to write the measured rows as JSON
+// (the perf-trajectory format committed under docs/bench/).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sched/result_store.hpp"
+#include "store/analytics.hpp"
+#include "store/store_reader.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pph;
+
+bool tiny_mode() {
+  const char* v = std::getenv("PPH_BENCH_STORE_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+struct JsonRow {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::size_t records = 0;
+  double per_access_us = 0.0;   // random-access rows only
+  double speedup = 0.0;         // scan rows: vs the full-reparse tally
+};
+
+void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
+                      bool tiny, bool gates_passed) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "PPH_BENCH_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  out << "{\n  \"context\": {\n"
+      << "    \"bench\": \"bench_store_scan\",\n"
+      << "    \"date\": \"" << stamp << "\",\n"
+      << "    \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+      << "    \"gates_passed\": " << (gates_passed ? "true" : "false") << "\n  },\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"wall_seconds\": " << r.wall_seconds
+        << ", \"records\": " << r.records << ", \"per_access_us\": " << r.per_access_us
+        << ", \"speedup_vs_reparse\": " << r.speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote JSON trajectory point: %s\n", path.c_str());
+}
+
+/// Synthesize a store of `n` records with dim-5 endpoints: ~90% converged
+/// (tight residuals), ~5% diverged (NaN/huge endpoints), ~5% failed.
+void synthesize_store(const std::string& path, std::size_t n, util::Prng& rng) {
+  std::remove(path.c_str());
+  store::StoreMeta meta;
+  meta.policy = "bench";
+  meta.ranks = 1;
+  meta.seed = 20260808;
+  sched::JsonlStoreSink sink(path, /*resume=*/false, meta);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TrackedPath tp;
+    tp.index = i;
+    tp.worker = static_cast<int>(rng.uniform_index(8)) + 1;
+    tp.seconds = rng.uniform(1e-4, 5e-2);
+    tp.level = static_cast<std::uint32_t>(rng.uniform_index(6));
+    const std::uint64_t kind = rng.uniform_index(100);
+    if (kind < 90) {
+      tp.result.status = homotopy::PathStatus::kConverged;
+      tp.result.t_reached = 1.0;
+      tp.result.residual = std::pow(10.0, rng.uniform(-15.0, -9.0));
+    } else if (kind < 95) {
+      tp.result.status = homotopy::PathStatus::kDiverged;
+      tp.result.t_reached = rng.uniform(0.5, 1.0);
+      tp.result.residual = std::pow(10.0, rng.uniform(2.0, 8.0));
+    } else {
+      tp.result.status = homotopy::PathStatus::kFailed;
+      tp.result.t_reached = rng.uniform(0.0, 1.0);
+      tp.result.residual = std::pow(10.0, rng.uniform(-8.0, 0.0));
+    }
+    tp.result.last_step = rng.uniform(1e-6, 0.2);
+    tp.result.steps = 50 + rng.uniform_index(400);
+    tp.result.rejections = rng.uniform_index(30);
+    tp.result.newton_iterations = 100 + rng.uniform_index(2000);
+    tp.result.rescued = kind >= 90 && kind < 92;
+    tp.result.rescue_attempts = tp.result.rescued ? 1 : 0;
+    tp.result.x.reserve(5);
+    const double scale = tp.result.status == homotopy::PathStatus::kDiverged ? 1e9 : 2.0;
+    for (int k = 0; k < 5; ++k) {
+      tp.result.x.emplace_back(rng.uniform(-scale, scale), rng.uniform(-scale, scale));
+    }
+    sink.accept(tp);
+  }
+  sink.finish();
+}
+
+/// The legacy access pattern: reparse the whole store (decoding every
+/// endpoint) and tally -- what analytics cost before the reader existed.
+store::analytics::StoreSummary reparse_tally(const std::string& path) {
+  const auto load = sched::load_result_store(path);
+  store::analytics::StoreSummary s;
+  for (const auto& tp : load.records) {
+    store::RecordFields f;
+    f.id = tp.index;
+    f.worker = tp.worker;
+    f.seconds = tp.seconds;
+    f.status = tp.result.status;
+    f.residual = tp.result.residual;
+    f.steps = tp.result.steps;
+    f.rejections = tp.result.rejections;
+    f.newton_iterations = tp.result.newton_iterations;
+    f.rescue_attempts = tp.result.rescue_attempts;
+    f.rescued = tp.result.rescued;
+    f.level = tp.level;
+    s.add(f);
+  }
+  return s;
+}
+
+bool same_counts(const store::analytics::StoreSummary& a,
+                 const store::analytics::StoreSummary& b) {
+  return a.records == b.records && a.converged == b.converged &&
+         a.diverged == b.diverged && a.failed == b.failed && a.rescued == b.rescued &&
+         a.steps == b.steps && a.rejections == b.rejections &&
+         a.newton_iterations == b.newton_iterations;
+}
+
+}  // namespace
+
+int main() {
+  const bool tiny = tiny_mode();
+  const std::size_t kRecords = tiny ? 2'000 : 100'000;
+  const std::size_t kSmall = kRecords / 10;
+  const std::size_t kProbes = tiny ? 2'000 : 10'000;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pph_bench_store").string();
+  std::filesystem::create_directories(dir);
+  const std::string big_path = dir + "/store_big.jsonl";
+  const std::string small_path = dir + "/store_small.jsonl";
+
+  util::Prng rng(20260808);
+  std::printf("synthesizing %zu + %zu records...\n", kRecords, kSmall);
+  synthesize_store(big_path, kRecords, rng);
+  synthesize_store(small_path, kSmall, rng);
+
+  std::vector<JsonRow> rows;
+  util::Table table("store scan bench (" + std::to_string(kRecords) + " records)");
+  table.set_header({"experiment", "seconds", "per-access us", "speedup vs reparse"});
+  bool gates_passed = true;
+
+  // ---- open cost: indexed vs scan fallback ---------------------------------
+  util::WallTimer timer;
+  store::StoreReader indexed(big_path);
+  const double open_indexed = timer.seconds();
+  if (!indexed.indexed() || indexed.size() != kRecords) {
+    std::fprintf(stderr, "FAIL: footer index did not load\n");
+    return 1;
+  }
+  // Force the scan fallback by reopening a footerless copy.
+  const std::string nofooter = dir + "/store_nofooter.jsonl";
+  {
+    std::filesystem::copy_file(big_path, nofooter,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(nofooter, indexed.append_offset());
+  }
+  timer.reset();
+  store::StoreReader fallback(nofooter);
+  const double open_scan = timer.seconds();
+  if (fallback.indexed() || fallback.size() != kRecords) {
+    std::fprintf(stderr, "FAIL: scan fallback lost records\n");
+    return 1;
+  }
+  rows.push_back({"open_indexed", open_indexed, kRecords, 0.0, 0.0});
+  rows.push_back({"open_scan_fallback", open_scan, kRecords, 0.0, 0.0});
+  table.add_row({"open (footer index)", util::Table::cell(open_indexed, 4),
+                 util::Table::na(), util::Table::na()});
+  table.add_row({"open (scan fallback)", util::Table::cell(open_scan, 4),
+                 util::Table::na(), util::Table::na()});
+
+  // ---- O(1) random access: per-probe cost must not scale with N ------------
+  const store::StoreReader small_reader(small_path);
+  double checksum = 0.0;
+  const auto probe = [&](const store::StoreReader& reader, std::size_t probes) {
+    util::Prng prng(7);
+    util::WallTimer t;
+    for (std::size_t k = 0; k < probes; ++k) {
+      const std::size_t i = prng.uniform_index(reader.size());
+      checksum += reader.record(i).fields().seconds;
+    }
+    return t.seconds();
+  };
+  const double big_probe = probe(indexed, kProbes);
+  const double small_probe = probe(small_reader, kProbes);
+  const double big_us = 1e6 * big_probe / static_cast<double>(kProbes);
+  const double small_us = 1e6 * small_probe / static_cast<double>(kProbes);
+  rows.push_back({"random_access_big", big_probe, kRecords, big_us, 0.0});
+  rows.push_back({"random_access_small", small_probe, kSmall, small_us, 0.0});
+  table.add_row({"random access (N)", util::Table::cell(big_probe, 4),
+                 util::Table::cell(big_us, 3), util::Table::na()});
+  table.add_row({"random access (N/10)", util::Table::cell(small_probe, 4),
+                 util::Table::cell(small_us, 3), util::Table::na()});
+
+  // ---- summary: full reparse vs lazy parallel scan -------------------------
+  timer.reset();
+  const auto reparse = reparse_tally(big_path);
+  const double reparse_seconds = timer.seconds();
+  rows.push_back({"summary_full_reparse", reparse_seconds, kRecords, 0.0, 1.0});
+  table.add_row({"summary: full reparse", util::Table::cell(reparse_seconds, 4),
+                 util::Table::na(), util::Table::cell_ratio(1.0)});
+
+  for (const int threads : {1, 2, 4, 8}) {
+    timer.reset();
+    const auto s = store::analytics::summarize(indexed, threads);
+    const double seconds = timer.seconds();
+    const double speedup = seconds > 0.0 ? reparse_seconds / seconds : 0.0;
+    if (!same_counts(s, reparse)) {
+      std::fprintf(stderr, "FAIL: scan(threads=%d) disagrees with the full reparse\n",
+                   threads);
+      gates_passed = false;
+    }
+    rows.push_back({"summary_scan_t" + std::to_string(threads), seconds, kRecords, 0.0,
+                    speedup});
+    table.add_row({"summary: scan x" + std::to_string(threads),
+                   util::Table::cell(seconds, 4), util::Table::na(),
+                   util::Table::cell_ratio(speedup)});
+  }
+
+  // ---- dedup: thread-count independence ------------------------------------
+  timer.reset();
+  const auto dedup1 = store::analytics::dedup(indexed, 1e-8, 1);
+  const double dedup1_seconds = timer.seconds();
+  timer.reset();
+  const auto dedup4 = store::analytics::dedup(indexed, 1e-8, 4);
+  const double dedup4_seconds = timer.seconds();
+  if (dedup1.unique_ids != dedup4.unique_ids ||
+      dedup1.distinct_solutions != dedup4.distinct_solutions ||
+      dedup1.converged != dedup4.converged) {
+    std::fprintf(stderr, "FAIL: dedup counts depend on the thread count\n");
+    gates_passed = false;
+  }
+  rows.push_back({"dedup_t1", dedup1_seconds, kRecords, 0.0, 0.0});
+  rows.push_back({"dedup_t4", dedup4_seconds, kRecords, 0.0, 0.0});
+  table.add_row({"dedup x1", util::Table::cell(dedup1_seconds, 4), util::Table::na(),
+                 util::Table::na()});
+  table.add_row({"dedup x4", util::Table::cell(dedup4_seconds, 4), util::Table::na(),
+                 util::Table::na()});
+
+  table.print(std::cout);
+  std::printf("(checksum %g; distinct solutions %zu of %zu converged)\n", checksum,
+              dedup1.distinct_solutions, dedup1.converged);
+
+  if (const char* json = std::getenv("PPH_BENCH_JSON")) {
+    write_bench_json(json, rows, tiny, gates_passed);
+  }
+  if (!gates_passed) return 1;
+  std::printf("all scan/dedup agreement gates passed\n");
+  return 0;
+}

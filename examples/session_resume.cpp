@@ -10,16 +10,27 @@
 //       destructors -- models `kill -9` mid-run, deterministically);
 //   session_resume --store S                   resume whatever S holds and
 //       run to completion;
-//   session_resume --store S --verify          resume, then check the
-//       report is bit-identical to a straight in-memory run (exit 0 iff so).
+//   session_resume --store S --resume-into T   read the completed ids from
+//       S (a path or a 'store-*.jsonl' glob; S is never written), track
+//       only the remainder into a FRESH store at T -- the shards then form
+//       one logical store for store::MultiStoreReader / pph_store;
+//   ... --verify                               additionally check the run
+//       against a straight in-memory run, re-assembling the report through
+//       the store/ query subsystem (StoreReader requires the footer-indexed
+//       path on a finished store; exit 0 iff bit-identical).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "homotopy/start_total_degree.hpp"
+#include "sched/api.hpp"
 #include "sched/result_store.hpp"
+#include "store/store_reader.hpp"
 #include "systems/cyclic.hpp"
 
 namespace {
@@ -48,22 +59,48 @@ class CrashSink final : public pph::sched::ResultSink {
   std::size_t accepted_ = 0;
 };
 
+/// Re-assemble the legacy report THROUGH the query subsystem: every shard
+/// read lazily, cross-shard JobId duplicates resolved first-wins, paths
+/// sorted by index.  This is the read path pph_store uses, so verifying
+/// against it exercises reader + codec end to end.
+pph::sched::ParallelRunReport report_from_store(const pph::store::MultiStoreReader& ms) {
+  pph::sched::ParallelRunReport report;
+  report.paths.reserve(ms.size());
+  std::vector<bool> seen;
+  ms.for_each([&](const pph::store::RecordView& view, std::size_t) {
+    pph::sched::TrackedPath tp = view.full();
+    if (tp.index >= seen.size()) seen.resize(tp.index + 1, false);
+    if (seen[tp.index]) return;  // first shard holding an id wins
+    seen[tp.index] = true;
+    report.paths.push_back(std::move(tp));
+  });
+  std::sort(report.paths.begin(), report.paths.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  report.tally();
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pph;
   std::string store_path = "session_resume_store.jsonl";
+  std::string resume_into;
   std::size_t crash_after = 0;
   bool verify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
       store_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume-into") == 0 && i + 1 < argc) {
+      resume_into = argv[++i];
     } else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc) {
       crash_after = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--store PATH] [--crash-after N] [--verify]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--store PATH|GLOB] [--crash-after N]"
+                   " [--resume-into PATH] [--verify]\n",
                    argv[0]);
       return 2;
     }
@@ -93,6 +130,57 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!resume_into.empty()) {
+    // Shard mode: the prior store(s) stay read-only; the remainder lands in
+    // a fresh shard.  Completed ids come through the reader, not the sink's
+    // restore path -- the killed shard has no footer, so this also covers
+    // the scan fallback.
+    const auto prior_paths = store::expand_store_paths({store_path});
+    const store::MultiStoreReader prior(prior_paths);
+    std::unordered_set<sched::JobId> done;
+    for (std::size_t k = 0; k < prior.shard_count(); ++k) {
+      const store::StoreReader& s = prior.shard(k);
+      for (std::size_t i = 0; i < s.size(); ++i) done.insert(s.id_at(i));
+    }
+    std::printf("resuming into %s: %zu prior shard(s), %zu completed ids\n",
+                resume_into.c_str(), prior.shard_count(), done.size());
+
+    store::StoreMeta meta;
+    meta.policy = sched::policy_name(sched::SessionOptions{}.policy);
+    meta.ranks = 4;
+    sched::JsonlStoreSink fresh(resume_into, /*resume=*/false, meta);
+    sched::VectorJobSource source(workload);
+    source.skip_completed(done);
+    sched::Session session(source, fresh,
+                           sched::SessionOptions().with_name("session_resume"));
+    session.run(4);
+    fresh.finish();
+
+    const std::size_t total = done.size() + fresh.stored_count();
+    std::printf("shard %s: %zu new records (%zu total, complete: %s)\n",
+                resume_into.c_str(), fresh.stored_count(), total,
+                total >= workload.size() ? "yes" : "NO");
+    if (total < workload.size()) return 1;
+    if (!verify) return 0;
+
+    // Verify through the query subsystem: both shards as one logical store.
+    std::vector<std::string> all_paths = prior_paths;
+    all_paths.push_back(resume_into);
+    const store::MultiStoreReader combined(all_paths);
+    const store::StoreReader fresh_reader(resume_into);
+    if (!fresh_reader.indexed()) {
+      std::printf("fresh shard %s is not footer-indexed after finish()\n",
+                  resume_into.c_str());
+      return 1;
+    }
+    const auto assembled = report_from_store(combined);
+    const auto straight = sched::run_paths(workload, 4);
+    const bool identical = sched::identical_path_results(straight, assembled);
+    std::printf("sharded store re-assembles bit-identical to a straight run: %s\n",
+                identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+  }
+
   const auto out = sched::run_with_store(workload, 4, store_path);
   std::printf("store %s: restored %zu records, tracked %zu, complete: %s\n",
               store_path.c_str(), out.restored, out.stats.accepted,
@@ -100,9 +188,19 @@ int main(int argc, char** argv) {
   if (!out.completed) return 1;
   if (!verify) return 0;
 
+  // The session ran finish(), so the store must come back footer-indexed;
+  // re-assemble the report through the reader and require bit-identity
+  // against both the in-memory report and a straight run.
+  const store::MultiStoreReader reader({store_path});
+  if (!reader.shard(0).indexed()) {
+    std::printf("store %s is not footer-indexed after finish()\n", store_path.c_str());
+    return 1;
+  }
+  const auto assembled = report_from_store(reader);
   const auto straight = sched::run_paths(workload, 4);
-  const bool identical = sched::identical_path_results(straight, out.report);
-  std::printf("resumed report bit-identical to a straight run: %s\n",
+  const bool identical = sched::identical_path_results(straight, out.report) &&
+                         sched::identical_path_results(straight, assembled);
+  std::printf("resumed + store-assembled reports bit-identical to a straight run: %s\n",
               identical ? "yes" : "NO");
   return identical ? 0 : 1;
 }

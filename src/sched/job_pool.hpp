@@ -109,6 +109,10 @@ struct TrackedPath {
   std::size_t index = 0;
   int worker = 0;
   double seconds = 0.0;
+  /// Tree level of the job (Pieri sources stamp it master-side in
+  /// consume(), before the sink sees the record -- slaves never know it,
+  /// so it is NOT part of the result wire format).  0 for flat path pools.
+  std::uint32_t level = 0;
   PathResult result;
 };
 

@@ -118,13 +118,16 @@ std::vector<std::byte> PieriTreeJobSource::job_payload(JobId id) const {
   return pack_edge(job.pivots, job.attempt, job.rescue, job.start);
 }
 
-bool PieriTreeJobSource::consume(const TrackedPath& tp) {
+bool PieriTreeJobSource::consume(TrackedPath& tp) {
   const auto jt = jobs_.find(tp.index);
   if (jt == jobs_.end()) return false;  // unknown id: corrupt session state
   const Job job = std::move(jt->second);
   jobs_.erase(jt);
   const Pattern pattern(input_->problem, job.pivots);
   const std::size_t level = pattern.level();
+  // Master-side provenance: slaves never know the tree level, so it is
+  // stamped here, before any sink (e.g. a result store) sees the record.
+  tp.level = static_cast<std::uint32_t>(level);
   Instance& inst = instances_.at(job.pivots);
   if (job.attempt != inst.attempt) {
     // Stale result from a superseded attempt; drop it.  (A full retry only

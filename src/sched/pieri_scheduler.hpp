@@ -98,7 +98,7 @@ class PieriTreeJobSource final : public JobSource {
   JobId pop() override;
   void requeue(JobId id) override { ready_.push_front(id); }
   std::vector<std::byte> job_payload(JobId id) const override;
-  bool consume(const TrackedPath& tp) override;
+  bool consume(TrackedPath& tp) override;
 
   /// One workspace per slave, bound to the edge-homotopy FAMILY: the
   /// compiled fast path's caches are keyed on the owning tape, so the same

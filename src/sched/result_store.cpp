@@ -1,175 +1,39 @@
 #include "sched/result_store.hpp"
 
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 #include <system_error>
 
+#include "sched/api.hpp"
+#include "store/store_reader.hpp"
+
 namespace pph::sched {
-
-namespace {
-
-// Version 2 added the rescue-provenance fields ("ls"/"ra"/"rs"); a v1
-// store fails the header comparison and restarts cleanly, re-tracking its
-// jobs deterministically.
-constexpr const char kHeaderLine[] = "{\"pph_result_store\":{\"version\":2}}";
-constexpr const char kFooterPrefix[] = "{\"footer\":";
-
-// ---- strict positional parsing helpers ------------------------------------
-
-void expect(const std::string& line, std::size_t& pos, const char* literal) {
-  const std::size_t n = std::char_traits<char>::length(literal);
-  if (line.compare(pos, n, literal) != 0) {
-    throw std::invalid_argument("result store: malformed record line");
-  }
-  pos += n;
-}
-
-std::uint64_t parse_uint(const std::string& line, std::size_t& pos) {
-  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') {
-    throw std::invalid_argument("result store: expected digit");
-  }
-  std::uint64_t value = 0;
-  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
-    value = value * 10 + static_cast<std::uint64_t>(line[pos] - '0');
-    ++pos;
-  }
-  return value;
-}
-
-}  // namespace
 
 std::string store_record_line(const TrackedPath& tp) {
   std::string line;
-  line.reserve(160 + 32 * tp.result.x.size());
-  line += "{\"i\":";
-  line += std::to_string(tp.index);
-  line += ",\"w\":";
-  line += std::to_string(tp.worker);
-  line += ",\"sec\":\"";
-  mp::append_double_bits(line, tp.seconds);
-  line += "\",\"st\":";
-  line += std::to_string(static_cast<int>(tp.result.status));
-  line += ",\"t\":\"";
-  mp::append_double_bits(line, tp.result.t_reached);
-  line += "\",\"res\":\"";
-  mp::append_double_bits(line, tp.result.residual);
-  line += "\",\"stp\":";
-  line += std::to_string(tp.result.steps);
-  line += ",\"rej\":";
-  line += std::to_string(tp.result.rejections);
-  line += ",\"nwt\":";
-  line += std::to_string(tp.result.newton_iterations);
-  line += ",\"ls\":\"";
-  mp::append_double_bits(line, tp.result.last_step);
-  line += "\",\"ra\":";
-  line += std::to_string(tp.result.rescue_attempts);
-  line += ",\"rs\":";
-  line += std::to_string(tp.result.rescued ? 1 : 0);
-  line += ",\"x\":\"";
-  for (const auto& c : tp.result.x) {
-    mp::append_double_bits(line, c.real());
-    mp::append_double_bits(line, c.imag());
-  }
-  line += "\"}";
+  store::append_record_line(line, tp);
   return line;
 }
 
 TrackedPath parse_store_record(const std::string& line) {
-  TrackedPath tp;
-  std::size_t pos = 0;
-  expect(line, pos, "{\"i\":");
-  tp.index = static_cast<std::size_t>(parse_uint(line, pos));
-  expect(line, pos, ",\"w\":");
-  tp.worker = static_cast<int>(parse_uint(line, pos));
-  expect(line, pos, ",\"sec\":\"");
-  tp.seconds = mp::parse_double_bits(line, pos);
-  expect(line, pos, "\",\"st\":");
-  const auto status = parse_uint(line, pos);
-  if (status > static_cast<std::uint64_t>(PathStatus::kFailed)) {
-    throw std::invalid_argument("result store: unknown path status");
-  }
-  tp.result.status = static_cast<PathStatus>(status);
-  expect(line, pos, ",\"t\":\"");
-  tp.result.t_reached = mp::parse_double_bits(line, pos);
-  expect(line, pos, "\",\"res\":\"");
-  tp.result.residual = mp::parse_double_bits(line, pos);
-  expect(line, pos, "\",\"stp\":");
-  tp.result.steps = static_cast<std::size_t>(parse_uint(line, pos));
-  expect(line, pos, ",\"rej\":");
-  tp.result.rejections = static_cast<std::size_t>(parse_uint(line, pos));
-  expect(line, pos, ",\"nwt\":");
-  tp.result.newton_iterations = static_cast<std::size_t>(parse_uint(line, pos));
-  expect(line, pos, ",\"ls\":\"");
-  tp.result.last_step = mp::parse_double_bits(line, pos);
-  expect(line, pos, "\",\"ra\":");
-  tp.result.rescue_attempts = static_cast<std::uint32_t>(parse_uint(line, pos));
-  expect(line, pos, ",\"rs\":");
-  const auto rescued = parse_uint(line, pos);
-  if (rescued > 1) throw std::invalid_argument("result store: rescued flag must be 0/1");
-  tp.result.rescued = rescued == 1;
-  expect(line, pos, ",\"x\":\"");
-  while (pos < line.size() && line[pos] != '"') {
-    const double re = mp::parse_double_bits(line, pos);
-    const double im = mp::parse_double_bits(line, pos);
-    tp.result.x.emplace_back(re, im);
-  }
-  expect(line, pos, "\"}");
-  if (pos != line.size()) {
-    throw std::invalid_argument("result store: trailing bytes on record line");
-  }
-  return tp;
+  return store::parse_record(line);
 }
 
 StoreLoad load_result_store(const std::string& path) {
+  // One parser for the whole project: materialize through the lazy reader.
+  const store::StoreReader reader(path);
   StoreLoad load;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return load;  // missing file: empty and clean
-
-  std::string line;
-  // Header.
-  if (!std::getline(in, line) || line != kHeaderLine || in.eof()) {
-    // Unreadable header (or a file cut mid-header): start the store over.
-    load.truncated = in.good() || !line.empty();
-    return load;
-  }
-  std::uint64_t offset = static_cast<std::uint64_t>(line.size()) + 1;
-  load.append_offset = offset;
-
-  std::unordered_set<JobId> seen;
-  while (std::getline(in, line)) {
-    const std::uint64_t line_start = offset;
-    const bool newline_terminated = !in.eof();
-    if (!newline_terminated) {
-      // A killed writer leaves at most one partial line at the tail --
-      // possibly a half-written footer; drop it either way (a dropped
-      // record's job re-tracks deterministically on resume).
-      load.truncated = true;
-      load.append_offset = line_start;
-      return load;
-    }
-    if (line.compare(0, std::char_traits<char>::length(kFooterPrefix), kFooterPrefix) == 0) {
-      // Clean close: the footer is the last meaningful line; a resuming
-      // writer overwrites it so the footer stays last.
-      load.had_footer = true;
-      load.append_offset = line_start;
-      return load;
-    }
-    TrackedPath tp;
-    try {
-      tp = parse_store_record(line);
-    } catch (const std::invalid_argument&) {
-      load.truncated = true;
-      load.append_offset = line_start;
-      return load;
-    }
-    offset += static_cast<std::uint64_t>(line.size()) + 1;
-    if (seen.insert(tp.index).second) {
-      load.offsets.emplace_back(tp.index, line_start);
-      load.records.push_back(std::move(tp));
-    }
-    load.append_offset = offset;
-  }
+  load.version = reader.version();
+  load.meta = reader.meta();
+  load.append_offset = reader.append_offset();
+  load.had_footer = reader.footer_seen();
+  load.truncated = reader.truncated();
+  load.records.reserve(reader.size());
+  load.offsets.reserve(reader.size());
+  reader.for_each([&](const store::RecordView& view, std::size_t i) {
+    load.records.push_back(view.full());
+    load.offsets.emplace_back(reader.id_at(i), reader.offset_at(i));
+  });
   return load;
 }
 
@@ -177,15 +41,20 @@ StoreLoad load_result_store(const std::string& path) {
 // JsonlStoreSink
 // ---------------------------------------------------------------------------
 
-JsonlStoreSink::JsonlStoreSink(std::string path, bool resume) : path_(std::move(path)) {
+JsonlStoreSink::JsonlStoreSink(std::string path, bool resume, store::StoreMeta meta)
+    : path_(std::move(path)) {
   bool fresh = true;
   if (resume) {
     StoreLoad load = load_result_store(path_);
-    restored_ = std::move(load.records);
-    offsets_ = std::move(load.offsets);
-    offset_ = load.append_offset;
-    std::error_code ec;
-    if (std::filesystem::exists(path_, ec) && offset_ > 0) {
+    // Keep the on-disk format version: appending v3 records to a v2 store
+    // would corrupt it.  A v1 store (no rescue provenance) restarts fresh,
+    // as it always has; so does a file with no readable header.
+    if (load.version >= 2 && load.append_offset > 0) {
+      version_ = load.version;
+      restored_ = std::move(load.records);
+      offsets_ = std::move(load.offsets);
+      offset_ = load.append_offset;
+      std::error_code ec;
       // Cut the footer / corrupt tail so appended records keep the stream
       // well-formed (and the footer, when rewritten, stays last).
       std::filesystem::resize_file(path_, offset_, ec);
@@ -198,12 +67,14 @@ JsonlStoreSink::JsonlStoreSink(std::string path, bool resume) : path_(std::move(
     throw std::runtime_error("JsonlStoreSink: cannot open " + path_);
   }
   if (fresh) {
+    version_ = store::kFormatVersion;
     restored_.clear();
     offsets_.clear();
-    std::fputs(kHeaderLine, file_);
+    const std::string header = store::header_line(meta);
+    std::fwrite(header.data(), 1, header.size(), file_);
     std::fputc('\n', file_);
     std::fflush(file_);
-    offset_ = std::char_traits<char>::length(kHeaderLine) + 1;
+    offset_ = static_cast<std::uint64_t>(header.size()) + 1;
   }
 }
 
@@ -215,7 +86,8 @@ JsonlStoreSink::~JsonlStoreSink() {
 
 void JsonlStoreSink::accept(const TrackedPath& tp) {
   if (file_ == nullptr) throw std::logic_error("JsonlStoreSink: accept after finish");
-  const std::string line = store_record_line(tp);
+  std::string line;
+  store::append_record_line(line, tp, version_);
   offsets_.emplace_back(tp.index, offset_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
@@ -228,18 +100,7 @@ void JsonlStoreSink::accept(const TrackedPath& tp) {
 
 void JsonlStoreSink::finish() {
   if (finished_ || file_ == nullptr) return;
-  std::string footer = "{\"footer\":{\"records\":";
-  footer += std::to_string(offsets_.size());
-  footer += ",\"offsets\":[";
-  for (std::size_t k = 0; k < offsets_.size(); ++k) {
-    if (k != 0) footer += ',';
-    footer += '[';
-    footer += std::to_string(offsets_[k].first);
-    footer += ',';
-    footer += std::to_string(offsets_[k].second);
-    footer += ']';
-  }
-  footer += "]}}";
+  const std::string footer = store::footer_line(offsets_);
   std::fwrite(footer.data(), 1, footer.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);
@@ -261,7 +122,10 @@ std::unordered_set<JobId> JsonlStoreSink::restored_ids() const {
 
 StoreRunResult run_with_store(const PathWorkload& workload, int ranks,
                               const std::string& store_path, const SessionOptions& opts) {
-  JsonlStoreSink store(store_path, /*resume=*/true);
+  store::StoreMeta meta;
+  meta.policy = policy_name(opts.policy);
+  meta.ranks = ranks;
+  JsonlStoreSink store(store_path, /*resume=*/true, meta);
   VectorJobSource source(workload);
   source.skip_completed(store.restored_ids());
 

@@ -7,18 +7,25 @@
 // sessions must reproduce results bit for bit and diverged paths
 // legitimately carry NaN endpoints.
 //
-// File layout:
-//   {"pph_result_store":{"version":1}}                      header
+// File layout (the line formats live in store/record_codec.hpp, the ONE
+// codec shared with the read side):
+//   {"pph_result_store":{"version":3,...}}                  header
 //   {"i":...,"w":...,"sec":"<hex>", ... ,"x":"<hex...>"}    one per record
 //   ...
-//   {"footer":{"records":N,"offsets":[[id,byte],...]}}      clean close only
+//   {"footer":{"records":N,...,"offsets":[[id,byte],...]}}  clean close only
 //
 // Resume protocol: load_result_store parses records up to the footer (clean
 // close) or up to the first truncated/corrupt line (killed run; the partial
 // tail is dropped and its jobs simply re-track -- tracking is deterministic,
 // so the resumed store is identical).  A resuming JsonlStoreSink cuts the
 // footer/tail and appends; the session skips the restored indices and only
-// tracks the remainder.
+// tracks the remainder.  Resuming keeps the on-disk format version (v2
+// stores stay v2 -- mixing record schemas in one file would corrupt it);
+// a v1 store restarts fresh, as it always has.
+//
+// This header is the WRITE side plus the legacy whole-store loader.  For
+// queries, prefer store/store_reader.hpp: mmapped, footer-indexed O(1)
+// random access, lazy per-record decode.
 
 #include <cstdio>
 #include <string>
@@ -26,6 +33,7 @@
 #include <utility>
 
 #include "sched/session.hpp"
+#include "store/record_codec.hpp"
 
 namespace pph::sched {
 
@@ -34,18 +42,22 @@ struct StoreLoad {
   std::vector<TrackedPath> records;  // file order; first occurrence of an id wins
   std::vector<std::pair<JobId, std::uint64_t>> offsets;  // byte offset per record
   std::uint64_t append_offset = 0;  // where a resuming writer continues
+  int version = 0;                  // header format version (0: none readable)
+  store::StoreMeta meta;            // writer metadata (v3 headers only)
   bool had_footer = false;          // clean close
   bool truncated = false;           // partial/corrupt tail dropped
 };
 
-/// Render / parse one record line (no trailing newline).  Exposed for the
-/// round-trip tests; throws std::invalid_argument on malformed input.
+/// Render / parse one record line (no trailing newline) in the current
+/// format version.  Thin wrappers over store/record_codec.hpp, kept for the
+/// round-trip tests; throw std::invalid_argument on malformed input.
 std::string store_record_line(const TrackedPath& tp);
 TrackedPath parse_store_record(const std::string& line);
 
-/// Parse a store file.  A missing file loads as empty and clean; a file
-/// whose header is unreadable loads as empty with truncated set (the
-/// resuming writer starts over).
+/// Parse a store file into memory.  A missing file loads as empty and
+/// clean; a file whose header is unreadable loads as empty with truncated
+/// set (the resuming writer starts over).  Thin wrapper over
+/// store::StoreReader -- there is exactly one parser.
 StoreLoad load_result_store(const std::string& path);
 
 /// ResultSink streaming every accepted record to a JSONL store.
@@ -53,14 +65,22 @@ class JsonlStoreSink final : public ResultSink {
  public:
   /// Open `path`.  resume=true loads whatever the store already holds
   /// (restored()/restored_ids()), cuts any footer or corrupt tail, and
-  /// appends; resume=false starts a fresh store.
-  explicit JsonlStoreSink(std::string path, bool resume = false);
+  /// appends in the store's own format version; resume=false starts a
+  /// fresh store in the current version.  `meta` is the writer provenance
+  /// stamped into a fresh header (ignored when resuming -- the on-disk
+  /// header stays).
+  explicit JsonlStoreSink(std::string path, bool resume = false,
+                          store::StoreMeta meta = {});
   ~JsonlStoreSink() override;
   JsonlStoreSink(const JsonlStoreSink&) = delete;
   JsonlStoreSink& operator=(const JsonlStoreSink&) = delete;
 
   void accept(const TrackedPath& tp) override;  // append + flush (checkpoint)
   void finish() override;                       // footer + close
+
+  /// Format version of the records this sink writes (the on-disk version
+  /// when resuming, store::kFormatVersion for a fresh store).
+  int version() const { return version_; }
 
   const std::vector<TrackedPath>& restored() const { return restored_; }
   std::unordered_set<JobId> restored_ids() const;
@@ -70,6 +90,7 @@ class JsonlStoreSink final : public ResultSink {
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+  int version_ = store::kFormatVersion;
   std::vector<TrackedPath> restored_;
   std::vector<std::pair<JobId, std::uint64_t>> offsets_;
   std::uint64_t offset_ = 0;

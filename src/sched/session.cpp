@@ -169,7 +169,7 @@ struct MasterContext {
   /// copy in flight, whichever worker reported first wins -- the loser's
   /// later duplicate falls into the same drop path, so the sink sees each
   /// job exactly once and the bits never depend on who won.
-  void accept_result(const TrackedPath& tp) {
+  void accept_result(TrackedPath tp) {
     const auto it = owner.find(tp.index);
     if (it == owner.end()) return;
     --owned_count[static_cast<std::size_t>(it->second)];
@@ -1043,7 +1043,7 @@ SessionStats run_static_session(JobSource& source, ResultSink& sink, int ranks,
       while (results < total || busy_reports < p) {
         const mp::Message m = comm.recv();
         if (m.tag == kTagResult) {
-          const TrackedPath tp = unpack_tracked_path(m.payload);
+          TrackedPath tp = unpack_tracked_path(m.payload);
           if (source.consume(tp)) {
             sink.accept(tp);
             ++stats.accepted;

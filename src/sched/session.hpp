@@ -163,7 +163,9 @@ class JobSource {
   /// Consume a finished job on the master.  May create new ready jobs (the
   /// session wakes parked slaves afterwards).  Returns false for a stale
   /// result the sink must not see (e.g. a superseded Pieri retry attempt).
-  virtual bool consume(const TrackedPath& tp) = 0;
+  /// The record is mutable so sources can stamp master-side provenance
+  /// (PieriTreeJobSource sets tp.level) before the sink sees it.
+  virtual bool consume(TrackedPath& tp) = 0;
   /// Job count of a fixed pool, or nullopt for dynamically expanding
   /// sources.  Static pre-assignment requires a fixed pool.
   virtual std::optional<std::size_t> fixed_total() const { return std::nullopt; }
@@ -191,7 +193,7 @@ class VectorJobSource final : public JobSource {
   JobId pop() override;
   void requeue(JobId id) override { ready_.push_front(id); }
   std::vector<std::byte> job_payload(JobId id) const override;
-  bool consume(const TrackedPath&) override { return true; }
+  bool consume(TrackedPath&) override { return true; }
   std::optional<std::size_t> fixed_total() const override { return workload_->size(); }
 
   homotopy::TrackerWorkspace make_workspace() const override;

@@ -117,7 +117,7 @@ void StreamJobSource::requeue(JobId id) {
   service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
 }
 
-bool StreamJobSource::consume(const TrackedPath& tp) {
+bool StreamJobSource::consume(TrackedPath& tp) {
   const bool fresh = inner_.consume(tp);
   const double now = clock_.seconds();
   if (fresh) {

@@ -73,7 +73,7 @@ class StreamJobSource final : public JobSource {
   std::vector<std::byte> job_payload(JobId id) const override {
     return inner_.job_payload(id);
   }
-  bool consume(const TrackedPath& tp) override;
+  bool consume(TrackedPath& tp) override;
   /// Streamed pools are never "fixed": the static policy cannot pre-assign
   /// jobs that have not arrived yet.
   std::optional<std::size_t> fixed_total() const override { return std::nullopt; }

@@ -1,0 +1,165 @@
+#include "store/analytics.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "poly/system.hpp"
+
+namespace pph::store::analytics {
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+void StoreSummary::add(const RecordFields& f) {
+  ++records;
+  switch (f.status) {
+    case homotopy::PathStatus::kConverged:
+      ++converged;
+      max_converged_residual = std::max(max_converged_residual, f.residual);
+      break;
+    case homotopy::PathStatus::kDiverged:
+      ++diverged;
+      break;
+    case homotopy::PathStatus::kFailed:
+      ++failed;
+      break;
+  }
+  if (f.rescued) ++rescued;
+  rescue_attempts += f.rescue_attempts;
+  steps += f.steps;
+  rejections += f.rejections;
+  newton_iterations += f.newton_iterations;
+  track_seconds += f.seconds;
+}
+
+void StoreSummary::merge(const StoreSummary& other) {
+  records += other.records;
+  converged += other.converged;
+  diverged += other.diverged;
+  failed += other.failed;
+  rescued += other.rescued;
+  rescue_attempts += other.rescue_attempts;
+  steps += other.steps;
+  rejections += other.rejections;
+  newton_iterations += other.newton_iterations;
+  track_seconds += other.track_seconds;
+  max_converged_residual = std::max(max_converged_residual, other.max_converged_residual);
+}
+
+// ---------------------------------------------------------------------------
+// Per-level table
+// ---------------------------------------------------------------------------
+
+double LevelRow::failure_rate() const {
+  return records == 0 ? 0.0
+                      : static_cast<double>(diverged + failed) /
+                            static_cast<double>(records);
+}
+
+double LevelRow::rescue_rate() const {
+  return records == 0 ? 0.0
+                      : static_cast<double>(rescued) / static_cast<double>(records);
+}
+
+void LevelTable::add(const RecordFields& f) {
+  LevelRow& row = rows[f.level];
+  ++row.records;
+  switch (f.status) {
+    case homotopy::PathStatus::kConverged: ++row.converged; break;
+    case homotopy::PathStatus::kDiverged: ++row.diverged; break;
+    case homotopy::PathStatus::kFailed: ++row.failed; break;
+  }
+  if (f.rescued) ++row.rescued;
+  row.rescue_attempts += f.rescue_attempts;
+  row.track_seconds += f.seconds;
+}
+
+void LevelTable::merge(const LevelTable& other) {
+  for (const auto& [level, b] : other.rows) {
+    LevelRow& a = rows[level];
+    a.records += b.records;
+    a.converged += b.converged;
+    a.diverged += b.diverged;
+    a.failed += b.failed;
+    a.rescued += b.rescued;
+    a.rescue_attempts += b.rescue_attempts;
+    a.track_seconds += b.track_seconds;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decade histograms
+// ---------------------------------------------------------------------------
+
+void DecadeHistogram::add(double value) {
+  ++total;
+  if (!std::isfinite(value)) {
+    ++nonfinite;
+    return;
+  }
+  const double mag = std::fabs(value);
+  if (mag == 0.0) {
+    ++zeros;
+    return;
+  }
+  int exp = static_cast<int>(std::floor(std::log10(mag)));
+  exp = std::min(std::max(exp, kMinExp), kMaxExp);
+  ++buckets[static_cast<std::size_t>(exp - kMinExp)];
+}
+
+void DecadeHistogram::merge(const DecadeHistogram& other) {
+  for (std::size_t k = 0; k < buckets.size(); ++k) buckets[k] += other.buckets[k];
+  zeros += other.zeros;
+  nonfinite += other.nonfinite;
+  total += other.total;
+}
+
+std::uint64_t DecadeHistogram::at_or_above(int exponent) const {
+  std::uint64_t count = 0;
+  for (int e = std::max(exponent, kMinExp); e <= kMaxExp; ++e) count += bucket(e);
+  return count;
+}
+
+void StoreHistograms::add(const RecordView& r) {
+  const RecordFields f = r.fields();
+  if (f.status == homotopy::PathStatus::kConverged) residual.add(f.residual);
+  endpoint_norm.add(r.endpoint_inf_norm());
+}
+
+void StoreHistograms::merge(const StoreHistograms& other) {
+  residual.merge(other.residual);
+  endpoint_norm.merge(other.endpoint_norm);
+}
+
+// ---------------------------------------------------------------------------
+// Dedup
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+DedupReport finish_dedup(DedupGather&& gathered, double tol) {
+  DedupReport report;
+  report.tol = tol;
+  report.records = gathered.entries.size();
+
+  // First occurrence of an id wins (shards are gathered in order, so a
+  // resumed shard's repeats lose to the original -- and with deterministic
+  // tracking the repeats are bit-identical anyway).
+  std::unordered_set<JobId> seen;
+  seen.reserve(gathered.entries.size());
+  std::vector<linalg::CVector> points;
+  for (DedupEntry& e : gathered.entries) {
+    if (!seen.insert(e.id).second) continue;
+    if (e.converged) points.push_back(std::move(e.x));
+  }
+  report.unique_ids = seen.size();
+  report.duplicate_ids = report.records - report.unique_ids;
+  report.converged = points.size();
+  report.distinct_solutions = poly::deduplicate_solutions(points, tol).size();
+  return report;
+}
+
+}  // namespace detail
+
+}  // namespace pph::store::analytics

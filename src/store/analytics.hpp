@@ -1,0 +1,193 @@
+#pragma once
+// First-class queries over result stores (DESIGN.md section 12): the
+// library behind the `pph_store` CLI.  Every analytic is a map/reduce over
+// store::scan, so it runs identically over one store file or a sharded
+// MultiStoreReader, single- or multi-threaded, with a deterministic result
+// either way.
+//
+//   - summarize:   status/effort totals from the scalar record prefix --
+//                  the lazy fast path, endpoints are never decoded;
+//   - level_table: per-tree-level counts and failure/rescue rates (v3
+//                  stores carry the level; flat pools report level 0);
+//   - histograms:  decade (log10-bucketed) histograms of converged
+//                  residuals and endpoint inf-norms -- the same decades the
+//                  endgame classifier and suspect_path thresholds reason
+//                  in, so a histogram row reads directly as "paths beyond
+//                  the rescue tier's suspect_residual";
+//   - dedup:       global solution identity: first occurrence of a JobId
+//                  wins across shards (a resumed run may repeat records),
+//                  then converged endpoints collapse to geometrically
+//                  distinct roots via poly::deduplicate_solutions.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "store/parallel_scan.hpp"
+#include "store/record_codec.hpp"
+
+namespace pph::store::analytics {
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+struct StoreSummary {
+  std::size_t records = 0;
+  std::size_t converged = 0;
+  std::size_t diverged = 0;
+  std::size_t failed = 0;
+  std::size_t rescued = 0;          // records whose final status came from a rescue
+  std::uint64_t rescue_attempts = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t newton_iterations = 0;
+  double track_seconds = 0.0;       // sum of per-record tracking time
+  double max_converged_residual = 0.0;
+
+  void add(const RecordFields& f);
+  void merge(const StoreSummary& other);
+};
+
+template <typename Store>
+StoreSummary summarize(const Store& store, int threads = 0) {
+  return scan(
+      store, ScanRange{}, StoreSummary{},
+      [](StoreSummary& a, const RecordView& r, std::size_t) { a.add(r.fields()); },
+      [](StoreSummary& a, StoreSummary&& b) { a.merge(b); }, threads);
+}
+
+// ---------------------------------------------------------------------------
+// Per-level failure / rescue rates
+// ---------------------------------------------------------------------------
+
+struct LevelRow {
+  std::size_t records = 0;
+  std::size_t converged = 0;
+  std::size_t diverged = 0;
+  std::size_t failed = 0;
+  std::size_t rescued = 0;
+  std::uint64_t rescue_attempts = 0;
+  double track_seconds = 0.0;
+
+  /// (diverged + failed) / records; 0 for an empty row.
+  double failure_rate() const;
+  /// rescued / records; 0 for an empty row.
+  double rescue_rate() const;
+};
+
+/// Rows keyed by tree level (ordered, so tables print root-to-leaves).
+struct LevelTable {
+  std::map<std::uint32_t, LevelRow> rows;
+
+  void add(const RecordFields& f);
+  void merge(const LevelTable& other);
+};
+
+template <typename Store>
+LevelTable level_table(const Store& store, int threads = 0) {
+  return scan(
+      store, ScanRange{}, LevelTable{},
+      [](LevelTable& a, const RecordView& r, std::size_t) { a.add(r.fields()); },
+      [](LevelTable& a, LevelTable&& b) { a.merge(b); }, threads);
+}
+
+// ---------------------------------------------------------------------------
+// Decade histograms
+// ---------------------------------------------------------------------------
+
+/// log10-bucketed histogram: bucket k counts values in [10^k, 10^{k+1}).
+/// Exactly the decades the endgame classifier samples (endgame_norms) and
+/// the rescue tier thresholds (suspect_residual) reason in.
+struct DecadeHistogram {
+  static constexpr int kMinExp = -20;  // values below count as kMinExp
+  static constexpr int kMaxExp = 12;   // values above count as kMaxExp
+  std::array<std::uint64_t, static_cast<std::size_t>(kMaxExp - kMinExp + 1)> buckets{};
+  std::uint64_t zeros = 0;        // exact zeros (no decade)
+  std::uint64_t nonfinite = 0;    // NaN / Inf (diverged paths produce them)
+  std::uint64_t total = 0;
+
+  void add(double value);
+  void merge(const DecadeHistogram& other);
+  std::uint64_t bucket(int exponent) const {
+    return buckets[static_cast<std::size_t>(exponent - kMinExp)];
+  }
+  /// Count of finite non-zero values at or above 10^exponent.
+  std::uint64_t at_or_above(int exponent) const;
+};
+
+struct StoreHistograms {
+  DecadeHistogram residual;       // converged records only
+  DecadeHistogram endpoint_norm;  // ||x||_inf over ALL records (decoded lazily)
+
+  void add(const RecordView& r);
+  void merge(const StoreHistograms& other);
+};
+
+template <typename Store>
+StoreHistograms histograms(const Store& store, int threads = 0) {
+  return scan(
+      store, ScanRange{}, StoreHistograms{},
+      [](StoreHistograms& a, const RecordView& r, std::size_t) { a.add(r); },
+      [](StoreHistograms& a, StoreHistograms&& b) { a.merge(b); }, threads);
+}
+
+// ---------------------------------------------------------------------------
+// Global solution dedup
+// ---------------------------------------------------------------------------
+
+struct DedupReport {
+  std::size_t records = 0;            // records scanned (all shards)
+  std::size_t unique_ids = 0;         // after first-occurrence-wins id dedup
+  std::size_t duplicate_ids = 0;      // records dropped by the id dedup
+  std::size_t converged = 0;          // converged among the unique ids
+  std::size_t distinct_solutions = 0; // geometrically distinct converged roots
+  double tol = 0.0;
+};
+
+namespace detail {
+/// Scan accumulator: one entry per record IN RECORD ORDER (chunk merges
+/// concatenate in chunk order), so the sequential first-wins pass
+/// downstream is thread-count independent.
+struct DedupEntry {
+  JobId id = 0;
+  bool converged = false;
+  linalg::CVector x;  // endpoint; decoded only for converged records
+};
+struct DedupGather {
+  std::vector<DedupEntry> entries;
+};
+/// The sequential tail of dedup(): first-wins id dedup over the in-order
+/// gather (the FIRST record for an id decides its status and endpoint),
+/// then poly::deduplicate_solutions over the surviving endpoints.
+DedupReport finish_dedup(DedupGather&& gathered, double tol);
+}  // namespace detail
+
+/// Global dedup at geometric tolerance `tol` (max-norm, the
+/// poly::deduplicate_solutions contract).  Deterministic for any thread
+/// count: the gather preserves record order and the collapse runs
+/// sequentially.
+template <typename Store>
+DedupReport dedup(const Store& store, double tol, int threads = 0) {
+  auto gathered = scan(
+      store, ScanRange{}, detail::DedupGather{},
+      [](detail::DedupGather& a, const RecordView& r, std::size_t) {
+        const RecordFields f = r.fields();
+        detail::DedupEntry e;
+        e.id = f.id;
+        e.converged = f.status == homotopy::PathStatus::kConverged;
+        if (e.converged) e.x = r.endpoint();
+        a.entries.push_back(std::move(e));
+      },
+      [](detail::DedupGather& a, detail::DedupGather&& b) {
+        a.entries.insert(a.entries.end(),
+                         std::make_move_iterator(b.entries.begin()),
+                         std::make_move_iterator(b.entries.end()));
+      },
+      threads);
+  return detail::finish_dedup(std::move(gathered), tol);
+}
+
+}  // namespace pph::store::analytics

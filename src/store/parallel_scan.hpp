@@ -1,0 +1,86 @@
+#pragma once
+// Parallel map/reduce over a result store (DESIGN.md section 12).  The
+// record range is sharded into contiguous chunks across a plain thread
+// pool; every worker folds its chunk into a private accumulator, and the
+// accumulators merge sequentially IN CHUNK ORDER.  For a fixed thread
+// count the chunking -- and therefore every reduced bit -- is
+// deterministic.  Across different thread counts, exact reductions
+// (counts, max-by-bits, order-preserving concatenation) are identical too;
+// only floating-point SUMS may differ in the last bits, because addition
+// regroups with the chunk boundaries.
+//
+//   StoreSummary acc = store::scan(
+//       reader, store::ScanRange{}, StoreSummary{},
+//       [](StoreSummary& a, const store::RecordView& r, std::size_t) {
+//         a.add(r.fields());
+//       },
+//       [](StoreSummary& a, StoreSummary&& b) { a.merge(b); });
+//
+// Works over StoreReader and MultiStoreReader alike (anything with size()
+// and for_each_in(begin, end, f)).  Reading is pure: RecordView decodes
+// from the mmapped bytes without shared mutable state, so chunks need no
+// synchronization at all.
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pph::store {
+
+/// Half-open record-index range; end clamps to the store size.
+struct ScanRange {
+  std::size_t begin = 0;
+  std::size_t end = static_cast<std::size_t>(-1);
+};
+
+/// Worker count: `threads` when positive, else the hardware concurrency
+/// (at least 1).
+inline int scan_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Map/reduce over `store` records in [range.begin, range.end).
+///   map(Acc&, const RecordView&, std::size_t global_index)
+///   reduce(Acc&, Acc&&)   -- merge a later chunk into an earlier one
+/// Returns the fold of `init` over all chunks in ascending record order.
+template <typename Store, typename Acc, typename MapFn, typename ReduceFn>
+Acc scan(const Store& store, ScanRange range, Acc init, MapFn map, ReduceFn reduce,
+         int threads = 0) {
+  const std::size_t begin = std::min(range.begin, store.size());
+  const std::size_t end = std::min(range.end, store.size());
+  const std::size_t span = end > begin ? end - begin : 0;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(scan_threads(threads)),
+                            span == 0 ? 1 : span);
+
+  if (workers <= 1) {
+    Acc acc = std::move(init);
+    store.for_each_in(begin, end,
+                      [&](const auto& view, std::size_t i) { map(acc, view, i); });
+    return acc;
+  }
+
+  const std::size_t chunk = (span + workers - 1) / workers;
+  std::vector<Acc> partial(workers, init);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    pool.emplace_back([&, w, lo, hi] {
+      Acc& acc = partial[w];
+      store.for_each_in(lo, hi,
+                        [&](const auto& view, std::size_t i) { map(acc, view, i); });
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  Acc acc = std::move(partial.front());
+  for (std::size_t w = 1; w < workers; ++w) reduce(acc, std::move(partial[w]));
+  return acc;
+}
+
+}  // namespace pph::store

@@ -1,0 +1,417 @@
+#include "store/record_codec.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace pph::store {
+
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "{\"pph_result_store\":{\"version\":";
+constexpr std::string_view kSchemaV3 =
+    "\"schema\":[\"i\",\"w\",\"sec\",\"st\",\"t\",\"res\",\"stp\",\"rej\","
+    "\"nwt\",\"ls\",\"ra\",\"rs\",\"lvl\",\"x\"]";
+
+// ---- strict positional parsing helpers ------------------------------------
+
+void expect(std::string_view line, std::size_t& pos, std::string_view literal) {
+  if (line.compare(pos, literal.size(), literal) != 0) {
+    throw std::invalid_argument("result store: malformed line");
+  }
+  pos += literal.size();
+}
+
+std::uint64_t parse_uint(std::string_view line, std::size_t& pos) {
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') {
+    throw std::invalid_argument("result store: expected digit");
+  }
+  std::uint64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+/// 16 lowercase hex digits -> the double with those IEEE-754 bits.
+double parse_bits(std::string_view line, std::size_t& pos) {
+  if (pos + 16 > line.size()) {
+    throw std::invalid_argument("result store: truncated hex field");
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = line[pos + i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else throw std::invalid_argument("result store: malformed hex field");
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  pos += 16;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void append_bits(std::string& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(bits >> shift) & 0xF]);
+  }
+}
+
+void check_version(int version) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    throw std::invalid_argument("result store: unsupported format version");
+  }
+}
+
+/// One positional walk over the scalar prefix of a record line; returns
+/// with `pos` on the first hex digit of the "x" run.  Throws on any
+/// deviation from the version's schema.
+RecordFields walk_scalar_prefix(std::string_view line, int version, std::size_t& pos) {
+  check_version(version);
+  RecordFields f;
+  pos = 0;
+  expect(line, pos, "{\"i\":");
+  f.id = parse_uint(line, pos);
+  expect(line, pos, ",\"w\":");
+  f.worker = static_cast<int>(parse_uint(line, pos));
+  expect(line, pos, ",\"sec\":\"");
+  f.seconds = parse_bits(line, pos);
+  expect(line, pos, "\",\"st\":");
+  const auto status = parse_uint(line, pos);
+  if (status > static_cast<std::uint64_t>(homotopy::PathStatus::kFailed)) {
+    throw std::invalid_argument("result store: unknown path status");
+  }
+  f.status = static_cast<homotopy::PathStatus>(status);
+  expect(line, pos, ",\"t\":\"");
+  f.t_reached = parse_bits(line, pos);
+  expect(line, pos, "\",\"res\":\"");
+  f.residual = parse_bits(line, pos);
+  expect(line, pos, "\",\"stp\":");
+  f.steps = parse_uint(line, pos);
+  expect(line, pos, ",\"rej\":");
+  f.rejections = parse_uint(line, pos);
+  expect(line, pos, ",\"nwt\":");
+  f.newton_iterations = parse_uint(line, pos);
+  if (version >= 2) {
+    expect(line, pos, ",\"ls\":\"");
+    f.last_step = parse_bits(line, pos);
+    expect(line, pos, "\",\"ra\":");
+    f.rescue_attempts = static_cast<std::uint32_t>(parse_uint(line, pos));
+    expect(line, pos, ",\"rs\":");
+    const auto rescued = parse_uint(line, pos);
+    if (rescued > 1) {
+      throw std::invalid_argument("result store: rescued flag must be 0/1");
+    }
+    f.rescued = rescued == 1;
+  }
+  if (version >= 3) {
+    expect(line, pos, ",\"lvl\":");
+    f.level = static_cast<std::uint32_t>(parse_uint(line, pos));
+  }
+  expect(line, pos, ",\"x\":\"");
+  return f;
+}
+
+/// Bounds of the endpoint hex run; validates it is well-formed (hex only,
+/// whole re/im pairs) and that the line ends exactly after it.
+std::pair<std::size_t, std::size_t> endpoint_span(std::string_view line,
+                                                  std::size_t pos) {
+  const std::size_t begin = pos;
+  while (pos < line.size() && line[pos] != '"') {
+    const char c = line[pos];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) throw std::invalid_argument("result store: malformed hex field");
+    ++pos;
+  }
+  const std::size_t end = pos;
+  if ((end - begin) % 32 != 0) {
+    throw std::invalid_argument("result store: endpoint hex not re/im pairs");
+  }
+  std::size_t tail = end;
+  expect(line, tail, "\"}");
+  if (tail != line.size()) {
+    throw std::invalid_argument("result store: trailing bytes on record line");
+  }
+  return {begin, end};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+std::string header_line(const StoreMeta& meta) {
+  std::string h(kHeaderPrefix);
+  h += std::to_string(kFormatVersion);
+  h += ',';
+  h += kSchemaV3;
+  h += ",\"writer\":{\"policy\":\"";
+  for (const char c : meta.policy) {
+    if (c != '"' && c != '\\') h.push_back(c);  // keep the header one JSON line
+  }
+  h += "\",\"ranks\":";
+  h += std::to_string(meta.ranks);
+  h += ",\"seed\":";
+  h += std::to_string(meta.seed);
+  h += "}}}";
+  return h;
+}
+
+std::optional<HeaderInfo> parse_header(std::string_view line) {
+  if (line.compare(0, kHeaderPrefix.size(), kHeaderPrefix) != 0) return std::nullopt;
+  std::size_t pos = kHeaderPrefix.size();
+  HeaderInfo info;
+  try {
+    info.version = static_cast<int>(parse_uint(line, pos));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (info.version < kMinFormatVersion || info.version > kFormatVersion) {
+    return std::nullopt;  // future formats are unreadable, not tolerable
+  }
+  const std::string_view rest = line.substr(pos);
+  if (rest == "}}") return info;  // v1/v2 (and a bare v3) header
+  if (info.version < 3 || rest.empty() || rest[0] != ',') return std::nullopt;
+  if (line.substr(line.size() < 2 ? 0 : line.size() - 2) != "}}") return std::nullopt;
+  // v3 metadata is parsed leniently (key lookup, not position) so future
+  // additive keys never invalidate old stores.
+  const auto find_value = [&](std::string_view key) -> std::optional<std::size_t> {
+    const std::size_t at = line.find(key);
+    if (at == std::string_view::npos) return std::nullopt;
+    return at + key.size();
+  };
+  if (const auto at = find_value("\"policy\":\"")) {
+    const std::size_t end = line.find('"', *at);
+    if (end == std::string_view::npos) return std::nullopt;
+    info.meta.policy = std::string(line.substr(*at, end - *at));
+  }
+  try {
+    if (auto at = find_value("\"ranks\":")) {
+      info.meta.ranks = static_cast<int>(parse_uint(line, *at));
+    }
+    if (auto at = find_value("\"seed\":")) {
+      info.meta.seed = parse_uint(line, *at);
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+void append_record_line(std::string& out, const TrackedPath& tp, int version) {
+  check_version(version);
+  if (version < 2 && (tp.result.rescue_attempts != 0 || tp.result.rescued ||
+                      tp.result.last_step != 0.0)) {
+    throw std::invalid_argument("result store: v1 cannot carry rescue provenance");
+  }
+  if (version < 3 && tp.level != 0) {
+    throw std::invalid_argument("result store: v" + std::to_string(version) +
+                                " cannot carry tree levels");
+  }
+  out.reserve(out.size() + 176 + 32 * tp.result.x.size());
+  out += "{\"i\":";
+  out += std::to_string(tp.index);
+  out += ",\"w\":";
+  out += std::to_string(tp.worker);
+  out += ",\"sec\":\"";
+  append_bits(out, tp.seconds);
+  out += "\",\"st\":";
+  out += std::to_string(static_cast<int>(tp.result.status));
+  out += ",\"t\":\"";
+  append_bits(out, tp.result.t_reached);
+  out += "\",\"res\":\"";
+  append_bits(out, tp.result.residual);
+  out += "\",\"stp\":";
+  out += std::to_string(tp.result.steps);
+  out += ",\"rej\":";
+  out += std::to_string(tp.result.rejections);
+  out += ",\"nwt\":";
+  out += std::to_string(tp.result.newton_iterations);
+  if (version >= 2) {
+    out += ",\"ls\":\"";
+    append_bits(out, tp.result.last_step);
+    out += "\",\"ra\":";
+    out += std::to_string(tp.result.rescue_attempts);
+    out += ",\"rs\":";
+    out += std::to_string(tp.result.rescued ? 1 : 0);
+  }
+  if (version >= 3) {
+    out += ",\"lvl\":";
+    out += std::to_string(tp.level);
+  }
+  out += ",\"x\":\"";
+  for (const auto& c : tp.result.x) {
+    append_bits(out, c.real());
+    append_bits(out, c.imag());
+  }
+  out += "\"}";
+}
+
+JobId RecordView::id() const {
+  std::size_t pos = 0;
+  expect(line_, pos, "{\"i\":");
+  return parse_uint(line_, pos);
+}
+
+RecordFields RecordView::fields() const {
+  std::size_t pos = 0;
+  return walk_scalar_prefix(line_, version_, pos);
+}
+
+std::size_t RecordView::endpoint_dim() const {
+  std::size_t pos = 0;
+  (void)walk_scalar_prefix(line_, version_, pos);
+  const auto [begin, end] = endpoint_span(line_, pos);
+  return (end - begin) / 32;
+}
+
+linalg::CVector RecordView::endpoint() const {
+  std::size_t pos = 0;
+  (void)walk_scalar_prefix(line_, version_, pos);
+  const auto [begin, end] = endpoint_span(line_, pos);
+  linalg::CVector x;
+  x.reserve((end - begin) / 32);
+  for (std::size_t at = begin; at < end;) {
+    const double re = parse_bits(line_, at);
+    const double im = parse_bits(line_, at);
+    x.emplace_back(re, im);
+  }
+  return x;
+}
+
+double RecordView::endpoint_inf_norm() const {
+  std::size_t pos = 0;
+  (void)walk_scalar_prefix(line_, version_, pos);
+  const auto [begin, end] = endpoint_span(line_, pos);
+  double norm = 0.0;
+  for (std::size_t at = begin; at < end;) {
+    const double re = parse_bits(line_, at);
+    const double im = parse_bits(line_, at);
+    norm = std::max(norm, std::hypot(re, im));
+  }
+  return norm;
+}
+
+TrackedPath RecordView::full() const {
+  std::size_t pos = 0;
+  const RecordFields f = walk_scalar_prefix(line_, version_, pos);
+  const auto [begin, end] = endpoint_span(line_, pos);
+  TrackedPath tp;
+  tp.index = static_cast<std::size_t>(f.id);
+  tp.worker = f.worker;
+  tp.seconds = f.seconds;
+  tp.level = f.level;
+  tp.result.status = f.status;
+  tp.result.t_reached = f.t_reached;
+  tp.result.residual = f.residual;
+  tp.result.last_step = f.last_step;
+  tp.result.steps = static_cast<std::size_t>(f.steps);
+  tp.result.rejections = static_cast<std::size_t>(f.rejections);
+  tp.result.newton_iterations = static_cast<std::size_t>(f.newton_iterations);
+  tp.result.rescue_attempts = f.rescue_attempts;
+  tp.result.rescued = f.rescued;
+  tp.result.x.reserve((end - begin) / 32);
+  for (std::size_t at = begin; at < end;) {
+    const double re = parse_bits(line_, at);
+    const double im = parse_bits(line_, at);
+    tp.result.x.emplace_back(re, im);
+  }
+  return tp;
+}
+
+TrackedPath parse_record(std::string_view line, int version) {
+  return RecordView(line, version).full();
+}
+
+bool validate_record_line(std::string_view line, int version,
+                          RecordFields& fields) noexcept {
+  try {
+    std::size_t pos = 0;
+    fields = walk_scalar_prefix(line, version, pos);
+    (void)endpoint_span(line, pos);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Footer
+// ---------------------------------------------------------------------------
+
+std::string footer_line(const std::vector<std::pair<JobId, std::uint64_t>>& offsets) {
+  std::string footer(kFooterPrefix);
+  footer += "{\"records\":";
+  footer += std::to_string(offsets.size());
+  if (!offsets.empty()) {
+    JobId min_id = offsets.front().first;
+    JobId max_id = offsets.front().first;
+    for (const auto& [id, off] : offsets) {
+      (void)off;
+      min_id = std::min(min_id, id);
+      max_id = std::max(max_id, id);
+    }
+    footer += ",\"min_id\":";
+    footer += std::to_string(min_id);
+    footer += ",\"max_id\":";
+    footer += std::to_string(max_id);
+  }
+  footer += ",\"offsets\":[";
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    if (k != 0) footer += ',';
+    footer += '[';
+    footer += std::to_string(offsets[k].first);
+    footer += ',';
+    footer += std::to_string(offsets[k].second);
+    footer += ']';
+  }
+  footer += "]}}";
+  return footer;
+}
+
+std::optional<FooterInfo> parse_footer(std::string_view line) {
+  if (!is_footer_line(line)) return std::nullopt;
+  FooterInfo info;
+  std::size_t pos = kFooterPrefix.size();
+  try {
+    expect(line, pos, "{\"records\":");
+    info.records = parse_uint(line, pos);
+    if (line.compare(pos, 10, ",\"min_id\":") == 0) {
+      pos += 10;
+      info.min_id = parse_uint(line, pos);
+      expect(line, pos, ",\"max_id\":");
+      info.max_id = parse_uint(line, pos);
+      info.has_id_range = true;
+    }
+    expect(line, pos, ",\"offsets\":[");
+    info.offsets.reserve(info.records);
+    while (pos < line.size() && line[pos] != ']') {
+      if (!info.offsets.empty()) expect(line, pos, ",");
+      expect(line, pos, "[");
+      const JobId id = parse_uint(line, pos);
+      expect(line, pos, ",");
+      const std::uint64_t off = parse_uint(line, pos);
+      expect(line, pos, "]");
+      info.offsets.emplace_back(id, off);
+    }
+    expect(line, pos, "]}}");
+    if (pos != line.size()) return std::nullopt;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (info.offsets.size() != info.records) return std::nullopt;
+  return info;
+}
+
+}  // namespace pph::store

@@ -1,0 +1,159 @@
+#pragma once
+// The result-store wire format (DESIGN.md section 12): ONE codec for the
+// JSONL store's header, record, and footer lines, shared by the write side
+// (sched::JsonlStoreSink / load_result_store) and the read side
+// (store::StoreReader).  Doubles are framed as IEEE-754 bits in hex so NaN
+// endpoints of diverged paths round-trip bit for bit.
+//
+// Format versions:
+//   v1  {"pph_result_store":{"version":1}}; records end ...,"nwt":N,"x":"..".
+//   v2  adds the rescue-provenance record fields "ls"/"ra"/"rs".
+//   v3  adds the per-record "lvl" field (Pieri tree level; 0 for flat path
+//       pools), and the header carries the record schema plus writer
+//       metadata (policy, ranks, seed).  The footer gains min_id/max_id.
+//
+// The reader accepts v1-v3; the writer emits v3 for fresh stores and keeps
+// the on-disk version when resuming a v2 store (mixing schemas inside one
+// file would corrupt it).  A v1 store is restarted on resume, as before --
+// v1 records cannot carry the rescue provenance.
+//
+// Record line (v3):
+//   {"i":ID,"w":W,"sec":"<hex>","st":S,"t":"<hex>","res":"<hex>","stp":N,
+//    "rej":N,"nwt":N,"ls":"<hex>","ra":N,"rs":0|1,"lvl":L,"x":"<hex pairs>"}
+//
+// Parsing is strict and positional: any deviation throws
+// std::invalid_argument, which the tolerant store loaders turn into
+// "truncated tail" (the same contract load_result_store always had).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sched/session.hpp"
+
+namespace pph::store {
+
+using sched::JobId;
+using sched::TrackedPath;
+
+/// Newest format the writer emits / oldest the reader still accepts.
+inline constexpr int kFormatVersion = 3;
+inline constexpr int kMinFormatVersion = 1;
+
+/// Writer provenance carried by the v3 header: which session wrote the
+/// store.  Purely descriptive -- analytics report it, nothing keys on it.
+struct StoreMeta {
+  std::string policy;      // sched::policy_name token; "" when unknown
+  int ranks = 0;           // 0 when unknown
+  std::uint64_t seed = 0;  // workload seed; 0 when unknown
+
+  bool any() const { return !policy.empty() || ranks != 0 || seed != 0; }
+};
+
+struct HeaderInfo {
+  int version = 0;
+  StoreMeta meta;  // v3 only; default-empty for v1/v2
+};
+
+/// Render the v3 header line (no trailing newline).
+std::string header_line(const StoreMeta& meta);
+/// Parse any accepted header (v1-v3).  nullopt: not a store this codec can
+/// read (garbage, or a future version) -- the loaders restart such files.
+std::optional<HeaderInfo> parse_header(std::string_view line);
+
+/// Render one record line (no trailing newline) in the given format
+/// version.  v1 cannot represent rescue provenance or levels; rendering a
+/// record that carries either into a v1 store throws std::invalid_argument.
+void append_record_line(std::string& out, const TrackedPath& tp,
+                        int version = kFormatVersion);
+
+/// Every record field except the endpoint coordinates -- what analytics
+/// touch on every record, decodable without visiting the (much larger)
+/// endpoint hex run.
+struct RecordFields {
+  JobId id = 0;
+  int worker = 0;
+  double seconds = 0.0;
+  homotopy::PathStatus status = homotopy::PathStatus::kFailed;
+  double t_reached = 0.0;
+  double residual = 0.0;
+  double last_step = 0.0;       // 0 in v1 stores
+  std::uint64_t steps = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t newton_iterations = 0;
+  std::uint32_t rescue_attempts = 0;  // 0 in v1 stores
+  bool rescued = false;               // false in v1 stores
+  std::uint32_t level = 0;            // 0 in v1/v2 stores
+};
+
+/// Zero-copy view of one record line (mmap bytes or any buffer).  All
+/// accessors parse lazily from the underlying text; scalar fields stop at
+/// the "x" key, so status/level/worker queries never decode endpoints.
+/// Malformed lines throw std::invalid_argument from any accessor.
+class RecordView {
+ public:
+  RecordView() = default;
+  RecordView(std::string_view line, int version) : line_(line), version_(version) {}
+
+  std::string_view line() const { return line_; }
+  int version() const { return version_; }
+
+  /// Fast path: only the leading "i" field is parsed.
+  JobId id() const;
+  /// One positional walk over the scalar prefix (endpoints untouched).
+  RecordFields fields() const;
+  /// Number of complex endpoint coordinates (counted, not decoded).
+  std::size_t endpoint_dim() const;
+  /// Decode the endpoint coordinates (bit-exact, NaN/Inf included).
+  linalg::CVector endpoint() const;
+  /// max_k |x_k| over the endpoint, decoded streaming without allocating
+  /// the coordinate vector -- the histogram analytics' hot path.
+  double endpoint_inf_norm() const;
+  /// Full decode into the session record type.
+  TrackedPath full() const;
+
+ private:
+  std::string_view line_;
+  int version_ = kFormatVersion;
+};
+
+/// Full strict parse of one record line.  Throws std::invalid_argument on
+/// any malformation (including trailing bytes).
+TrackedPath parse_record(std::string_view line, int version = kFormatVersion);
+
+/// Validation with exactly the acceptance set of parse_record, minus the
+/// materialization: the streaming-scan loaders use it to find the first
+/// corrupt line.  On success fills `fields` and returns true.
+bool validate_record_line(std::string_view line, int version,
+                          RecordFields& fields) noexcept;
+
+// ---------------------------------------------------------------------------
+// Footer: the offset index appended on clean close.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::string_view kFooterPrefix = "{\"footer\":";
+
+struct FooterInfo {
+  std::uint64_t records = 0;
+  JobId min_id = 0;  // over the indexed records; 0/0 when the store is empty
+  JobId max_id = 0;
+  bool has_id_range = false;  // v2 footers predate min_id/max_id
+  std::vector<std::pair<JobId, std::uint64_t>> offsets;  // (id, line start)
+};
+
+/// Render the footer line (no trailing newline): record count, id range,
+/// and the byte offset of every record line.
+std::string footer_line(const std::vector<std::pair<JobId, std::uint64_t>>& offsets);
+/// Parse a footer line; accepts both the v2 form (records + offsets) and
+/// the v3 form (with min_id/max_id).  nullopt on malformation -- readers
+/// fall back to the streaming scan.
+std::optional<FooterInfo> parse_footer(std::string_view line);
+
+inline bool is_footer_line(std::string_view line) {
+  return line.substr(0, kFooterPrefix.size()) == kFooterPrefix;
+}
+
+}  // namespace pph::store

@@ -1,0 +1,340 @@
+#include "store/store_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PPH_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pph::store {
+
+namespace {
+
+const char* find_newline(const char* data, std::size_t len) {
+  return static_cast<const char*>(std::memchr(data, '\n', len));
+}
+
+/// Start of the last line in [begin, end) given that data[end] == '\n' is
+/// the terminator of that line.
+std::size_t last_line_start(const char* data, std::size_t begin, std::size_t end) {
+  for (std::size_t i = end; i > begin; --i) {
+    if (data[i - 1] == '\n') return i;
+  }
+  return begin;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StoreReader
+// ---------------------------------------------------------------------------
+
+StoreReader::StoreReader(std::string path, ReaderOptions opts)
+    : path_(std::move(path)) {
+  open(opts);
+}
+
+StoreReader::~StoreReader() { unmap(); }
+
+StoreReader::StoreReader(StoreReader&& other) noexcept { *this = std::move(other); }
+
+StoreReader& StoreReader::operator=(StoreReader&& other) noexcept {
+  if (this == &other) return *this;
+  unmap();
+  path_ = std::move(other.path_);
+  data_ = other.data_;
+  len_ = other.len_;
+  map_base_ = other.map_base_;
+  map_len_ = other.map_len_;
+  buffer_ = std::move(other.buffer_);
+  if (map_base_ == nullptr && len_ > 0) data_ = buffer_.data();
+  exists_ = other.exists_;
+  version_ = other.version_;
+  meta_ = std::move(other.meta_);
+  indexed_ = other.indexed_;
+  footer_seen_ = other.footer_seen_;
+  truncated_ = other.truncated_;
+  append_offset_ = other.append_offset_;
+  records_end_ = other.records_end_;
+  duplicates_dropped_ = other.duplicates_dropped_;
+  min_id_ = other.min_id_;
+  max_id_ = other.max_id_;
+  refs_ = std::move(other.refs_);
+  id_index_ = std::move(other.id_index_);
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.len_ = 0;
+  other.refs_.clear();
+  return *this;
+}
+
+void StoreReader::unmap() noexcept {
+#if PPH_STORE_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+    map_base_ = nullptr;
+    map_len_ = 0;
+  }
+#endif
+}
+
+void StoreReader::open(const ReaderOptions& opts) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path_, ec)) return;  // missing: empty, clean
+  exists_ = true;
+
+#if PPH_STORE_HAVE_MMAP
+  if (opts.use_mmap) {
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0) throw std::runtime_error("StoreReader: cannot open " + path_);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("StoreReader: cannot stat " + path_);
+    }
+    len_ = static_cast<std::size_t>(st.st_size);
+    if (len_ > 0) {
+      void* base = ::mmap(nullptr, len_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base == MAP_FAILED) {
+        ::close(fd);
+        throw std::runtime_error("StoreReader: cannot mmap " + path_);
+      }
+      map_base_ = base;
+      map_len_ = len_;
+      data_ = static_cast<const char*>(base);
+    }
+    ::close(fd);
+  } else
+#else
+  (void)opts;
+#endif
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in.is_open()) throw std::runtime_error("StoreReader: cannot open " + path_);
+    buffer_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    len_ = buffer_.size();
+    data_ = buffer_.data();
+  }
+
+  if (len_ == 0) return;  // zero-length file: empty, clean (a fresh writer restarts)
+
+  // Header: the first newline-terminated line must parse as a v1-v3 header;
+  // anything else (including a file cut mid-header) restarts the store.
+  const char* nl = find_newline(data_, len_);
+  if (nl == nullptr) {
+    truncated_ = true;
+    return;
+  }
+  const std::size_t header_len = static_cast<std::size_t>(nl - data_);
+  const auto header = parse_header(std::string_view(data_, header_len));
+  if (!header) {
+    truncated_ = true;
+    return;
+  }
+  version_ = header->version;
+  meta_ = header->meta;
+  const std::size_t data_start = header_len + 1;
+  append_offset_ = data_start;
+  records_end_ = data_start;
+  if (data_start >= len_) return;  // header only: empty, clean
+
+  // Footer fast path: a cleanly closed store ends with a newline-terminated
+  // footer whose offsets index every record -- open cost is O(footer), and
+  // no record line is touched.
+  if (data_[len_ - 1] == '\n') {
+    const std::size_t lstart = last_line_start(data_, data_start, len_ - 1);
+    const std::string_view last(data_ + lstart, len_ - 1 - lstart);
+    if (is_footer_line(last)) {
+      footer_seen_ = true;
+      if (const auto footer = parse_footer(last)) {
+        bool valid = true;
+        std::uint64_t prev = 0;
+        for (std::size_t k = 0; k < footer->offsets.size() && valid; ++k) {
+          const std::uint64_t off = footer->offsets[k].second;
+          valid = off >= data_start && off < lstart && (k == 0 || off > prev);
+          prev = off;
+        }
+        if (valid) {
+          indexed_ = true;
+          records_end_ = lstart;
+          append_offset_ = lstart;
+          refs_.reserve(footer->offsets.size());
+          std::unordered_set<JobId> seen;
+          seen.reserve(footer->offsets.size());
+          for (const auto& [id, off] : footer->offsets) {
+            // First occurrence of an id wins, as in the streaming loader.
+            if (seen.insert(id).second) refs_.push_back(RecordRef{id, off, 0});
+            else ++duplicates_dropped_;
+          }
+          if (!refs_.empty()) {
+            min_id_ = max_id_ = refs_.front().id;
+            for (const RecordRef& ref : refs_) {
+              min_id_ = std::min(min_id_, ref.id);
+              max_id_ = std::max(max_id_, ref.id);
+            }
+          }
+          return;
+        }
+      }
+      // Corrupt footer: graceful fallback to the streaming scan, which
+      // stops at the footer-prefixed line exactly like the legacy loader.
+    }
+  }
+
+  scan_records(data_start, len_);
+}
+
+void StoreReader::scan_records(std::size_t data_start, std::size_t end) {
+  std::unordered_set<JobId> seen;
+  std::size_t pos = data_start;
+  while (pos < end) {
+    const char* nl = find_newline(data_ + pos, end - pos);
+    if (nl == nullptr) {
+      // A killed writer leaves at most one partial line at the tail --
+      // possibly a half-written footer; drop it either way (a dropped
+      // record's job re-tracks deterministically on resume).
+      truncated_ = true;
+      append_offset_ = pos;
+      return;
+    }
+    const std::size_t line_len = static_cast<std::size_t>(nl - (data_ + pos));
+    const std::string_view line(data_ + pos, line_len);
+    if (is_footer_line(line)) {
+      // Clean close: the footer is the last meaningful line; a resuming
+      // writer overwrites it so the footer stays last.
+      footer_seen_ = true;
+      records_end_ = pos;
+      append_offset_ = pos;
+      return;
+    }
+    RecordFields f;
+    if (!validate_record_line(line, version_, f)) {
+      truncated_ = true;
+      records_end_ = pos;
+      append_offset_ = pos;
+      return;
+    }
+    if (seen.insert(f.id).second) {
+      if (refs_.empty()) {
+        min_id_ = max_id_ = f.id;
+      } else {
+        min_id_ = std::min(min_id_, f.id);
+        max_id_ = std::max(max_id_, f.id);
+      }
+      refs_.push_back(RecordRef{f.id, pos, static_cast<std::uint32_t>(line_len)});
+    } else {
+      ++duplicates_dropped_;
+    }
+    pos += line_len + 1;
+    records_end_ = pos;
+    append_offset_ = pos;
+  }
+}
+
+RecordView StoreReader::record(std::size_t i) const {
+  const RecordRef& ref = refs_.at(i);
+  std::size_t length = ref.length;
+  if (length == 0) {
+    // Footer-indexed refs locate the newline lazily: O(line), O(1) in the
+    // record count.
+    const std::size_t avail = static_cast<std::size_t>(records_end_ - ref.offset);
+    const char* nl = find_newline(data_ + ref.offset, avail);
+    length = nl == nullptr ? avail : static_cast<std::size_t>(nl - (data_ + ref.offset));
+  }
+  return RecordView(std::string_view(data_ + ref.offset, length), version_);
+}
+
+std::optional<std::size_t> StoreReader::find(JobId id) const {
+  std::call_once(id_index_once_, [this] {
+    id_index_.reserve(refs_.size());
+    for (std::size_t i = 0; i < refs_.size(); ++i) id_index_.emplace(refs_[i].id, i);
+  });
+  const auto it = id_index_.find(id);
+  if (it == id_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// MultiStoreReader
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> expand_store_paths(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
+    const std::string name = p.filename().string();
+    if (name.find('*') == std::string::npos) {
+      out.push_back(arg);
+      continue;
+    }
+    // Match '*' wildcards in the FILENAME against the parent directory
+    // (the classic backtracking glob walk, '*' only).
+    const fs::path dir = p.parent_path().empty() ? fs::path(".") : p.parent_path();
+    const auto matches = [&name](const std::string& candidate) {
+      std::size_t pp = 0, cp = 0;
+      std::size_t star = std::string::npos, mark = 0;
+      while (cp < candidate.size()) {
+        if (pp < name.size() && name[pp] == '*') {
+          star = pp++;
+          mark = cp;
+        } else if (pp < name.size() && name[pp] == candidate[cp]) {
+          ++pp;
+          ++cp;
+        } else if (star != std::string::npos) {
+          pp = star + 1;
+          cp = ++mark;
+        } else {
+          return false;
+        }
+      }
+      while (pp < name.size() && name[pp] == '*') ++pp;
+      return pp == name.size();
+    };
+    std::vector<std::string> hits;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      if (matches(entry.path().filename().string())) hits.push_back(entry.path().string());
+    }
+    std::sort(hits.begin(), hits.end());
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  return out;
+}
+
+MultiStoreReader::MultiStoreReader(const std::vector<std::string>& paths,
+                                   ReaderOptions opts) {
+  shards_.reserve(paths.size());
+  cumulative_.reserve(paths.size());
+  for (const std::string& p : paths) {
+    shards_.emplace_back(p, opts);
+    cumulative_.push_back(total_);
+    total_ += shards_.back().size();
+  }
+}
+
+std::pair<std::size_t, std::size_t> MultiStoreReader::locate(std::size_t global) const {
+  if (global >= total_) throw std::out_of_range("MultiStoreReader: record index");
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), global);
+  const std::size_t k = static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  return {k, global - cumulative_[k]};
+}
+
+RecordView MultiStoreReader::record(std::size_t global) const {
+  const auto [k, local] = locate(global);
+  return shards_[k].record(local);
+}
+
+}  // namespace pph::store

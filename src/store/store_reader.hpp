@@ -1,0 +1,204 @@
+#pragma once
+// Read side of the JSONL result store (DESIGN.md section 12).  The write
+// side (sched::JsonlStoreSink) streams millions of bit-exact path records;
+// StoreReader answers questions about them without a full reparse:
+//
+//   - the file is mmapped (buffered fallback for exotic filesystems), so
+//     record bytes are touched only when a query actually needs them;
+//   - on a cleanly closed store the index/offset footer gives O(1) random
+//     access to record i -- opening the store parses ONLY the header and
+//     the footer line, never the records;
+//   - a store with a missing, truncated, or corrupt footer (killed run)
+//     falls back to a streaming scan with exactly the tolerance contract
+//     of the legacy load_result_store: records up to the first partial or
+//     corrupt line survive, the tail is dropped, first occurrence of a
+//     JobId wins;
+//   - record decode is lazy (store::RecordView): scalar fields like
+//     status/worker/level parse without touching the endpoint hex run, and
+//     endpoints decode bit-exactly on demand.
+//
+// MultiStoreReader stitches sharded / resumed runs (store-*.jsonl) into
+// one logical store with global record indices; store::scan (see
+// parallel_scan.hpp) runs map/reduce queries over either reader.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/record_codec.hpp"
+
+namespace pph::store {
+
+struct ReaderOptions {
+  /// mmap the file (the default).  false reads it into a private buffer --
+  /// the portability fallback, also used by tests to cover both paths.
+  bool use_mmap = true;
+};
+
+class StoreReader {
+ public:
+  /// Open `path`.  Never throws on store-content problems: a missing file
+  /// reads as empty-and-clean, garbage as an empty truncated store --
+  /// exactly like the legacy loader.  Throws std::runtime_error only on
+  /// genuine I/O failure (open/stat/map errors on an existing file).
+  explicit StoreReader(std::string path, ReaderOptions opts = {});
+  ~StoreReader();
+  StoreReader(StoreReader&& other) noexcept;
+  StoreReader& operator=(StoreReader&& other) noexcept;
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// The file existed when opened.
+  bool exists() const { return exists_; }
+  /// Format version from the header (0 for a missing/empty/garbage file).
+  int version() const { return version_; }
+  /// Writer metadata from a v3 header (empty otherwise).
+  const StoreMeta& meta() const { return meta_; }
+
+  /// Footer-indexed: record offsets came from the footer, open cost was
+  /// O(footer), and no record line was touched yet.
+  bool indexed() const { return indexed_; }
+  /// A footer line was present (indexed(), or a corrupt footer that forced
+  /// the scan fallback).  Mirrors StoreLoad::had_footer.
+  bool footer_seen() const { return footer_seen_; }
+  /// A partial or corrupt tail was dropped.  Mirrors StoreLoad::truncated.
+  bool truncated() const { return truncated_; }
+  /// Where a resuming writer continues (after the last valid record).
+  std::uint64_t append_offset() const { return append_offset_; }
+
+  /// Number of records (first occurrence of a JobId wins).
+  std::size_t size() const { return refs_.size(); }
+  bool empty() const { return refs_.empty(); }
+  /// Later lines whose JobId was already seen (dropped from the index).
+  std::size_t duplicates_dropped() const { return duplicates_dropped_; }
+
+  /// JobId of record i straight from the index -- never touches the line.
+  JobId id_at(std::size_t i) const { return refs_[i].id; }
+  /// Byte offset of record i's line start (resume/footer bookkeeping).
+  std::uint64_t offset_at(std::size_t i) const { return refs_[i].offset; }
+  /// Smallest/largest indexed JobId (0/0 for an empty store).
+  JobId min_id() const { return min_id_; }
+  JobId max_id() const { return max_id_; }
+
+  /// Lazy view of record i.  O(1): the line bounds come from the index.
+  RecordView record(std::size_t i) const;
+  /// Full decode of record i.
+  TrackedPath load(std::size_t i) const { return record(i).full(); }
+  /// Record position of a JobId, if stored.  The id->position map is built
+  /// on first use (one pass over the in-memory index, no line touching).
+  std::optional<std::size_t> find(JobId id) const;
+
+  /// f(const RecordView&, std::size_t i) over [begin, end).
+  template <typename F>
+  void for_each_in(std::size_t begin, std::size_t end, F&& f) const {
+    for (std::size_t i = begin; i < end && i < refs_.size(); ++i) f(record(i), i);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for_each_in(0, refs_.size(), f);
+  }
+
+ private:
+  struct RecordRef {
+    JobId id = 0;
+    std::uint64_t offset = 0;  // line start (byte) in the file
+    std::uint32_t length = 0;  // line length sans newline; 0 = locate lazily
+  };
+
+  void open(const ReaderOptions& opts);
+  void scan_records(std::size_t data_start, std::size_t end);
+  void unmap() noexcept;
+  const char* data() const { return data_; }
+
+  std::string path_;
+  const char* data_ = nullptr;   // mmap base or buffer_.data()
+  std::size_t len_ = 0;
+  void* map_base_ = nullptr;     // non-null iff mmapped
+  std::size_t map_len_ = 0;
+  std::string buffer_;           // buffered fallback storage
+
+  bool exists_ = false;
+  int version_ = 0;
+  StoreMeta meta_;
+  bool indexed_ = false;
+  bool footer_seen_ = false;
+  bool truncated_ = false;
+  std::uint64_t append_offset_ = 0;
+  std::uint64_t records_end_ = 0;  // byte end of the record region
+  std::size_t duplicates_dropped_ = 0;
+  JobId min_id_ = 0;
+  JobId max_id_ = 0;
+  std::vector<RecordRef> refs_;
+
+  mutable std::once_flag id_index_once_;
+  mutable std::unordered_map<JobId, std::size_t> id_index_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded / resumed runs as one logical store.
+// ---------------------------------------------------------------------------
+
+/// Expand CLI-style store arguments: a plain path stays itself (even when
+/// missing -- the reader reports that); an argument whose filename contains
+/// '*' matches files in its parent directory (empty when none match).  The
+/// expansion of each pattern is sorted, so store-0.jsonl precedes
+/// store-1.jsonl and shard order is deterministic.
+std::vector<std::string> expand_store_paths(const std::vector<std::string>& args);
+
+/// Several store files read as ONE logical store: records of shard k come
+/// after every record of shard k-1, and global record indices run over the
+/// concatenation.  Cross-shard JobId duplicates are retained here (a
+/// resumed-into-a-new-shard run legitimately repeats nothing, but the
+/// reader cannot know) -- the dedup analytics resolve them first-wins.
+class MultiStoreReader {
+ public:
+  explicit MultiStoreReader(const std::vector<std::string>& paths,
+                            ReaderOptions opts = {});
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const StoreReader& shard(std::size_t k) const { return shards_[k]; }
+
+  /// Total records over all shards.
+  std::size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// (shard, local index) of a global record index.
+  std::pair<std::size_t, std::size_t> locate(std::size_t global) const;
+  RecordView record(std::size_t global) const;
+  TrackedPath load(std::size_t global) const { return record(global).full(); }
+  /// Shard that holds global index i (for per-shard version lookups).
+  const StoreReader& shard_of(std::size_t global) const {
+    return shards_[locate(global).first];
+  }
+
+  /// f(const RecordView&, std::size_t global) over [begin, end), walking
+  /// shards in order without per-record binary searches.
+  template <typename F>
+  void for_each_in(std::size_t begin, std::size_t end, F&& f) const {
+    end = std::min(end, total_);
+    if (begin >= end) return;
+    auto [k, local] = locate(begin);
+    std::size_t global = begin;
+    for (; k < shards_.size() && global < end; ++k, local = 0) {
+      const StoreReader& s = shards_[k];
+      for (std::size_t i = local; i < s.size() && global < end; ++i, ++global) {
+        f(s.record(i), global);
+      }
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for_each_in(0, total_, f);
+  }
+
+ private:
+  std::vector<StoreReader> shards_;
+  std::vector<std::size_t> cumulative_;  // records before shard k
+  std::size_t total_ = 0;
+};
+
+}  // namespace pph::store

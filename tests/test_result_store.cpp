@@ -16,6 +16,7 @@
 
 #include "sched/result_store.hpp"
 #include "scheduler_fixture.hpp"
+#include "store/store_reader.hpp"
 
 namespace {
 
@@ -38,6 +39,7 @@ bool same_bits(double a, double b) {
 void expect_record_equal(const TrackedPath& a, const TrackedPath& b) {
   EXPECT_EQ(a.index, b.index);
   EXPECT_EQ(a.worker, b.worker);
+  EXPECT_EQ(a.level, b.level);
   EXPECT_TRUE(same_bits(a.seconds, b.seconds));
   EXPECT_EQ(static_cast<int>(a.result.status), static_cast<int>(b.result.status));
   EXPECT_TRUE(same_bits(a.result.t_reached, b.result.t_reached));
@@ -59,6 +61,7 @@ TrackedPath sample_record(PathStatus status) {
   TrackedPath tp;
   tp.index = 42;
   tp.worker = 3;
+  tp.level = 2;
   tp.seconds = 0.00123;
   tp.result.status = status;
   tp.result.t_reached = status == PathStatus::kConverged ? 1.0 : 0.875;
@@ -227,6 +230,113 @@ TEST(ResultStoreFile, GarbageFileStartsOver) {
   EXPECT_TRUE(sink.restored().empty());
   sink.finish();
   EXPECT_TRUE(load_result_store(path).had_footer);
+}
+
+// ---- format versions (v1-v3 compatibility) ----------------------------------
+
+TEST(ResultStoreFormat, FreshStoreWritesVersion3WithMeta) {
+  const std::string path = temp_path("store_v3_meta.jsonl");
+  std::remove(path.c_str());
+  pph::store::StoreMeta meta;
+  meta.policy = "fcfs";
+  meta.ranks = 4;
+  meta.seed = 42;
+  {
+    JsonlStoreSink sink(path, /*resume=*/false, meta);
+    EXPECT_EQ(sink.version(), pph::store::kFormatVersion);
+    sink.accept(sample_record(PathStatus::kConverged));
+    sink.finish();
+  }
+  const auto load = load_result_store(path);
+  EXPECT_EQ(load.version, pph::store::kFormatVersion);
+  EXPECT_EQ(load.meta.policy, "fcfs");
+  EXPECT_EQ(load.meta.ranks, 4);
+  EXPECT_EQ(load.meta.seed, 42u);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].level, 2u);  // sample_record's level round-trips
+}
+
+TEST(ResultStoreFormat, ResumeKeepsTheOnDiskVersion) {
+  // A v2 store (pre-level format) written by hand; resuming must append v2
+  // records -- mixing schemas inside one file would corrupt it.
+  const std::string path = temp_path("store_v2_resume.jsonl");
+  TrackedPath old = sample_record(PathStatus::kConverged);
+  old.index = 0;
+  old.level = 0;  // v2 cannot carry levels
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"pph_result_store\":{\"version\":2}}\n";
+    std::string line;
+    pph::store::append_record_line(line, old, 2);
+    out << line << "\n";
+  }
+  {
+    JsonlStoreSink sink(path, /*resume=*/true);
+    EXPECT_EQ(sink.version(), 2);
+    ASSERT_EQ(sink.restored().size(), 1u);
+    TrackedPath next = sample_record(PathStatus::kDiverged);
+    next.index = 1;
+    next.level = 0;
+    sink.accept(next);
+    sink.finish();
+  }
+  const auto load = load_result_store(path);
+  EXPECT_EQ(load.version, 2);
+  EXPECT_TRUE(load.had_footer);
+  ASSERT_EQ(load.records.size(), 2u);
+}
+
+TEST(ResultStoreFormat, V1StoreRestartsFreshOnResume) {
+  const std::string path = temp_path("store_v1_resume.jsonl");
+  TrackedPath old = sample_record(PathStatus::kConverged);
+  old.index = 0;
+  old.level = 0;
+  old.result.last_step = 0.0;
+  old.result.rescue_attempts = 0;
+  old.result.rescued = false;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"pph_result_store\":{\"version\":1}}\n";
+    std::string line;
+    pph::store::append_record_line(line, old, 1);
+    out << line << "\n";
+  }
+  // Reading works (the codec accepts v1)...
+  const auto load = load_result_store(path);
+  EXPECT_EQ(load.version, 1);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].result.last_step, 0.0);
+  // ...but resuming restarts: v1 records cannot carry rescue provenance.
+  JsonlStoreSink sink(path, /*resume=*/true);
+  EXPECT_TRUE(sink.restored().empty());
+  EXPECT_EQ(sink.version(), pph::store::kFormatVersion);
+}
+
+TEST(ResultStoreFormat, LoaderIsAThinWrapperOverTheReader) {
+  const std::string path = temp_path("store_wrapper_eq.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlStoreSink sink(path);
+    for (std::size_t i = 0; i < 7; ++i) {
+      TrackedPath tp = sample_record(i % 2 == 0 ? PathStatus::kConverged
+                                                : PathStatus::kFailed);
+      tp.index = i;
+      sink.accept(tp);
+    }
+    sink.finish();
+  }
+  const auto load = load_result_store(path);
+  const pph::store::StoreReader reader(path);
+  EXPECT_EQ(load.had_footer, reader.footer_seen());
+  EXPECT_EQ(load.truncated, reader.truncated());
+  EXPECT_EQ(load.append_offset, reader.append_offset());
+  EXPECT_EQ(load.version, reader.version());
+  ASSERT_EQ(load.records.size(), reader.size());
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    expect_record_equal(load.records[i], reader.load(i));
+    EXPECT_EQ(load.offsets[i].first, reader.id_at(i));
+    EXPECT_EQ(load.offsets[i].second, reader.offset_at(i));
+  }
 }
 
 // ---- checkpoint + resume over a real workload ------------------------------

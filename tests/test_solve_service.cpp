@@ -293,7 +293,8 @@ TEST(ServiceSim, DeadlineShedsLateArrivals) {
 TEST_F(SchedulerTest, TeeFansOutToEverySink) {
   sched::InMemoryReportSink a, b;
   auto fan = sched::tee(a, b);
-  const sched::TrackedPath tp{/*index=*/3, /*worker=*/1, /*seconds=*/0.0, baseline_[3]};
+  const sched::TrackedPath tp{/*index=*/3, /*worker=*/1, /*seconds=*/0.0,
+                              /*level=*/0, baseline_[3]};
   fan.accept(tp);
   EXPECT_EQ(a.count(), 1u);
   EXPECT_EQ(b.count(), 1u);
