@@ -24,6 +24,19 @@
 // workload drops to cyclic-5 and the on-off process is skipped.  Set
 // PPH_BENCH_JSON=<path> to also write the measured rows as JSON (the
 // perf-trajectory format committed under docs/bench/).
+//
+// Reliability additions (DESIGN.md section 13):
+//   - every serve run is audited against the request-conservation identity
+//     (completed + expired + shed + dropped + quarantined == requests);
+//     any violation makes the binary exit non-zero;
+//   - a p99-vs-deadline sweep at 0.9 x mu: per-request deadlines tighten
+//     from none down to a quarter of the healthy p99 sojourn, recording
+//     the completed/expired split and the surviving tail latency;
+//   - a brownout burst row: the whole pool arrives at t=0 through depth
+//     watermarks, recording the level transitions and door sheds.
+// Set PPH_BENCH_RELIABILITY_SMOKE=1 for the CI reliability smoke: ONLY a
+// tiny Poisson run at 1.2 x mu with one injected silent worker death and a
+// tight deadline -- the run must leave zero unaccounted requests.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +44,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,10 +58,13 @@
 
 namespace {
 
-bool tiny_mode() {
-  const char* v = std::getenv("PPH_BENCH_SERVICE_TINY");
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
+
+bool tiny_mode() { return env_flag("PPH_BENCH_SERVICE_TINY"); }
+bool reliability_smoke_mode() { return env_flag("PPH_BENCH_RELIABILITY_SMOKE"); }
 
 /// One measured serve-loop row of the JSON perf trajectory.
 struct JsonRow {
@@ -58,10 +75,18 @@ struct JsonRow {
   double p99_ms = 0.0;
   double sim_p99_ms = 0.0;
   bool sustainable = false;
+  // Reliability columns (DESIGN.md section 13); deadline_ms < 0 = none.
+  double deadline_ms = -1.0;
+  std::size_t completed = 0;
+  std::size_t expired = 0;
+  std::size_t cancelled = 0;
+  std::size_t retried = 0;
+  std::size_t shed = 0;
+  std::size_t brownout_transitions = 0;
 };
 
 void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
-                      bool tiny, bool all_identical) {
+                      bool tiny, bool all_identical, bool all_accounted) {
   std::ofstream out(path);
   if (!out.is_open()) {
     std::fprintf(stderr, "PPH_BENCH_JSON: cannot open %s\n", path.c_str());
@@ -74,14 +99,27 @@ void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
       << "    \"bench\": \"bench_solve_service\",\n"
       << "    \"date\": \"" << stamp << "\",\n"
       << "    \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+      << "    \"reliability_smoke\": " << (reliability_smoke_mode() ? "true" : "false")
+      << ",\n"
       << "    \"streamed_identical_to_drained_everywhere\": "
-      << (all_identical ? "true" : "false") << "\n  },\n  \"benchmarks\": [\n";
+      << (all_identical ? "true" : "false") << ",\n"
+      << "    \"every_request_accounted_everywhere\": "
+      << (all_accounted ? "true" : "false") << "\n  },\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\", \"offered_per_second\": " << r.offered_per_s
         << ", \"achieved_per_second\": " << r.achieved_per_s
         << ", \"sojourn_p50_ms\": " << r.p50_ms << ", \"sojourn_p99_ms\": " << r.p99_ms
-        << ", \"sim_sojourn_p99_ms\": " << r.sim_p99_ms
+        << ", \"sim_sojourn_p99_ms\": " << r.sim_p99_ms << ", \"deadline_ms\": ";
+    if (r.deadline_ms >= 0.0) {
+      out << r.deadline_ms;
+    } else {
+      out << "null";
+    }
+    out << ", \"completed\": " << r.completed << ", \"expired\": " << r.expired
+        << ", \"cancelled\": " << r.cancelled << ", \"retried\": " << r.retried
+        << ", \"shed\": " << r.shed
+        << ", \"brownout_transitions\": " << r.brownout_transitions
         << ", \"sustainable\": " << (r.sustainable ? "true" : "false") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -93,8 +131,10 @@ void write_bench_json(const std::string& path, const std::vector<JsonRow>& rows,
 
 int main() {
   using namespace pph;
-  const bool tiny = tiny_mode();
-  if (tiny) std::printf("(tiny mode: PPH_BENCH_SERVICE_TINY set)\n\n");
+  const bool smoke = reliability_smoke_mode();
+  const bool tiny = tiny_mode() || smoke;
+  if (tiny && !smoke) std::printf("(tiny mode: PPH_BENCH_SERVICE_TINY set)\n\n");
+  if (smoke) std::printf("(reliability smoke: PPH_BENCH_RELIABILITY_SMOKE set)\n\n");
 
   // ---- workload + measured capacity ----------------------------------------
   const int cyclic_n = tiny ? 5 : 6;
@@ -123,6 +163,84 @@ int main() {
               ranks, workers);
   std::printf("measured mean service %.3f ms, drain wall %.2f s -> capacity mu = %.0f req/s\n\n",
               mean_service * 1e3, drained.wall_seconds, mu);
+
+  std::vector<JsonRow> json_rows;
+  bool all_identical = true;
+  bool all_accounted = true;
+  // The request-conservation identity (DESIGN.md section 13): every request
+  // ends in exactly one terminal bucket.  Any violation fails the binary.
+  const auto account = [&](const char* label, const sched::SessionStats& stats) {
+    const bool ok = stats.service.terminal_requests() == n;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "ACCOUNTING IDENTITY VIOLATION [%s]: completed %zu + expired %zu + "
+                   "shed %zu + dropped %zu + quarantined %zu != %zu requests\n",
+                   label, stats.service.completed, stats.service.expired,
+                   stats.service.shed, stats.service.dropped, stats.service.quarantined,
+                   n);
+    }
+    all_accounted = all_accounted && ok;
+    return ok;
+  };
+
+  // ---- CI reliability smoke (DESIGN.md section 13) -------------------------
+  // A deliberately overloaded tiny service: Poisson arrivals at 1.2 x mu,
+  // one silent worker death mid-run, and a deadline only ~25 mean service
+  // times wide.  Requests complete, retry, expire in queue and get
+  // cancelled in flight while the supervisor recovers the dead rank's work
+  // -- and every single request must still land in exactly one terminal
+  // bucket.  Zero unaccounted requests or the job fails.
+  if (smoke) {
+    sched::PoissonArrivals proc(1.2 * mu);
+    util::Prng trace_rng(91);
+    const auto trace = sched::arrival_times(proc, trace_rng, n);
+    const double offered = static_cast<double>(n) / trace.back();
+    const double deadline = 25.0 * mean_service;
+    sched::VectorJobSource inner(workload);
+    sched::StreamJobSource stream(inner, trace);
+    sched::InMemoryReportSink sink;
+    sched::Session session(
+        stream, sink,
+        sched::SessionOptions()
+            .with_supervision(
+                sched::SupervisorOptions().with_heartbeat(0.01).with_miss_budget(20, 2.0))
+            .with_fault_plan(mp::FaultPlan().kill(2, n / 6))
+            .with_reliability(sched::ReliabilityOptions()
+                                  .with_deadline(deadline)
+                                  .with_attempts(2, 0.001)
+                                  .with_jitter_seed(7)));
+    const auto stats = session.serve(ranks);
+    const bool ok = account("reliability_smoke", stats);
+    const auto& svc = stats.service;
+    const auto& rel = stats.reliability;
+    std::printf("offered %.0f req/s (1.2 x mu), deadline %.2f ms, rank 2 dies after %zu jobs\n",
+                offered, deadline * 1e3, n / 6);
+    std::printf("  completed %zu  expired %zu (cancelled in flight %zu)  retried %zu  "
+                "quarantined %zu\n",
+                svc.completed, svc.expired, rel.cancelled, rel.retried, svc.quarantined);
+    std::printf("  deaths detected %zu, requeued %zu; sojourn p99 %.2f ms\n",
+                stats.supervision.deaths_detected, stats.supervision.requeued_jobs,
+                svc.sojourn.p99() * 1e3);
+    std::printf("  every request accounted: %s\n", ok ? "yes" : "NO");
+    JsonRow row;
+    row.name = "reliability_smoke_1.2mu_death_deadline";
+    row.offered_per_s = offered;
+    row.achieved_per_s = static_cast<double>(svc.completed) / stats.wall_seconds;
+    row.p50_ms = svc.sojourn.p50() * 1e3;
+    row.p99_ms = svc.sojourn.p99() * 1e3;
+    row.deadline_ms = deadline * 1e3;
+    row.completed = svc.completed;
+    row.expired = svc.expired;
+    row.cancelled = rel.cancelled;
+    row.retried = rel.retried;
+    row.shed = svc.shed;
+    json_rows.push_back(row);
+    if (const char* json_path = std::getenv("PPH_BENCH_JSON");
+        json_path != nullptr && json_path[0] != '\0') {
+      write_bench_json(json_path, json_rows, tiny, all_identical, all_accounted);
+    }
+    return ok ? 0 : 1;
+  }
 
   // ---- rate sweep x arrival process ----------------------------------------
   // Each serve run gets a fresh deterministic trace (seeded per row); the
@@ -158,8 +276,6 @@ int main() {
   util::Table t("solve service -- offered rate sweep (sustainable = achieved >= 95% offered)");
   t.set_header({"process", "offered/s", "achieved/s", "p50 (ms)", "p99 (ms)",
                 "sim p99 (ms)", "max q", "sustainable", "identical"});
-  std::vector<JsonRow> json_rows;
-  bool all_identical = true;
   std::uint64_t seed = 40;
   for (const auto& spec : processes) {
     for (const double f : load_factors) {
@@ -180,6 +296,7 @@ int main() {
 
       const bool identical = sched::identical_path_results(report, drained);
       all_identical = all_identical && identical;
+      account(spec.name, stats);
       const double achieved =
           static_cast<double>(stats.service.completed) / stats.wall_seconds;
       const bool sustainable = achieved >= 0.95 * offered;
@@ -238,6 +355,7 @@ int main() {
       const auto report = sink.report(stats);
       const bool identical = sched::identical_path_results(report, drained);
       all_identical = all_identical && identical && stats.service.drained();
+      account(faulted ? "supervised_faulted" : "supervised_healthy", stats);
       const double achieved =
           static_cast<double>(stats.service.completed) / stats.wall_seconds;
       const auto& sj = stats.service.sojourn;
@@ -263,9 +381,115 @@ int main() {
     }
   }
 
+  // ---- p99 vs per-request deadline (DESIGN.md section 13) ------------------
+  // The same Poisson trace at 0.9 x mu served with tightening per-request
+  // deadlines.  The first pass (no deadline) anchors the sweep -- its p99
+  // sojourn defines "healthy" and its results must stay bit-identical to
+  // the drained run even with the reliability layer (retry budget 2)
+  // attached.  Each tighter pass sheds more of the tail as expiries and
+  // mid-flight cancellations; the conservation identity audits every row.
+  {
+    sched::PoissonArrivals proc(0.9 * mu);
+    util::Prng trace_rng(++seed);
+    const auto trace = sched::arrival_times(proc, trace_rng, n);
+    const double offered = static_cast<double>(n) / trace.back();
+    util::Table dt("solve service -- sojourn p99 vs per-request deadline at 0.9 x mu");
+    dt.set_header({"deadline (ms)", "completed", "expired", "cancelled", "retried",
+                   "p50 (ms)", "p99 (ms)", "accounted"});
+    double healthy_p99 = 0.0;  // seconds; set by the first (deadline-free) pass
+    for (const double frac : {-1.0, 4.0, 1.0, 0.25}) {
+      std::optional<double> deadline;
+      if (frac > 0.0) deadline = frac * healthy_p99;
+      sched::VectorJobSource inner(workload);
+      sched::StreamJobSource stream(inner, trace);
+      sched::InMemoryReportSink sink;
+      auto rel = sched::ReliabilityOptions().with_attempts(2, 0.001).with_jitter_seed(5);
+      if (deadline.has_value()) rel.with_deadline(*deadline);
+      sched::Session session(stream, sink,
+                             sched::SessionOptions().with_reliability(rel));
+      const auto stats = session.serve(ranks);
+      char label[48];
+      std::snprintf(label, sizeof label, "deadline_%s",
+                    deadline.has_value() ? util::Table::cell(*deadline * 1e3, 2).c_str()
+                                         : "none");
+      const bool ok = account(label, stats);
+      if (!deadline.has_value()) {
+        healthy_p99 = stats.service.sojourn.p99();
+        const bool identical =
+            sched::identical_path_results(sink.report(stats), drained);
+        all_identical = all_identical && identical;
+      }
+      const auto& sj = stats.service.sojourn;
+      dt.add_row({deadline.has_value() ? util::Table::cell(*deadline * 1e3, 2) : "none",
+                  util::Table::cell(stats.service.completed),
+                  util::Table::cell(stats.service.expired),
+                  util::Table::cell(stats.reliability.cancelled),
+                  util::Table::cell(stats.reliability.retried),
+                  util::Table::cell(sj.p50() * 1e3, 2), util::Table::cell(sj.p99() * 1e3, 2),
+                  ok ? "yes" : "NO"});
+      JsonRow row;
+      char name[64];
+      std::snprintf(name, sizeof name, "serve_deadline_%s",
+                    frac < 0.0 ? "none" : util::Table::cell(frac, 2).c_str());
+      row.name = name;
+      row.offered_per_s = offered;
+      row.achieved_per_s = static_cast<double>(stats.service.completed) / stats.wall_seconds;
+      row.p50_ms = sj.p50() * 1e3;
+      row.p99_ms = sj.p99() * 1e3;
+      row.deadline_ms = deadline.has_value() ? *deadline * 1e3 : -1.0;
+      row.completed = stats.service.completed;
+      row.expired = stats.service.expired;
+      row.cancelled = stats.reliability.cancelled;
+      row.retried = stats.reliability.retried;
+      row.shed = stats.service.shed;
+      json_rows.push_back(row);
+    }
+    std::cout << dt.to_string();
+  }
+
+  // ---- overload brownout on a burst (DESIGN.md section 13) -----------------
+  // The whole pool lands at t=0 through depth watermarks at n/8, n/4 and
+  // n/2: the controller must walk 0->1->2->3 during admission, shed the
+  // rest of the burst at the door, and walk back down as the queue drains.
+  {
+    const std::vector<double> burst(n, 0.0);
+    const auto overload = sched::OverloadOptions()
+                              .with_depths(n / 8, n / 4, n / 2)
+                              .with_hysteresis(0.5, 0.0);
+    sched::VectorJobSource inner(workload);
+    sched::StreamJobSource stream(inner, burst);
+    sched::DiscardSink sink;
+    sched::Session session(stream, sink,
+                           sched::SessionOptions().with_reliability(
+                               sched::ReliabilityOptions().with_overload(overload)));
+    const auto stats = session.serve(ranks);
+    const bool ok = account("brownout_burst", stats);
+    util::Table bt("solve service -- brownout burst (watermarks n/8, n/4, n/2)");
+    bt.set_header({"admitted", "door shed", "completed", "transitions", "max level",
+                   "accounted"});
+    bt.add_row({util::Table::cell(stats.service.admitted),
+                util::Table::cell(stats.reliability.brownout_shed),
+                util::Table::cell(stats.service.completed),
+                util::Table::cell(stats.reliability.brownout_transitions),
+                util::Table::cell(stats.reliability.max_brownout_level),
+                ok ? "yes" : "NO"});
+    std::cout << bt.to_string();
+    JsonRow row;
+    row.name = "serve_brownout_burst";
+    row.achieved_per_s = static_cast<double>(stats.service.completed) / stats.wall_seconds;
+    row.p50_ms = stats.service.sojourn.p50() * 1e3;
+    row.p99_ms = stats.service.sojourn.p99() * 1e3;
+    row.completed = stats.service.completed;
+    row.shed = stats.service.shed;
+    row.brownout_transitions = stats.reliability.brownout_transitions;
+    json_rows.push_back(row);
+  }
+
+  std::printf("  every request accounted for in every run: %s\n",
+              all_accounted ? "yes" : "NO");
   if (const char* json_path = std::getenv("PPH_BENCH_JSON");
       json_path != nullptr && json_path[0] != '\0') {
-    write_bench_json(json_path, json_rows, tiny, all_identical);
+    write_bench_json(json_path, json_rows, tiny, all_identical, all_accounted);
   }
-  return all_identical ? 0 : 1;
+  return (all_identical && all_accounted) ? 0 : 1;
 }

@@ -44,6 +44,15 @@ PathResult track_path(const Homotopy& h, const CVector& x0, const TrackerOptions
   endgame_corrector.dd_refine = endgame_corrector.dd_refine || eg.dd_refine;
 
   while (t < 1.0) {
+    if (opts.cancel_poll && opts.cancel_poll()) {
+      result.status = PathStatus::kCancelled;
+      result.x = x;
+      result.t_reached = t;
+      result.last_step = step;
+      h.evaluate_into(x, t, ws.hws.get(), ws.h_val);
+      result.residual = linalg::norm2(ws.h_val);
+      return result;
+    }
     if (result.steps + result.rejections >= opts.max_steps) {
       result.status = PathStatus::kFailed;
       break;

@@ -6,6 +6,7 @@
 // paths defined by the homotopy can be tracked independently".
 
 #include <cstdint>
+#include <functional>
 
 #include "homotopy/corrector.hpp"
 #include "homotopy/predictor.hpp"
@@ -51,6 +52,11 @@ struct TrackerOptions {
   double divergence_threshold = 1e8;
   /// Hard cap on predictor-corrector steps (guards runaway paths).
   std::size_t max_steps = 10000;
+  /// Cooperative cancellation (DESIGN.md section 13): polled once at the
+  /// top of every predictor-corrector step; returning true stops the track
+  /// with PathStatus::kCancelled within one step of the poll flipping.
+  /// Empty (the default) is never polled, so the hot loop stays untouched.
+  std::function<bool()> cancel_poll;
   CorrectorOptions corrector;
   /// Tighter corrector used for the final refinement at t = 1.
   CorrectorOptions end_corrector{8, 1e-12, 1e-14, 1e8};
@@ -59,9 +65,14 @@ struct TrackerOptions {
 };
 
 enum class PathStatus {
-  kConverged,   // reached t = 1 with the end corrector converged
-  kDiverged,    // point norm exceeded the divergence threshold
-  kFailed,      // step size underflowed or step budget exhausted
+  kConverged,        // reached t = 1 with the end corrector converged
+  kDiverged,         // point norm exceeded the divergence threshold
+  kFailed,           // step size underflowed or step budget exhausted
+  // Request-reliability outcomes (DESIGN.md section 13).  Values append
+  // after kFailed so the store wire format of the legacy statuses is
+  // unchanged.
+  kDeadlineExpired,  // request budget expired; synthesized on the master
+  kCancelled,        // cancel_poll stopped the track mid-path
 };
 
 struct PathResult {

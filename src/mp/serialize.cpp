@@ -57,6 +57,7 @@ StealReply unpack_steal_reply(const std::vector<std::byte>& payload) {
 std::vector<std::byte> pack_job_frame(const JobFrame& frame) {
   Packer p;
   p.write(frame.id);
+  p.write(frame.flags);
   p.write_vector(frame.payload);
   return p.take();
 }
@@ -65,6 +66,7 @@ JobFrame unpack_job_frame(const std::vector<std::byte>& payload) {
   Unpacker u(payload);
   JobFrame frame;
   frame.id = u.read<std::uint64_t>();
+  frame.flags = u.read<std::uint32_t>();
   frame.payload = u.read_vector<std::byte>();
   return frame;
 }
@@ -74,6 +76,7 @@ std::vector<std::byte> pack_job_frame_batch(const std::vector<JobFrame>& frames)
   p.write(static_cast<std::uint64_t>(frames.size()));
   for (const auto& frame : frames) {
     p.write(frame.id);
+    p.write(frame.flags);
     p.write_vector(frame.payload);
   }
   return p.take();
@@ -87,6 +90,7 @@ std::vector<JobFrame> unpack_job_frame_batch(const std::vector<std::byte>& paylo
   for (std::size_t i = 0; i < count; ++i) {
     JobFrame frame;
     frame.id = u.read<std::uint64_t>();
+    frame.flags = u.read<std::uint32_t>();
     frame.payload = u.read_vector<std::byte>();
     frames.push_back(std::move(frame));
   }

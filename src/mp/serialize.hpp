@@ -113,6 +113,11 @@ StealReply unpack_steal_reply(const std::vector<std::byte>& payload);
 
 struct JobFrame {
   std::uint64_t id = 0;
+  /// Per-dispatch control bits, opaque at this layer (the scheduler's
+  /// kFrame* constants live in sched/session.hpp): cooperative-cancel
+  /// enablement and brownout degradation ride the frame so a slave needs
+  /// no side channel to know how to run the job (DESIGN.md section 13).
+  std::uint32_t flags = 0;
   std::vector<std::byte> payload;  // source-defined job description
 };
 std::vector<std::byte> pack_job_frame(const JobFrame& frame);

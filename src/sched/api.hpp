@@ -26,7 +26,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -68,8 +70,12 @@ struct ServiceStats {
   std::size_t arrivals = 0;   // requests whose modeled arrival time was reached
   std::size_t admitted = 0;   // entered the admission queue
   std::size_t dropped = 0;    // rejected by AdmissionPolicy::kDrop backpressure
-  std::size_t shed = 0;       // never arrived: the deadline closed the stream
+  std::size_t shed = 0;       // deadline/brownout shed: never arrived, or at the door
   std::size_t completed = 0;  // admitted jobs whose results reached the sink
+  /// Admitted requests whose per-request deadline expired before a genuine
+  /// result could be delivered: synthesized kDeadlineExpired results
+  /// (DESIGN.md section 13).  Disjoint from completed.
+  std::size_t expired = 0;
   /// Admission-queue depth (admitted, waiting for dispatch): high-water
   /// mark and time-weighted average over the serving window.
   std::size_t max_queue_depth = 0;
@@ -77,14 +83,134 @@ struct ServiceStats {
   /// Per-job sojourn time, admission -> result accepted on the master.
   util::PercentileAccumulator sojourn;
 
-  /// Zero-loss drain invariant of a graceful shutdown: every admitted job's
-  /// result reached the sink.
-  bool drained() const { return completed == admitted; }
-
-  /// Of the completed jobs, how many were quarantined by the supervisor
-  /// (reported as failed PathResults rather than tracked; DESIGN.md
-  /// section 11).  Zero in a healthy service.
+  /// Admitted jobs reported as failed by the supervisor's attempt ledger
+  /// (DESIGN.md section 11), disjoint from completed.  Zero in a healthy
+  /// service.
   std::size_t quarantined = 0;
+
+  /// Zero-loss drain invariant of a graceful shutdown: every admitted job
+  /// ended in exactly one terminal bucket that reached the sink.
+  bool drained() const { return completed + expired + quarantined == admitted; }
+
+  /// Request-conservation identity (DESIGN.md section 13): every request
+  /// that ever existed is in exactly one terminal bucket.  On a drained
+  /// service this equals the request count (arrivals plus never-arrived
+  /// requests shed at close); bench_solve_service and the CI reliability
+  /// smoke exit non-zero when it does not.
+  std::size_t terminal_requests() const {
+    return completed + expired + shed + dropped + quarantined;
+  }
+};
+
+/// Per-request budget (DESIGN.md section 13): attached to every request at
+/// admission by the serve loop when ReliabilityOptions::enabled.  The
+/// deadline is measured from the request's admission instant; attempts
+/// count every consumed try (first dispatch, death re-queues, failure
+/// retries) against ONE ledger shared with the supervisor's quarantine.
+struct RequestBudget {
+  /// Seconds from admission until the request is shed as a synthesized
+  /// kDeadlineExpired result (0 expires at admission; nullopt = no deadline).
+  std::optional<double> deadline_seconds;
+  /// Total attempts a request may consume (1 = never retried).
+  std::size_t max_attempts = 1;
+  /// Exponential backoff before re-admitting a failed attempt:
+  /// base * multiplier^(attempt-1), +/- jitter_fraction of itself (seeded,
+  /// deterministic: see sched::backoff_seconds).
+  double backoff_base_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.0;
+};
+
+/// Overload-brownout controller knobs (DESIGN.md section 13).  The
+/// controller watches the admission-queue depth (and optionally a sojourn
+/// EWMA) and walks a degradation ladder: 1 = no speculation, 2 = no
+/// endgame/dd-refine on dispatched jobs, 3 = shed arrivals at the door.
+/// Hysteresis: escalation at the high watermark is immediate; recovery
+/// needs the depth back under low_fraction of that level's watermark AND
+/// min_dwell_seconds since the last transition.
+struct OverloadOptions {
+  bool enabled = false;
+  /// Queue-depth high watermarks of levels 1..3 (0 disables a level).
+  std::size_t depth_no_speculation = 0;
+  std::size_t depth_no_endgame = 0;
+  std::size_t depth_shed = 0;
+  /// Recovery watermark as a fraction of the escalation watermark.
+  double low_fraction = 0.5;
+  /// Minimum seconds between de-escalations (0 = none; the fixed-trace
+  /// simulator parity tests run with 0 so transitions are time-free).
+  double min_dwell_seconds = 0.0;
+  /// Optional sojourn-EWMA escalation signal (seconds; infinity = off).
+  double sojourn_high_seconds = std::numeric_limits<double>::infinity();
+  double sojourn_ewma_alpha = 0.2;
+
+  OverloadOptions& with_depths(std::size_t no_speculation, std::size_t no_endgame,
+                               std::size_t shed) {
+    enabled = true;
+    depth_no_speculation = no_speculation;
+    depth_no_endgame = no_endgame;
+    depth_shed = shed;
+    return *this;
+  }
+  OverloadOptions& with_hysteresis(double fraction, double dwell_seconds) {
+    low_fraction = fraction;
+    min_dwell_seconds = dwell_seconds;
+    return *this;
+  }
+  OverloadOptions& with_sojourn_high(double seconds, double alpha = 0.2) {
+    sojourn_high_seconds = seconds;
+    sojourn_ewma_alpha = alpha;
+    return *this;
+  }
+};
+
+/// The request reliability layer (DESIGN.md section 13), serve() only: per
+/// request deadlines + retry budgets, cooperative cancellation of expired
+/// in-flight work, and overload brownout.  Off by default -- a disabled
+/// layer leaves every existing suite bit-identical.
+struct ReliabilityOptions {
+  bool enabled = false;
+  RequestBudget budget;
+  /// Seed of the deterministic backoff jitter (hashed with request id and
+  /// attempt number, so runtime and simulator draw identical waits).
+  std::uint64_t jitter_seed = 0;
+  OverloadOptions overload;
+
+  ReliabilityOptions& with_deadline(double seconds) {
+    enabled = true;
+    budget.deadline_seconds = seconds;
+    return *this;
+  }
+  ReliabilityOptions& with_attempts(std::size_t attempts, double backoff_base,
+                                    double multiplier = 2.0, double jitter = 0.0) {
+    enabled = true;
+    budget.max_attempts = attempts;
+    budget.backoff_base_seconds = backoff_base;
+    budget.backoff_multiplier = multiplier;
+    budget.jitter_fraction = jitter;
+    return *this;
+  }
+  ReliabilityOptions& with_jitter_seed(std::uint64_t seed) {
+    jitter_seed = seed;
+    return *this;
+  }
+  ReliabilityOptions& with_overload(OverloadOptions options) {
+    enabled = true;
+    overload = options;
+    overload.enabled = true;
+    return *this;
+  }
+};
+
+/// Reliability counters of one serve() run (DESIGN.md section 13); the
+/// simulator twin fills the same struct on fixed traces.
+struct ReliabilityStats {
+  std::size_t cancelled = 0;            // kTagCancel sent to in-flight owners
+  std::size_t retried = 0;              // failed attempts re-admitted after backoff
+  std::size_t brownout_transitions = 0; // level changes recorded by the controller
+  std::size_t max_brownout_level = 0;   // deepest degradation level reached
+  std::size_t brownout_shed = 0;        // arrivals shed at the door by level 3
+  /// Seconds each retry waited before re-admission (seeded jitter included).
+  util::PercentileAccumulator backoff_wait;
 };
 
 /// Supervisor knobs (DESIGN.md section 11).  Defaults are sized for the
@@ -167,6 +293,12 @@ struct SupervisionStats {
   double ewma_job_seconds = 0.0;          // final per-job EWMA on the master
 };
 
+/// Compact single-line JSON renderings used by the PPH_CHAOS_REPORT rows
+/// and the bench JSON trajectories (one format, not two; stats_json.cpp).
+std::string to_json(const ServiceStats& s);
+std::string to_json(const SupervisionStats& s);
+std::string to_json(const ReliabilityStats& s);
+
 struct SessionStats {
   double wall_seconds = 0.0;
   std::vector<double> rank_busy_seconds;  // tracking time per rank
@@ -178,6 +310,8 @@ struct SessionStats {
   ServiceStats service;
   /// Supervision counters (DESIGN.md section 11).
   SupervisionStats supervision;
+  /// Request-reliability counters (DESIGN.md section 13; serve() only).
+  ReliabilityStats reliability;
 };
 
 struct SessionOptions {
@@ -215,6 +349,10 @@ struct SessionOptions {
   /// speculative re-dispatch of stragglers, poison-job quarantine.
   /// Requires a master, so not supported by the static policy.
   SupervisorOptions supervisor;
+  /// Request reliability (DESIGN.md section 13): per-request budgets,
+  /// cooperative cancellation, retry-with-backoff, overload brownout.
+  /// serve() only -- budgets attach at the stream's admission gate.
+  ReliabilityOptions reliability;
   /// Deterministic fault injection (mp/fault.hpp): the plan is compiled
   /// into a FaultInjector consulted by the slave loops at job boundaries
   /// and by Comm::send.  Uncooperative faults (silent death, hang) require
@@ -265,6 +403,13 @@ struct SessionOptions {
   SessionOptions& with_supervision(SupervisorOptions options = {}) {
     supervisor = options;
     supervisor.enabled = true;
+    return *this;
+  }
+  /// Enable the request reliability layer (`enabled` is forced on --
+  /// passing options is opting in).
+  SessionOptions& with_reliability(ReliabilityOptions options) {
+    reliability = options;
+    reliability.enabled = true;
     return *this;
   }
   SessionOptions& with_fault_plan(mp::FaultPlan plan) {

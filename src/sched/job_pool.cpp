@@ -12,12 +12,14 @@ namespace pph::sched {
 void ParallelRunReport::tally() {
   std::sort(paths.begin(), paths.end(),
             [](const TrackedPath& a, const TrackedPath& b) { return a.index < b.index; });
-  converged = diverged = failed = 0;
+  converged = diverged = failed = expired = cancelled = 0;
   for (const auto& tp : paths) {
     switch (tp.result.status) {
       case PathStatus::kConverged: ++converged; break;
       case PathStatus::kDiverged: ++diverged; break;
       case PathStatus::kFailed: ++failed; break;
+      case PathStatus::kDeadlineExpired: ++expired; break;
+      case PathStatus::kCancelled: ++cancelled; break;
     }
   }
 }

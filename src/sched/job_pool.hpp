@@ -40,6 +40,8 @@ enum class MessageTag : int {
   kAbortFlush = 12,  // slave -> master: completed-but-unreported results
   // Supervision protocol (DESIGN.md section 11).
   kHeartbeat = 13,   // slave -> master: periodic liveness beacon (empty payload)
+  // Request reliability (DESIGN.md section 13).
+  kCancel = 14,      // master -> slave: stop tracking job id (uint64 payload)
   // Sentinel: keep last.  detail::kAllTags must list every enumerator
   // above; the static_asserts below force the list (and therefore the
   // collision check) to stay complete.
@@ -56,7 +58,7 @@ constexpr int kAllTags[] = {
     tag(MessageTag::kBatchDone),  tag(MessageTag::kStealOrder),
     tag(MessageTag::kStealReply), tag(MessageTag::kStealNotify),
     tag(MessageTag::kAbort),      tag(MessageTag::kAbortFlush),
-    tag(MessageTag::kHeartbeat),
+    tag(MessageTag::kHeartbeat),  tag(MessageTag::kCancel),
 };
 constexpr bool tags_unique() {
   for (std::size_t i = 0; i < std::size(kAllTags); ++i) {
@@ -94,6 +96,7 @@ inline constexpr int kTagStealNotify = tag(MessageTag::kStealNotify);
 inline constexpr int kTagAbort = tag(MessageTag::kAbort);
 inline constexpr int kTagAbortFlush = tag(MessageTag::kAbortFlush);
 inline constexpr int kTagHeartbeat = tag(MessageTag::kHeartbeat);
+inline constexpr int kTagCancel = tag(MessageTag::kCancel);
 
 /// A path-tracking workload shared by all ranks.
 struct PathWorkload {
@@ -124,6 +127,8 @@ struct ParallelRunReport {
   std::size_t converged = 0;
   std::size_t diverged = 0;
   std::size_t failed = 0;
+  std::size_t expired = 0;                 // kDeadlineExpired (synthesized)
+  std::size_t cancelled = 0;               // kCancelled (cooperative stop)
   std::size_t dispatches = 0;              // master job/batch hand-outs
   std::size_t steals = 0;                  // successful slave-to-slave steals
 

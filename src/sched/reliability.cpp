@@ -1,0 +1,210 @@
+#include "sched/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace pph::sched {
+
+const char* brownout_level_name(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kHealthy: return "healthy";
+    case BrownoutLevel::kNoSpeculation: return "no_speculation";
+    case BrownoutLevel::kNoEndgame: return "no_endgame";
+    case BrownoutLevel::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// OverloadController
+// ---------------------------------------------------------------------------
+
+OverloadController::OverloadController(OverloadOptions opts) : opts_(opts) {}
+
+std::size_t OverloadController::up_threshold(int level) const {
+  switch (level) {
+    case 1: return opts_.depth_no_speculation;
+    case 2: return opts_.depth_no_endgame;
+    case 3: return opts_.depth_shed;
+    default: return 0;
+  }
+}
+
+bool OverloadController::wants_level(int level, std::size_t depth) const {
+  const std::size_t threshold = up_threshold(level);
+  if (threshold == 0) return false;  // 0 disables that rung
+  if (depth >= threshold) return true;
+  // Sojourn pressure escalates through the same watermarks: once the EWMA
+  // crosses sojourn_high_seconds the queue is "too deep in time" even if
+  // shallow in count.
+  return ewma_seeded_ && ewma_ >= opts_.sojourn_high_seconds;
+}
+
+void OverloadController::step_to(double now, int level, std::size_t depth) {
+  const auto from = level_;
+  level_ = static_cast<BrownoutLevel>(level);
+  max_level_ = std::max(max_level_, static_cast<std::size_t>(level));
+  last_change_ = now;
+  transitions_.push_back({now, from, level_, depth});
+}
+
+void OverloadController::observe(double now, std::size_t queue_depth) {
+  if (!opts_.enabled) return;
+  // Escalate immediately through every rung the depth justifies.
+  while (static_cast<int>(level_) < 3 &&
+         wants_level(static_cast<int>(level_) + 1, queue_depth)) {
+    step_to(now, static_cast<int>(level_) + 1, queue_depth);
+  }
+  // De-escalate one rung at a time, hysteresis-guarded: the depth must be
+  // back under low_fraction of the current rung's watermark and the dwell
+  // must have elapsed since the last change.
+  while (static_cast<int>(level_) > 0) {
+    const std::size_t threshold = up_threshold(static_cast<int>(level_));
+    const double low = opts_.low_fraction * static_cast<double>(threshold);
+    if (threshold != 0 && static_cast<double>(queue_depth) > low) break;
+    if (ewma_seeded_ && ewma_ >= opts_.sojourn_high_seconds) break;
+    if (now - last_change_ < opts_.min_dwell_seconds) break;
+    step_to(now, static_cast<int>(level_) - 1, queue_depth);
+  }
+}
+
+void OverloadController::note_sojourn(double seconds) {
+  if (!opts_.enabled) return;
+  if (!std::isfinite(opts_.sojourn_high_seconds)) return;
+  if (!ewma_seeded_) {
+    ewma_ = seconds;
+    ewma_seeded_ = true;
+  } else {
+    ewma_ += opts_.sojourn_ewma_alpha * (seconds - ewma_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic backoff
+// ---------------------------------------------------------------------------
+
+double backoff_seconds(const RequestBudget& budget, std::uint64_t seed, std::uint64_t id,
+                       std::size_t attempt) {
+  if (attempt == 0) return 0.0;
+  double wait = budget.backoff_base_seconds;
+  for (std::size_t k = 1; k < attempt; ++k) wait *= budget.backoff_multiplier;
+  if (budget.jitter_fraction > 0.0 && wait > 0.0) {
+    // Seed from (seed, id, attempt) so the draw depends only on values both
+    // the runtime and the simulator know -- never on wall-clock state.
+    util::Prng rng(seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                   (static_cast<std::uint64_t>(attempt) << 32));
+    wait *= rng.uniform(1.0 - budget.jitter_fraction, 1.0 + budget.jitter_fraction);
+  }
+  return wait;
+}
+
+// ---------------------------------------------------------------------------
+// ReliabilityState
+// ---------------------------------------------------------------------------
+
+void ReliabilityState::on_admit(std::uint64_t id, double now) {
+  if (!opts_.budget.deadline_seconds) return;
+  // Re-admissions after a retry keep the original deadline: the budget is
+  // per request, not per attempt.
+  if (deadline_of_.count(id)) return;
+  const double at = now + *opts_.budget.deadline_seconds;
+  deadline_of_.emplace(id, at);
+  deadlines_.push({at, id});
+}
+
+void ReliabilityState::on_terminal(std::uint64_t id) {
+  deadline_of_.erase(id);
+  retry_pending_.erase(id);
+}
+
+std::optional<double> ReliabilityState::deadline_of(std::uint64_t id) const {
+  const auto it = deadline_of_.find(id);
+  if (it == deadline_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReliabilityState::schedule_retry(std::uint64_t id, double eligible_at) {
+  retry_pending_.insert(id);
+  retries_.push({eligible_at, id});
+}
+
+std::optional<std::uint64_t> ReliabilityState::pop_due_retry(double now) {
+  while (!retries_.empty() && retries_.top().at <= now) {
+    const std::uint64_t id = retries_.top().id;
+    retries_.pop();
+    if (retry_pending_.erase(id) > 0) return id;  // stale entries skip
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> ReliabilityState::pop_due_deadline(double now) {
+  while (!deadlines_.empty() && deadlines_.top().at <= now) {
+    const std::uint64_t id = deadlines_.top().id;
+    deadlines_.pop();
+    const auto it = deadline_of_.find(id);
+    if (it == deadline_of_.end()) continue;  // already terminal
+    deadline_of_.erase(it);
+    return id;
+  }
+  return std::nullopt;
+}
+
+bool ReliabilityState::cancel_retry(std::uint64_t id) {
+  return retry_pending_.erase(id) > 0;
+}
+
+double ReliabilityState::seconds_until_next_event(double now) const {
+  double next = std::numeric_limits<double>::infinity();
+  // The heaps may carry stale tops (lazy deletion); peeking a stale top only
+  // makes the serve loop wake early and sweep it away, never sleep late.
+  if (!deadlines_.empty()) next = std::min(next, deadlines_.top().at);
+  if (!retries_.empty()) next = std::min(next, retries_.top().at);
+  if (!std::isfinite(next)) return next;
+  return std::max(0.0, next - now);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+void validate_reliability(const ReliabilityOptions& opts, const std::string& who) {
+  if (!opts.enabled) return;
+  const auto fail = [&](const std::string& msg) {
+    throw std::invalid_argument(who + ": " + msg);
+  };
+  const RequestBudget& b = opts.budget;
+  if (b.max_attempts < 1) fail("budget.max_attempts must be >= 1");
+  if (b.backoff_base_seconds < 0.0) fail("budget.backoff_base_seconds must be >= 0");
+  if (b.backoff_multiplier < 1.0) fail("budget.backoff_multiplier must be >= 1");
+  if (b.jitter_fraction < 0.0 || b.jitter_fraction >= 1.0) {
+    fail("budget.jitter_fraction must be in [0, 1)");
+  }
+  if (b.deadline_seconds && (*b.deadline_seconds < 0.0 || !std::isfinite(*b.deadline_seconds))) {
+    fail("budget.deadline_seconds must be finite and >= 0");
+  }
+  const OverloadOptions& o = opts.overload;
+  if (o.enabled) {
+    if (o.low_fraction <= 0.0 || o.low_fraction > 1.0) {
+      fail("overload.low_fraction must be in (0, 1]");
+    }
+    if (o.min_dwell_seconds < 0.0) fail("overload.min_dwell_seconds must be >= 0");
+    if (o.sojourn_ewma_alpha <= 0.0 || o.sojourn_ewma_alpha > 1.0) {
+      fail("overload.sojourn_ewma_alpha must be in (0, 1]");
+    }
+    // Watermarks must be ordered where set (0 disables a rung): a deeper
+    // degradation may not trip before a shallower one.
+    std::size_t prev = 0;
+    for (const std::size_t d : {o.depth_no_speculation, o.depth_no_endgame, o.depth_shed}) {
+      if (d != 0) {
+        if (d < prev) fail("overload depth watermarks must be non-decreasing");
+        prev = d;
+      }
+    }
+  }
+}
+
+}  // namespace pph::sched

@@ -1,0 +1,162 @@
+#pragma once
+// Request reliability layer (DESIGN.md section 13): the mechanisms behind
+// ReliabilityOptions -- per-request deadline/retry bookkeeping for the
+// serve loop, the deterministic backoff schedule shared by runtime and
+// simulator, and the overload-brownout controller.
+//
+// The serve loop (sched/session.cpp) owns a ReliabilityState per session:
+// deadlines stamp at the stream's admission gate, a min-heap orders them,
+// and a retry heap holds failed requests waiting out their backoff.  Both
+// heaps are lazy -- completed requests leave stale entries that pop as
+// no-ops -- so every operation is O(log n) and the serve loop's sweep is
+// O(events), not O(requests).
+//
+// The OverloadController is deliberately time-free in its level logic
+// (depth watermarks; the optional dwell guard is the only clock input):
+// on a fixed trace the runtime and simcluster::simulate_service observe
+// the same depth sequence and therefore log bit-equal transition lists,
+// which is what the twin tests pin.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/api.hpp"
+
+namespace pph::sched {
+
+/// Degradation ladder of the overload brownout (DESIGN.md section 13).
+/// Ordered: every level includes the degradations of the ones before it.
+enum class BrownoutLevel : int {
+  kHealthy = 0,
+  kNoSpeculation = 1,  // stop straggler re-dispatch (copies burn capacity)
+  kNoEndgame = 2,      // dispatch jobs with endgame + dd-refine disabled
+  kShedding = 3,       // reject arrivals at the door
+};
+
+const char* brownout_level_name(BrownoutLevel level);
+
+/// One recorded level change.
+struct BrownoutTransition {
+  double seconds = 0.0;          // controller clock at the change
+  BrownoutLevel from = BrownoutLevel::kHealthy;
+  BrownoutLevel to = BrownoutLevel::kHealthy;
+  std::size_t queue_depth = 0;   // the depth that triggered it
+};
+
+/// Hysteresis-guarded degradation ladder over the admission-queue depth
+/// (and an optional sojourn EWMA).  observe() is fed every depth change
+/// (admit, dispatch, re-admission) by StreamJobSource and by the simulator
+/// twin at the mirrored event points.
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadOptions opts);
+
+  BrownoutLevel level() const { return level_; }
+  bool at_least(BrownoutLevel l) const {
+    return static_cast<int>(level_) >= static_cast<int>(l);
+  }
+
+  /// Feed one queue-depth observation at controller-clock `now`.
+  /// Escalates immediately past any high watermark the depth crosses;
+  /// de-escalates one level at a time once the depth is back under
+  /// low_fraction of the level's watermark and the dwell has elapsed.
+  void observe(double now, std::size_t queue_depth);
+
+  /// Feed one completed-request sojourn sample into the EWMA escalation
+  /// signal (no-op when sojourn_high_seconds is infinite).
+  void note_sojourn(double seconds);
+
+  const std::vector<BrownoutTransition>& transitions() const { return transitions_; }
+  std::size_t max_level_reached() const { return max_level_; }
+  double sojourn_ewma() const { return ewma_; }
+
+ private:
+  std::size_t up_threshold(int level) const;
+  bool wants_level(int level, std::size_t depth) const;
+  void step_to(double now, int level, std::size_t depth);
+
+  OverloadOptions opts_;
+  BrownoutLevel level_ = BrownoutLevel::kHealthy;
+  std::size_t max_level_ = 0;
+  double ewma_ = 0.0;
+  bool ewma_seeded_ = false;
+  double last_change_ = 0.0;
+  std::vector<BrownoutTransition> transitions_;
+};
+
+/// Deterministic backoff before re-admitting attempt `attempt + 1` of
+/// request `id` (attempt counts consumed tries, so the first retry passes
+/// attempt = 1): base * multiplier^(attempt-1), jittered by a fraction
+/// drawn from Prng(mix(seed, id, attempt)) -- the runtime and the
+/// simulator call this with identical arguments and get identical waits.
+double backoff_seconds(const RequestBudget& budget, std::uint64_t seed, std::uint64_t id,
+                       std::size_t attempt);
+
+/// Per-session reliability bookkeeping, owned by the serve loop.  All
+/// times are stream-clock seconds (StreamJobSource::now()).
+class ReliabilityState {
+ public:
+  explicit ReliabilityState(const ReliabilityOptions& opts) : opts_(opts) {}
+
+  const ReliabilityOptions& options() const { return opts_; }
+
+  /// A request was admitted: stamp its deadline (no-op without one).
+  void on_admit(std::uint64_t id, double now);
+
+  /// A request reached a terminal bucket (completed / quarantined /
+  /// expired): drop its deadline so stale heap entries pop as no-ops.
+  void on_terminal(std::uint64_t id);
+
+  /// The request's stamped deadline, if still live.
+  std::optional<double> deadline_of(std::uint64_t id) const;
+
+  /// Queue a failed request for re-admission at `eligible_at`.
+  void schedule_retry(std::uint64_t id, double eligible_at);
+
+  /// Next request whose backoff has elapsed (nullopt when none is due).
+  std::optional<std::uint64_t> pop_due_retry(double now);
+
+  /// Next request whose deadline has passed (nullopt when none is due).
+  /// Terminal requests are skipped; the caller decides whether the id is
+  /// in-queue, in-flight, or waiting out a backoff.
+  std::optional<std::uint64_t> pop_due_deadline(double now);
+
+  /// Remove a not-yet-due retry (its deadline expired first).  True if the
+  /// request was waiting out a backoff.
+  bool cancel_retry(std::uint64_t id);
+
+  /// Requests the serve loop still owes a terminal result for but which
+  /// live in neither the stream's queue nor the owner map (i.e. waiting
+  /// out a backoff): they must keep the session alive.
+  std::size_t pending_retries() const { return retry_pending_.size(); }
+
+  /// Seconds until the next timed reliability event (deadline expiry or
+  /// retry eligibility); +inf when none -- the serve loop folds this into
+  /// its sleep bound exactly like the next modeled arrival.
+  double seconds_until_next_event(double now) const;
+
+ private:
+  struct TimedId {
+    double at;
+    std::uint64_t id;
+    bool operator>(const TimedId& other) const { return at > other.at; }
+  };
+  using MinHeap = std::priority_queue<TimedId, std::vector<TimedId>, std::greater<TimedId>>;
+
+  ReliabilityOptions opts_;
+  MinHeap deadlines_;
+  std::unordered_map<std::uint64_t, double> deadline_of_;
+  MinHeap retries_;
+  std::unordered_set<std::uint64_t> retry_pending_;
+};
+
+/// Throws std::invalid_argument on nonsensical knobs (negative budgets,
+/// inverted watermarks); `who` prefixes the message.
+void validate_reliability(const ReliabilityOptions& opts, const std::string& who);
+
+}  // namespace pph::sched

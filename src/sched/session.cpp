@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "mp/fault.hpp"
+#include "sched/reliability.hpp"
 #include "sched/stream_source.hpp"
 #include "util/timer.hpp"
 
@@ -76,6 +77,29 @@ PathResult VectorJobSource::execute(const std::vector<std::byte>& payload,
                               workload_->tracker, ws);
 }
 
+PathResult VectorJobSource::execute(const std::vector<std::byte>& payload,
+                                    homotopy::TrackerWorkspace& ws,
+                                    const ExecContext& exec) const {
+  // A default context takes the exact 2-arg path: no options copy, no poll,
+  // bit-identical numerics (the reliability-disabled invariant).
+  if (!exec.cancelled && !exec.degraded) return execute(payload, ws);
+  mp::Unpacker u(payload);
+  const auto index = static_cast<std::size_t>(u.read<std::uint64_t>());
+  homotopy::TrackerOptions topts = workload_->tracker;
+  topts.cancel_poll = exec.cancelled;
+  if (exec.degraded) {
+    // Brownout level >= kNoEndgame: shed the expensive final stretch --
+    // endgame geometry off, compensated (double-double) refinement off
+    // everywhere.  Converged endpoints are still certified by the end
+    // corrector, just without the extra-precision passes.
+    topts.endgame.enabled = false;
+    topts.endgame.dd_refine = false;
+    topts.corrector.dd_refine = false;
+    topts.end_corrector.dd_refine = false;
+  }
+  return homotopy::track_path(*workload_->homotopy, (*workload_->starts)[index], topts, ws);
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -115,6 +139,12 @@ struct MasterContext {
   bool aborting = false;
   SupervisionState sup;
 
+  // Reliability layer (DESIGN.md section 13), serve() only; all nullptr in
+  // batch runs and when ReliabilityOptions::enabled is false.
+  StreamJobSource* stream = nullptr;
+  ReliabilityState* rel = nullptr;
+  OverloadController* overload = nullptr;
+
   explicit MasterContext(mp::Comm& c, JobSource& src, ResultSink& snk,
                          const SessionOptions& o, SessionStats& st, int r)
       : comm(c), source(src), sink(snk), opts(o), stats(st), ranks(r),
@@ -135,7 +165,20 @@ struct MasterContext {
     return n;
   }
 
-  bool work_remains() const { return !owner.empty() || source.ready() > 0; }
+  bool work_remains() const {
+    return !owner.empty() || source.ready() > 0 ||
+           (rel != nullptr && rel->pending_retries() > 0);
+  }
+
+  /// Scheduler bits stamped into every dispatched frame.
+  std::uint32_t frame_flags() const {
+    std::uint32_t flags = 0;
+    if (rel != nullptr) flags |= kFrameCancellable;
+    if (overload != nullptr && overload->at_least(BrownoutLevel::kNoEndgame)) {
+      flags |= kFrameDegraded;
+    }
+    return flags;
+  }
 
   /// Any message from a slave proves it alive.
   void note_message(int src) {
@@ -189,8 +232,29 @@ struct MasterContext {
                              (1.0 - opts.supervisor.ewma_alpha) * sup.ewma;
         ++sup.ewma_samples;
       }
-      sup.attempts.erase(tp.index);
     }
+    // Retry-with-backoff (DESIGN.md section 13): a genuinely failed attempt
+    // with budget left is withheld from the sink and re-admitted after its
+    // backoff.  The attempt ledger is the SAME one the supervisor's
+    // quarantine charges on worker death, so deaths and failures count
+    // against one budget.  The exhausted (or past-deadline) attempt falls
+    // through and delivers its real kFailed result.
+    if (rel != nullptr && stream != nullptr && tp.worker >= 0 &&
+        tp.result.status == PathStatus::kFailed) {
+      const RequestBudget& budget = rel->options().budget;
+      const std::size_t used = ++sup.attempts[tp.index];
+      const auto deadline = rel->deadline_of(tp.index);
+      const double now = stream->now();
+      if (used < budget.max_attempts && (!deadline.has_value() || now < *deadline)) {
+        const double wait = backoff_seconds(budget, rel->options().jitter_seed, tp.index, used);
+        rel->schedule_retry(tp.index, now + wait);
+        ++stats.reliability.retried;
+        stats.reliability.backoff_wait.add(wait);
+        return;
+      }
+    }
+    sup.attempts.erase(tp.index);
+    if (rel != nullptr) rel->on_terminal(tp.index);
     if (source.consume(tp)) {
       sink.accept(tp);
       ++stats.accepted;
@@ -204,13 +268,20 @@ struct MasterContext {
     tp.index = id;
     tp.worker = -1;  // synthesized on the master, no worker tracked it
     tp.result.status = PathStatus::kFailed;
-    if (source.consume(tp)) {
+    // In serve mode the stream accounts the request in its own quarantined
+    // bucket (NOT completed); batch runs go through plain consume().
+    const bool fresh = stream != nullptr
+                           ? stream->consume_synthetic(
+                                 tp, StreamJobSource::SyntheticKind::kQuarantined)
+                           : source.consume(tp);
+    if (fresh) {
       sink.accept(tp);
       ++stats.accepted;
     }
     ++stats.supervision.quarantined;
     sup.attempts.erase(id);
     sup.dispatched_at.erase(id);
+    if (rel != nullptr) rel->on_terminal(id);
   }
 
   /// Death re-queue shared by every policy: everything the dead slave still
@@ -339,7 +410,7 @@ class FcfsPolicy final : public MasterPolicy {
   bool dispatch_one(MasterContext& ctx, int s) {
     if (ctx.source.ready() == 0) return false;
     const JobId id = ctx.source.pop();
-    mp::JobFrame frame{id, ctx.source.job_payload(id)};
+    mp::JobFrame frame{id, ctx.frame_flags(), ctx.source.job_payload(id)};
     inject_latency(ctx.opts.injected_latency);
     ctx.comm.send(s, kTagJob, mp::pack_job_frame(frame));
     ctx.owner.emplace(id, s);
@@ -459,7 +530,7 @@ class BatchStealPolicy final : public MasterPolicy {
     frames.reserve(chunk);
     while (frames.size() < chunk && ctx.source.ready() > 0) {
       const JobId id = ctx.source.pop();
-      frames.push_back({id, ctx.source.job_payload(id)});
+      frames.push_back({id, ctx.frame_flags(), ctx.source.job_payload(id)});
       ctx.owner.emplace(id, s);
       ctx.note_dispatch(id);
       ++ctx.owned_count[su];
@@ -520,8 +591,11 @@ void supervise(MasterContext& ctx, MasterPolicy& policy) {
   // Straggler mitigation: when the pool is empty and the EWMA is seeded,
   // hand copies of the oldest over-age in-flight jobs to idle slaves.
   // First result wins in accept_result; bits cannot depend on the winner.
+  // Brownout level 1 (kNoSpeculation) suppresses the copies: under
+  // overload they burn capacity the queue needs (DESIGN.md section 13).
   if (so.speculate && sup.ewma_samples >= so.speculation_min_samples &&
-      ctx.source.ready() == 0 && !ctx.owner.empty()) {
+      ctx.source.ready() == 0 && !ctx.owner.empty() &&
+      !(ctx.overload != nullptr && ctx.overload->at_least(BrownoutLevel::kNoSpeculation))) {
     const double age_limit = so.speculation_factor * sup.ewma;
     std::vector<std::pair<double, JobId>> overdue;
     for (const auto& [id, at] : sup.dispatched_at) {
@@ -532,7 +606,7 @@ void supervise(MasterContext& ctx, MasterPolicy& policy) {
     for (const auto& [at, id] : overdue) {
       const int s = policy.claim_idle(ctx, ctx.owner.at(id));
       if (s < 0) break;
-      policy.dispatch_copy(ctx, s, {id, ctx.source.job_payload(id)});
+      policy.dispatch_copy(ctx, s, {id, ctx.frame_flags(), ctx.source.job_payload(id)});
       sup.spec_owner.emplace(id, s);
       ++ctx.owned_count[static_cast<std::size_t>(s)];
       ++ctx.stats.supervision.speculative_dispatches;
@@ -729,18 +803,83 @@ void run_master(MasterContext& ctx, MasterPolicy& policy) {
   finish_master(ctx);
 }
 
+/// The reliability sweep (DESIGN.md section 13), run on every serve tick:
+/// re-admit retries whose backoff elapsed, then expire requests whose
+/// deadline passed.  An expired request is removed from wherever it lives
+/// -- the in-flight owner map (the owner gets a kTagCancel), the ready
+/// queue, or the retry heap -- and a kDeadlineExpired result is synthesized
+/// so the sink sees exactly one terminal record per request.  Returns true
+/// when anything changed (parked slaves should be woken / the loop should
+/// re-evaluate before sleeping).
+bool reliability_sweep(MasterContext& ctx, StreamJobSource& stream) {
+  if (ctx.rel == nullptr) return false;
+  bool changed = false;
+  const double now = stream.now();
+  while (const auto due = ctx.rel->pop_due_retry(now)) {
+    stream.readmit(*due);
+    changed = true;
+  }
+  const auto send_cancel = [&](int s, JobId id) {
+    if (ctx.dead[static_cast<std::size_t>(s)]) return;  // absorbed anyway
+    mp::Packer p;
+    p.write(static_cast<std::uint64_t>(id));
+    ctx.comm.send(s, kTagCancel, p.take());
+  };
+  while (const auto due = ctx.rel->pop_due_deadline(now)) {
+    const JobId id = *due;
+    if (const auto it = ctx.owner.find(id); it != ctx.owner.end()) {
+      // In flight: stop waiting.  The owner (and any speculative copy) is
+      // told to stop tracking; its eventual reply -- the cancelled stub or
+      // even a completed result that raced the cancel -- finds no owner in
+      // accept_result and is dropped, so the synthesized record below is
+      // the request's one and only terminal result.
+      --ctx.owned_count[static_cast<std::size_t>(it->second)];
+      send_cancel(it->second, id);
+      ctx.owner.erase(it);
+      if (const auto sp = ctx.sup.spec_owner.find(id); sp != ctx.sup.spec_owner.end()) {
+        --ctx.owned_count[static_cast<std::size_t>(sp->second)];
+        send_cancel(sp->second, id);
+        ctx.sup.spec_owner.erase(sp);
+      }
+      ctx.sup.dispatched_at.erase(id);
+      ++ctx.stats.reliability.cancelled;
+    } else if (stream.remove_ready(id)) {
+      // Expired while still queued: shed before any worker saw it.
+    } else if (!ctx.rel->cancel_retry(id)) {
+      // Not in flight, not queued, not awaiting a retry: the request went
+      // terminal between the heap push and this pop; nothing to synthesize.
+      continue;
+    }
+    TrackedPath tp;
+    tp.index = id;
+    tp.worker = -1;  // synthesized on the master
+    tp.result.status = PathStatus::kDeadlineExpired;
+    if (stream.consume_synthetic(tp, StreamJobSource::SyntheticKind::kExpired)) {
+      ctx.sink.accept(tp);
+      ++ctx.stats.accepted;
+    }
+    ctx.sup.attempts.erase(id);
+    ctx.rel->on_terminal(id);
+    changed = true;
+  }
+  return changed;
+}
+
 /// The solve-service master loop (DESIGN.md section 10): admit arrivals as
 /// they come due, dispatch under the policy, sleep until the next timed
-/// event (arrival or deadline) or until a message lands, and on shutdown
-/// drain everything admitted or in flight before releasing the slaves.
+/// event (arrival, per-request deadline, retry eligibility, serve deadline)
+/// or until a message lands, and on shutdown drain everything admitted or
+/// in flight before releasing the slaves.
 void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource& stream) {
   stream.begin();
   util::WallTimer wall;
-  stream.poll();      // a trace can start at t=0 (burst workloads)
-  policy.seed(ctx);   // slaves with nothing to do park until arrivals come
+  stream.poll();                    // a trace can start at t=0 (burst workloads)
+  reliability_sweep(ctx, stream);   // deadline-0 requests expire AT admission
+  policy.seed(ctx);                 // slaves with nothing to do park until arrivals come
   for (;;) {
     const std::size_t admitted = stream.poll();
-    if (admitted > 0) policy.wake_parked(ctx);
+    const bool swept = reliability_sweep(ctx, stream);
+    if (admitted > 0 || swept) policy.wake_parked(ctx);
     bool handled = false;
     while (auto m = ctx.comm.try_recv()) {
       handle_master_message(ctx, policy, *m);
@@ -755,11 +894,14 @@ void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource&
     const auto& deadline = ctx.opts.serve_deadline_seconds;
     if (deadline.has_value() && wall.seconds() >= *deadline) stream.close();
     if (stream.closed() && !ctx.work_remains()) break;
-    if (handled || admitted > 0) continue;  // state changed: re-evaluate first
+    if (handled || admitted > 0 || swept) continue;  // state changed: re-evaluate first
     // Nothing due and nothing queued: sleep until the next timed event or
     // the next message, whichever comes first; under supervision the wait
     // is additionally bounded by the heartbeat tick.
     double wait = stream.seconds_until_next_arrival();
+    if (ctx.rel != nullptr) {
+      wait = std::min(wait, ctx.rel->seconds_until_next_event(stream.now()));
+    }
     if (deadline.has_value()) wait = std::min(wait, std::max(*deadline - wall.seconds(), 0.0));
     if (ctx.sup_on()) wait = std::min(wait, ctx.opts.supervisor.heartbeat_seconds);
     if (std::isinf(wait)) {
@@ -769,7 +911,7 @@ void run_serve_master(MasterContext& ctx, MasterPolicy& policy, StreamJobSource&
     } else if (wait > 0.0) {
       if (auto m = ctx.comm.recv_for(wait)) handle_master_message(ctx, policy, *m);
     }
-    // wait == 0: an arrival is due; the poll at the top admits it.
+    // wait == 0: an arrival or expiry is due; the sweep at the top takes it.
   }
   finish_master(ctx);
 }
@@ -805,12 +947,40 @@ std::optional<mp::FaultKind> fault_at_job_boundary(mp::Comm& comm, mp::FaultInje
   return terminal;
 }
 
+/// Drain every queued kTagCancel from the master into the slave's cancelled
+/// set.  Cheap enough to call from the tracker's per-step poll: one mutex
+/// probe of the mailbox per step.
+void drain_cancels(mp::Comm& comm, std::unordered_set<std::uint64_t>& cancelled) {
+  while (auto c = comm.try_recv(0, kTagCancel)) {
+    mp::Unpacker u(c->payload);
+    cancelled.insert(u.read<std::uint64_t>());
+  }
+}
+
+/// The ExecContext for one dispatched frame: cancellable frames poll the
+/// mailbox for kTagCancel once per tracker step; stale cancels for jobs this
+/// slave no longer owns (stolen away, already finished) just sit in the set
+/// harmlessly.
+ExecContext make_exec_context(mp::Comm& comm, const mp::JobFrame& frame,
+                              std::unordered_set<std::uint64_t>& cancelled) {
+  ExecContext exec;
+  exec.degraded = (frame.flags & kFrameDegraded) != 0;
+  if ((frame.flags & kFrameCancellable) != 0) {
+    exec.cancelled = [&comm, &cancelled, id = frame.id] {
+      drain_cancels(comm, cancelled);
+      return cancelled.count(id) != 0;
+    };
+  }
+  return exec;
+}
+
 void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOptions& opts,
                     mp::FaultInjector* fault) {
   double tracking_seconds = 0.0;
   std::size_t completed = 0;
   homotopy::TrackerWorkspace ws = source.make_workspace();
   const bool beacon = opts.supervisor.enabled;
+  std::unordered_set<std::uint64_t> cancelled_ids;
   bool aborted = false;
   for (;;) {
     mp::Message m;
@@ -833,6 +1003,13 @@ void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOption
       aborted = true;
       break;
     }
+    if (m.tag == kTagCancel) {
+      // A cancel that lands between jobs: the job is gone from this slave
+      // (finished, or never arrived); remember the id and move on.
+      mp::Unpacker u(m.payload);
+      cancelled_ids.insert(u.read<std::uint64_t>());
+      continue;
+    }
     const mp::JobFrame frame = mp::unpack_job_frame(m.payload);
     if (const auto f = fault_at_job_boundary(comm, fault, completed, frame.id)) {
       if (*f == mp::FaultKind::kDieAnnounced) {
@@ -847,10 +1024,14 @@ void run_fcfs_slave(mp::Comm& comm, const JobSource& source, const SessionOption
     TrackedPath tp;
     tp.index = frame.id;
     tp.worker = comm.rank();
-    tp.result = source.execute(frame.payload, ws);
+    tp.result = source.execute(frame.payload, ws, make_exec_context(comm, frame, cancelled_ids));
     tp.seconds = job_timer.seconds();
     tracking_seconds += tp.seconds;
+    cancelled_ids.erase(frame.id);
     inject_latency(opts.injected_latency);
+    // A cancelled stub is still sent: the master dropped the job from its
+    // owner map when it cancelled, so this reply is what re-enters the
+    // slave into the idle queue (and is otherwise ignored).
     comm.send(0, kTagResult, pack_tracked_path(tp));
     ++completed;
   }
@@ -873,12 +1054,16 @@ void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptio
   std::size_t completed = 0;
   homotopy::TrackerWorkspace ws = source.make_workspace();
   const bool beacon = opts.supervisor.enabled;
+  std::unordered_set<std::uint64_t> cancelled_ids;
   util::WallTimer since_beacon;
   bool stopped = false;
   bool aborted = false;
 
   auto handle = [&](const mp::Message& m) {
-    if (m.tag == kTagBatch) {
+    if (m.tag == kTagCancel) {
+      mp::Unpacker u(m.payload);
+      cancelled_ids.insert(u.read<std::uint64_t>());
+    } else if (m.tag == kTagBatch) {
       for (auto& frame : mp::unpack_job_frame_batch(m.payload)) {
         mine.push_back(std::move(frame));
       }
@@ -963,9 +1148,10 @@ void run_batch_slave(mp::Comm& comm, const JobSource& source, const SessionOptio
     TrackedPath tp;
     tp.index = frame.id;
     tp.worker = comm.rank();
-    tp.result = source.execute(frame.payload, ws);
+    tp.result = source.execute(frame.payload, ws, make_exec_context(comm, frame, cancelled_ids));
     tp.seconds = job_timer.seconds();
     tracking_seconds += tp.seconds;
+    cancelled_ids.erase(frame.id);
     pending.push_back(std::move(tp));
     ++completed;
     if (mine.empty()) {
@@ -1127,6 +1313,10 @@ Session::Session(JobSource& source, ResultSink& sink, SessionOptions opts)
 
 SessionStats Session::run(int ranks) {
   const std::string who(opts_.who);
+  if (opts_.reliability.enabled) {
+    throw std::invalid_argument(who + ": the reliability layer is serve() only -- "
+                                      "budgets attach at the stream's admission gate");
+  }
   if (opts_.policy == Policy::kStatic) {
     if (ranks <= 0) throw std::invalid_argument(who + ": need at least one rank");
     if (!source_.fixed_total().has_value()) {
@@ -1206,6 +1396,7 @@ SessionStats Session::serve(int ranks) {
   validate_kill_switch(opts_.kill_slave_rank, opts_.kill_slave_after_jobs.has_value(), ranks,
                        opts_.who);
   validate_supervisor(opts_.supervisor, who);
+  validate_reliability(opts_.reliability, who);
   const mp::FaultPlan plan = effective_fault_plan(opts_);
   validate_fault_plan(plan, ranks, opts_, who);
   mp::FaultInjector injector(plan, ranks);
@@ -1213,6 +1404,21 @@ SessionStats Session::serve(int ranks) {
 
   SessionStats stats;
   stats.rank_busy_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
+
+  // Reliability layer (DESIGN.md section 13): deadlines stamp through the
+  // stream's admission hook, the brownout controller rides every depth
+  // change, and the master context carries pointers to both.
+  std::optional<ReliabilityState> rel;
+  std::optional<OverloadController> controller;
+  if (opts_.reliability.enabled) {
+    rel.emplace(opts_.reliability);
+    stream->set_admit_hook([&rel](JobId id, double now) { rel->on_admit(id, now); });
+    if (opts_.reliability.overload.enabled) {
+      controller.emplace(opts_.reliability.overload);
+      stream->set_overload(&*controller);
+    }
+  }
+
   util::WallTimer wall;
 
   mp::World::run(
@@ -1220,6 +1426,9 @@ SessionStats Session::serve(int ranks) {
       [&](mp::Comm& comm) {
         if (comm.rank() == 0) {
           MasterContext ctx(comm, source_, sink_, opts_, stats, ranks);
+          ctx.stream = stream;
+          ctx.rel = rel.has_value() ? &*rel : nullptr;
+          ctx.overload = controller.has_value() ? &*controller : nullptr;
           if (opts_.policy == Policy::kFCFS) {
             FcfsPolicy policy;
             run_serve_master(ctx, policy, *stream);
@@ -1237,7 +1446,15 @@ SessionStats Session::serve(int ranks) {
 
   stats.wall_seconds = wall.seconds();
   stats.service = stream->take_service();
-  stats.service.quarantined = stats.supervision.quarantined;
+  if (controller.has_value()) {
+    stats.reliability.brownout_transitions = controller->transitions().size();
+    stats.reliability.max_brownout_level = controller->max_level_reached();
+    stats.reliability.brownout_shed = stream->brownout_shed();
+  }
+  // Detach the hooks: the state above dies with this frame, the stream may
+  // outlive it.
+  stream->set_admit_hook({});
+  stream->set_overload(nullptr);
   sink_.finish();
   return stats;
 }

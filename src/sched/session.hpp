@@ -32,7 +32,9 @@
 // worker death.  Faults themselves are injected deterministically through
 // SessionOptions::fault_plan (mp/fault.hpp).
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -143,6 +145,21 @@ class LatencySink final : public ResultSink {
 // JobSource: where jobs come from and how a slave executes one.
 // ---------------------------------------------------------------------------
 
+/// Scheduler-level bits carried in mp::JobFrame::flags (DESIGN.md section
+/// 13).  The master sets them at dispatch; slaves translate them into an
+/// ExecContext.  Numerics are untouched when no flag is set.
+inline constexpr std::uint32_t kFrameCancellable = 1u << 0;  // honor kTagCancel
+inline constexpr std::uint32_t kFrameDegraded = 1u << 1;     // brownout: no endgame
+
+/// Per-dispatch execution context a slave passes into the source's 3-arg
+/// execute().  `cancelled` is empty unless the frame was cancellable; when
+/// set, the source polls it once per tracker step (TrackerOptions::
+/// cancel_poll) and stops with PathStatus::kCancelled within one step.
+struct ExecContext {
+  std::function<bool()> cancelled;
+  bool degraded = false;  // brownout level >= kNoEndgame at dispatch time
+};
+
 class JobSource {
  public:
   virtual ~JobSource() = default;
@@ -177,6 +194,13 @@ class JobSource {
   virtual homotopy::TrackerWorkspace make_workspace() const = 0;
   virtual PathResult execute(const std::vector<std::byte>& payload,
                              homotopy::TrackerWorkspace& ws) const = 0;
+  /// Context-aware variant the slave loops call: sources that can honor
+  /// cancellation/degradation override this; the default ignores the
+  /// context, so existing sources keep their exact behavior.
+  virtual PathResult execute(const std::vector<std::byte>& payload,
+                             homotopy::TrackerWorkspace& ws, const ExecContext&) const {
+    return execute(payload, ws);
+  }
 };
 
 /// The paper's section-II workload: a fixed pool of start solutions,
@@ -199,6 +223,12 @@ class VectorJobSource final : public JobSource {
   homotopy::TrackerWorkspace make_workspace() const override;
   PathResult execute(const std::vector<std::byte>& payload,
                      homotopy::TrackerWorkspace& ws) const override;
+  /// Cancellable/degraded variant (DESIGN.md section 13): with a default
+  /// context it delegates to the 2-arg overload (bit-identity preserved);
+  /// otherwise it tracks under a copy of the workload's TrackerOptions with
+  /// cancel_poll installed and, when degraded, endgame + dd-refine off.
+  PathResult execute(const std::vector<std::byte>& payload, homotopy::TrackerWorkspace& ws,
+                     const ExecContext& exec) const override;
 
  private:
   const PathWorkload* workload_;

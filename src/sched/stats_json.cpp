@@ -1,0 +1,101 @@
+// Single-line JSON renderings of the session stat structs (declared in
+// sched/api.hpp).  One format feeds both the PPH_CHAOS_REPORT JSONL rows
+// appended by the chaos tests and the bench JSON trajectories, so a chaos
+// row and a bench row diff cleanly.
+
+#include <sstream>
+
+#include "sched/api.hpp"
+
+namespace pph::sched {
+
+namespace {
+
+// Doubles render with enough digits to round-trip a metric but stay
+// greppable; the JSON here is diagnostic, not a wire format.
+void field(std::ostringstream& out, bool& first, const char* key, double value) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void field(std::ostringstream& out, bool& first, const char* key, std::size_t value) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void percentile_fields(std::ostringstream& out, bool& first, const char* prefix,
+                       const util::PercentileAccumulator& acc) {
+  std::ostringstream key;
+  key << prefix << "_count";
+  field(out, first, key.str().c_str(), acc.count());
+  if (acc.count() > 0) {
+    key.str(std::string());
+    key << prefix << "_p50";
+    field(out, first, key.str().c_str(), acc.p50());
+    key.str(std::string());
+    key << prefix << "_p99";
+    field(out, first, key.str().c_str(), acc.p99());
+    key.str(std::string());
+    key << prefix << "_max";
+    field(out, first, key.str().c_str(), acc.max());
+  }
+}
+
+}  // namespace
+
+std::string to_json(const ServiceStats& s) {
+  std::ostringstream out;
+  out.precision(12);
+  bool first = true;
+  out << "{";
+  field(out, first, "arrivals", s.arrivals);
+  field(out, first, "admitted", s.admitted);
+  field(out, first, "dropped", s.dropped);
+  field(out, first, "shed", s.shed);
+  field(out, first, "completed", s.completed);
+  field(out, first, "expired", s.expired);
+  field(out, first, "quarantined", s.quarantined);
+  field(out, first, "terminal_requests", s.terminal_requests());
+  field(out, first, "max_queue_depth", s.max_queue_depth);
+  field(out, first, "avg_queue_depth", s.avg_queue_depth);
+  percentile_fields(out, first, "sojourn", s.sojourn);
+  out << "}";
+  return out.str();
+}
+
+std::string to_json(const SupervisionStats& s) {
+  std::ostringstream out;
+  out.precision(12);
+  bool first = true;
+  out << "{";
+  field(out, first, "heartbeats", s.heartbeats);
+  field(out, first, "suspects", s.suspects);
+  field(out, first, "deaths_detected", s.deaths_detected);
+  field(out, first, "deaths_announced", s.deaths_announced);
+  field(out, first, "requeued_jobs", s.requeued_jobs);
+  field(out, first, "speculative_dispatches", s.speculative_dispatches);
+  field(out, first, "speculation_wins", s.speculation_wins);
+  field(out, first, "quarantined", s.quarantined);
+  field(out, first, "ewma_job_seconds", s.ewma_job_seconds);
+  out << "}";
+  return out.str();
+}
+
+std::string to_json(const ReliabilityStats& s) {
+  std::ostringstream out;
+  out.precision(12);
+  bool first = true;
+  out << "{";
+  field(out, first, "cancelled", s.cancelled);
+  field(out, first, "retried", s.retried);
+  field(out, first, "brownout_transitions", s.brownout_transitions);
+  field(out, first, "max_brownout_level", s.max_brownout_level);
+  field(out, first, "brownout_shed", s.brownout_shed);
+  percentile_fields(out, first, "backoff_wait", s.backoff_wait);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace pph::sched

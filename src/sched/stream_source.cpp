@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sched/reliability.hpp"
+
 namespace pph::sched {
 
 const char* admission_policy_name(AdmissionPolicy policy) {
@@ -37,6 +39,10 @@ void StreamJobSource::note_queue_change(double now) {
   last_queue_event_ = now;
 }
 
+void StreamJobSource::observe_depth(double now) {
+  if (overload_ != nullptr) overload_->observe(now, ready_.size());
+}
+
 void StreamJobSource::admit(JobId id, double now) {
   note_queue_change(now);
   ready_.push_back(id);
@@ -44,6 +50,8 @@ void StreamJobSource::admit(JobId id, double now) {
   service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
   admit_seconds_[id] = now;
   if (admit_observer_) admit_observer_(id);
+  if (admit_hook_) admit_hook_(id, now);
+  observe_depth(now);
 }
 
 std::size_t StreamJobSource::poll() {
@@ -55,13 +63,23 @@ std::size_t StreamJobSource::poll() {
     ++next_;
     ++service_.arrivals;
   }
-  // ...and the door admits what the queue bound allows.
+  // ...and the door admits what the queue bound and the brownout allow
+  // (each admit feeds the controller, so shedding can trip mid-drain).
   std::size_t admitted = 0;
   const std::size_t cap = opts_.queue_capacity;
-  while (!door_.empty() && (cap == 0 || ready_.size() < cap)) {
+  while (!door_.empty() && (cap == 0 || ready_.size() < cap) &&
+         !(overload_ != nullptr && overload_->at_least(BrownoutLevel::kShedding))) {
     admit(door_.front(), now);
     door_.pop_front();
     ++admitted;
+  }
+  // Brownout level 3 sheds what is left at the door outright -- arrivals
+  // were already counted, so the request conservation identity still holds.
+  if (!door_.empty() && overload_ != nullptr &&
+      overload_->at_least(BrownoutLevel::kShedding)) {
+    service_.shed += door_.size();
+    brownout_shed_ += door_.size();
+    door_.clear();
   }
   // kDrop rejects the overflow outright; kBlock keeps it at the door for a
   // later poll, once dispatch has drained some queue slots.
@@ -105,16 +123,38 @@ ServiceStats StreamJobSource::take_service() const {
 }
 
 JobId StreamJobSource::pop() {
-  note_queue_change(clock_.seconds());  // integrate the PRE-change depth
+  const double now = clock_.seconds();
+  note_queue_change(now);  // integrate the PRE-change depth
   const JobId id = ready_.front();
   ready_.pop_front();
+  observe_depth(now);
   return id;
 }
 
 void StreamJobSource::requeue(JobId id) {
-  note_queue_change(clock_.seconds());
+  const double now = clock_.seconds();
+  note_queue_change(now);
   ready_.push_front(id);
   service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
+  observe_depth(now);
+}
+
+void StreamJobSource::readmit(JobId id) {
+  const double now = clock_.seconds();
+  note_queue_change(now);
+  ready_.push_back(id);
+  service_.max_queue_depth = std::max(service_.max_queue_depth, ready_.size());
+  observe_depth(now);
+}
+
+bool StreamJobSource::remove_ready(JobId id) {
+  const auto it = std::find(ready_.begin(), ready_.end(), id);
+  if (it == ready_.end()) return false;
+  const double now = clock_.seconds();
+  note_queue_change(now);
+  ready_.erase(it);
+  observe_depth(now);
+  return true;
 }
 
 bool StreamJobSource::consume(TrackedPath& tp) {
@@ -124,13 +164,36 @@ bool StreamJobSource::consume(TrackedPath& tp) {
     ++service_.completed;
     const auto it = admit_seconds_.find(tp.index);
     if (it != admit_seconds_.end()) {
-      service_.sojourn.add(now - it->second);
+      const double sojourn = now - it->second;
+      service_.sojourn.add(sojourn);
+      if (overload_ != nullptr) overload_->note_sojourn(sojourn);
       admit_seconds_.erase(it);
     }
   }
   // Continuation jobs the inner source just created (the Pieri tree expands
   // inside consume()) are follow-ups of admitted work: promote them past
   // the arrival gate immediately.
+  while (inner_.ready() > 0) {
+    const JobId id = inner_.pop();
+    ++service_.arrivals;
+    admit(id, now);
+  }
+  return fresh;
+}
+
+bool StreamJobSource::consume_synthetic(TrackedPath& tp, SyntheticKind kind) {
+  const bool fresh = inner_.consume(tp);
+  const double now = clock_.seconds();
+  if (fresh) {
+    if (kind == SyntheticKind::kExpired) {
+      ++service_.expired;
+    } else {
+      ++service_.quarantined;
+    }
+    // No sojourn sample: the request was never served, and feeding its wait
+    // into the latency percentiles would conflate queueing with service.
+    admit_seconds_.erase(tp.index);
+  }
   while (inner_.ready() > 0) {
     const JobId id = inner_.pop();
     ++service_.arrivals;

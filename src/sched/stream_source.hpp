@@ -27,6 +27,8 @@
 
 namespace pph::sched {
 
+class OverloadController;
+
 class StreamJobSource final : public JobSource {
  public:
   /// Wrap `inner`, whose CURRENT ready jobs become the request list:
@@ -65,6 +67,50 @@ class StreamJobSource final : public JobSource {
     admit_observer_ = std::move(observer);
   }
 
+  // ---- reliability-layer hooks (DESIGN.md section 13) ----
+
+  /// Attach the brownout controller: every queue-depth change (admit,
+  /// dispatch pop, requeue, readmit) is reported through observe(), and at
+  /// BrownoutLevel::kShedding arrivals are shed at the door instead of
+  /// admitted.  The controller must outlive the attachment; nullptr
+  /// detaches.
+  void set_overload(OverloadController* controller) { overload_ = controller; }
+
+  /// Second admission hook, called with (id, service-clock seconds) at each
+  /// FIRST admission -- the reliability layer stamps deadlines here;
+  /// admit_observer_ above stays free for the LatencySink decorator.
+  void set_admit_hook(std::function<void(JobId, double)> hook) {
+    admit_hook_ = std::move(hook);
+  }
+
+  /// The service clock (seconds since begin()); deadlines and retry
+  /// backoffs are measured on this clock.
+  double now() const { return clock_.seconds(); }
+
+  /// Arrivals shed at the door by brownout level 3 (a subset of
+  /// ServiceStats::shed).
+  std::size_t brownout_shed() const { return brownout_shed_; }
+
+  /// Re-admit a failed request once its retry backoff elapses: back of the
+  /// ready queue, but NO admitted/arrivals counters (its first admission
+  /// counted) and the original admit stamp is kept, so the final sojourn
+  /// sample spans every attempt.
+  void readmit(JobId id);
+
+  /// Drop an in-queue job whose deadline expired before dispatch.  True if
+  /// the id was in the ready queue.
+  bool remove_ready(JobId id);
+
+  /// How a master-synthesized terminal record is accounted.
+  enum class SyntheticKind { kExpired, kQuarantined };
+
+  /// Route a synthesized terminal record (deadline expiry, quarantine)
+  /// through the inner source WITHOUT counting a completion: the request
+  /// lands in its own ServiceStats bucket, takes no sojourn sample, and any
+  /// continuations the inner source creates inside consume() are promoted
+  /// past the arrival gate exactly as in consume().
+  bool consume_synthetic(TrackedPath& tp, SyntheticKind kind);
+
   // ---- JobSource interface (what the session sees) ----
 
   std::size_t ready() const override { return ready_.size(); }
@@ -85,10 +131,15 @@ class StreamJobSource final : public JobSource {
                      homotopy::TrackerWorkspace& ws) const override {
     return inner_.execute(payload, ws);
   }
+  PathResult execute(const std::vector<std::byte>& payload, homotopy::TrackerWorkspace& ws,
+                     const ExecContext& exec) const override {
+    return inner_.execute(payload, ws, exec);
+  }
 
  private:
   void admit(JobId id, double now);
   void note_queue_change(double now);
+  void observe_depth(double now);
 
   JobSource& inner_;
   std::vector<JobId> requests_;       // request i = requests_[i]
@@ -101,6 +152,9 @@ class StreamJobSource final : public JobSource {
 
   util::WallTimer clock_;
   std::function<void(JobId)> admit_observer_;
+  std::function<void(JobId, double)> admit_hook_;
+  OverloadController* overload_ = nullptr;
+  std::size_t brownout_shed_ = 0;
   std::unordered_map<JobId, double> admit_seconds_;
 
   // Queueing metrics (ServiceStats), accumulated as events happen.

@@ -5,6 +5,10 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/reliability.hpp"
 
 namespace pph::simcluster {
 
@@ -28,6 +32,7 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
         "simulate_service: one service time per arrival required");
   if (!std::is_sorted(arrival_seconds.begin(), arrival_seconds.end()))
     throw std::invalid_argument("simulate_service: arrivals must be non-decreasing");
+  sched::validate_reliability(opts.reliability, "simulate_service");
 
   const std::size_t n = arrival_seconds.size();
   ServiceSimOutcome out;
@@ -40,6 +45,20 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
   for (std::size_t w = cpus; w > 0; --w) idle.push_back(w - 1);
   std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
       completions;
+
+  // Reliability twin state (DESIGN.md section 13): the SAME deadline/retry
+  // bookkeeping and brownout controller classes the runtime uses, fed the
+  // same event sequence, so the counters agree bit-for-bit on fixed traces.
+  const bool rel_on = opts.reliability.enabled;
+  std::optional<sched::ReliabilityState> rel;
+  std::optional<sched::OverloadController> controller;
+  if (rel_on) {
+    rel.emplace(opts.reliability);
+    if (opts.reliability.overload.enabled) controller.emplace(opts.reliability.overload);
+  }
+  std::vector<std::size_t> attempts(rel_on ? n : 0, 0);
+  std::unordered_map<std::size_t, std::size_t> in_flight;  // job -> worker
+  std::unordered_set<std::size_t> voided;  // cancelled mid-flight: skip completion
 
   double master_free = 0.0;        // dispatch serialization point
   double queue_area = 0.0;
@@ -57,12 +76,21 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
     queue_area += static_cast<double>(ready.size()) * (t - last_event);
     last_event = t;
   };
+  const auto observe_depth = [&](double t) {
+    if (controller.has_value()) controller->observe(t, ready.size());
+  };
+  const auto shedding = [&] {
+    return controller.has_value() &&
+           controller->at_least(sched::BrownoutLevel::kShedding);
+  };
   const auto admit = [&](std::size_t job, double t) {
     note_queue_change(t);
     ready.push_back(job);
     ++out.service.admitted;
     out.service.max_queue_depth = std::max(out.service.max_queue_depth, ready.size());
     admit_time[job] = t;
+    if (rel.has_value()) rel->on_admit(job, t);
+    observe_depth(t);
   };
   const auto dispatch_all = [&](double t) {
     while (!idle.empty() && !ready.empty()) {
@@ -71,6 +99,7 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
       const std::size_t job = ready.front();
       ready.pop_front();
       note_queue_change(t);
+      observe_depth(t);
       // The master serializes hand-outs (dispatch_overhead each) and each
       // leg of the round trip pays message_latency -- the CommModel the
       // batch simulators use.
@@ -80,30 +109,93 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
       const double finish = start + service_seconds[job] + opts.comm.message_latency;
       out.busy[w] += service_seconds[job];
       ++out.dispatches;
+      in_flight[job] = w;
       completions.push({finish, w, job});
     }
   };
+  // A terminal genuine result (converged, or an attempt budget exhausted):
+  // the runtime's consume() path -- completed, a sojourn sample, and the
+  // sojourn EWMA feeding the brownout controller.
+  const auto complete = [&](std::size_t job, double t) {
+    ++out.service.completed;
+    const double sojourn = t - admit_time[job];
+    out.service.sojourn.add(sojourn);
+    if (controller.has_value()) controller->note_sojourn(sojourn);
+    if (rel.has_value()) rel->on_terminal(job);
+  };
+  // The runtime's reliability_sweep: re-admit due retries, then expire due
+  // deadlines (cancelling in-flight work, dropping queued work, discarding
+  // pending retries), counting each expiry exactly once.
+  const auto sweep = [&](double t) {
+    if (!rel.has_value()) return;
+    while (const auto due = rel->pop_due_retry(t)) {
+      note_queue_change(t);
+      ready.push_back(*due);
+      out.service.max_queue_depth = std::max(out.service.max_queue_depth, ready.size());
+      observe_depth(t);
+    }
+    while (const auto due = rel->pop_due_deadline(t)) {
+      const std::size_t job = *due;
+      if (const auto fl = in_flight.find(job); fl != in_flight.end()) {
+        // Cancelled mid-flight: the worker is freed now (the runtime's
+        // tracker stops within one step of the poll) and its original
+        // completion event is voided.
+        idle.push_back(fl->second);
+        voided.insert(job);
+        in_flight.erase(fl);
+        ++out.reliability.cancelled;
+      } else if (const auto q = std::find(ready.begin(), ready.end(), job);
+                 q != ready.end()) {
+        note_queue_change(t);
+        ready.erase(q);
+        observe_depth(t);
+      } else if (!rel->cancel_retry(job)) {
+        continue;  // went terminal between heap push and pop
+      }
+      ++out.service.expired;
+      rel->on_terminal(job);
+    }
+  };
+  const auto fails_of = [&](std::size_t job) {
+    return job < opts.fails.size() ? opts.fails[job] : std::size_t{0};
+  };
 
   for (;;) {
-    // Next event: the earlier of the next arrival (while the stream is
-    // open) and the next completion.  Arrivals win ties so that every
-    // arrival sharing a timestamp is admitted before dispatch, the way the
-    // runtime's poll() runs to completion first.
+    // Next event: the earliest of the next arrival (while the stream is
+    // open), the next reliability timer (deadline expiry or retry
+    // eligibility), and the next completion.  Arrivals win ties so that
+    // every arrival sharing a timestamp is admitted before dispatch, the
+    // way the runtime's poll() runs to completion first; the reliability
+    // sweep beats completions at the same instant, the way the runtime
+    // sweeps before draining its mailbox.
     const bool have_arrival =
         next_arrival < n && !closed_at(arrival_seconds[next_arrival]);
     const bool have_completion = !completions.empty();
-    if (!have_arrival && !have_completion) break;
+    // Absolute time of the next timer (all sim times are >= 0, so asking
+    // "seconds past t=0" yields the event's clock time; stale heap tops only
+    // wake the loop early for a no-op sweep, never late).
+    const double tr = rel.has_value() ? rel->seconds_until_next_event(0.0)
+                                      : std::numeric_limits<double>::infinity();
+    const bool have_rel = std::isfinite(tr);
+    if (!have_arrival && !have_completion && !have_rel) break;
     const double ta = have_arrival ? arrival_seconds[next_arrival]
                                    : std::numeric_limits<double>::infinity();
     const double tc = have_completion ? completions.top().time
                                       : std::numeric_limits<double>::infinity();
-    if (ta <= tc) {
-      // Admit the whole same-timestamp batch, then drop/hold the overflow.
+    if (ta <= tc && ta <= tr) {
+      // Admit the whole same-timestamp batch, then shed/drop/hold the
+      // overflow: brownout shedding outranks the capacity bound, exactly as
+      // StreamJobSource::poll() sheds the door before the kDrop overflow
+      // check.  Each admit feeds the controller, so shedding can trip
+      // mid-batch.
       const double t = ta;
       while (next_arrival < n && arrival_seconds[next_arrival] == t) {
         const std::size_t job = next_arrival++;
         ++out.service.arrivals;
-        if (bounded && ready.size() >= opts.queue_capacity) {
+        if (shedding()) {
+          ++out.service.shed;
+          ++out.reliability.brownout_shed;
+        } else if (bounded && ready.size() >= opts.queue_capacity) {
           if (opts.on_full == sched::AdmissionPolicy::kDrop) {
             ++out.service.dropped;
           } else {
@@ -113,17 +205,40 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
           admit(job, t);
         }
       }
+      sweep(t);  // deadline-0 budgets expire AT admission, before dispatch
       dispatch_all(t);
+    } else if (tr <= tc) {
+      sweep(tr);          // expiries free workers, retries refill the queue...
+      dispatch_all(tr);   // ...and freed capacity dispatches immediately
     } else {
       const Completion c = completions.top();
       completions.pop();
-      ++out.service.completed;
-      out.service.sojourn.add(c.time - admit_time[c.job]);
-      makespan = std::max(makespan, c.time);
+      if (voided.erase(c.job) > 0) continue;  // cancelled; worker already freed
+      in_flight.erase(c.job);
       idle.push_back(c.worker);
+      makespan = std::max(makespan, c.time);
+      bool terminal = true;
+      if (rel_on && attempts[c.job] < fails_of(c.job)) {
+        // This attempt failed.  With budget left (and the deadline still
+        // ahead) the runtime withholds the result and re-admits after the
+        // deterministic backoff; the exhausted attempt delivers its genuine
+        // kFailed result, which counts as completed.
+        const std::size_t used = ++attempts[c.job];
+        const auto& budget = opts.reliability.budget;
+        const auto dl = rel->deadline_of(c.job);
+        if (used < budget.max_attempts && (!dl.has_value() || c.time < *dl)) {
+          const double wait = sched::backoff_seconds(budget, opts.reliability.jitter_seed,
+                                                     c.job, used);
+          rel->schedule_retry(c.job, c.time + wait);
+          ++out.reliability.retried;
+          out.reliability.backoff_wait.add(wait);
+          terminal = false;
+        }
+      }
+      if (terminal) complete(c.job, c.time);
       // A free queue slot lets the door drain -- unless the deadline has
       // closed the stream.
-      while (!door.empty() && !closed_at(c.time) &&
+      while (!door.empty() && !closed_at(c.time) && !shedding() &&
              (!bounded || ready.size() < opts.queue_capacity)) {
         admit(door.front(), c.time);
         door.pop_front();
@@ -135,6 +250,11 @@ ServiceSimOutcome simulate_service(const std::vector<double>& service_seconds,
   // Shed everything the deadline kept out: arrivals never reached plus
   // requests still blocked at the door.
   out.service.shed += (n - next_arrival) + door.size();
+
+  if (controller.has_value()) {
+    out.reliability.brownout_transitions = controller->transitions().size();
+    out.reliability.max_brownout_level = controller->max_level_reached();
+  }
 
   out.makespan = makespan;
   const double horizon = std::max(makespan, last_event);

@@ -30,11 +30,28 @@ struct ServiceSimOptions {
   /// Close the stream at this time: later arrivals (and anything still
   /// blocked at the door) are shed, admitted work drains.
   std::optional<double> deadline_seconds;
+  /// Request-reliability twin (DESIGN.md section 13): the SAME options
+  /// struct the runtime takes.  Deadlines expire on the simulated clock
+  /// (cancelling in-flight work, shedding queued work), failed attempts
+  /// retry after the SAME deterministic backoff (sched::backoff_seconds
+  /// with the same seed), and the brownout controller is the REAL
+  /// sched::OverloadController fed the same depth-change sequence -- so on
+  /// a fixed trace the reliability counters are bit-equal to the runtime's.
+  /// Note: brownout hysteresis dwell uses the simulated clock, so parity
+  /// traces run with min_dwell_seconds = 0 (time-free transitions).
+  sched::ReliabilityOptions reliability;
+  /// Scripted attempt failures: request i FAILS its first fails[i]
+  /// attempts (missing entries never fail); each retry re-costs
+  /// service_seconds[i].  This is the twin of a workload whose tracker
+  /// deterministically fails (e.g. an impossible max_steps budget).
+  std::vector<std::size_t> fails;
 };
 
 struct ServiceSimOutcome {
   /// Queueing metrics, same struct the thread runtime fills.
   sched::ServiceStats service;
+  /// Reliability counters, same struct the thread runtime fills.
+  sched::ReliabilityStats reliability;
   double makespan = 0.0;          // last result arrives at the master
   std::size_t dispatches = 0;     // one per admitted job (FCFS)
   std::vector<double> busy;       // per-worker service time

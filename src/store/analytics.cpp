@@ -22,6 +22,10 @@ void StoreSummary::add(const RecordFields& f) {
       ++diverged;
       break;
     case homotopy::PathStatus::kFailed:
+    case homotopy::PathStatus::kDeadlineExpired:
+    case homotopy::PathStatus::kCancelled:
+      // Reliability outcomes (DESIGN.md section 13) are unconverged work at
+      // the analytics layer: no endpoint was certified.
       ++failed;
       break;
   }
@@ -68,7 +72,9 @@ void LevelTable::add(const RecordFields& f) {
   switch (f.status) {
     case homotopy::PathStatus::kConverged: ++row.converged; break;
     case homotopy::PathStatus::kDiverged: ++row.diverged; break;
-    case homotopy::PathStatus::kFailed: ++row.failed; break;
+    case homotopy::PathStatus::kFailed:
+    case homotopy::PathStatus::kDeadlineExpired:
+    case homotopy::PathStatus::kCancelled: ++row.failed; break;
   }
   if (f.rescued) ++row.rescued;
   row.rescue_attempts += f.rescue_attempts;

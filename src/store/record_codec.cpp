@@ -84,7 +84,10 @@ RecordFields walk_scalar_prefix(std::string_view line, int version, std::size_t&
   f.seconds = parse_bits(line, pos);
   expect(line, pos, "\",\"st\":");
   const auto status = parse_uint(line, pos);
-  if (status > static_cast<std::uint64_t>(homotopy::PathStatus::kFailed)) {
+  // kCancelled is the last enumerator; the reliability layer (DESIGN.md
+  // section 13) appends kDeadlineExpired/kCancelled after the legacy trio,
+  // so every stored status value up to it is decodable.
+  if (status > static_cast<std::uint64_t>(homotopy::PathStatus::kCancelled)) {
     throw std::invalid_argument("result store: unknown path status");
   }
   f.status = static_cast<homotopy::PathStatus>(status);

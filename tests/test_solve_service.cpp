@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "sched/arrival.hpp"
@@ -286,6 +287,270 @@ TEST(ServiceSim, DeadlineShedsLateArrivals) {
   EXPECT_EQ(out.service.shed, 1u);
   EXPECT_EQ(out.service.completed, 2u);
   EXPECT_TRUE(out.service.drained());
+}
+
+// ---- request reliability (DESIGN.md section 13) -----------------------------
+
+using pph::homotopy::PathStatus;
+
+TEST_F(SchedulerTest, ReliabilityIsServeOnly) {
+  // Budgets attach at the stream's admission gate; a drain run has none.
+  sched::VectorJobSource source(workload_);
+  sched::DiscardSink sink;
+  sched::Session session(source, sink,
+                         sched::SessionOptions().with_reliability(
+                             sched::ReliabilityOptions().with_deadline(1.0)));
+  EXPECT_THROW(session.run(4), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, ReliabilityOptionsAreValidated) {
+  const std::vector<double> burst(starts_.size(), 0.0);
+  sched::DiscardSink sink;
+  const auto serve_with = [&](sched::ReliabilityOptions ro) {
+    sched::VectorJobSource inner(workload_);
+    sched::StreamJobSource stream(inner, burst);
+    sched::Session session(stream, sink, sched::SessionOptions().with_reliability(ro));
+    session.serve(4);
+  };
+  sched::ReliabilityOptions zero_attempts;
+  zero_attempts.budget.max_attempts = 0;
+  EXPECT_THROW(serve_with(zero_attempts), std::invalid_argument);
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_attempts(2, -0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_attempts(2, 0.1, 0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_attempts(2, 0.1, 2.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_deadline(-1.0)),
+               std::invalid_argument);
+  // Brownout watermarks must be ordered: shedding may not trip before the
+  // shallower degradations.
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_overload(
+                   sched::OverloadOptions().with_depths(30, 20, 10))),
+               std::invalid_argument);
+  EXPECT_THROW(serve_with(sched::ReliabilityOptions().with_overload(
+                   sched::OverloadOptions().with_depths(5, 10, 20).with_hysteresis(0.0, 0.0))),
+               std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, GenerousBudgetLeavesResultsBitIdentical) {
+  // A cancellable frame threads a cancel poll into every tracker call; the
+  // poll must never change the numerics.  With a deadline no request can
+  // miss, the served results are bit-identical to a drained run without
+  // the layer.
+  const std::vector<double> burst(starts_.size(), 0.0);
+  sched::VectorJobSource inner(workload_);
+  sched::StreamJobSource stream(inner, burst);
+  sched::InMemoryReportSink sink;
+  sched::Session session(stream, sink,
+                         sched::SessionOptions().with_reliability(
+                             sched::ReliabilityOptions().with_deadline(1000.0)));
+  const auto stats = session.serve(4);
+  EXPECT_TRUE(stats.service.drained());
+  EXPECT_EQ(stats.service.completed, starts_.size());
+  EXPECT_EQ(stats.service.expired, 0u);
+  EXPECT_EQ(stats.reliability.cancelled, 0u);
+  EXPECT_EQ(stats.reliability.retried, 0u);
+  EXPECT_EQ(stats.service.terminal_requests(), starts_.size());
+  const auto drained = sched::run_paths(workload_, 4);
+  expect_identical_results(sink.report(stats), drained);
+}
+
+TEST_F(SchedulerTest, DeadlineZeroExpiresEveryRequestAtAdmission) {
+  // A zero budget is due the instant on_admit stamps it: the sweep right
+  // after the first poll() expires the whole burst before any dispatch,
+  // and the sink sees one synthesized kDeadlineExpired record per request.
+  const std::vector<double> burst(starts_.size(), 0.0);
+  sched::VectorJobSource inner(workload_);
+  sched::StreamJobSource stream(inner, burst);
+  sched::InMemoryReportSink sink;
+  sched::Session session(stream, sink,
+                         sched::SessionOptions().with_reliability(
+                             sched::ReliabilityOptions().with_deadline(0.0)));
+  const auto stats = session.serve(4);
+  EXPECT_EQ(stats.service.arrivals, starts_.size());
+  EXPECT_EQ(stats.service.admitted, starts_.size());
+  EXPECT_EQ(stats.service.expired, starts_.size());
+  EXPECT_EQ(stats.service.completed, 0u);
+  EXPECT_EQ(stats.reliability.cancelled, 0u);  // nothing ever dispatched
+  EXPECT_TRUE(stats.service.drained());
+  EXPECT_EQ(stats.service.terminal_requests(), starts_.size());
+  const auto report = sink.report(stats);
+  ASSERT_EQ(report.paths.size(), starts_.size());
+  EXPECT_EQ(report.expired, starts_.size());
+  for (std::size_t i = 0; i < report.paths.size(); ++i) {
+    EXPECT_EQ(report.paths[i].index, i);
+    EXPECT_EQ(report.paths[i].result.status, PathStatus::kDeadlineExpired);
+    EXPECT_EQ(report.paths[i].worker, -1);
+  }
+  // The simulator twin on the same trace: every counter bit-equal.
+  simcluster::ServiceSimOptions sopts;
+  sopts.reliability = sched::ReliabilityOptions().with_deadline(0.0);
+  const std::vector<double> durations(starts_.size(), 1e-3);
+  const auto sim = simcluster::simulate_service(durations, burst, 3, sopts);
+  EXPECT_EQ(sim.service.admitted, stats.service.admitted);
+  EXPECT_EQ(sim.service.expired, stats.service.expired);
+  EXPECT_EQ(sim.service.completed, stats.service.completed);
+  EXPECT_EQ(sim.service.terminal_requests(), stats.service.terminal_requests());
+  EXPECT_EQ(sim.reliability.cancelled, stats.reliability.cancelled);
+  EXPECT_EQ(sim.dispatches, 0u);
+}
+
+TEST_F(SchedulerTest, InFlightCancelStopsTheTrackerMidPath) {
+  // One slave, two requests, and a microscopic step cap that makes each
+  // track take effectively forever: request 0 expires IN FLIGHT (the
+  // cancel poll stops the tracker within one step and the slave's stub is
+  // dropped by the ownerless-result path -- exactly once), request 1
+  // expires in queue before any worker saw it.
+  std::vector<pph::linalg::CVector> two(starts_.begin(), starts_.begin() + 2);
+  sched::PathWorkload slow = workload_;
+  slow.starts = &two;
+  slow.tracker.initial_step = 1e-7;
+  slow.tracker.max_step = 1e-7;
+  slow.tracker.max_steps = 100000000;  // hours of work: the deadline always wins
+  sched::VectorJobSource inner(slow);
+  sched::StreamJobSource stream(inner, std::vector<double>(2, 0.0));
+  sched::InMemoryReportSink sink;
+  sched::Session session(stream, sink,
+                         sched::SessionOptions().with_initial_jobs(1).with_reliability(
+                             sched::ReliabilityOptions().with_deadline(0.05)));
+  const auto stats = session.serve(2);
+  EXPECT_EQ(stats.service.admitted, 2u);
+  EXPECT_EQ(stats.service.expired, 2u);
+  EXPECT_EQ(stats.service.completed, 0u);
+  EXPECT_EQ(stats.reliability.cancelled, 1u);  // only request 0 was dispatched
+  EXPECT_TRUE(stats.service.drained());
+  const auto report = sink.report(stats);
+  ASSERT_EQ(report.paths.size(), 2u);  // the cancelled stub was not double-counted
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(report.paths[i].index, i);
+    EXPECT_EQ(report.paths[i].result.status, PathStatus::kDeadlineExpired);
+    EXPECT_EQ(report.paths[i].worker, -1);
+  }
+  // Twin: 1 worker, service times far past the deadline -> same counters
+  // (one mid-flight cancellation, two expiries).
+  simcluster::ServiceSimOptions sopts;
+  sopts.reliability = sched::ReliabilityOptions().with_deadline(0.05);
+  const auto sim = simcluster::simulate_service(std::vector<double>(2, 10.0),
+                                                std::vector<double>(2, 0.0), 1, sopts);
+  EXPECT_EQ(sim.reliability.cancelled, stats.reliability.cancelled);
+  EXPECT_EQ(sim.service.expired, stats.service.expired);
+  EXPECT_EQ(sim.service.completed, stats.service.completed);
+  EXPECT_EQ(sim.service.terminal_requests(), stats.service.terminal_requests());
+}
+
+TEST_F(SchedulerTest, FailedRequestsRetryWithBackoffThenDeliver) {
+  // A one-step budget makes every track fail instantly and
+  // deterministically.  Each request burns its 3 attempts (2 retries with
+  // deterministic jittered backoff), then the exhausted attempt delivers
+  // its genuine kFailed result -- completed, never expired.  The simulator
+  // twin scripts the same failures and must draw bit-identical backoffs.
+  sched::PathWorkload failing = workload_;
+  failing.tracker.max_steps = 1;
+  sched::VectorJobSource inner(failing);
+  const std::vector<double> burst(starts_.size(), 0.0);
+  sched::StreamJobSource stream(inner, burst);
+  sched::InMemoryReportSink sink;
+  const auto rel = sched::ReliabilityOptions()
+                       .with_attempts(3, 0.002, 2.0, 0.25)
+                       .with_jitter_seed(42);
+  sched::Session session(stream, sink, sched::SessionOptions().with_reliability(rel));
+  const auto stats = session.serve(4);
+  const std::size_t n = starts_.size();
+  EXPECT_EQ(stats.service.completed, n);
+  EXPECT_EQ(stats.service.expired, 0u);
+  EXPECT_TRUE(stats.service.drained());
+  EXPECT_EQ(stats.reliability.retried, 2 * n);
+  EXPECT_EQ(stats.reliability.backoff_wait.count(), 2 * n);
+  // Jittered exponential backoff: attempt 1 in [1.5, 2.5] ms, attempt 2
+  // doubled -- every draw inside the jitter envelope.
+  EXPECT_GE(stats.reliability.backoff_wait.min(), 0.002 * 0.75);
+  EXPECT_LE(stats.reliability.backoff_wait.max(), 0.004 * 1.25);
+  const auto report = sink.report(stats);
+  ASSERT_EQ(report.paths.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(report.paths[i].index, i);
+    EXPECT_EQ(report.paths[i].result.status, PathStatus::kFailed);
+  }
+
+  simcluster::ServiceSimOptions sopts;
+  sopts.reliability = rel;
+  sopts.fails.assign(n, 3);  // every attempt fails; the budget caps at 3
+  const std::vector<double> durations(n, 1e-4);
+  const auto sim = simcluster::simulate_service(durations, burst, 3, sopts);
+  EXPECT_EQ(sim.reliability.retried, stats.reliability.retried);
+  EXPECT_EQ(sim.service.completed, stats.service.completed);
+  EXPECT_EQ(sim.service.expired, stats.service.expired);
+  // The backoff draws depend only on (seed, id, attempt): the sample
+  // multisets must match bit for bit, runtime vs simulator.
+  auto a = stats.reliability.backoff_wait.samples();
+  auto b = sim.reliability.backoff_wait.samples();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SchedulerTest, SimulatorMatchesRuntimeBrownoutTransitions) {
+  // A 120-request burst through watermarks 5/10/20 with time-free
+  // hysteresis (dwell 0): admission escalates 0->1->2->3 at depths 5, 10,
+  // 20, the 100 requests still at the door are shed, and the drain
+  // de-escalates 3->2->1->0 as the queue empties.  The runtime and the
+  // twin drive the SAME OverloadController through the same depth
+  // sequence, so every brownout counter is bit-equal.
+  const auto rel = sched::ReliabilityOptions().with_overload(
+      sched::OverloadOptions().with_depths(5, 10, 20).with_hysteresis(0.5, 0.0));
+  const std::vector<double> burst(starts_.size(), 0.0);
+  sched::VectorJobSource inner(workload_);
+  sched::StreamJobSource stream(inner, burst);
+  sched::DiscardSink sink;
+  sched::Session session(stream, sink, sched::SessionOptions().with_reliability(rel));
+  const auto stats = session.serve(3);
+
+  EXPECT_EQ(stats.service.admitted, 20u);
+  EXPECT_EQ(stats.service.shed, 100u);
+  EXPECT_EQ(stats.reliability.brownout_shed, 100u);
+  EXPECT_EQ(stats.service.completed, 20u);
+  EXPECT_EQ(stats.reliability.max_brownout_level, 3u);
+  EXPECT_EQ(stats.reliability.brownout_transitions, 6u);  // 3 up + 3 down
+  EXPECT_EQ(stats.service.terminal_requests(), starts_.size());
+
+  simcluster::ServiceSimOptions sopts;
+  sopts.reliability = rel;
+  const std::vector<double> durations(starts_.size(), 1e-3);
+  const auto sim = simcluster::simulate_service(durations, burst, 2, sopts);
+  EXPECT_EQ(sim.service.admitted, stats.service.admitted);
+  EXPECT_EQ(sim.service.shed, stats.service.shed);
+  EXPECT_EQ(sim.reliability.brownout_shed, stats.reliability.brownout_shed);
+  EXPECT_EQ(sim.service.completed, stats.service.completed);
+  EXPECT_EQ(sim.reliability.max_brownout_level, stats.reliability.max_brownout_level);
+  EXPECT_EQ(sim.reliability.brownout_transitions, stats.reliability.brownout_transitions);
+  EXPECT_EQ(sim.service.terminal_requests(), stats.service.terminal_requests());
+}
+
+TEST(StatsJson, RendersSingleLineObjects) {
+  sched::ServiceStats svc;
+  svc.arrivals = 7;
+  svc.completed = 5;
+  svc.expired = 2;
+  const auto sj = sched::to_json(svc);
+  EXPECT_NE(sj.find("\"arrivals\":7"), std::string::npos);
+  EXPECT_NE(sj.find("\"expired\":2"), std::string::npos);
+  EXPECT_NE(sj.find("\"terminal_requests\":7"), std::string::npos);
+  EXPECT_EQ(sj.find('\n'), std::string::npos);
+
+  sched::ReliabilityStats rel;
+  rel.cancelled = 3;
+  rel.backoff_wait.add(0.25);
+  const auto rj = sched::to_json(rel);
+  EXPECT_NE(rj.find("\"cancelled\":3"), std::string::npos);
+  EXPECT_NE(rj.find("\"backoff_wait_count\":1"), std::string::npos);
+  EXPECT_EQ(rj.find('\n'), std::string::npos);
+
+  sched::SupervisionStats sup;
+  sup.quarantined = 1;
+  const auto pj = sched::to_json(sup);
+  EXPECT_NE(pj.find("\"quarantined\":1"), std::string::npos);
+  EXPECT_EQ(pj.find('\n'), std::string::npos);
 }
 
 // ---- sink combinators -------------------------------------------------------

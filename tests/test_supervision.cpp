@@ -15,6 +15,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -344,21 +345,26 @@ mp::ChaosOptions chaos_options() {
 }
 
 /// One JSONL row per chaos run when PPH_CHAOS_REPORT names a file (the CI
-/// chaos-smoke step collects it as an artifact).
+/// chaos-smoke step collects it as an artifact).  The stat structs render
+/// through their to_json() functions (sched/api.hpp), so a chaos row and a
+/// bench row carry the same nested objects.
 void append_chaos_report(const char* policy, const char* mode, std::uint64_t seed,
-                         const sched::SessionStats& stats) {
+                         const sched::SessionStats& stats,
+                         std::optional<double> deadline = std::nullopt) {
   const char* path = std::getenv("PPH_CHAOS_REPORT");
   if (path == nullptr) return;
   std::ofstream out(path, std::ios::app);
-  const auto& sup = stats.supervision;
   out << "{\"policy\":\"" << policy << "\",\"mode\":\"" << mode << "\",\"seed\":" << seed
-      << ",\"wall_seconds\":" << stats.wall_seconds << ",\"heartbeats\":" << sup.heartbeats
-      << ",\"suspects\":" << sup.suspects << ",\"deaths_detected\":" << sup.deaths_detected
-      << ",\"deaths_announced\":" << sup.deaths_announced
-      << ",\"requeued_jobs\":" << sup.requeued_jobs
-      << ",\"speculative_dispatches\":" << sup.speculative_dispatches
-      << ",\"speculation_wins\":" << sup.speculation_wins
-      << ",\"quarantined\":" << sup.quarantined << "}\n";
+      << ",\"deadline_seconds\":";
+  if (deadline.has_value()) {
+    out << *deadline;
+  } else {
+    out << "null";
+  }
+  out << ",\"wall_seconds\":" << stats.wall_seconds
+      << ",\"service\":" << sched::to_json(stats.service)
+      << ",\"supervision\":" << sched::to_json(stats.supervision)
+      << ",\"reliability\":" << sched::to_json(stats.reliability) << "}\n";
 }
 
 class ChaosMatrix : public SchedulerTest {
@@ -443,6 +449,87 @@ TEST_F(ChaosMatrix, BatchStealServeSurvivesSeededChaos) {
     EXPECT_TRUE(stats.service.drained());
     expect_recovered(stats, sink.report(stats));
   }
+}
+
+// ---- the chaos x deadline matrix (DESIGN.md section 13) ---------------------
+// Seeded random fault plans crossed with per-request deadlines: a mid
+// deadline that splits the pool into completed and expired, and a tight
+// deadline that cancels nearly everything in flight.  Whatever the fault
+// and the budget do to an individual request, the conservation identity
+// must hold exactly: every request ends in exactly one terminal bucket
+// (completed / expired / shed / dropped / quarantined), none lost, none
+// double-counted, and no request retried past its attempt budget.
+
+class ChaosDeadlineMatrix : public SchedulerTest {
+ protected:
+  sched::SessionOptions chaos_session(sched::Policy policy, std::uint64_t seed,
+                                      std::optional<double> deadline) {
+    mp::ChaosOptions chaos;
+    chaos.max_terminal = 1;
+    chaos.max_jobs_before_fault = 6;
+    auto rel = sched::ReliabilityOptions()
+                   .with_attempts(2, 0.001, 2.0, 0.2)
+                   .with_jitter_seed(seed);
+    if (deadline.has_value()) rel.with_deadline(*deadline);
+    return sched::SessionOptions()
+        .with_policy(policy)
+        .with_fault_plan(mp::FaultPlan::random(seed, 4, chaos))
+        .with_supervision(test_supervisor())
+        .with_reliability(rel);
+  }
+
+  void run_cell(sched::Policy policy, const char* policy_name, std::uint64_t seed,
+                std::optional<double> deadline) {
+    SCOPED_TRACE(std::string(policy_name) + " seed " + std::to_string(seed) +
+                 " deadline " + (deadline ? std::to_string(*deadline) : "none"));
+    const std::vector<double> burst(starts_.size(), 0.0);
+    sched::VectorJobSource inner(workload_);
+    sched::StreamJobSource stream(inner, burst);
+    sched::InMemoryReportSink sink;
+    sched::Session session(stream, sink, chaos_session(policy, seed, deadline));
+    const auto stats = session.serve(4);
+    append_chaos_report(policy_name, "serve-deadline", seed, stats, deadline);
+    // The conservation identity, exact under chaos: every request terminal
+    // exactly once (with a burst trace nothing is shed at the door here,
+    // so the terminal buckets must sum to the request count).
+    EXPECT_EQ(stats.service.arrivals, starts_.size());
+    EXPECT_EQ(stats.service.terminal_requests(), starts_.size());
+    EXPECT_TRUE(stats.service.drained());
+    // Budget cap: at most one retry per request (max_attempts = 2).
+    EXPECT_LE(stats.reliability.retried, starts_.size());
+    // The sink saw each surviving request exactly once.
+    const auto report = sink.report(stats);
+    EXPECT_EQ(report.paths.size(),
+              stats.service.completed + stats.service.expired + stats.service.quarantined);
+    std::size_t expired_records = 0;
+    for (std::size_t i = 1; i < report.paths.size(); ++i) {
+      EXPECT_LT(report.paths[i - 1].index, report.paths[i].index) << "duplicate terminal";
+    }
+    for (const auto& tp : report.paths) {
+      if (tp.result.status == pph::homotopy::PathStatus::kDeadlineExpired) {
+        ++expired_records;
+        EXPECT_EQ(tp.worker, -1);  // synthesized on the master, never a stub
+      }
+    }
+    EXPECT_EQ(expired_records, stats.service.expired);
+  }
+};
+
+TEST_F(ChaosDeadlineMatrix, FcfsConservesEveryRequestUnderMidDeadline) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    run_cell(sched::Policy::kFCFS, "fcfs", seed, 0.25);
+  }
+}
+
+TEST_F(ChaosDeadlineMatrix, FcfsConservesEveryRequestUnderTightDeadline) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    run_cell(sched::Policy::kFCFS, "fcfs", seed, 0.002);
+  }
+}
+
+TEST_F(ChaosDeadlineMatrix, BatchStealConservesEveryRequestUnderDeadlines) {
+  run_cell(sched::Policy::kBatchSteal, "batchsteal", 11, 0.25);
+  run_cell(sched::Policy::kBatchSteal, "batchsteal", 11, 0.002);
 }
 
 // ---- front-door validation --------------------------------------------------

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -131,6 +134,77 @@ TEST(RunningStats, SingleSampleHasZeroVariance) {
   RunningStats s;
   s.add(3.25);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+// Property test: merge() must be indistinguishable from having pooled the
+// samples into one accumulator -- for every queryable statistic, across
+// random splits including empty sides and single-sample accumulators.
+TEST(PercentileAccumulator, MergeEqualsPooledAccumulation) {
+  using pph::util::PercentileAccumulator;
+  Prng rng(17);
+  const auto expect_equal = [](PercentileAccumulator& merged,
+                               PercentileAccumulator& pooled) {
+    EXPECT_EQ(merged.count(), pooled.count());
+    // Identical sample multisets imply identical order statistics; compare
+    // the sorted samples bit for bit, then spot-check the query surface.
+    auto a = merged.samples();
+    auto b = pooled.samples();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+    EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), pooled.mean());
+    for (const double pct : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(merged.percentile(pct), pooled.percentile(pct)) << "pct " << pct;
+    }
+  };
+  for (int trial = 0; trial < 24; ++trial) {
+    // Sizes 0..11: empty-side and single-sample merges occur by design.
+    const std::size_t na = rng.uniform_index(12);
+    const std::size_t nb = rng.uniform_index(12);
+    PercentileAccumulator lhs, rhs, pooled;
+    for (std::size_t i = 0; i < na; ++i) {
+      const double x = rng.lognormal(0.0, 1.0);
+      lhs.add(x);
+      pooled.add(x);
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      const double x = rng.lognormal(0.0, 1.0);
+      rhs.add(x);
+      pooled.add(x);
+    }
+    lhs.merge(rhs);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " sizes " + std::to_string(na) +
+                 "+" + std::to_string(nb));
+    expect_equal(lhs, pooled);
+  }
+  // The degenerate corners, explicitly: empty.merge(empty) stays the
+  // all-zeros empty query surface...
+  PercentileAccumulator empty_a, empty_b;
+  empty_a.merge(empty_b);
+  EXPECT_EQ(empty_a.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty_a.percentile(50.0), 0.0);
+  // ...a single sample merged into empty (and vice versa) IS that sample...
+  PercentileAccumulator one;
+  one.add(3.5);
+  PercentileAccumulator into_empty;
+  into_empty.merge(one);
+  EXPECT_EQ(into_empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(into_empty.p50(), 3.5);
+  EXPECT_DOUBLE_EQ(into_empty.min(), 3.5);
+  EXPECT_DOUBLE_EQ(into_empty.max(), 3.5);
+  PercentileAccumulator empty_rhs;
+  one.merge(empty_rhs);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.p99(), 3.5);
+  // ...and two singletons merge into an interpolating pair.
+  PercentileAccumulator x, y;
+  x.add(1.0);
+  y.add(2.0);
+  x.merge(y);
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_DOUBLE_EQ(x.p50(), 1.5);
 }
 
 TEST(BatchStats, PercentileInterpolation) {
